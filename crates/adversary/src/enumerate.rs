@@ -1,0 +1,234 @@
+//! Exhaustive enumeration of adversaries for small systems.
+//!
+//! Unbeatability is a statement about *all* runs; for small systems the space
+//! of adversaries is finite and can be enumerated outright, which is how the
+//! experiment harness spot-checks the paper's optimality claims (experiment
+//! E7 in `DESIGN.md`).  The enumeration covers every input vector over
+//! `{0, …, max_value}` and every failure pattern with at most `t` crashes in
+//! rounds `1 … max_crash_round`, with every possible delivery subset in the
+//! crashing round.
+
+use serde::{Deserialize, Serialize};
+
+use synchrony::{Adversary, FailurePattern, InputVector, ModelError};
+
+/// The scope of an exhaustive enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnumerationConfig {
+    /// Number of processes.
+    pub n: usize,
+    /// Maximum number of crashes per adversary.
+    pub t: usize,
+    /// Largest initial value (the domain is `{0, …, max_value}`).
+    pub max_value: u64,
+    /// Latest round in which a crash may occur.
+    pub max_crash_round: u32,
+    /// Whether crashing processes may deliver to arbitrary subsets (`true`) or
+    /// only crash silently (`false`), which shrinks the space considerably.
+    pub partial_delivery: bool,
+}
+
+impl EnumerationConfig {
+    /// A small default scope suitable for exhaustive checks in tests.
+    pub fn small(n: usize, t: usize, max_value: u64) -> Self {
+        EnumerationConfig { n, t, max_value, max_crash_round: 2, partial_delivery: true }
+    }
+
+    /// Returns the number of input vectors the scope contains.
+    pub fn num_input_vectors(&self) -> u128 {
+        (self.max_value as u128 + 1).pow(self.n as u32)
+    }
+
+    /// Returns the number of failure patterns the scope contains.
+    pub fn num_failure_patterns(&self) -> u128 {
+        // Per crashing process: a round and (optionally) a delivery subset of
+        // the other n - 1 processes.
+        let per_process: u128 = if self.partial_delivery {
+            self.max_crash_round as u128 * (1u128 << (self.n - 1))
+        } else {
+            self.max_crash_round as u128
+        };
+        // Sum over the number of crashing processes (0..=t) of
+        // C(n, crashes) * per_process^crashes.
+        (0..=self.t.min(self.n))
+            .map(|crashes| binomial(self.n, crashes) * per_process.pow(crashes as u32))
+            .sum()
+    }
+
+    /// Returns the total number of adversaries the scope contains.
+    pub fn num_adversaries(&self) -> u128 {
+        self.num_input_vectors() * self.num_failure_patterns()
+    }
+}
+
+fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result * (n - i) as u128 / (i + 1) as u128;
+    }
+    result
+}
+
+/// Enumerates every input vector in the scope.
+pub fn input_vectors(config: &EnumerationConfig) -> Vec<InputVector> {
+    let base = config.max_value + 1;
+    let total = (base as u128).pow(config.n as u32);
+    let mut out = Vec::with_capacity(total as usize);
+    for code in 0..total {
+        let mut values = Vec::with_capacity(config.n);
+        let mut rest = code;
+        for _ in 0..config.n {
+            values.push((rest % base as u128) as u64);
+            rest /= base as u128;
+        }
+        out.push(InputVector::from_values(values));
+    }
+    out
+}
+
+/// Enumerates every failure pattern in the scope.
+pub fn failure_patterns(config: &EnumerationConfig) -> Vec<FailurePattern> {
+    let mut out = Vec::new();
+    let mut current = FailurePattern::crash_free(config.n);
+    extend_patterns(config, 0, &mut current, &mut out);
+    out
+}
+
+fn extend_patterns(
+    config: &EnumerationConfig,
+    from: usize,
+    current: &mut FailurePattern,
+    out: &mut Vec<FailurePattern>,
+) {
+    out.push(current.clone());
+    if current.num_faulty() >= config.t {
+        return;
+    }
+    for process in from..config.n {
+        for round in 1..=config.max_crash_round {
+            let subsets: Vec<Vec<usize>> = if config.partial_delivery {
+                let others: Vec<usize> = (0..config.n).filter(|&p| p != process).collect();
+                (0..(1u32 << others.len()))
+                    .map(|mask| {
+                        others
+                            .iter()
+                            .enumerate()
+                            .filter(|(bit, _)| mask & (1 << bit) != 0)
+                            .map(|(_, &p)| p)
+                            .collect()
+                    })
+                    .collect()
+            } else {
+                vec![Vec::new()]
+            };
+            for delivered in subsets {
+                let mut next = current.clone();
+                next.crash(process, round, delivered)
+                    .expect("enumerated crash parameters are always valid");
+                extend_patterns(config, process + 1, &mut next, out);
+            }
+        }
+    }
+}
+
+/// Enumerates every adversary in the scope.
+///
+/// # Errors
+///
+/// Returns an error only if the configuration itself is degenerate (fewer
+/// than two processes).
+pub fn adversaries(config: &EnumerationConfig) -> Result<Vec<Adversary>, ModelError> {
+    if config.n < 2 {
+        return Err(ModelError::TooFewProcesses { n: config.n });
+    }
+    let inputs = input_vectors(config);
+    let patterns = failure_patterns(config);
+    let mut out = Vec::with_capacity(inputs.len() * patterns.len());
+    for pattern in &patterns {
+        for input in &inputs {
+            out.push(Adversary::new(input.clone(), pattern.clone())?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_the_enumeration() {
+        let config = EnumerationConfig {
+            n: 3,
+            t: 1,
+            max_value: 1,
+            max_crash_round: 2,
+            partial_delivery: true,
+        };
+        assert_eq!(input_vectors(&config).len() as u128, config.num_input_vectors());
+        assert_eq!(failure_patterns(&config).len() as u128, config.num_failure_patterns());
+        let all = adversaries(&config).unwrap();
+        assert_eq!(all.len() as u128, config.num_adversaries());
+    }
+
+    #[test]
+    fn silent_only_enumeration_is_much_smaller() {
+        let with = EnumerationConfig {
+            n: 3,
+            t: 2,
+            max_value: 1,
+            max_crash_round: 2,
+            partial_delivery: true,
+        };
+        let without = EnumerationConfig { partial_delivery: false, ..with };
+        assert!(without.num_failure_patterns() < with.num_failure_patterns());
+        assert_eq!(
+            failure_patterns(&without).len() as u128,
+            without.num_failure_patterns()
+        );
+    }
+
+    #[test]
+    fn every_enumerated_adversary_respects_the_budget() {
+        let config = EnumerationConfig::small(3, 2, 1);
+        for adversary in adversaries(&config).unwrap() {
+            assert!(adversary.num_failures() <= 2);
+            assert_eq!(adversary.n(), 3);
+            assert!(adversary.inputs().check_max_value(1).is_ok());
+        }
+    }
+
+    #[test]
+    fn patterns_are_pairwise_distinct() {
+        let config = EnumerationConfig {
+            n: 3,
+            t: 1,
+            max_value: 0,
+            max_crash_round: 1,
+            partial_delivery: true,
+        };
+        let patterns = failure_patterns(&config);
+        for (i, a) in patterns.iter().enumerate() {
+            for b in patterns.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_configurations_are_rejected() {
+        let config = EnumerationConfig::small(1, 0, 1);
+        assert!(adversaries(&config).is_err());
+    }
+
+    #[test]
+    fn binomial_coefficients_are_correct() {
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(3, 4), 0);
+    }
+}

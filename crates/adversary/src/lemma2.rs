@@ -1,0 +1,281 @@
+//! The witness-run construction of Lemma 2.
+//!
+//! Lemma 2 is the combinatorial engine behind the unbeatability proof: if a
+//! node `⟨i, m⟩` has hidden capacity `c`, then for *any* `c` values
+//! `v₁, …, v_c` there exists a run `r′`, indistinguishable from `r` to
+//! `⟨i, m⟩`, in which `c` disjoint hidden crash chains carry those values —
+//! so each value may, for all `i` knows, be held by a distinct active process
+//! at time `m`.
+//!
+//! [`witness_adversary`] builds such an `r′` constructively, following the
+//! proof: the layer-0 witnesses are re-assigned the chosen initial values,
+//! every layer-`ℓ` witness (for `ℓ < m`) crashes at time `ℓ` delivering only
+//! to its successor in the chain, and each witness otherwise receives exactly
+//! the messages the observer received (plus a message from the observer and
+//! from its predecessor).
+
+use std::fmt;
+
+use knowledge::ViewAnalysis;
+use synchrony::{
+    Adversary, FailurePattern, InputVector, ModelError, Node, ProcessId, Run, Time, Value,
+};
+
+/// A constructed Lemma 2 witness scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WitnessScenario {
+    /// The adversary of the constructed run `r′`.
+    pub adversary: Adversary,
+    /// The observer node `⟨i, m⟩` the construction is indistinguishable to.
+    pub observer: Node,
+    /// `chains[b][ℓ]` is the layer-`ℓ` witness of chain `b`.
+    pub chains: Vec<Vec<ProcessId>>,
+    /// The value carried by each chain.
+    pub values: Vec<Value>,
+}
+
+impl fmt::Display for WitnessScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Lemma 2 witness run for {} with {} chains",
+            self.observer,
+            self.chains.len()
+        )
+    }
+}
+
+/// Builds the Lemma 2 witness run for `observer` in `run`, carrying `values`.
+///
+/// The observer must have hidden capacity at least `values.len()`, and the
+/// witnesses are chosen "freshly hidden" (their previous node is seen by the
+/// observer), exactly as in the proof of Lemma 2.  The resulting adversary
+/// `α′` satisfies:
+///
+/// * the view of the observer is identical in `r` and `r′ = fip[α′]`;
+/// * chain `b`'s layer-`ℓ` witness knows value `values[b]` at time `ℓ`, and
+///   knows no other value the observer does not know;
+/// * each witness node is hidden from the observer, with hidden capacity at
+///   least `values.len() − 1` of its own.
+///
+/// # Errors
+///
+/// Returns an error if the observer's hidden capacity is smaller than the
+/// number of values, or if no family of fresh, per-layer-distinct witnesses
+/// exists (which cannot happen for the scenario families in this crate).
+pub fn witness_adversary(
+    run: &Run,
+    observer: Node,
+    values: &[Value],
+) -> Result<WitnessScenario, ModelError> {
+    let analysis = ViewAnalysis::new(run, observer)?;
+    let c = values.len();
+    if analysis.hidden_capacity() < c {
+        return Err(ModelError::InvalidTaskParameter {
+            reason: format!(
+                "observer {} has hidden capacity {}, need at least {c}",
+                observer,
+                analysis.hidden_capacity()
+            ),
+        });
+    }
+    let m = observer.time.index();
+
+    // Select per-layer witnesses: distinct within a layer by construction, and
+    // distinct across layers 0..m because a hidden node at layer ℓ < m whose
+    // previous node is seen corresponds to a process crashing exactly in round
+    // ℓ + 1.  Layer-m witnesses are chosen avoiding all earlier picks.
+    let mut used = synchrony::PidSet::new();
+    let mut layers: Vec<Vec<ProcessId>> = Vec::with_capacity(m + 1);
+    for layer in 0..=m {
+        let time = Time::new(layer as u32);
+        let mut picks = Vec::with_capacity(c);
+        for p in analysis.hidden_at(time).iter() {
+            if picks.len() == c {
+                break;
+            }
+            // Fresh witnesses: the node one step earlier must be seen (always
+            // true at layer 0).
+            let fresh = layer == 0
+                || analysis.seen().contains_node(p, Time::new(layer as u32 - 1));
+            if fresh && !used.contains(p) {
+                picks.push(p);
+            }
+        }
+        if picks.len() < c {
+            return Err(ModelError::InvalidTaskParameter {
+                reason: format!(
+                    "could not select {c} fresh witnesses at layer {layer} for {observer}"
+                ),
+            });
+        }
+        for &p in &picks {
+            used.insert(p);
+        }
+        layers.push(picks);
+    }
+
+    // Re-index as chains: chains[b][ℓ].
+    let chains: Vec<Vec<ProcessId>> =
+        (0..c).map(|b| (0..=m).map(|layer| layers[layer][b]).collect()).collect();
+
+    // Build the modified adversary.
+    let n = run.n();
+    let original = run.adversary();
+    let mut inputs = InputVector::from_values(
+        (0..n).map(|p| original.inputs().value_of(p).get()).collect::<Vec<_>>(),
+    );
+    for (b, chain) in chains.iter().enumerate() {
+        inputs = inputs.with_value(chain[0], values[b]);
+    }
+
+    let mut failures = FailurePattern::crash_free(n);
+    let witness_of_layer = |p: ProcessId| -> Option<usize> {
+        (0..m).find(|&layer| layers[layer].contains(&p))
+    };
+    for p in 0..n {
+        let pid = ProcessId::new(p);
+        if let Some(layer) = witness_of_layer(pid) {
+            // Change 2: the layer-ℓ witness fails at time ℓ, reaching only its
+            // chain successor.
+            let b = (0..c).find(|&b| chains[b][layer] == pid).expect("pid is a witness");
+            let successor = chains[b][layer + 1];
+            failures.crash(pid, (layer + 1) as u32, [successor])?;
+        } else if layers[m].contains(&pid) {
+            // Layer-m witnesses are kept alive (w.l.o.g. in the proof).
+        } else if let Some(fault) = original.failures().fault(pid) {
+            // Change 3 for other crashing processes: each witness at layer
+            // ℓ ≥ 1 receives in round ℓ exactly what the observer receives,
+            // so a crashing sender delivers to the witness iff it delivers to
+            // the observer.
+            let round = fault.round();
+            let mut delivered: Vec<ProcessId> = fault.delivered().iter().collect();
+            if round.end_time() <= observer.time {
+                let layer = round.number() as usize;
+                let delivers_to_observer = pid == observer.process
+                    || fault.delivered().contains(observer.process);
+                for b in 0..c {
+                    let witness = chains[b][layer.min(m)];
+                    if layer <= m {
+                        if delivers_to_observer {
+                            if !delivered.contains(&witness) {
+                                delivered.push(witness);
+                            }
+                        } else {
+                            delivered.retain(|&w| w != witness);
+                        }
+                    }
+                }
+            }
+            failures.crash(pid, round.number(), delivered)?;
+        }
+    }
+
+    let adversary = Adversary::new(inputs, failures)?;
+    Ok(WitnessScenario { adversary, observer, chains, values: values.to_vec() })
+}
+
+/// Convenience: regenerates the witness run itself (rather than just its
+/// adversary) with the same parameters and horizon as the original run.
+///
+/// # Errors
+///
+/// Propagates errors from [`witness_adversary`] and from the run generation.
+pub fn witness_run(
+    run: &Run,
+    observer: Node,
+    values: &[Value],
+) -> Result<(WitnessScenario, Run), ModelError> {
+    let scenario = witness_adversary(run, observer, values)?;
+    // The witness construction can only remove crashes of layer-m witnesses or
+    // re-time crashes of earlier witnesses, so the original failure budget
+    // still applies; re-use the original system parameters.
+    let new_run = Run::generate(*run.params(), scenario.adversary.clone(), run.horizon())?;
+    Ok((scenario, new_run))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::hidden_capacity_chains;
+    use synchrony::{SystemParams, View};
+
+    fn fig2_run(k: usize, depth: usize) -> (Run, ProcessId) {
+        let scenario = hidden_capacity_chains(k * (depth + 1) + 3, k, depth).unwrap();
+        let t = scenario.adversary.num_failures();
+        let params = SystemParams::new(scenario.adversary.n(), t).unwrap();
+        let run =
+            Run::generate(params, scenario.adversary.clone(), Time::new(depth as u32 + 1)).unwrap();
+        (run, scenario.observer)
+    }
+
+    #[test]
+    fn witness_run_is_indistinguishable_to_the_observer() {
+        for k in 2..=3usize {
+            let (run, observer_pid) = fig2_run(k, 2);
+            let observer = Node::new(observer_pid, Time::new(2));
+            let values: Vec<Value> = (0..k as u64).map(Value::new).collect();
+            let (scenario, witness) = witness_run(&run, observer, &values).unwrap();
+            assert_eq!(scenario.chains.len(), k);
+            let original_view = View::extract(&run, observer);
+            let witness_view = View::extract(&witness, observer);
+            assert!(
+                original_view.indistinguishable_from(&witness_view),
+                "k = {k}: observer can distinguish the Lemma 2 run"
+            );
+        }
+    }
+
+    #[test]
+    fn each_chain_carries_its_value_to_every_layer() {
+        let (run, observer_pid) = fig2_run(3, 2);
+        let observer = Node::new(observer_pid, Time::new(2));
+        let values = vec![Value::new(0), Value::new(1), Value::new(2)];
+        let (scenario, witness) = witness_run(&run, observer, &values).unwrap();
+        for (b, chain) in scenario.chains.iter().enumerate() {
+            for (layer, &member) in chain.iter().enumerate() {
+                let analysis =
+                    ViewAnalysis::new(&witness, Node::new(member, Time::new(layer as u32)))
+                        .unwrap();
+                assert!(
+                    analysis.vals().contains(values[b]),
+                    "chain {b} layer {layer} does not know value {}",
+                    values[b]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn witnesses_remain_hidden_with_residual_capacity() {
+        let (run, observer_pid) = fig2_run(3, 2);
+        let observer = Node::new(observer_pid, Time::new(2));
+        let values = vec![Value::new(0), Value::new(1), Value::new(2)];
+        let (scenario, witness) = witness_run(&run, observer, &values).unwrap();
+        let observer_analysis = ViewAnalysis::new(&witness, observer).unwrap();
+        for chain in &scenario.chains {
+            for (layer, &member) in chain.iter().enumerate() {
+                assert!(
+                    observer_analysis
+                        .status_of(Node::new(member, Time::new(layer as u32)))
+                        .is_hidden(),
+                    "witness at layer {layer} is not hidden in the constructed run"
+                );
+            }
+        }
+        // Lemma 2(c): each layer-m witness has hidden capacity ≥ c − 1.
+        for chain in &scenario.chains {
+            let top = chain[2];
+            let analysis = ViewAnalysis::new(&witness, Node::new(top, Time::new(2))).unwrap();
+            assert!(analysis.hidden_capacity() >= 2);
+        }
+    }
+
+    #[test]
+    fn capacity_shortfall_is_rejected() {
+        let (run, observer_pid) = fig2_run(2, 2);
+        let observer = Node::new(observer_pid, Time::new(2));
+        let values = vec![Value::new(0), Value::new(1), Value::new(2)];
+        assert!(witness_adversary(&run, observer, &values).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! Criterion benchmark: the Fig. 4 uniform-gap adversary family (experiment
+//! E4), measuring the simulation cost of the gap demonstration as `t` grows.
+
+use adversary::scenarios;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use set_consensus::{execute, EarlyUniformFloodMin, Protocol, TaskParams, UPmin};
+use synchrony::SystemParams;
+
+fn bench_uniform_gap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uniform_gap_family");
+    let k = 3usize;
+    for rounds in [2usize, 4, 8] {
+        let scenario = scenarios::uniform_gap(k, rounds, 3).unwrap();
+        let system = SystemParams::new(scenario.adversary.n(), scenario.t).unwrap();
+        let params = TaskParams::new(system, k).unwrap();
+        for protocol in [&UPmin as &dyn Protocol, &EarlyUniformFloodMin as &dyn Protocol] {
+            group.bench_with_input(
+                BenchmarkId::new(protocol.name(), format!("t{}", scenario.t)),
+                &scenario,
+                |b, scenario| {
+                    b.iter(|| {
+                        let (_, transcript) =
+                            execute(protocol, &params, scenario.adversary.clone()).unwrap();
+                        std::hint::black_box(transcript);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uniform_gap);
+criterion_main!(benches);

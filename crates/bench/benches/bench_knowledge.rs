@@ -1,0 +1,59 @@
+//! Criterion benchmark: the knowledge analysis (hidden capacity, persistence,
+//! direct observations) that every decision step pays for.
+
+use adversary::{scenarios, RandomAdversaries, RandomConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knowledge::ViewAnalysis;
+use synchrony::{Node, Run, SystemParams, Time};
+
+fn bench_view_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_analysis");
+    for &n in &[8usize, 16, 32, 64] {
+        let t = n / 2;
+        let k = 2usize;
+        let horizon = (t / k + 2) as u32;
+        let system = SystemParams::new(n, t).unwrap();
+        let adversary = RandomAdversaries::new(
+            RandomConfig {
+                max_crash_round: horizon - 1,
+                crash_probability: 0.7,
+                ..RandomConfig::new(n, t, k)
+            },
+            17,
+        )
+        .next_adversary();
+        let run = Run::generate(system, adversary, Time::new(horizon)).unwrap();
+        let observer = (0..n).find(|&i| run.is_active(i, run.horizon())).unwrap();
+        group.bench_with_input(BenchmarkId::new("random_run", n), &run, |b, run| {
+            b.iter(|| {
+                let analysis =
+                    ViewAnalysis::new(run, Node::new(observer, run.horizon())).unwrap();
+                std::hint::black_box(analysis.hidden_capacity())
+            });
+        });
+    }
+
+    // The structured Fig. 2 chains, where the hidden capacity is maximal.
+    for &k in &[2usize, 4, 8] {
+        let depth = 3usize;
+        let scenario = scenarios::hidden_capacity_chains(k * (depth + 1) + 3, k, depth).unwrap();
+        let system =
+            SystemParams::new(scenario.adversary.n(), scenario.adversary.num_failures()).unwrap();
+        let run =
+            Run::generate(system, scenario.adversary.clone(), Time::new(depth as u32 + 1)).unwrap();
+        group.bench_with_input(BenchmarkId::new("fig2_chains", k), &run, |b, run| {
+            b.iter(|| {
+                let analysis = ViewAnalysis::new(
+                    run,
+                    Node::new(scenario.observer, Time::new(depth as u32)),
+                )
+                .unwrap();
+                std::hint::black_box(analysis.hidden_capacity())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_view_analysis);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmark: end-to-end protocol execution throughput on random
+//! adversaries (experiment E12's engine), one group per protocol.
+
+use adversary::{RandomAdversaries, RandomConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use set_consensus::{all_protocols, execute, TaskParams, TaskVariant};
+use synchrony::SystemParams;
+
+fn bench_protocol_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_execution");
+    for &(n, t, k) in &[(8usize, 5usize, 2usize), (16, 10, 3), (32, 20, 4)] {
+        let system = SystemParams::new(n, t).unwrap();
+        let params = TaskParams::new(system, k).unwrap();
+        let adversaries = RandomAdversaries::new(
+            RandomConfig { crash_probability: 0.6, ..RandomConfig::new(n, t, k) },
+            11,
+        )
+        .batch(16);
+        for variant in [TaskVariant::Nonuniform, TaskVariant::Uniform] {
+            for protocol in all_protocols(variant) {
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        format!("{}-{variant}", protocol.name()),
+                        format!("n{n}_t{t}_k{k}"),
+                    ),
+                    &adversaries,
+                    |b, adversaries| {
+                        b.iter(|| {
+                            for adversary in adversaries {
+                                let (_, transcript) =
+                                    execute(protocol.as_ref(), &params, adversary.clone()).unwrap();
+                                std::hint::black_box(transcript);
+                            }
+                        });
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_execution);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmark: the topological machinery — subdivisions, Sperner
+//! counting, GF(2) homology and protocol-complex construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synchrony::{Adversary, FailurePattern, InputVector, SystemParams, Time};
+use topology::{homology, sperner, ProtocolComplex, Simplex, Subdivision};
+
+fn bench_subdivision_and_sperner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subdivision");
+    for k in [2usize, 3, 4, 5] {
+        let base = Simplex::new(0..=k);
+        group.bench_with_input(BenchmarkId::new("paper_div", k), &base, |b, base| {
+            b.iter(|| std::hint::black_box(Subdivision::paper_div(base)));
+        });
+        let sub = Subdivision::paper_div(&base);
+        let coloring = sperner::Coloring::min_of_carrier(&sub);
+        group.bench_with_input(BenchmarkId::new("sperner_count", k), &sub, |b, sub| {
+            b.iter(|| std::hint::black_box(sperner::fully_colored_facets(sub, &coloring)));
+        });
+        group.bench_with_input(BenchmarkId::new("betti_numbers", k), &sub, |b, sub| {
+            b.iter(|| std::hint::black_box(homology::betti_numbers(sub.complex())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocol_complex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_complex");
+    for n in [3usize, 4] {
+        let system = SystemParams::new(n, 1).unwrap();
+        // All one-crash round-1 adversaries with binary inputs.
+        let mut adversaries = Vec::new();
+        for mask in 0..(1u32 << n) {
+            let inputs = InputVector::from_values(
+                (0..n).map(|i| u64::from(mask >> i & 1)).collect::<Vec<_>>(),
+            );
+            adversaries.push(Adversary::failure_free(inputs.clone()).unwrap());
+            for crasher in 0..n {
+                let others: Vec<usize> = (0..n).filter(|&p| p != crasher).collect();
+                for dmask in 0..(1u32 << others.len()) {
+                    let delivered: Vec<usize> = others
+                        .iter()
+                        .enumerate()
+                        .filter(|(bit, _)| dmask & (1 << bit) != 0)
+                        .map(|(_, &p)| p)
+                        .collect();
+                    let mut pattern = FailurePattern::crash_free(n);
+                    pattern.crash(crasher, 1, delivered).unwrap();
+                    adversaries.push(Adversary::new(inputs.clone(), pattern).unwrap());
+                }
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("build_round1", n), &adversaries, |b, advs| {
+            b.iter(|| {
+                std::hint::black_box(ProtocolComplex::build(system, advs, Time::new(1)).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_subdivision_and_sperner, bench_protocol_complex);
+criterion_main!(benches);

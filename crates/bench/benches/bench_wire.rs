@@ -1,0 +1,40 @@
+//! Criterion benchmark: the Appendix E wire protocol (experiment E11),
+//! measuring simulation throughput and scaling with `n`.
+
+use adversary::{RandomAdversaries, RandomConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synchrony::{Run, SystemParams, Time, WireRun};
+
+fn bench_wire_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_simulation");
+    for &n in &[8usize, 16, 32, 64] {
+        let t = n / 2;
+        let k = 2usize;
+        let rounds = (t / k + 2) as u32;
+        let system = SystemParams::new(n, t).unwrap();
+        let adversary = RandomAdversaries::new(
+            RandomConfig {
+                max_crash_round: rounds - 1,
+                crash_probability: 0.6,
+                ..RandomConfig::new(n, t, k)
+            },
+            5,
+        )
+        .next_adversary();
+        let run = Run::generate(system, adversary, Time::new(rounds)).unwrap();
+        group.bench_with_input(BenchmarkId::new("simulate", n), &run, |b, run| {
+            b.iter(|| std::hint::black_box(WireRun::simulate(run)));
+        });
+        group.bench_with_input(BenchmarkId::new("full_information", n), &run, |b, run| {
+            b.iter(|| {
+                let regenerated =
+                    Run::generate(system, run.adversary().clone(), Time::new(rounds)).unwrap();
+                std::hint::black_box(regenerated)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire_simulation);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Experiment E11 (Appendix E / Lemma 6): the communication-efficient
+//! implementation sends `O(n log n)` bits per process pair while
+//! reconstructing exactly the full-information knowledge.
+//!
+//! The wire protocol is simulated on random adversaries for growing `n`, and
+//! the maximum per-ordered-pair bit total is reported together with the
+//! `c = bits / (n log₂ n)` constant, which should stay bounded, and the
+//! equivalence check against full-information knowledge.
+
+use adversary::{RandomAdversaries, RandomConfig};
+use bench_harness::Table;
+use synchrony::{Run, SystemParams, Time, WireRun};
+
+fn main() {
+    const SAMPLES: usize = 20;
+    let mut table = Table::new(
+        "E11 / Appendix E — wire traffic of the efficient implementation",
+        &[
+            "n",
+            "t",
+            "rounds",
+            "max pair bits (worst run)",
+            "n·log2(n)",
+            "constant c",
+            "knowledge matches fip",
+        ],
+    );
+
+    for n in [4usize, 8, 16, 32, 64, 128] {
+        let t = n / 2;
+        let k = 2usize;
+        let rounds = (t / k + 2) as u32;
+        let system = SystemParams::new(n, t).unwrap();
+        let mut generator = RandomAdversaries::new(
+            RandomConfig {
+                max_crash_round: rounds - 1,
+                crash_probability: 0.6,
+                ..RandomConfig::new(n, t, k)
+            },
+            99,
+        );
+        let mut worst_bits = 0u64;
+        let mut all_match = true;
+        for _ in 0..SAMPLES {
+            let adversary = generator.next_adversary();
+            let run = Run::generate(system, adversary, Time::new(rounds)).unwrap();
+            let wire = WireRun::simulate(&run);
+            worst_bits = worst_bits.max(wire.stats().max_pair_bits());
+            all_match &= wire.matches_full_information(&run);
+        }
+        let n_log_n = n as f64 * (n as f64).log2();
+        table.push(&[
+            n.to_string(),
+            t.to_string(),
+            rounds.to_string(),
+            worst_bits.to_string(),
+            format!("{n_log_n:.0}"),
+            format!("{:.2}", worst_bits as f64 / n_log_n),
+            all_match.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Paper claim (Lemma 6): Optmin[k] and u-Pmin[k] can be implemented so that every process\n\
+         sends every other process O(n log n) bits over a whole run, with unchanged decision times\n\
+         (the decision-relevant knowledge reconstructed by the wire protocol matches the fip)."
+    );
+}

@@ -1,0 +1,67 @@
+//! Experiment E2 (Fig. 2 + Lemma 2): hidden capacity `c` admits `c` disjoint
+//! hidden chains carrying arbitrary values, indistinguishably to the
+//! observer.
+//!
+//! For each `(k, depth)`, the Fig. 2 adversary is built, the observer's
+//! hidden capacity is measured, the Lemma 2 witness run is constructed for
+//! the values `0, …, k − 1`, and the indistinguishability of the two runs to
+//! the observer is verified.
+
+use adversary::{lemma2, scenarios};
+use bench_harness::Table;
+use knowledge::ViewAnalysis;
+use synchrony::{Node, Run, SystemParams, Time, Value, View};
+
+fn main() {
+    let mut table = Table::new(
+        "E2 / Fig. 2 — hidden capacity and the Lemma 2 witness construction",
+        &[
+            "k",
+            "depth m",
+            "n",
+            "HC<i,m>",
+            "witness run indistinguishable?",
+            "chains carry their values?",
+        ],
+    );
+
+    for k in 2..=4usize {
+        for depth in 1..=3usize {
+            let scenario =
+                scenarios::hidden_capacity_chains(k * (depth + 1) + 3, k, depth).unwrap();
+            let n = scenario.adversary.n();
+            let t = scenario.adversary.num_failures();
+            let params = SystemParams::new(n, t).unwrap();
+            let run = Run::generate(params, scenario.adversary.clone(), Time::new(depth as u32 + 1))
+                .unwrap();
+            let observer = Node::new(scenario.observer, Time::new(depth as u32));
+            let analysis = ViewAnalysis::new(&run, observer).unwrap();
+
+            let values: Vec<Value> = (0..k as u64).map(Value::new).collect();
+            let (witness, witness_run) = lemma2::witness_run(&run, observer, &values).unwrap();
+            let indistinguishable = View::extract(&run, observer)
+                .indistinguishable_from(&View::extract(&witness_run, observer));
+            let chains_carry = witness.chains.iter().enumerate().all(|(b, chain)| {
+                chain.iter().enumerate().all(|(layer, &member)| {
+                    ViewAnalysis::new(&witness_run, Node::new(member, Time::new(layer as u32)))
+                        .map(|a| a.vals().contains(values[b]))
+                        .unwrap_or(false)
+                })
+            });
+
+            table.push(&[
+                k.to_string(),
+                depth.to_string(),
+                n.to_string(),
+                analysis.hidden_capacity().to_string(),
+                indistinguishable.to_string(),
+                chains_carry.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!(
+        "Paper claim (Lemma 2): whenever HC<i,m> >= c, a run indistinguishable to <i,m> exists\n\
+         in which c disjoint hidden chains carry c arbitrary values."
+    );
+}

@@ -1,0 +1,234 @@
+//! Correctness checkers for `k`-set consensus transcripts.
+//!
+//! A protocol for (nonuniform) `k`-set consensus must satisfy, in every run:
+//!
+//! * **`k`-Agreement** — the set of values decided by correct processes has
+//!   cardinality at most `k` (all decided values, for the uniform variant);
+//! * **Decision** — every correct process decides;
+//! * **Validity** — a value may be decided only if some process started with
+//!   it.
+//!
+//! [`check`] evaluates all three against a run/transcript pair and returns
+//! the list of violations (empty for a correct execution).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use synchrony::{ProcessId, Run, Time, Value, ValueSet};
+
+use crate::{TaskParams, TaskVariant, Transcript};
+
+/// A violation of one of the `k`-set consensus properties in a specific run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Violation {
+    /// A process decided a value that no process started with.
+    Validity {
+        /// The offending process.
+        process: ProcessId,
+        /// The decided value.
+        value: Value,
+    },
+    /// More than `k` distinct values were decided (by correct processes for
+    /// the nonuniform variant, by any process for the uniform variant).
+    Agreement {
+        /// The full set of decided values counted by the variant.
+        values: ValueSet,
+        /// The agreement degree that was exceeded.
+        k: usize,
+    },
+    /// A correct process never decided within the simulated horizon.
+    MissingDecision {
+        /// The undecided correct process.
+        process: ProcessId,
+    },
+    /// A process decided at a time when it was no longer active (this would
+    /// indicate an executor bug rather than a protocol bug).
+    DecisionAfterCrash {
+        /// The offending process.
+        process: ProcessId,
+        /// The recorded decision time.
+        time: Time,
+    },
+    /// A process decided a value outside the task's value domain.
+    ValueOutOfDomain {
+        /// The offending process.
+        process: ProcessId,
+        /// The decided value.
+        value: Value,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Validity { process, value } => {
+                write!(f, "{process} decided {value}, which no process started with")
+            }
+            Violation::Agreement { values, k } => {
+                write!(f, "{} distinct values {} decided, exceeding k = {k}", values.len(), values)
+            }
+            Violation::MissingDecision { process } => {
+                write!(f, "correct process {process} never decided")
+            }
+            Violation::DecisionAfterCrash { process, time } => {
+                write!(f, "{process} decided at {time} after having crashed")
+            }
+            Violation::ValueOutOfDomain { process, value } => {
+                write!(f, "{process} decided {value}, outside the task's value domain")
+            }
+        }
+    }
+}
+
+/// Checks a transcript against the `k`-set consensus specification and
+/// returns every violation found (empty means the execution is correct).
+pub fn check(
+    run: &Run,
+    transcript: &Transcript,
+    params: &TaskParams,
+    variant: TaskVariant,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    violations.extend(check_validity(run, transcript, params));
+    violations.extend(check_agreement(run, transcript, params, variant));
+    violations.extend(check_decision(run, transcript));
+    violations.extend(check_sanity(run, transcript));
+    violations
+}
+
+/// Checks only the Validity property (and the value-domain side condition).
+pub fn check_validity(
+    run: &Run,
+    transcript: &Transcript,
+    params: &TaskParams,
+) -> Vec<Violation> {
+    let present = run.adversary().inputs().present_values();
+    let mut violations = Vec::new();
+    for (process, decision) in transcript.decisions() {
+        if !present.contains(decision.value) {
+            violations.push(Violation::Validity { process, value: decision.value });
+        }
+        if decision.value.get() > params.max_value() {
+            violations.push(Violation::ValueOutOfDomain { process, value: decision.value });
+        }
+    }
+    violations
+}
+
+/// Checks only the (`k`- or Uniform-`k`-) Agreement property.
+pub fn check_agreement(
+    run: &Run,
+    transcript: &Transcript,
+    params: &TaskParams,
+    variant: TaskVariant,
+) -> Vec<Violation> {
+    let values = match variant {
+        TaskVariant::Nonuniform => transcript.decided_values_of_correct(run),
+        TaskVariant::Uniform => transcript.decided_values(),
+    };
+    if values.len() > params.k() {
+        vec![Violation::Agreement { values, k: params.k() }]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Checks only the Decision property: every correct process decides.
+pub fn check_decision(run: &Run, transcript: &Transcript) -> Vec<Violation> {
+    (0..run.n())
+        .filter(|&i| run.is_correct(i) && transcript.decision(i).is_none())
+        .map(|i| Violation::MissingDecision { process: ProcessId::new(i) })
+        .collect()
+}
+
+/// Internal consistency checks on the transcript relative to the run: nobody
+/// decides after crashing.
+pub fn check_sanity(run: &Run, transcript: &Transcript) -> Vec<Violation> {
+    transcript
+        .decisions()
+        .filter(|(p, d)| !run.is_active(*p, d.time))
+        .map(|(process, d)| Violation::DecisionAfterCrash { process, time: d.time })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Decision, Transcript};
+    use synchrony::{Adversary, FailurePattern, InputVector, SystemParams};
+
+    fn run_and_params() -> (Run, TaskParams) {
+        let system = SystemParams::new(3, 1).unwrap();
+        let params = TaskParams::new(system, 1).unwrap();
+        let mut failures = FailurePattern::crash_free(3);
+        failures.crash_silent(2, 2).unwrap();
+        let adversary =
+            Adversary::new(InputVector::from_values([0, 1, 1]), failures).unwrap();
+        let run = Run::generate(system, adversary, Time::new(3)).unwrap();
+        (run, params)
+    }
+
+    fn transcript(decisions: Vec<Option<Decision>>) -> Transcript {
+        Transcript::new("test".to_owned(), decisions, Time::new(3))
+    }
+
+    fn decided(time: u32, value: u64) -> Option<Decision> {
+        Some(Decision { time: Time::new(time), value: Value::new(value) })
+    }
+
+    #[test]
+    fn clean_transcript_has_no_violations() {
+        let (run, params) = run_and_params();
+        let t = transcript(vec![decided(1, 0), decided(1, 0), decided(1, 0)]);
+        assert!(check(&run, &t, &params, TaskVariant::Nonuniform).is_empty());
+        assert!(check(&run, &t, &params, TaskVariant::Uniform).is_empty());
+    }
+
+    #[test]
+    fn validity_catches_invented_values() {
+        let (run, params) = run_and_params();
+        let t = transcript(vec![decided(1, 1), decided(1, 5), None]);
+        let violations = check_validity(&run, &t, &params);
+        assert!(violations.iter().any(|v| matches!(v, Violation::Validity { .. })));
+        assert!(violations.iter().any(|v| matches!(v, Violation::ValueOutOfDomain { .. })));
+    }
+
+    #[test]
+    fn agreement_counts_only_correct_processes_in_the_nonuniform_variant() {
+        let (run, params) = run_and_params();
+        // p2 (faulty) decides 1, correct processes decide 0: the nonuniform
+        // variant tolerates it for k = 1, the uniform one does not.
+        let t = transcript(vec![decided(1, 0), decided(1, 0), decided(1, 1)]);
+        assert!(check_agreement(&run, &t, &params, TaskVariant::Nonuniform).is_empty());
+        assert_eq!(check_agreement(&run, &t, &params, TaskVariant::Uniform).len(), 1);
+    }
+
+    #[test]
+    fn decision_requires_correct_processes_to_decide() {
+        let (run, _params) = run_and_params();
+        let t = transcript(vec![decided(1, 0), None, None]);
+        let violations = check_decision(&run, &t);
+        // p1 is correct and undecided; p2 is faulty so it is excused.
+        assert_eq!(violations, vec![Violation::MissingDecision { process: ProcessId::new(1) }]);
+    }
+
+    #[test]
+    fn sanity_flags_decisions_after_the_crash() {
+        let (run, _params) = run_and_params();
+        // p2 crashes in round 2 (inactive from time 2 on) but "decides" at 3.
+        let t = transcript(vec![decided(1, 0), decided(1, 0), decided(3, 0)]);
+        let violations = check_sanity(&run, &t);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(violations[0], Violation::DecisionAfterCrash { .. }));
+    }
+
+    #[test]
+    fn violations_have_readable_messages() {
+        let (run, params) = run_and_params();
+        let t = transcript(vec![decided(1, 0), decided(1, 1), None]);
+        for v in check(&run, &t, &params, TaskVariant::Uniform) {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Execution of a protocol against an adversary.
+
+use knowledge::ViewAnalysis;
+use synchrony::{Adversary, ModelError, Node, Run, Time};
+
+use crate::{Decision, DecisionContext, Protocol, TaskParams, Transcript};
+
+/// Executes `protocol` on the (already simulated) communication structure of
+/// `run`, producing the decision transcript.
+///
+/// At every time `m = 0, 1, …` up to the run's horizon, every process that is
+/// still active and undecided is offered the chance to decide based on its
+/// knowledge analysis at `⟨i, m⟩`.  Decisions are irrevocable.
+///
+/// # Errors
+///
+/// Propagates any model error raised while analyzing nodes (which can only
+/// happen if the run and parameters are inconsistent).
+pub fn execute_on_run(
+    protocol: &dyn Protocol,
+    params: &TaskParams,
+    run: &Run,
+) -> Result<Transcript, ModelError> {
+    let n = run.n();
+    let mut decisions: Vec<Option<Decision>> = vec![None; n];
+    for m in 0..=run.horizon().index() {
+        let time = Time::new(m as u32);
+        for i in 0..n {
+            if decisions[i].is_some() || !run.is_active(i, time) {
+                continue;
+            }
+            let analysis = ViewAnalysis::new(run, Node::new(i, time))?;
+            let ctx = DecisionContext::new(params, &analysis);
+            if let Some(value) = protocol.decide(&ctx) {
+                decisions[i] = Some(Decision { time, value });
+            }
+        }
+    }
+    Ok(Transcript::new(protocol.name(), decisions, run.horizon()))
+}
+
+/// Simulates the run induced by `adversary` (with a horizon generous enough
+/// for every protocol in this crate) and executes `protocol` on it.
+///
+/// # Errors
+///
+/// Returns an error if the adversary is inconsistent with the parameters.
+pub fn execute(
+    protocol: &dyn Protocol,
+    params: &TaskParams,
+    adversary: Adversary,
+) -> Result<(Run, Transcript), ModelError> {
+    let run = Run::generate(params.system(), adversary, params.horizon())?;
+    let transcript = execute_on_run(protocol, params, &run)?;
+    Ok((run, transcript))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synchrony::{InputVector, SystemParams, Value};
+
+    /// Decides the process's own initial value at time 1.
+    struct OwnValueAtOne;
+
+    impl Protocol for OwnValueAtOne {
+        fn name(&self) -> String {
+            "OwnValueAtOne".to_owned()
+        }
+
+        fn decide(&self, ctx: &DecisionContext<'_>) -> Option<Value> {
+            (ctx.analysis.time() == Time::new(1)).then(|| ctx.analysis.min_value())
+        }
+    }
+
+    #[test]
+    fn executor_respects_decision_times_and_activity() {
+        let params = TaskParams::new(SystemParams::new(3, 1).unwrap(), 1).unwrap();
+        let mut failures = synchrony::FailurePattern::crash_free(3);
+        failures.crash_silent(0, 1).unwrap();
+        let adversary =
+            Adversary::new(InputVector::from_values([0, 1, 1]), failures).unwrap();
+        let (run, transcript) = execute(&OwnValueAtOne, &params, adversary).unwrap();
+        // p0 crashed before time 1 and never decides.
+        assert_eq!(transcript.decision(0), None);
+        assert_eq!(transcript.decision_time(1), Some(Time::new(1)));
+        assert_eq!(transcript.decision_time(2), Some(Time::new(1)));
+        assert!(transcript.all_correct_decided(&run));
+        assert_eq!(transcript.protocol(), "OwnValueAtOne");
+    }
+
+    #[test]
+    fn decisions_are_irrevocable_and_unique() {
+        struct EveryRound;
+        impl Protocol for EveryRound {
+            fn name(&self) -> String {
+                "EveryRound".to_owned()
+            }
+            fn decide(&self, ctx: &DecisionContext<'_>) -> Option<Value> {
+                Some(Value::new(ctx.analysis.time().value() as u64))
+            }
+        }
+        let params = TaskParams::with_max_value(SystemParams::new(2, 0).unwrap(), 1, 9).unwrap();
+        let adversary = Adversary::failure_free(InputVector::from_values([0, 1])).unwrap();
+        let (_, transcript) = execute(&EveryRound, &params, adversary).unwrap();
+        // The first offer is at time 0 and later offers must not overwrite it.
+        assert_eq!(transcript.decision_time(0), Some(Time::ZERO));
+        assert_eq!(transcript.decision_value(0), Some(Value::new(0)));
+    }
+}

@@ -1,0 +1,114 @@
+//! Unbeatable `k`-set consensus in the synchronous crash-failure model.
+//!
+//! This crate is the primary contribution of the reproduction of
+//! *Unbeatable Set Consensus via Topological and Combinatorial Reasoning*
+//! (Castañeda, Gonczarowski, Moses — PODC 2016).  It provides:
+//!
+//! * [`Optmin`] — the paper's unbeatable protocol for **nonuniform** `k`-set
+//!   consensus (`Optmin[k]`, §4): an undecided process decides its minimum
+//!   seen value as soon as it is *low* or its *hidden capacity* drops
+//!   below `k`;
+//! * [`UPmin`] — the paper's protocol for **uniform** `k`-set consensus
+//!   (`u-Pmin[k]`, §5), which strictly beats all previously known uniform
+//!   protocols;
+//! * [`Opt0`] and [`UOpt0`] — the `k = 1` ancestors from the authors'
+//!   *Unbeatable Consensus* paper, reviewed in §3;
+//! * the literature baselines the paper compares against
+//!   ([`FloodMin`], [`EarlyFloodMin`], [`EarlyUniformFloodMin`]);
+//! * an [`execute`] / [`execute_on_run`] executor producing decision
+//!   [`Transcript`]s, correctness [`check`]ers for Validity, Decision and
+//!   (Uniform) `k`-Agreement, and [`domination`] comparisons used to verify
+//!   the paper's optimality claims experimentally.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use set_consensus::{check, execute, Optmin, TaskParams, TaskVariant};
+//! use synchrony::{Adversary, FailurePattern, InputVector, SystemParams};
+//!
+//! // Seven processes, at most four crashes, 2-set consensus.
+//! let params = TaskParams::new(SystemParams::new(7, 4)?, 2)?;
+//!
+//! // An adversary: inputs plus a crash pattern.
+//! let mut failures = FailurePattern::crash_free(7);
+//! failures.crash(0, 1, [1])?;
+//! let adversary = Adversary::new(
+//!     InputVector::from_values([0, 2, 2, 1, 2, 2, 2]),
+//!     failures,
+//! )?;
+//!
+//! let (run, transcript) = execute(&Optmin, &params, adversary)?;
+//! assert!(transcript.all_correct_decided(&run));
+//! assert!(check::check(&run, &transcript, &params, TaskVariant::Nonuniform).is_empty());
+//! # Ok::<(), synchrony::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baselines;
+pub mod check;
+pub mod domination;
+pub mod executor;
+pub mod opt0;
+pub mod optmin;
+pub mod params;
+pub mod protocol;
+pub mod transcript;
+pub mod u_pmin;
+
+pub use baselines::{EarlyFloodMin, EarlyUniformFloodMin, FloodMin};
+pub use check::Violation;
+pub use domination::{
+    compare, compare_last_decider, DominationRelation, DominationReport, ImprovementWitness,
+    LastDeciderReport,
+};
+pub use executor::{execute, execute_on_run};
+pub use opt0::Opt0;
+pub use optmin::Optmin;
+pub use params::{TaskParams, TaskVariant};
+pub use protocol::{DecisionContext, Protocol};
+pub use transcript::{Decision, Transcript};
+pub use u_pmin::{UOpt0, UPmin};
+
+/// Convenient glob-import of the most frequently used items.
+pub mod prelude {
+    pub use crate::{
+        check, execute, execute_on_run, Decision, DecisionContext, EarlyFloodMin,
+        EarlyUniformFloodMin, FloodMin, Opt0, Optmin, Protocol, TaskParams, TaskVariant,
+        Transcript, UOpt0, UPmin,
+    };
+}
+
+/// Returns one boxed instance of every protocol in this crate that solves the
+/// given task variant, for sweeps and comparative experiments.
+pub fn all_protocols(variant: TaskVariant) -> Vec<Box<dyn Protocol>> {
+    match variant {
+        TaskVariant::Nonuniform => vec![
+            Box::new(Optmin),
+            Box::new(EarlyFloodMin),
+            Box::new(FloodMin),
+        ],
+        TaskVariant::Uniform => vec![
+            Box::new(UPmin),
+            Box::new(EarlyUniformFloodMin),
+            Box::new(FloodMin),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_protocols_lists_the_expected_names() {
+        let nonuniform: Vec<String> =
+            all_protocols(TaskVariant::Nonuniform).iter().map(|p| p.name()).collect();
+        assert_eq!(nonuniform, vec!["Optmin[k]", "EarlyFloodMin", "FloodMin"]);
+        let uniform: Vec<String> =
+            all_protocols(TaskVariant::Uniform).iter().map(|p| p.name()).collect();
+        assert_eq!(uniform, vec!["u-Pmin[k]", "EarlyUniformFloodMin", "FloodMin"]);
+    }
+}

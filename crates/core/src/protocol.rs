@@ -1,0 +1,120 @@
+//! The protocol abstraction: a decision rule over knowledge analyses.
+//!
+//! Following Coan's reduction (used throughout the paper), all protocols are
+//! full-information protocols and therefore differ only in the decisions they
+//! take at each node.  A [`Protocol`] is thus a pure function from the
+//! knowledge available at an undecided node to an optional decision value.
+
+use std::fmt;
+
+use knowledge::ViewAnalysis;
+use synchrony::Value;
+
+use crate::TaskParams;
+
+/// Everything a decision rule may consult at an undecided node `⟨i, m⟩`.
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionContext<'a> {
+    /// The task parameters `(n, t, k)`.
+    pub params: &'a TaskParams,
+    /// The knowledge analysis of the node.
+    pub analysis: &'a ViewAnalysis,
+}
+
+impl<'a> DecisionContext<'a> {
+    /// Creates a decision context.
+    pub fn new(params: &'a TaskParams, analysis: &'a ViewAnalysis) -> Self {
+        DecisionContext { params, analysis }
+    }
+
+    /// Returns the agreement degree `k`.
+    pub fn k(&self) -> usize {
+        self.params.k()
+    }
+
+    /// Returns `true` if the node's time equals the worst-case decision bound
+    /// `⌊t/k⌋ + 1`, the fallback decision time of the uniform protocols.
+    pub fn at_worst_case_bound(&self) -> bool {
+        self.analysis.time() == self.params.worst_case_decision_time()
+    }
+}
+
+/// A deterministic decision rule for (uniform or nonuniform) `k`-set
+/// consensus in the synchronous crash-failure model.
+///
+/// The executor invokes [`Protocol::decide`] at every node of an undecided,
+/// still-active process, in increasing order of time; returning `Some(v)`
+/// decides `v` at that node, irrevocably.
+pub trait Protocol {
+    /// A short human-readable name for reports and benchmarks, e.g.
+    /// `"Optmin[k]"`.
+    fn name(&self) -> String;
+
+    /// The decision taken by an undecided process at the analyzed node, if
+    /// any.
+    fn decide(&self, ctx: &DecisionContext<'_>) -> Option<Value>;
+}
+
+impl fmt::Debug for dyn Protocol + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Protocol({})", self.name())
+    }
+}
+
+impl<P: Protocol + ?Sized> Protocol for &P {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn decide(&self, ctx: &DecisionContext<'_>) -> Option<Value> {
+        (**self).decide(ctx)
+    }
+}
+
+impl<P: Protocol + ?Sized> Protocol for Box<P> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn decide(&self, ctx: &DecisionContext<'_>) -> Option<Value> {
+        (**self).decide(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synchrony::{Adversary, InputVector, Node, Run, SystemParams, Time};
+
+    struct AlwaysZero;
+
+    impl Protocol for AlwaysZero {
+        fn name(&self) -> String {
+            "AlwaysZero".to_owned()
+        }
+
+        fn decide(&self, _ctx: &DecisionContext<'_>) -> Option<Value> {
+            Some(Value::new(0))
+        }
+    }
+
+    #[test]
+    fn trait_objects_and_references_forward() {
+        let params =
+            TaskParams::new(SystemParams::new(3, 1).unwrap(), 1).unwrap();
+        let adversary =
+            Adversary::failure_free(InputVector::from_values([0, 1, 1])).unwrap();
+        let run = Run::generate(params.system(), adversary, Time::new(2)).unwrap();
+        let analysis = ViewAnalysis::new(&run, Node::new(0, Time::new(1))).unwrap();
+        let ctx = DecisionContext::new(&params, &analysis);
+
+        let by_ref: &dyn Protocol = &AlwaysZero;
+        let boxed: Box<dyn Protocol> = Box::new(AlwaysZero);
+        assert_eq!(by_ref.decide(&ctx), Some(Value::new(0)));
+        assert_eq!(boxed.decide(&ctx), Some(Value::new(0)));
+        assert_eq!(by_ref.name(), "AlwaysZero");
+        assert_eq!(format!("{:?}", by_ref), "Protocol(AlwaysZero)");
+        assert_eq!(ctx.k(), 1);
+        assert!(!ctx.at_worst_case_bound());
+    }
+}

@@ -1,0 +1,161 @@
+//! Error type shared by all fallible constructors and operations in the model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible operations on the synchronous crash-failure model.
+///
+/// Every violation of a model invariant (system size, failure budget, value
+/// range, horizon, …) is reported through this type rather than by panicking,
+/// so that adversary generators and experiment drivers can recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The number of processes is below the minimum of two.
+    TooFewProcesses {
+        /// Requested system size.
+        n: usize,
+    },
+    /// The failure bound `t` is not smaller than the number of processes.
+    FailureBoundTooLarge {
+        /// Requested system size.
+        n: usize,
+        /// Requested failure bound.
+        t: usize,
+    },
+    /// A process identifier is out of range for the system size.
+    ProcessOutOfRange {
+        /// Offending process index.
+        process: usize,
+        /// System size.
+        n: usize,
+    },
+    /// An input vector has the wrong length for the system size.
+    InputLengthMismatch {
+        /// Length of the provided vector.
+        got: usize,
+        /// Expected length (system size).
+        expected: usize,
+    },
+    /// A crash was registered for a process that already crashes in this pattern.
+    DuplicateCrash {
+        /// Offending process index.
+        process: usize,
+    },
+    /// A crash round below the first round (rounds are numbered from 1).
+    InvalidCrashRound,
+    /// The failure pattern contains more crashes than the failure bound allows.
+    TooManyCrashes {
+        /// Number of crashes in the pattern.
+        crashes: usize,
+        /// Failure bound `t`.
+        bound: usize,
+    },
+    /// The requested horizon is zero rounds long; runs must simulate at least one round.
+    EmptyHorizon,
+    /// A value is outside the range permitted by the task parameters.
+    ValueOutOfRange {
+        /// Offending value.
+        value: u64,
+        /// Maximum permitted value.
+        max: u64,
+    },
+    /// The requested node lies beyond the simulated horizon.
+    TimeBeyondHorizon {
+        /// Requested time.
+        time: u64,
+        /// Simulated horizon.
+        horizon: u64,
+    },
+    /// A task-parameter invariant (e.g. `k ≥ 1`) was violated.
+    InvalidTaskParameter {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// A knowledge analysis or decision was requested for a node whose process
+    /// has already crashed at that time.
+    InactiveNode {
+        /// The process in question.
+        process: usize,
+        /// The time at which it is no longer active.
+        time: u64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::TooFewProcesses { n } => {
+                write!(f, "a system needs at least two processes, got {n}")
+            }
+            ModelError::FailureBoundTooLarge { n, t } => {
+                write!(f, "failure bound t={t} must satisfy t <= n-1 for n={n}")
+            }
+            ModelError::ProcessOutOfRange { process, n } => {
+                write!(f, "process index {process} out of range for system of size {n}")
+            }
+            ModelError::InputLengthMismatch { got, expected } => {
+                write!(f, "input vector has length {got}, expected {expected}")
+            }
+            ModelError::DuplicateCrash { process } => {
+                write!(f, "process {process} already crashes in this failure pattern")
+            }
+            ModelError::InvalidCrashRound => write!(f, "crash rounds are numbered from 1"),
+            ModelError::TooManyCrashes { crashes, bound } => {
+                write!(f, "failure pattern has {crashes} crashes, exceeding the bound t={bound}")
+            }
+            ModelError::EmptyHorizon => write!(f, "runs must simulate at least one round"),
+            ModelError::ValueOutOfRange { value, max } => {
+                write!(f, "value {value} is outside the permitted range 0..={max}")
+            }
+            ModelError::TimeBeyondHorizon { time, horizon } => {
+                write!(f, "time {time} lies beyond the simulated horizon {horizon}")
+            }
+            ModelError::InvalidTaskParameter { reason } => {
+                write!(f, "invalid task parameter: {reason}")
+            }
+            ModelError::InactiveNode { process, time } => {
+                write!(f, "process {process} has already crashed at time {time}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = vec![
+            ModelError::TooFewProcesses { n: 1 },
+            ModelError::FailureBoundTooLarge { n: 3, t: 3 },
+            ModelError::ProcessOutOfRange { process: 9, n: 3 },
+            ModelError::InputLengthMismatch { got: 2, expected: 3 },
+            ModelError::DuplicateCrash { process: 0 },
+            ModelError::InvalidCrashRound,
+            ModelError::TooManyCrashes { crashes: 4, bound: 2 },
+            ModelError::EmptyHorizon,
+            ModelError::ValueOutOfRange { value: 7, max: 3 },
+            ModelError::TimeBeyondHorizon { time: 9, horizon: 4 },
+            ModelError::InvalidTaskParameter { reason: "k must be positive".into() },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error>() {}
+        assert_error::<ModelError>();
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,357 @@
+//! Crash failure patterns.
+//!
+//! A *failure pattern* `F` describes how processes fail in an execution.  A
+//! faulty process crashes in some round `m ≥ 1`: it behaves correctly during
+//! the first `m − 1` rounds, may succeed in delivering its round-`m` messages
+//! to an arbitrary subset of processes, and sends nothing from round `m + 1`
+//! on (paper, §2.1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ModelError, PidSet, ProcessId, Round, SystemParams, Time};
+
+/// The crash of a single process: its crashing round and the set of processes
+/// that still receive its final round of messages.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CrashFault {
+    round: Round,
+    delivered: PidSet,
+}
+
+impl CrashFault {
+    /// Creates a crash in `round` whose final messages reach exactly
+    /// `delivered` (the crashing process's implicit self-delivery is not
+    /// represented here).
+    pub fn new(round: Round, delivered: PidSet) -> Self {
+        CrashFault { round, delivered }
+    }
+
+    /// The round in which the process crashes.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The set of processes that receive the crashing process's final
+    /// (round-`round`) messages.
+    pub fn delivered(&self) -> &PidSet {
+        &self.delivered
+    }
+}
+
+/// A failure pattern: which processes crash, when, and whom they still reach
+/// in their crashing round.
+///
+/// ```
+/// use synchrony::{FailurePattern, Round, Time};
+///
+/// let mut f = FailurePattern::crash_free(4);
+/// f.crash(0, 1, [2])?;          // p0 crashes in round 1, reaching only p2
+/// f.crash_silent(3, 2)?;        // p3 crashes in round 2, reaching nobody
+/// assert_eq!(f.num_faulty(), 2);
+/// assert!(f.delivers(0, Round::new(1), 2));
+/// assert!(!f.delivers(0, Round::new(1), 1));
+/// assert!(f.is_active_at(0, Time::ZERO));
+/// assert!(!f.is_active_at(0, Time::new(1)));
+/// # Ok::<(), synchrony::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailurePattern {
+    n: usize,
+    faults: BTreeMap<ProcessId, CrashFault>,
+}
+
+impl FailurePattern {
+    /// Creates the failure-free pattern over `n` processes.
+    pub fn crash_free(n: usize) -> Self {
+        FailurePattern { n, faults: BTreeMap::new() }
+    }
+
+    /// Returns the number of processes the pattern ranges over.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Registers a crash of `process` in round `round`, delivering its final
+    /// messages exactly to `delivered` (self-delivery is implicit and the
+    /// crashing process is silently removed from `delivered` if present).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `process` or any member of `delivered` is out of
+    /// range, if `round` is zero, or if `process` already crashes.
+    pub fn crash<P, D>(
+        &mut self,
+        process: P,
+        round: u32,
+        delivered: D,
+    ) -> Result<&mut Self, ModelError>
+    where
+        P: Into<ProcessId>,
+        D: IntoIterator,
+        D::Item: Into<ProcessId>,
+    {
+        let process = process.into();
+        if process.index() >= self.n {
+            return Err(ModelError::ProcessOutOfRange { process: process.index(), n: self.n });
+        }
+        if round == 0 {
+            return Err(ModelError::InvalidCrashRound);
+        }
+        if self.faults.contains_key(&process) {
+            return Err(ModelError::DuplicateCrash { process: process.index() });
+        }
+        let mut delivered_set = PidSet::with_capacity(self.n);
+        for pid in delivered {
+            let pid = pid.into();
+            if pid.index() >= self.n {
+                return Err(ModelError::ProcessOutOfRange { process: pid.index(), n: self.n });
+            }
+            if pid != process {
+                delivered_set.insert(pid);
+            }
+        }
+        self.faults.insert(process, CrashFault::new(Round::new(round), delivered_set));
+        Ok(self)
+    }
+
+    /// Registers a crash of `process` in round `round` that reaches nobody.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FailurePattern::crash`].
+    pub fn crash_silent(
+        &mut self,
+        process: impl Into<ProcessId>,
+        round: u32,
+    ) -> Result<&mut Self, ModelError> {
+        self.crash(process, round, std::iter::empty::<ProcessId>())
+    }
+
+    /// Returns the crash round of `process`, or `None` if it is correct.
+    pub fn crash_round(&self, process: impl Into<ProcessId>) -> Option<Round> {
+        self.faults.get(&process.into()).map(CrashFault::round)
+    }
+
+    /// Returns the full crash record of `process`, or `None` if it is correct.
+    pub fn fault(&self, process: impl Into<ProcessId>) -> Option<&CrashFault> {
+        self.faults.get(&process.into())
+    }
+
+    /// Returns `true` if `process` crashes somewhere in this pattern.
+    pub fn is_faulty(&self, process: impl Into<ProcessId>) -> bool {
+        self.faults.contains_key(&process.into())
+    }
+
+    /// Returns `true` if `process` never crashes in this pattern.
+    pub fn is_correct(&self, process: impl Into<ProcessId>) -> bool {
+        !self.is_faulty(process)
+    }
+
+    /// Returns the number of faulty processes (the paper's `f`).
+    pub fn num_faulty(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Iterates over the faulty processes together with their crash records.
+    pub fn faulty(&self) -> impl Iterator<Item = (ProcessId, &CrashFault)> {
+        self.faults.iter().map(|(&p, c)| (p, c))
+    }
+
+    /// Returns the set of processes that never crash.
+    pub fn correct_set(&self) -> PidSet {
+        (0..self.n).filter(|&i| self.is_correct(i)).collect()
+    }
+
+    /// Returns the set of processes crashing exactly in `round`.
+    pub fn crashes_in_round(&self, round: Round) -> PidSet {
+        self.faults
+            .iter()
+            .filter(|(_, c)| c.round() == round)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Returns the latest crash round in the pattern, or `None` if crash-free.
+    pub fn max_crash_round(&self) -> Option<Round> {
+        self.faults.values().map(CrashFault::round).max()
+    }
+
+    /// Returns `true` if `process` is still active (has not yet crashed) at
+    /// `time`: a process crashing in round `m` is active at times `0 … m − 1`.
+    pub fn is_active_at(&self, process: impl Into<ProcessId>, time: Time) -> bool {
+        match self.crash_round(process) {
+            Some(round) => time.value() < round.number(),
+            None => true,
+        }
+    }
+
+    /// Returns the set of processes active at `time`.
+    pub fn active_at(&self, time: Time) -> PidSet {
+        (0..self.n).filter(|&i| self.is_active_at(i, time)).collect()
+    }
+
+    /// Returns `true` if a message sent by `sender` to `receiver` in `round`
+    /// would be delivered: the sender is either still correct during that
+    /// round, or it crashes exactly in that round and `receiver` belongs to
+    /// its delivery set.  A process always "delivers" to itself while it is
+    /// active during the round's send step.
+    pub fn delivers(
+        &self,
+        sender: impl Into<ProcessId>,
+        round: Round,
+        receiver: impl Into<ProcessId>,
+    ) -> bool {
+        let sender = sender.into();
+        let receiver = receiver.into();
+        match self.faults.get(&sender) {
+            None => true,
+            Some(crash) => {
+                if crash.round().number() > round.number() {
+                    true
+                } else if crash.round() == round {
+                    receiver == sender || crash.delivered().contains(receiver)
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Validates the pattern against system parameters: the pattern must range
+    /// over exactly `params.n()` processes and contain at most `params.t()`
+    /// crashes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InputLengthMismatch`] or
+    /// [`ModelError::TooManyCrashes`] accordingly.
+    pub fn validate_against(&self, params: &SystemParams) -> Result<(), ModelError> {
+        if self.n != params.n() {
+            return Err(ModelError::InputLengthMismatch { got: self.n, expected: params.n() });
+        }
+        if self.num_faulty() > params.t() {
+            return Err(ModelError::TooManyCrashes {
+                crashes: self.num_faulty(),
+                bound: params.t(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FailurePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.faults.is_empty() {
+            return write!(f, "crash-free({})", self.n);
+        }
+        write!(f, "crashes[")?;
+        for (i, (p, c)) in self.faults.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{p}@{} -> {}", c.round(), c.delivered())?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_free_pattern_has_everyone_correct_forever() {
+        let f = FailurePattern::crash_free(3);
+        assert_eq!(f.num_faulty(), 0);
+        assert!(f.is_active_at(2, Time::new(100)));
+        assert!(f.delivers(1, Round::new(5), 2));
+        assert_eq!(f.correct_set().len(), 3);
+        assert_eq!(f.max_crash_round(), None);
+    }
+
+    #[test]
+    fn crash_semantics_match_the_paper() {
+        let mut f = FailurePattern::crash_free(4);
+        f.crash(1, 2, [0, 3]).unwrap();
+        // Behaves correctly in rounds before the crash round.
+        assert!(f.delivers(1, Round::new(1), 2));
+        // Partial delivery in the crashing round.
+        assert!(f.delivers(1, Round::new(2), 0));
+        assert!(f.delivers(1, Round::new(2), 3));
+        assert!(!f.delivers(1, Round::new(2), 2));
+        // Silent afterwards.
+        assert!(!f.delivers(1, Round::new(3), 0));
+        // Active at times strictly before the crash round.
+        assert!(f.is_active_at(1, Time::new(1)));
+        assert!(!f.is_active_at(1, Time::new(2)));
+        assert_eq!(f.crashes_in_round(Round::new(2)).len(), 1);
+        assert_eq!(f.max_crash_round(), Some(Round::new(2)));
+    }
+
+    #[test]
+    fn self_delivery_is_implicit_in_the_crash_round() {
+        let mut f = FailurePattern::crash_free(3);
+        f.crash(0, 1, [0, 2]).unwrap();
+        // The process's own id was stripped from the delivery set but it still
+        // "hears from itself" during its last active send step.
+        assert!(f.delivers(0, Round::new(1), 0));
+        assert_eq!(f.fault(0).unwrap().delivered().len(), 1);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut f = FailurePattern::crash_free(3);
+        assert_eq!(f.crash(5, 1, [0]).unwrap_err(), ModelError::ProcessOutOfRange {
+            process: 5,
+            n: 3
+        });
+        assert_eq!(f.crash(0, 0, [1]).unwrap_err(), ModelError::InvalidCrashRound);
+        assert_eq!(
+            f.crash(0, 1, [9]).unwrap_err(),
+            ModelError::ProcessOutOfRange { process: 9, n: 3 }
+        );
+        f.crash(0, 1, [1]).unwrap();
+        assert_eq!(f.crash(0, 2, [1]).unwrap_err(), ModelError::DuplicateCrash { process: 0 });
+    }
+
+    #[test]
+    fn validate_against_checks_budget_and_size() {
+        let params = SystemParams::new(3, 1).unwrap();
+        let mut f = FailurePattern::crash_free(3);
+        f.crash_silent(0, 1).unwrap();
+        assert!(f.validate_against(&params).is_ok());
+        f.crash_silent(1, 1).unwrap();
+        assert_eq!(
+            f.validate_against(&params),
+            Err(ModelError::TooManyCrashes { crashes: 2, bound: 1 })
+        );
+        let wrong_size = FailurePattern::crash_free(4);
+        assert_eq!(
+            wrong_size.validate_against(&params),
+            Err(ModelError::InputLengthMismatch { got: 4, expected: 3 })
+        );
+    }
+
+    #[test]
+    fn active_sets_shrink_over_time() {
+        let mut f = FailurePattern::crash_free(4);
+        f.crash_silent(0, 1).unwrap();
+        f.crash_silent(1, 2).unwrap();
+        assert_eq!(f.active_at(Time::ZERO).len(), 4);
+        assert_eq!(f.active_at(Time::new(1)).len(), 3);
+        assert_eq!(f.active_at(Time::new(2)).len(), 2);
+        assert_eq!(f.active_at(Time::new(3)).len(), 2);
+    }
+
+    #[test]
+    fn display_mentions_crash_rounds() {
+        let mut f = FailurePattern::crash_free(3);
+        f.crash(2, 1, [0]).unwrap();
+        let s = f.to_string();
+        assert!(s.contains("p2"));
+        assert!(s.contains("round 1"));
+    }
+}

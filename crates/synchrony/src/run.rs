@@ -1,0 +1,403 @@
+//! Runs: the full-information communication structure induced by an adversary.
+//!
+//! A protocol `P` and an adversary `α` uniquely determine a run `r = P[α]`.
+//! Because all our protocols are full-information protocols (fip's), the
+//! *communication structure* of the run — who hears from whom, and hence the
+//! views `G_α(i, m)` — depends only on the adversary.  [`Run`] materializes
+//! that structure once; decision rules are layered on top by the
+//! `set-consensus` crate.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    Adversary, ModelError, Node, PidSet, ProcessId, Round, SystemParams, Time, Value,
+};
+
+/// The layers of nodes seen by a given observer node `⟨i, m⟩`: for every time
+/// `ℓ ≤ m`, the set of processes `j` such that `⟨j, ℓ⟩` is *seen by* `⟨i, m⟩`
+/// (i.e. there is a Lamport message chain from `⟨j, ℓ⟩` to `⟨i, m⟩`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SeenLayers {
+    layers: Vec<PidSet>,
+}
+
+impl SeenLayers {
+    fn empty(num_layers: usize) -> Self {
+        SeenLayers { layers: vec![PidSet::new(); num_layers] }
+    }
+
+    /// Returns the observer time `m`; the layers run from time `0` to `m`.
+    pub fn observer_time(&self) -> Time {
+        Time::new((self.layers.len() - 1) as u32)
+    }
+
+    /// Returns the number of layers (`m + 1`).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns the set of processes seen at layer `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` exceeds the observer time; use
+    /// [`SeenLayers::get_layer`] for a checked variant.
+    pub fn layer(&self, time: Time) -> &PidSet {
+        &self.layers[time.index()]
+    }
+
+    /// Returns the set of processes seen at layer `time`, or `None` if the
+    /// layer lies beyond the observer time.
+    pub fn get_layer(&self, time: Time) -> Option<&PidSet> {
+        self.layers.get(time.index())
+    }
+
+    /// Returns `true` if the node `⟨process, time⟩` is seen by the observer.
+    pub fn contains_node(&self, process: impl Into<ProcessId>, time: Time) -> bool {
+        self.get_layer(time).is_some_and(|l| l.contains(process))
+    }
+
+    /// Iterates over `(time, layer)` pairs from time 0 to the observer time.
+    pub fn iter(&self) -> impl Iterator<Item = (Time, &PidSet)> {
+        self.layers.iter().enumerate().map(|(i, l)| (Time::new(i as u32), l))
+    }
+
+    /// Returns the total number of seen nodes across all layers.
+    pub fn total_seen(&self) -> usize {
+        self.layers.iter().map(PidSet::len).sum()
+    }
+}
+
+/// The full-information communication structure of a run.
+///
+/// A `Run` records, for every time `m` up to the horizon and every process
+/// `i` that is still active at `m`:
+///
+/// * `heard_from(i, m)` — the processes whose round-`m` messages reached `i`
+///   (including `i` itself);
+/// * `seen(i, m)` — the layered set of nodes seen by `⟨i, m⟩`, i.e. the node
+///   set of the view `G_α(i, m)`.
+///
+/// For processes that have already crashed at `m`, both structures are empty;
+/// such nodes never take decisions.
+///
+/// The horizon must be long enough for the protocols under study to decide;
+/// `⌊t/k⌋ + 2` always suffices for the protocols in this repository, and
+/// [`Run::generous_horizon`] provides a safe default of `t + 2`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Run {
+    params: SystemParams,
+    adversary: Adversary,
+    horizon: Time,
+    /// `heard[m][i]`: senders of round-`m` messages received by `i` (row 0 is
+    /// the singleton `{i}` by convention — a process "hears from itself").
+    heard: Vec<Vec<PidSet>>,
+    /// `seen[m][i]`: the seen-layers of `⟨i, m⟩`.
+    seen: Vec<Vec<SeenLayers>>,
+}
+
+impl Run {
+    /// Simulates the full-information exchange under `adversary` for
+    /// `horizon` rounds and records the resulting communication structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the adversary is inconsistent with `params` or the
+    /// horizon is zero.
+    pub fn generate(
+        params: SystemParams,
+        adversary: Adversary,
+        horizon: Time,
+    ) -> Result<Self, ModelError> {
+        adversary.validate_against(&params)?;
+        if horizon == Time::ZERO {
+            return Err(ModelError::EmptyHorizon);
+        }
+        let n = params.n();
+        let failures = adversary.failures();
+        let mut heard: Vec<Vec<PidSet>> = Vec::with_capacity(horizon.index() + 1);
+        let mut seen: Vec<Vec<SeenLayers>> = Vec::with_capacity(horizon.index() + 1);
+
+        // Time 0: every process has seen only its own initial node.
+        let mut heard0 = Vec::with_capacity(n);
+        let mut seen0 = Vec::with_capacity(n);
+        for i in 0..n {
+            heard0.push(PidSet::singleton(i));
+            seen0.push(SeenLayers { layers: vec![PidSet::singleton(i)] });
+        }
+        heard.push(heard0);
+        seen.push(seen0);
+
+        for m in 1..=horizon.index() {
+            let time = Time::new(m as u32);
+            let round = Round::new(m as u32);
+            let mut heard_m = Vec::with_capacity(n);
+            let mut seen_m = Vec::with_capacity(n);
+            for i in 0..n {
+                if !failures.is_active_at(i, time) {
+                    heard_m.push(PidSet::new());
+                    seen_m.push(SeenLayers::empty(m + 1));
+                    continue;
+                }
+                let mut senders = PidSet::with_capacity(n);
+                for j in 0..n {
+                    if failures.delivers(j, round, i) {
+                        senders.insert(j);
+                    }
+                }
+                let mut layers = vec![PidSet::with_capacity(n); m + 1];
+                for sender in senders.iter() {
+                    let prev = &seen[m - 1][sender.index()];
+                    for (time, layer) in prev.iter() {
+                        layers[time.index()].union_with(layer);
+                    }
+                }
+                layers[m].insert(i);
+                heard_m.push(senders);
+                seen_m.push(SeenLayers { layers });
+            }
+            heard.push(heard_m);
+            seen.push(seen_m);
+        }
+
+        Ok(Run { params, adversary, horizon, heard, seen })
+    }
+
+    /// A horizon long enough for every protocol in this repository to decide:
+    /// `t + 2` rounds.
+    pub fn generous_horizon(params: &SystemParams) -> Time {
+        Time::new(params.t() as u32 + 2)
+    }
+
+    /// Returns the system parameters of the run.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// Returns the adversary that produced this run.
+    pub fn adversary(&self) -> &Adversary {
+        &self.adversary
+    }
+
+    /// Returns the number of processes.
+    pub fn n(&self) -> usize {
+        self.params.n()
+    }
+
+    /// Returns the failure bound `t`.
+    pub fn t(&self) -> usize {
+        self.params.t()
+    }
+
+    /// Returns the number of processes that actually fail in this run (`f`).
+    pub fn num_failures(&self) -> usize {
+        self.adversary.num_failures()
+    }
+
+    /// Returns the last simulated time.
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// Returns the initial value of `process`.
+    pub fn initial_value(&self, process: impl Into<ProcessId>) -> Value {
+        self.adversary.inputs().value_of(process)
+    }
+
+    /// Returns `true` if `process` has not yet crashed at `time`.
+    pub fn is_active(&self, process: impl Into<ProcessId>, time: Time) -> bool {
+        self.adversary.failures().is_active_at(process, time)
+    }
+
+    /// Returns the set of processes still active at `time`.
+    pub fn active_at(&self, time: Time) -> PidSet {
+        self.adversary.failures().active_at(time)
+    }
+
+    /// Returns `true` if `process` never crashes in this run.
+    pub fn is_correct(&self, process: impl Into<ProcessId>) -> bool {
+        self.adversary.failures().is_correct(process)
+    }
+
+    /// Returns the set of processes that never crash in this run.
+    pub fn correct_set(&self) -> PidSet {
+        self.adversary.failures().correct_set()
+    }
+
+    /// Returns the set of processes whose round-`time` messages reached
+    /// `process` (including `process` itself); empty if the process has
+    /// crashed by `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` exceeds the horizon or `process` is out of range.
+    pub fn heard_from(&self, process: impl Into<ProcessId>, time: Time) -> &PidSet {
+        &self.heard[time.index()][process.into().index()]
+    }
+
+    /// Returns the seen-layers of `⟨process, time⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` exceeds the horizon or `process` is out of range.
+    pub fn seen(&self, process: impl Into<ProcessId>, time: Time) -> &SeenLayers {
+        &self.seen[time.index()][process.into().index()]
+    }
+
+    /// Returns `true` if `target` is seen by `observer` (a message chain leads
+    /// from the target node to the observer node).
+    pub fn sees_node(&self, observer: Node, target: Node) -> bool {
+        self.seen(observer.process, observer.time).contains_node(target.process, target.time)
+    }
+
+    /// Returns `true` if a message from `sender` to `receiver` in `round` is
+    /// delivered under this run's failure pattern.
+    pub fn delivered(
+        &self,
+        sender: impl Into<ProcessId>,
+        round: Round,
+        receiver: impl Into<ProcessId>,
+    ) -> bool {
+        self.adversary.failures().delivers(sender, round, receiver)
+    }
+
+    /// Validates that `time` lies within the simulated horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::TimeBeyondHorizon`] otherwise.
+    pub fn check_time(&self, time: Time) -> Result<(), ModelError> {
+        if time <= self.horizon {
+            Ok(())
+        } else {
+            Err(ModelError::TimeBeyondHorizon {
+                time: time.value() as u64,
+                horizon: self.horizon.value() as u64,
+            })
+        }
+    }
+}
+
+impl fmt::Display for Run {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "run[{} | f={} | horizon {}]",
+            self.params,
+            self.num_failures(),
+            self.horizon
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FailurePattern, InputVector};
+
+    fn small_run(
+        n: usize,
+        t: usize,
+        inputs: &[u64],
+        build: impl FnOnce(&mut FailurePattern),
+        horizon: u32,
+    ) -> Run {
+        let params = SystemParams::new(n, t).unwrap();
+        let mut failures = FailurePattern::crash_free(n);
+        build(&mut failures);
+        let adversary =
+            Adversary::new(InputVector::from_values(inputs.to_vec()), failures).unwrap();
+        Run::generate(params, adversary, Time::new(horizon)).unwrap()
+    }
+
+    #[test]
+    fn failure_free_run_floods_everything_in_one_round() {
+        let run = small_run(4, 2, &[0, 1, 2, 3], |_| {}, 2);
+        for i in 0..4 {
+            let seen = run.seen(i, Time::new(1));
+            assert_eq!(seen.layer(Time::ZERO).len(), 4, "everyone sees all initial nodes");
+            assert_eq!(seen.layer(Time::new(1)).len(), 1, "a node sees only itself at its own time");
+            assert_eq!(run.heard_from(i, Time::new(1)).len(), 4);
+        }
+    }
+
+    #[test]
+    fn partial_delivery_creates_asymmetric_views() {
+        // p0 crashes in round 1 and reaches only p1.
+        let run = small_run(3, 1, &[0, 1, 1], |f| {
+            f.crash(0, 1, [1]).unwrap();
+        }, 3);
+        assert!(run.seen(1, Time::new(1)).contains_node(0, Time::ZERO));
+        assert!(!run.seen(2, Time::new(1)).contains_node(0, Time::ZERO));
+        // One more round: p1 relays p0's initial node to p2.
+        assert!(run.seen(2, Time::new(2)).contains_node(0, Time::ZERO));
+    }
+
+    #[test]
+    fn crashed_processes_have_empty_structure() {
+        let run = small_run(3, 1, &[0, 1, 1], |f| {
+            f.crash_silent(0, 1).unwrap();
+        }, 2);
+        assert!(run.heard_from(0, Time::new(1)).is_empty());
+        assert_eq!(run.seen(0, Time::new(1)).total_seen(), 0);
+        assert!(!run.is_active(0, Time::new(1)));
+        assert!(run.is_active(0, Time::ZERO));
+    }
+
+    #[test]
+    fn chain_of_crashes_keeps_value_hidden_from_the_observer() {
+        // The hidden-path scenario of Fig. 1: a chain of crashing processes
+        // relays value 0 forward while the observer never sees it.
+        // p0 holds 0 and crashes in round 1, reaching only p1.
+        // p1 crashes in round 2, reaching only p2.
+        let run = small_run(4, 2, &[0, 1, 1, 1], |f| {
+            f.crash(0, 1, [1]).unwrap();
+            f.crash(1, 2, [2]).unwrap();
+        }, 3);
+        let observer = Node::new(3, Time::new(2));
+        assert!(!run.sees_node(observer, Node::new(0, Time::ZERO)));
+        assert!(run.sees_node(Node::new(2, Time::new(2)), Node::new(0, Time::ZERO)));
+    }
+
+    #[test]
+    fn seen_is_monotone_in_time() {
+        let run = small_run(5, 2, &[0, 1, 2, 3, 4], |f| {
+            f.crash(0, 1, [1]).unwrap();
+            f.crash_silent(1, 2).unwrap();
+        }, 4);
+        for i in 2..5 {
+            for m in 1..4u32 {
+                let earlier = run.seen(i, Time::new(m));
+                let later = run.seen(i, Time::new(m + 1));
+                for (time, layer) in earlier.iter() {
+                    assert!(
+                        layer.is_subset(later.layer(time)),
+                        "seen sets only grow over time"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validation_is_enforced() {
+        let params = SystemParams::new(3, 0).unwrap();
+        let mut failures = FailurePattern::crash_free(3);
+        failures.crash_silent(0, 1).unwrap();
+        let adversary = Adversary::new(InputVector::from_values([0, 1, 2]), failures).unwrap();
+        assert!(Run::generate(params, adversary.clone(), Time::new(2)).is_err());
+        let params_ok = SystemParams::new(3, 1).unwrap();
+        assert_eq!(
+            Run::generate(params_ok, adversary, Time::ZERO),
+            Err(ModelError::EmptyHorizon)
+        );
+    }
+
+    #[test]
+    fn generous_horizon_covers_all_decision_bounds() {
+        let params = SystemParams::new(6, 4).unwrap();
+        assert_eq!(Run::generous_horizon(&params), Time::new(6));
+    }
+}

@@ -1,0 +1,44 @@
+//! Combinatorial-topology toolkit for the set-consensus reproduction.
+//!
+//! The topological proof of the paper's Lemma 1 (Appendix B.1) and the
+//! hidden-capacity/connectivity connection of Proposition 2 rest on a small
+//! amount of combinatorial topology, all of which is implemented here:
+//!
+//! * [`Simplex`] and [`SimplicialComplex`] — abstract simplices and
+//!   complexes, with stars, links, joins and skeletons;
+//! * [`subdivision`] — the barycentric subdivision and the paper's `Div σ`
+//!   variant (Appendix B.1.2), with carrier tracking;
+//! * [`sperner`] — Sperner colorings and a computational verification of
+//!   Sperner's lemma (Lemma 4);
+//! * [`homology`] — reduced GF(2) Betti numbers, used as the computational
+//!   proxy for `q`-connectivity;
+//! * [`ProtocolComplex`] — protocol complexes of the full-information
+//!   protocol over a set of adversaries, and the star complexes
+//!   `St(⟨i,m⟩, P_m)` of Proposition 2.
+//!
+//! ```
+//! use topology::{sperner, Simplex, Subdivision};
+//!
+//! // The paper's subdivision of the k-simplex, for k = 3.
+//! let sub = Subdivision::paper_div(&Simplex::new(0..=3));
+//! let coloring = sperner::Coloring::min_of_carrier(&sub);
+//! assert!(sperner::verify_sperner_lemma(&sub, &coloring));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod complex;
+pub mod homology;
+pub mod protocol_complex;
+pub mod simplex;
+pub mod sperner;
+pub mod subdivision;
+
+pub use complex::SimplicialComplex;
+pub use homology::{betti_numbers, connected_components, is_q_connected, BettiNumbers};
+pub use protocol_complex::ProtocolComplex;
+pub use simplex::Simplex;
+pub use sperner::Coloring;
+pub use subdivision::{DivVertex, Subdivision};

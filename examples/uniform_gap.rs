@@ -1,0 +1,54 @@
+//! The headline demonstration of the paper's §5: on the Fig. 4-style
+//! adversary family, `u-Pmin[k]` decides at time 2 while every
+//! failure-counting protocol from the literature decides at `⌊t/k⌋ + 1`.
+//!
+//! ```bash
+//! cargo run --example uniform_gap -- [k] [rounds]
+//! ```
+
+use adversary::scenarios;
+use set_consensus::{check, execute, EarlyUniformFloodMin, FloodMin, Protocol, TaskParams, TaskVariant, UPmin};
+use synchrony::{ModelError, SystemParams};
+
+fn main() -> Result<(), ModelError> {
+    let mut args = std::env::args().skip(1);
+    let k: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let rounds: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+
+    let scenario = scenarios::uniform_gap(k, rounds, 3)?;
+    let system = SystemParams::new(scenario.adversary.n(), scenario.t)?;
+    let params = TaskParams::new(system, k)?;
+
+    println!(
+        "Fig. 4 family with k = {k}, t = {} (n = {}): every correct process discovers at least k \
+         new failures in every one of the first {rounds} rounds.",
+        scenario.t,
+        scenario.adversary.n()
+    );
+    println!("worst-case bound ⌊t/k⌋ + 1 = {}", params.worst_case_decision_time());
+    println!();
+
+    let protocols: [&dyn Protocol; 3] = [&UPmin, &EarlyUniformFloodMin, &FloodMin];
+    for protocol in protocols {
+        let (run, transcript) = execute(protocol, &params, scenario.adversary.clone())?;
+        let latest = (0..run.n())
+            .filter(|&i| run.is_correct(i))
+            .filter_map(|i| transcript.decision_time(i))
+            .max()
+            .expect("correct processes decide");
+        let violations = check::check(&run, &transcript, &params, TaskVariant::Uniform);
+        println!(
+            "{:<22} last correct decision at time {latest}   (uniform violations: {})",
+            protocol.name(),
+            violations.len()
+        );
+    }
+
+    println!();
+    println!(
+        "u-Pmin[k] exploits the fact that the hidden capacity of every correct process collapses \
+         at time 2, even though k new failures keep being discovered every round — exactly the \
+         separation the paper claims in §5."
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! The communication-efficient implementation of Appendix E: simulate the
+//! wire protocol next to the full-information protocol, verify they carry the
+//! same decision-relevant knowledge, and report the per-pair bit traffic.
+//!
+//! ```bash
+//! cargo run --example wire_efficiency -- [n]
+//! ```
+
+use adversary::{RandomAdversaries, RandomConfig};
+use synchrony::{ModelError, Run, SystemParams, Time, WireRun};
+
+fn main() -> Result<(), ModelError> {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(32);
+    let t = n / 2;
+    let k = 2usize;
+    let rounds = (t / k + 2) as u32;
+    let system = SystemParams::new(n, t)?;
+
+    let mut generator = RandomAdversaries::new(
+        RandomConfig {
+            max_crash_round: rounds - 1,
+            crash_probability: 0.6,
+            ..RandomConfig::new(n, t, k)
+        },
+        7,
+    );
+    let adversary = generator.next_adversary();
+    println!("n = {n}, t = {t}, horizon = {rounds} rounds, f = {}", adversary.num_failures());
+
+    let run = Run::generate(system, adversary, Time::new(rounds))?;
+    let wire = WireRun::simulate(&run);
+    let stats = wire.stats();
+
+    println!("wire protocol traffic:");
+    println!("  messages sent:            {}", stats.messages());
+    println!("  reports sent:             {}", stats.reports());
+    println!("  total bits:               {}", stats.total_bits());
+    println!("  max bits per ordered pair: {}", stats.max_pair_bits());
+    println!(
+        "  per-pair constant c (bits / n·log₂n): {:.2}",
+        stats.n_log_n_constant()
+    );
+    println!(
+        "  knowledge identical to the full-information protocol: {}",
+        wire.matches_full_information(&run)
+    );
+    println!();
+    println!(
+        "Lemma 6 (Appendix E): each process sends each other process O(n log n) bits over the \
+         whole run, with the same decision times as the full-information protocol."
+    );
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! Umbrella crate of the *Unbeatable Set Consensus* reproduction.
+//!
+//! The real functionality lives in the workspace crates; this crate
+//! re-exports them under one roof so that the examples and integration tests
+//! in the repository root (and downstream users who want a single
+//! dependency) can reach everything:
+//!
+//! * [`synchrony`] — the synchronous crash-failure round model;
+//! * [`knowledge`] — hidden nodes, hidden paths, hidden capacity,
+//!   persistence;
+//! * [`set_consensus`] — the protocols (`Optmin[k]`, `u-Pmin[k]`, `Opt0`,
+//!   `u-Opt0`, baselines), the executor, the correctness checkers and the
+//!   domination analysis;
+//! * [`topology`] — simplicial complexes, subdivisions, Sperner's lemma,
+//!   GF(2) homology, protocol complexes;
+//! * [`adversary`] — scenario families (Figs. 1, 2, 4, Lemma 2), random
+//!   generation and exhaustive enumeration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use adversary;
+pub use knowledge;
+pub use set_consensus;
+pub use synchrony;
+pub use topology;

@@ -1,0 +1,41 @@
+//! Shared helpers for the integration and property tests.
+
+use proptest::prelude::*;
+use synchrony::{Adversary, FailurePattern, InputVector};
+
+/// A proptest strategy producing well-formed adversaries for a system of `n`
+/// processes with at most `t` crashes, values in `{0, …, max_value}` and
+/// crash rounds in `{1, …, max_round}`.
+pub fn adversaries(
+    n: usize,
+    t: usize,
+    max_value: u64,
+    max_round: u32,
+) -> impl Strategy<Value = Adversary> {
+    let inputs = proptest::collection::vec(0..=max_value, n);
+    let crashes = proptest::collection::vec(
+        (any::<bool>(), 1..=max_round, proptest::collection::vec(any::<bool>(), n)),
+        n,
+    );
+    (inputs, crashes).prop_map(move |(values, crashes)| {
+        let mut failures = FailurePattern::crash_free(n);
+        let mut budget = t;
+        for (process, (crash, round, delivered)) in crashes.into_iter().enumerate() {
+            if !crash || budget == 0 {
+                continue;
+            }
+            let delivered: Vec<usize> = delivered
+                .into_iter()
+                .enumerate()
+                .filter(|(_, deliver)| *deliver)
+                .map(|(p, _)| p)
+                .collect();
+            failures
+                .crash(process, round, delivered)
+                .expect("generated crash parameters are valid");
+            budget -= 1;
+        }
+        Adversary::new(InputVector::from_values(values), failures)
+            .expect("generated adversaries are well formed")
+    })
+}
