@@ -74,19 +74,31 @@ fn binomial(n: usize, k: usize) -> u128 {
 
 /// Enumerates every input vector in the scope.
 pub fn input_vectors(config: &EnumerationConfig) -> Vec<InputVector> {
-    let base = config.max_value + 1;
-    let total = (base as u128).pow(config.n as u32);
+    let total = config.num_input_vectors();
     let mut out = Vec::with_capacity(total as usize);
     for code in 0..total {
-        let mut values = Vec::with_capacity(config.n);
-        let mut rest = code;
-        for _ in 0..config.n {
-            values.push((rest % base as u128) as u64);
-            rest /= base as u128;
-        }
-        out.push(InputVector::from_values(values));
+        out.push(input_vector_at(config, code));
     }
     out
+}
+
+/// Decodes the input vector at position `code` of the enumeration order
+/// (mixed-radix, least significant process first) in `O(n)`, without
+/// materializing the rest of the space.
+///
+/// # Panics
+///
+/// Panics if `code ≥ num_input_vectors()`.
+pub fn input_vector_at(config: &EnumerationConfig, code: u128) -> InputVector {
+    assert!(code < config.num_input_vectors(), "input code {code} outside the scope of {config:?}");
+    let base = config.max_value as u128 + 1;
+    let mut values = Vec::with_capacity(config.n);
+    let mut rest = code;
+    for _ in 0..config.n {
+        values.push((rest % base) as u64);
+        rest /= base;
+    }
+    InputVector::from_values(values)
 }
 
 /// Enumerates every failure pattern in the scope.
@@ -155,9 +167,118 @@ pub fn adversaries(config: &EnumerationConfig) -> Result<Vec<Adversary>, ModelEr
     Ok(out)
 }
 
+/// A randomly-addressable view of an enumeration scope, built for sharded
+/// sweeps (see the `sweep` crate).
+///
+/// The recursive failure-pattern enumeration does not support random access,
+/// so the patterns are materialized once and shared; input vectors are
+/// decoded directly from their mixed-radix code.  [`AdversarySpace::nth`]
+/// therefore runs in `O(n)` per adversary without materializing the full
+/// `patterns × inputs` cross product, which is what lets shards of a sweep
+/// seek to their slice of the space in constant time.
+///
+/// The ordering is identical to [`adversaries`]: the adversary at index `i`
+/// combines failure pattern `i / num_input_vectors()` with input code
+/// `i % num_input_vectors()`.
+///
+/// ```
+/// use adversary::enumerate::{adversaries, AdversarySpace, EnumerationConfig};
+///
+/// let config = EnumerationConfig::small(3, 1, 1);
+/// let space = AdversarySpace::new(config).unwrap();
+/// let all = adversaries(&config).unwrap();
+/// assert_eq!(space.len(), all.len() as u128);
+/// assert_eq!(space.nth(17), all[17]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdversarySpace {
+    config: EnumerationConfig,
+    patterns: Vec<FailurePattern>,
+    num_inputs: u128,
+}
+
+impl AdversarySpace {
+    /// Materializes the failure patterns of the scope and prepares the
+    /// input-vector decoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is degenerate (fewer than two
+    /// processes).
+    pub fn new(config: EnumerationConfig) -> Result<Self, ModelError> {
+        if config.n < 2 {
+            return Err(ModelError::TooFewProcesses { n: config.n });
+        }
+        let patterns = failure_patterns(&config);
+        Ok(AdversarySpace { num_inputs: config.num_input_vectors(), config, patterns })
+    }
+
+    /// Returns the enumeration scope.
+    pub fn config(&self) -> &EnumerationConfig {
+        &self.config
+    }
+
+    /// Returns the total number of adversaries in the space.
+    pub fn len(&self) -> u128 {
+        self.patterns.len() as u128 * self.num_inputs
+    }
+
+    /// Returns `true` if the space contains no adversary (never the case for
+    /// a valid configuration, which always contains the crash-free pattern).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the adversary at position `index` of the enumeration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ len()`.
+    pub fn nth(&self, index: u128) -> Adversary {
+        assert!(index < self.len(), "adversary index {index} outside the space");
+        let pattern = &self.patterns[(index / self.num_inputs) as usize];
+        let input = input_vector_at(&self.config, index % self.num_inputs);
+        Adversary::new(input, pattern.clone())
+            .expect("enumerated adversaries are always well formed")
+    }
+
+    /// Iterates over the adversaries of the half-open index range
+    /// `start..end` — the shard access pattern of the sweep engine.
+    pub fn iter_range(&self, start: u128, end: u128) -> impl Iterator<Item = Adversary> + '_ {
+        (start..end.min(self.len())).map(move |index| self.nth(index))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn space_matches_the_materialized_enumeration() {
+        let config = EnumerationConfig {
+            n: 3,
+            t: 1,
+            max_value: 1,
+            max_crash_round: 2,
+            partial_delivery: true,
+        };
+        let space = AdversarySpace::new(config).unwrap();
+        let all = adversaries(&config).unwrap();
+        assert_eq!(space.len(), all.len() as u128);
+        assert!(!space.is_empty());
+        for (i, expected) in all.iter().enumerate() {
+            assert_eq!(&space.nth(i as u128), expected, "divergence at index {i}");
+        }
+        let tail: Vec<Adversary> = space.iter_range(5, 9).collect();
+        assert_eq!(tail.as_slice(), &all[5..9]);
+        // Ranges saturate at the end of the space.
+        assert_eq!(space.iter_range(space.len() - 2, space.len() + 10).count(), 2);
+    }
+
+    #[test]
+    fn space_rejects_degenerate_scopes() {
+        assert!(AdversarySpace::new(EnumerationConfig::small(1, 0, 1)).is_err());
+    }
 
     #[test]
     fn counts_match_the_enumeration() {
@@ -185,10 +306,7 @@ mod tests {
         };
         let without = EnumerationConfig { partial_delivery: false, ..with };
         assert!(without.num_failure_patterns() < with.num_failure_patterns());
-        assert_eq!(
-            failure_patterns(&without).len() as u128,
-            without.num_failure_patterns()
-        );
+        assert_eq!(failure_patterns(&without).len() as u128, without.num_failure_patterns());
     }
 
     #[test]

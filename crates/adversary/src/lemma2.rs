@@ -36,12 +36,7 @@ pub struct WitnessScenario {
 
 impl fmt::Display for WitnessScenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "Lemma 2 witness run for {} with {} chains",
-            self.observer,
-            self.chains.len()
-        )
+        write!(f, "Lemma 2 witness run for {} with {} chains", self.observer, self.chains.len())
     }
 }
 
@@ -96,8 +91,7 @@ pub fn witness_adversary(
             }
             // Fresh witnesses: the node one step earlier must be seen (always
             // true at layer 0).
-            let fresh = layer == 0
-                || analysis.seen().contains_node(p, Time::new(layer as u32 - 1));
+            let fresh = layer == 0 || analysis.seen().contains_node(p, Time::new(layer as u32 - 1));
             if fresh && !used.contains(p) {
                 picks.push(p);
             }
@@ -130,9 +124,8 @@ pub fn witness_adversary(
     }
 
     let mut failures = FailurePattern::crash_free(n);
-    let witness_of_layer = |p: ProcessId| -> Option<usize> {
-        (0..m).find(|&layer| layers[layer].contains(&p))
-    };
+    let witness_of_layer =
+        |p: ProcessId| -> Option<usize> { (0..m).find(|&layer| layers[layer].contains(&p)) };
     for p in 0..n {
         let pid = ProcessId::new(p);
         if let Some(layer) = witness_of_layer(pid) {
@@ -152,8 +145,8 @@ pub fn witness_adversary(
             let mut delivered: Vec<ProcessId> = fault.delivered().iter().collect();
             if round.end_time() <= observer.time {
                 let layer = round.number() as usize;
-                let delivers_to_observer = pid == observer.process
-                    || fault.delivered().contains(observer.process);
+                let delivers_to_observer =
+                    pid == observer.process || fault.delivered().contains(observer.process);
                 for b in 0..c {
                     let witness = chains[b][layer.min(m)];
                     if layer <= m {

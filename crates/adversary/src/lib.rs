@@ -35,7 +35,7 @@ pub mod lemma2;
 pub mod random;
 pub mod scenarios;
 
-pub use enumerate::EnumerationConfig;
+pub use enumerate::{AdversarySpace, EnumerationConfig};
 pub use lemma2::WitnessScenario;
 pub use random::{RandomAdversaries, RandomConfig};
 pub use scenarios::{HiddenCapacityScenario, UniformGapScenario};

@@ -72,8 +72,7 @@ impl RandomAdversaries {
     /// Draws the next adversary from the distribution.
     pub fn next_adversary(&mut self) -> Adversary {
         let c = &self.config;
-        let inputs: Vec<u64> =
-            (0..c.n).map(|_| self.rng.random_range(0..=c.max_value)).collect();
+        let inputs: Vec<u64> = (0..c.n).map(|_| self.rng.random_range(0..=c.max_value)).collect();
         let mut failures = FailurePattern::crash_free(c.n);
         let mut crashed = 0;
         for p in 0..c.n {
@@ -81,8 +80,7 @@ impl RandomAdversaries {
                 continue;
             }
             let round = self.rng.random_range(1..=c.max_crash_round.max(1));
-            let delivered: Vec<usize> =
-                (0..c.n).filter(|_| self.rng.random_bool(0.5)).collect();
+            let delivered: Vec<usize> = (0..c.n).filter(|_| self.rng.random_bool(0.5)).collect();
             failures
                 .crash(p, round, delivered)
                 .expect("generated crash parameters are always in range");
@@ -122,13 +120,8 @@ mod tests {
 
     #[test]
     fn budget_and_value_domain_are_respected() {
-        let config = RandomConfig {
-            n: 8,
-            t: 3,
-            max_value: 2,
-            max_crash_round: 2,
-            crash_probability: 0.9,
-        };
+        let config =
+            RandomConfig { n: 8, t: 3, max_value: 2, max_crash_round: 2, crash_probability: 0.9 };
         let mut gen = RandomAdversaries::new(config, 1);
         for adversary in gen.batch(50) {
             assert!(adversary.num_failures() <= 3);

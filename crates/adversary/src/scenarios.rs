@@ -95,12 +95,7 @@ pub fn hidden_capacity_chains(
         }
     }
     let adversary = Adversary::new(InputVector::from_values(inputs), failures)?;
-    Ok(HiddenCapacityScenario {
-        adversary,
-        observer: ProcessId::new(n - 1),
-        k,
-        depth,
-    })
+    Ok(HiddenCapacityScenario { adversary, observer: ProcessId::new(n - 1), k, depth })
 }
 
 /// A Fig. 4-style scenario with its bookkeeping.
@@ -160,7 +155,9 @@ pub fn uniform_gap(
 ) -> Result<UniformGapScenario, ModelError> {
     if k == 0 || rounds < 2 {
         return Err(ModelError::InvalidTaskParameter {
-            reason: format!("the uniform-gap family needs k ≥ 1 and rounds ≥ 2, got k = {k}, rounds = {rounds}"),
+            reason: format!(
+                "the uniform-gap family needs k ≥ 1 and rounds ≥ 2, got k = {k}, rounds = {rounds}"
+            ),
         });
     }
     if extra_correct < 2 {
@@ -195,14 +192,7 @@ pub fn uniform_gap(
 
     let adversary = Adversary::new(inputs, failures)?;
     let correct: PidSet = (t..n).collect();
-    Ok(UniformGapScenario {
-        adversary,
-        k,
-        t,
-        rounds,
-        relay: ProcessId::new(relay),
-        correct,
-    })
+    Ok(UniformGapScenario { adversary, k, t, rounds, relay: ProcessId::new(relay), correct })
 }
 
 #[cfg(test)]
@@ -257,8 +247,7 @@ mod tests {
         let run = run(&scenario.adversary, t, 3);
         for b in 0..3usize {
             let endpoint = 2 * 3 + b;
-            let analysis =
-                ViewAnalysis::new(&run, Node::new(endpoint, Time::new(2))).unwrap();
+            let analysis = ViewAnalysis::new(&run, Node::new(endpoint, Time::new(2))).unwrap();
             let lows = analysis.lows(3);
             assert_eq!(lows.len(), 1, "chain {b} endpoint sees exactly its own low value");
             assert!(lows.contains(b as u64));
@@ -271,11 +260,8 @@ mod tests {
         let run = run(&scenario.adversary, scenario.t, scenario.rounds as u32 + 2);
         for i in scenario.correct.iter() {
             // Every round up to R reveals at least k new failures…
-            let late = ViewAnalysis::new(
-                &run,
-                Node::new(i, Time::new(scenario.rounds as u32)),
-            )
-            .unwrap();
+            let late =
+                ViewAnalysis::new(&run, Node::new(i, Time::new(scenario.rounds as u32))).unwrap();
             assert!(
                 late.observations().every_round_reveals_at_least(scenario.k),
                 "process {i} saw a clean round"

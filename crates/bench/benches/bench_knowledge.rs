@@ -26,8 +26,7 @@ fn bench_view_analysis(c: &mut Criterion) {
         let observer = (0..n).find(|&i| run.is_active(i, run.horizon())).unwrap();
         group.bench_with_input(BenchmarkId::new("random_run", n), &run, |b, run| {
             b.iter(|| {
-                let analysis =
-                    ViewAnalysis::new(run, Node::new(observer, run.horizon())).unwrap();
+                let analysis = ViewAnalysis::new(run, Node::new(observer, run.horizon())).unwrap();
                 std::hint::black_box(analysis.hidden_capacity())
             });
         });
@@ -43,11 +42,9 @@ fn bench_view_analysis(c: &mut Criterion) {
             Run::generate(system, scenario.adversary.clone(), Time::new(depth as u32 + 1)).unwrap();
         group.bench_with_input(BenchmarkId::new("fig2_chains", k), &run, |b, run| {
             b.iter(|| {
-                let analysis = ViewAnalysis::new(
-                    run,
-                    Node::new(scenario.observer, Time::new(depth as u32)),
-                )
-                .unwrap();
+                let analysis =
+                    ViewAnalysis::new(run, Node::new(scenario.observer, Time::new(depth as u32)))
+                        .unwrap();
                 std::hint::black_box(analysis.hidden_capacity())
             });
         });

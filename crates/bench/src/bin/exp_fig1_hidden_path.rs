@@ -26,8 +26,8 @@ fn main() {
 
     for chain_len in 1..=6usize {
         let n = chain_len + 3;
-        let adversary = adversary::scenarios::hidden_path(n, chain_len)
-            .expect("scenario parameters are valid");
+        let adversary =
+            adversary::scenarios::hidden_path(n, chain_len).expect("scenario parameters are valid");
         let params =
             TaskParams::with_max_value(SystemParams::new(n, chain_len).unwrap(), 1, 1).unwrap();
         let (run, transcript) = execute(&Opt0, &params, adversary).unwrap();

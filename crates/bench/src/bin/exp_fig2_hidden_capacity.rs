@@ -32,8 +32,9 @@ fn main() {
             let n = scenario.adversary.n();
             let t = scenario.adversary.num_failures();
             let params = SystemParams::new(n, t).unwrap();
-            let run = Run::generate(params, scenario.adversary.clone(), Time::new(depth as u32 + 1))
-                .unwrap();
+            let run =
+                Run::generate(params, scenario.adversary.clone(), Time::new(depth as u32 + 1))
+                    .unwrap();
             let observer = Node::new(scenario.observer, Time::new(depth as u32));
             let analysis = ViewAnalysis::new(&run, observer).unwrap();
 

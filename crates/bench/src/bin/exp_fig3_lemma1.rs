@@ -35,7 +35,8 @@ fn main() {
     let t = scenario.adversary.num_failures();
     let system = SystemParams::new(n, t).unwrap();
     let params = TaskParams::new(system, k).unwrap();
-    let run = Run::generate(system, scenario.adversary.clone(), Time::new(depth as u32 + 2)).unwrap();
+    let run =
+        Run::generate(system, scenario.adversary.clone(), Time::new(depth as u32 + 2)).unwrap();
     let observer = Node::new(scenario.observer, Time::new(depth as u32));
 
     // Build the Lemma 2 witness run carrying the k low values.
@@ -43,9 +44,8 @@ fn main() {
     let (witness, witness_run) = lemma2::witness_run(&run, observer, &values).unwrap();
     let transcript = execute_on_run(&Optmin, &params, &witness_run).unwrap();
 
-    let observer_undecided_at_m = transcript
-        .decision_time(observer.process)
-        .is_none_or(|time| time > observer.time);
+    let observer_undecided_at_m =
+        transcript.decision_time(observer.process).is_none_or(|time| time > observer.time);
 
     for (b, chain) in witness.chains.iter().enumerate() {
         let endpoint = chain[depth];
@@ -60,10 +60,7 @@ fn main() {
                 .decision_value(endpoint)
                 .map(|v| v.to_string())
                 .unwrap_or_else(|| "⊥".into()),
-            transcript
-                .decision_time(endpoint)
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "⊥".into()),
+            transcript.decision_time(endpoint).map(|t| t.to_string()).unwrap_or_else(|| "⊥".into()),
             observer_undecided_at_m.to_string(),
         ]);
         let _ = b;

@@ -6,72 +6,25 @@
 //! (and the worst-case `FloodMin`) decide only at `⌊t/k⌋ + 1`; `u-Pmin[k]`
 //! (and `Optmin[k]`) decide at time 2.  Sweeping `t` shows the gap growing
 //! without bound.
+//!
+//! Runs on the sharded sweep engine: accepts `--shards`, `--threads` and
+//! `--seed`, and the fold is identical at every parallelism — `sweep fig4`
+//! prints the same output.
 
-use adversary::scenarios;
-use bench_harness::{summarize, Table};
-use set_consensus::{
-    check, execute, EarlyUniformFloodMin, FloodMin, Optmin, Protocol, TaskParams, TaskVariant,
-    UPmin,
-};
-use synchrony::SystemParams;
+use bench_harness::{report, sweep_config_from_args};
+use sweep::experiments;
 
 fn main() {
-    let mut table = Table::new(
-        "E4 / Fig. 4 — latest correct decision time on the uniform-gap adversary family",
-        &[
-            "k",
-            "t",
-            "n",
-            "⌊t/k⌋+1",
-            "u-Pmin[k]",
-            "Optmin[k]",
-            "EarlyUniformFloodMin",
-            "FloodMin",
-            "uniform violations",
-        ],
-    );
-
-    for k in [1usize, 2, 3, 5] {
-        for rounds in [2usize, 4, 8, 16] {
-            let scenario = scenarios::uniform_gap(k, rounds, 3).unwrap();
-            let n = scenario.adversary.n();
-            let t = scenario.t;
-            let system = SystemParams::new(n, t).unwrap();
-            let params = TaskParams::new(system, k).unwrap();
-
-            let protocols: Vec<(&str, Box<dyn Protocol>)> = vec![
-                ("u-Pmin", Box::new(UPmin)),
-                ("Optmin", Box::new(Optmin)),
-                ("EarlyUniform", Box::new(EarlyUniformFloodMin)),
-                ("FloodMin", Box::new(FloodMin)),
-            ];
-            let mut latest = Vec::new();
-            let mut violations = 0;
-            for (_, protocol) in &protocols {
-                let (run, transcript) =
-                    execute(protocol.as_ref(), &params, scenario.adversary.clone()).unwrap();
-                latest.push(summarize(&run, &transcript).latest);
-                violations +=
-                    check::check(&run, &transcript, &params, TaskVariant::Uniform).len();
-            }
-
-            table.push(&[
-                k.to_string(),
-                t.to_string(),
-                n.to_string(),
-                (t / k + 1).to_string(),
-                latest[0].to_string(),
-                latest[1].to_string(),
-                latest[2].to_string(),
-                latest[3].to_string(),
-                violations.to_string(),
-            ]);
+    let config = match sweep_config_from_args(std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!(
+                "{message}\nusage: exp_fig4_uniform_gap [--shards N] [--threads N] [--seed N]"
+            );
+            std::process::exit(2);
         }
-    }
-    println!("{table}");
-    println!(
-        "Paper claim (Fig. 4, §5): there are runs in which all previously known uniform protocols\n\
-         decide only at ⌊t/k⌋ + 1 while every process decides by time 2 in u-Pmin[k] — an\n\
-         unbounded improvement as t grows."
-    );
+    };
+    let rows = experiments::fig4(&config).expect("the built-in family is well formed");
+    println!("{}", report::fig4_table(&rows));
+    println!("{}", report::FIG4_CLAIM);
 }

@@ -14,150 +14,29 @@
 //!    content lives — a closed star is a cone over its link and is therefore
 //!    always contractible, which is exactly the mechanism the paper exploits
 //!    when it maps the Sperner subdivision into `St(⟨i,m⟩, P_m)`.
+//!
+//! The per-state connectivity checks of part 1 run on the sharded sweep
+//! engine (the complex build itself is a global structure and stays
+//! sequential): accepts `--shards`, `--threads` and `--seed`, and the fold
+//! is identical at every parallelism — `sweep prop2` prints the same
+//! output.
 
-use adversary::enumerate::{self, EnumerationConfig};
-use bench_harness::Table;
-use knowledge::ViewAnalysis;
-use synchrony::{Adversary, FailurePattern, InputVector, Node, Run, SystemParams, Time};
-use topology::{homology, ProtocolComplex};
+use bench_harness::{report, sweep_config_from_args};
+use sweep::experiments;
 
 fn main() {
-    exhaustive_k1();
-    targeted_k2();
-}
-
-fn exhaustive_k1() {
-    let mut table = Table::new(
-        "E9a / Proposition 2 (k = 1, exhaustive) — hidden paths imply connected stars",
-        &["n", "t", "states in P_1", "states with HC >= 1", "stars connected", "counterexamples"],
-    );
-    for (n, t) in [(3usize, 1usize), (4, 2)] {
-        let config = EnumerationConfig {
-            n,
-            t,
-            max_value: 1,
-            max_crash_round: 1,
-            partial_delivery: true,
-        };
-        let adversaries = enumerate::adversaries(&config).unwrap();
-        let system = SystemParams::new(n, t).unwrap();
-        let time = Time::new(1);
-        let complex = ProtocolComplex::build(system, &adversaries, time).unwrap();
-        let mut checked = std::collections::HashSet::new();
-        let (mut with_capacity, mut connected, mut counterexamples) = (0usize, 0usize, 0usize);
-        for adversary in &adversaries {
-            let run = Run::generate(system, adversary.clone(), time).unwrap();
-            for i in 0..n {
-                if !run.is_active(i, time) {
-                    continue;
-                }
-                let Some(id) = complex.state_id(&run, Node::new(i, time)) else { continue };
-                if !checked.insert(id) {
-                    continue;
-                }
-                let analysis = ViewAnalysis::new(&run, Node::new(i, time)).unwrap();
-                if analysis.hidden_capacity() >= 1 {
-                    with_capacity += 1;
-                    if complex.star_is_q_connected(id, 0) {
-                        connected += 1;
-                    } else {
-                        counterexamples += 1;
-                    }
-                }
-            }
+    let config = match sweep_config_from_args(std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!(
+                "{message}\nusage: exp_prop2_connectivity [--shards N] [--threads N] [--seed N]"
+            );
+            std::process::exit(2);
         }
-        table.push(&[
-            n.to_string(),
-            t.to_string(),
-            complex.num_states().to_string(),
-            with_capacity.to_string(),
-            connected.to_string(),
-            counterexamples.to_string(),
-        ]);
-    }
-    println!("{table}");
-}
-
-fn targeted_k2() {
-    let k = 2usize;
-    let n = 5usize;
-    let t = 2usize;
-    let system = SystemParams::new(n, t).unwrap();
-    let time = Time::new(1);
-    let observer = 4usize;
-
-    // The reference run: processes 0 and 1 crash silently in round 1, so the
-    // observer's hidden capacity at time 1 is exactly 2.
-    let mut reference_failures = FailurePattern::crash_free(n);
-    reference_failures.crash_silent(0, 1).unwrap();
-    reference_failures.crash_silent(1, 1).unwrap();
-    let reference = Adversary::new(
-        InputVector::from_values([2u64, 2, 2, 2, 2]),
-        reference_failures,
-    )
-    .unwrap();
-    let reference_run = Run::generate(system, reference, time).unwrap();
-    let analysis = ViewAnalysis::new(&reference_run, Node::new(observer, time)).unwrap();
-
-    // Every execution indistinguishable to the observer: the two missing
-    // processes crashed in round 1 with arbitrary values and arbitrary
-    // deliveries not reaching the observer.
-    let mut consistent = Vec::new();
-    for v0 in 0..=k as u64 {
-        for v1 in 0..=k as u64 {
-            let inputs = InputVector::from_values([v0, v1, 2, 2, 2]);
-            for mask0 in 0u32..8 {
-                for mask1 in 0u32..8 {
-                    let others0: Vec<usize> = [1usize, 2, 3]
-                        .iter()
-                        .enumerate()
-                        .filter(|(bit, _)| mask0 & (1 << bit) != 0)
-                        .map(|(_, &p)| p)
-                        .collect();
-                    let others1: Vec<usize> = [0usize, 2, 3]
-                        .iter()
-                        .enumerate()
-                        .filter(|(bit, _)| mask1 & (1 << bit) != 0)
-                        .map(|(_, &p)| p)
-                        .collect();
-                    let mut failures = FailurePattern::crash_free(n);
-                    failures.crash(0, 1, others0).unwrap();
-                    failures.crash(1, 1, others1).unwrap();
-                    consistent.push(Adversary::new(inputs.clone(), failures).unwrap());
-                }
-            }
-        }
-    }
-
-    let star = ProtocolComplex::build(system, &consistent, time).unwrap();
-    let star_betti = homology::betti_numbers(star.complex());
-    let observer_id = star.state_id(&reference_run, Node::new(observer, time)).unwrap();
-    let link = star.complex().link(observer_id);
-    let link_betti = homology::betti_numbers(&link);
-
-    let mut table = Table::new(
-        "E9b / Proposition 2 (k = 2, targeted) — the star of a hidden-capacity-2 state",
-        &["quantity", "value"],
-    );
-    table.push(&["observer hidden capacity".to_owned(), analysis.hidden_capacity().to_string()]);
-    table.push(&["indistinguishable executions".to_owned(), consistent.len().to_string()]);
-    table.push(&["star: states / facets".to_owned(), format!("{} / {}", star.num_states(), star.num_facets())]);
-    table.push(&["star reduced Betti numbers".to_owned(), format!("{:?}", star_betti.all())]);
-    table.push(&[
-        "star is (k-1)-connected".to_owned(),
-        homology::is_q_connected(star.complex(), k - 1).to_string(),
-    ]);
-    table.push(&["link reduced Betti numbers".to_owned(), format!("{:?}", link_betti.all())]);
-    table.push(&[
-        "link is (k-2)-connected".to_owned(),
-        homology::is_q_connected(&link, k.saturating_sub(2)).to_string(),
-    ]);
-    println!("{table}");
-    println!(
-        "Paper claim (Proposition 2): a state with hidden capacity at least k in every round has a\n\
-         (k−1)-connected star complex.  The star is a cone over its link (every indistinguishable\n\
-         execution contains the observer's own vertex), so the decisive structure is the richly\n\
-         connected link — which is what lets the Sperner subdivision of Lemma 1's proof be mapped\n\
-         onto indistinguishable executions."
-    );
+    };
+    let result = experiments::prop2(&config).expect("the built-in scopes are well formed");
+    let (exhaustive, targeted) = report::prop2_tables(&result);
+    println!("{exhaustive}");
+    println!("{targeted}");
+    println!("{}", report::PROP2_CLAIM);
 }

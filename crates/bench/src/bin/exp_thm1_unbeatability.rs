@@ -13,100 +13,25 @@
 //!    and whenever it decides, the process is low or has hidden capacity
 //!    `< k` (i.e. the protocol decides at the earliest knowledge-theoretically
 //!    safe moment).
+//!
+//! Runs on the sharded sweep engine: accepts `--shards`, `--threads` and
+//! `--seed`, and the fold (and therefore the table) is identical at every
+//! parallelism — `sweep thm1` prints the same output.
 
-use adversary::enumerate::{self, EnumerationConfig};
-use bench_harness::Table;
-use knowledge::ViewAnalysis;
-use set_consensus::{
-    check, compare, execute, EarlyFloodMin, FloodMin, Optmin, Protocol, TaskParams, TaskVariant,
-};
-use synchrony::{Node, SystemParams, Time};
+use bench_harness::{report, sweep_config_from_args};
+use sweep::experiments;
 
 fn main() {
-    let mut table = Table::new(
-        "E7 / Theorem 1 — exhaustive small-system unbeatability spot-checks for Optmin[k]",
-        &[
-            "n",
-            "t",
-            "k",
-            "adversaries",
-            "correctness violations",
-            "competitors beating Optmin",
-            "Lemma-3 structure violations",
-        ],
-    );
-
-    for (n, t, k) in [(3usize, 1usize, 1usize), (4, 2, 1), (4, 2, 2), (5, 2, 2)] {
-        let config = EnumerationConfig {
-            n,
-            t,
-            max_value: k as u64,
-            max_crash_round: 2,
-            partial_delivery: n <= 4,
-        };
-        let adversaries = enumerate::adversaries(&config).unwrap();
-        let system = SystemParams::new(n, t).unwrap();
-        let params = TaskParams::new(system, k).unwrap();
-
-        // (1) correctness of every implemented nonuniform protocol, everywhere.
-        let mut correctness_violations = 0usize;
-        let protocols: Vec<Box<dyn Protocol>> =
-            vec![Box::new(Optmin), Box::new(EarlyFloodMin), Box::new(FloodMin)];
-        for adversary in &adversaries {
-            for protocol in &protocols {
-                let (run, transcript) =
-                    execute(protocol.as_ref(), &params, adversary.clone()).unwrap();
-                correctness_violations +=
-                    check::check(&run, &transcript, &params, TaskVariant::Nonuniform).len();
-            }
+    let config = match sweep_config_from_args(std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!(
+                "{message}\nusage: exp_thm1_unbeatability [--shards N] [--threads N] [--seed N]"
+            );
+            std::process::exit(2);
         }
-
-        // (2) no competitor beats Optmin[k] anywhere.
-        let mut beaten_by = 0usize;
-        for competitor in [&EarlyFloodMin as &dyn Protocol, &FloodMin as &dyn Protocol] {
-            let report = compare(&Optmin, competitor, &params, &adversaries).unwrap();
-            if !report.first_dominates() {
-                beaten_by += 1;
-            }
-        }
-
-        // (3) Lemma-3 structure: decisions happen exactly when low-or-HC<k
-        // first holds.
-        let mut structure_violations = 0usize;
-        for adversary in &adversaries {
-            let (run, transcript) = execute(&Optmin, &params, adversary.clone()).unwrap();
-            for i in 0..n {
-                for m in 0..=run.horizon().index() {
-                    let time = Time::new(m as u32);
-                    if !run.is_active(i, time) {
-                        continue;
-                    }
-                    let analysis = ViewAnalysis::new(&run, Node::new(i, time)).unwrap();
-                    let enabled = analysis.is_low(k) || analysis.hidden_capacity() < k;
-                    let decided_by_now =
-                        transcript.decision_time(i).is_some_and(|d| d <= time);
-                    if enabled != decided_by_now {
-                        structure_violations += 1;
-                    }
-                }
-            }
-        }
-
-        table.push(&[
-            n.to_string(),
-            t.to_string(),
-            k.to_string(),
-            adversaries.len().to_string(),
-            correctness_violations.to_string(),
-            beaten_by.to_string(),
-            structure_violations.to_string(),
-        ]);
-    }
-    println!("{table}");
-    println!(
-        "Paper claim (Theorem 1): Optmin[k] is unbeatable — no protocol solving nonuniform k-set\n\
-         consensus can have any process decide earlier in any run without another process deciding\n\
-         later elsewhere.  The exhaustive checks above verify the implemented competitors never\n\
-         beat it and that it decides exactly when the hidden-capacity condition first allows."
-    );
+    };
+    let rows = experiments::thm1(&config).expect("the built-in scopes are well formed");
+    println!("{}", report::thm1_table(&rows));
+    println!("{}", report::THM1_CLAIM);
 }

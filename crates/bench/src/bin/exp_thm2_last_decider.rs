@@ -35,11 +35,11 @@ fn main() {
         };
         let adversaries = enumerate::adversaries(&config).unwrap();
         let params = TaskParams::new(SystemParams::new(n, t).unwrap(), k).unwrap();
-        for (name, competitor) in
-            [("EarlyFloodMin", &EarlyFloodMin as &dyn set_consensus::Protocol), ("FloodMin", &FloodMin)]
-        {
-            let report =
-                compare_last_decider(&Optmin, competitor, &params, &adversaries).unwrap();
+        for (name, competitor) in [
+            ("EarlyFloodMin", &EarlyFloodMin as &dyn set_consensus::Protocol),
+            ("FloodMin", &FloodMin),
+        ] {
+            let report = compare_last_decider(&Optmin, competitor, &params, &adversaries).unwrap();
             table.push(&[
                 format!("exhaustive n={n} t={t}"),
                 k.to_string(),
@@ -59,11 +59,11 @@ fn main() {
             7,
         )
         .batch(200);
-        for (name, competitor) in
-            [("EarlyFloodMin", &EarlyFloodMin as &dyn set_consensus::Protocol), ("FloodMin", &FloodMin)]
-        {
-            let report =
-                compare_last_decider(&Optmin, competitor, &params, &adversaries).unwrap();
+        for (name, competitor) in [
+            ("EarlyFloodMin", &EarlyFloodMin as &dyn set_consensus::Protocol),
+            ("FloodMin", &FloodMin),
+        ] {
+            let report = compare_last_decider(&Optmin, competitor, &params, &adversaries).unwrap();
             table.push(&[
                 format!("random n={n} t={t}"),
                 k.to_string(),

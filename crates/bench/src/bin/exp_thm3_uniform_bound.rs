@@ -1,53 +1,25 @@
 //! Experiment E6 (Theorem 3): `u-Pmin[k]` solves uniform `k`-set consensus
 //! and every process decides by `min{⌊t/k⌋ + 1, ⌊f/k⌋ + 2}`.
+//!
+//! Runs on the sharded sweep engine over counter-seeded random adversaries:
+//! accepts `--shards`, `--threads` and `--seed` (default 1605), and the
+//! fold is identical at every parallelism — `sweep thm3` prints the same
+//! output for the same seed.
 
-use adversary::{RandomAdversaries, RandomConfig};
-use bench_harness::{summarize, Table};
-use set_consensus::{check, execute, TaskParams, TaskVariant, UPmin};
-use std::collections::BTreeMap;
-use synchrony::SystemParams;
+use bench_harness::{report, sweep_config_from_args};
+use sweep::experiments;
 
 fn main() {
-    const SAMPLES: usize = 400;
-    let mut table = Table::new(
-        "E6 / Theorem 3 — u-Pmin[k] decision times vs the min{⌊t/k⌋+1, ⌊f/k⌋+2} bound",
-        &["n", "t", "k", "f", "runs", "worst decision time", "bound", "violations"],
-    );
-
-    for (n, t, k) in [(8usize, 5usize, 2usize), (10, 6, 3), (12, 9, 4)] {
-        let system = SystemParams::new(n, t).unwrap();
-        let params = TaskParams::new(system, k).unwrap();
-        let mut generator = RandomAdversaries::new(
-            RandomConfig { crash_probability: 0.7, ..RandomConfig::new(n, t, k) },
-            1605,
-        );
-        let mut per_f: BTreeMap<usize, (u32, usize)> = BTreeMap::new();
-        let mut violations = 0usize;
-        for _ in 0..SAMPLES {
-            let adversary = generator.next_adversary();
-            let (run, transcript) = execute(&UPmin, &params, adversary).unwrap();
-            violations += check::check(&run, &transcript, &params, TaskVariant::Uniform).len();
-            let summary = summarize(&run, &transcript);
-            let entry = per_f.entry(run.num_failures()).or_insert((0, 0));
-            entry.0 = entry.0.max(summary.latest);
-            entry.1 += 1;
+    let config = match sweep_config_from_args(std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!(
+                "{message}\nusage: exp_thm3_uniform_bound [--shards N] [--threads N] [--seed N]"
+            );
+            std::process::exit(2);
         }
-        for (f, (worst, runs)) in per_f {
-            table.push(&[
-                n.to_string(),
-                t.to_string(),
-                k.to_string(),
-                f.to_string(),
-                runs.to_string(),
-                worst.to_string(),
-                params.uniform_early_bound(f).to_string(),
-                violations.to_string(),
-            ]);
-        }
-    }
-    println!("{table}");
-    println!(
-        "Paper claim (Theorem 3): u-Pmin[k] solves uniform k-set consensus and every process\n\
-         decides by min{{⌊t/k⌋ + 1, ⌊f/k⌋ + 2}}."
-    );
+    };
+    let rows = experiments::thm3(&config).expect("the built-in cases are well formed");
+    println!("{}", report::thm3_table(&rows));
+    println!("{}", report::THM3_CLAIM);
 }

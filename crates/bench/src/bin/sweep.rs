@@ -1,0 +1,71 @@
+//! The unified scenario-sweep CLI: runs the paper's headline experiments on
+//! the sharded, work-stealing engine of the `sweep` crate.
+//!
+//! ```text
+//! sweep <thm1|thm3|fig4|prop2|all> [--shards N] [--threads N] [--seed N]
+//! ```
+//!
+//! The fold results are independent of `--shards` and `--threads`: for the
+//! same `--seed`, this binary prints bit-for-bit the tables of the
+//! corresponding `exp_*` binaries at any parallelism.
+
+use bench_harness::{report, sweep_config_from_args};
+use sweep::experiments;
+
+const USAGE: &str = "usage: sweep <thm1|thm3|fig4|prop2|all> \
+                     [--shards N] [--threads N] [--seed N]";
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(experiment) = args.next() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let config = match sweep_config_from_args(args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let run = |name: &str| -> Result<(), synchrony::ModelError> {
+        match name {
+            "thm1" => {
+                println!("{}", report::thm1_table(&experiments::thm1(&config)?));
+                println!("{}", report::THM1_CLAIM);
+            }
+            "thm3" => {
+                println!("{}", report::thm3_table(&experiments::thm3(&config)?));
+                println!("{}", report::THM3_CLAIM);
+            }
+            "fig4" => {
+                println!("{}", report::fig4_table(&experiments::fig4(&config)?));
+                println!("{}", report::FIG4_CLAIM);
+            }
+            "prop2" => {
+                let (exhaustive, targeted) = report::prop2_tables(&experiments::prop2(&config)?);
+                println!("{exhaustive}");
+                println!("{targeted}");
+                println!("{}", report::PROP2_CLAIM);
+            }
+            other => {
+                eprintln!("unknown experiment {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        Ok(())
+    };
+
+    let experiments: Vec<&str> = if experiment == "all" {
+        vec!["thm1", "thm3", "fig4", "prop2"]
+    } else {
+        vec![experiment.as_str()]
+    };
+    for name in experiments {
+        if let Err(error) = run(name) {
+            eprintln!("experiment {name} failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}

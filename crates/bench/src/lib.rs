@@ -1,13 +1,29 @@
 //! Shared infrastructure for the experiment binaries and Criterion benches.
 //!
 //! Every figure-level claim of the paper has a corresponding experiment
-//! binary under `src/bin/` (see the per-experiment index in `DESIGN.md`);
-//! this library provides the small amount of shared plumbing they need:
-//! plain-text result tables, decision-time summaries and protocol sweeps.
+//! binary under `src/bin/`; this library provides the shared plumbing they
+//! need:
+//!
+//! * [`Table`] — the plain-text result tables the binaries print, mirroring
+//!   the rows the paper reports;
+//! * [`summarize`] — decision-time statistics over the correct processes of
+//!   a run, and [`run_sweep`] — every protocol on one shared adversary;
+//! * [`report`] — renderers for the result structs of
+//!   `sweep::experiments`, shared between the per-experiment `exp_*`
+//!   binaries and the unified `sweep` CLI so both print byte-identical
+//!   output.
+//!
+//! The headline experiments (Theorem 1, Theorem 3, Fig. 4, Proposition 2)
+//! run on the sharded sweep engine of the `sweep` crate; the corresponding
+//! binaries accept `--shards`, `--threads` and `--seed` flags and their
+//! fold results are independent of both parallelism knobs.  The remaining
+//! binaries are small single-scenario demonstrations and stay sequential.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod report;
 
 use std::fmt;
 
@@ -77,6 +93,44 @@ impl fmt::Display for Table {
         }
         Ok(())
     }
+}
+
+/// Parses the sweep flags shared by the experiment binaries and the `sweep`
+/// CLI — `--shards N`, `--threads N`, `--seed N` — into a
+/// [`sweep::SweepConfig`], starting from the engine defaults (automatic
+/// parallelism, seed 1605).
+///
+/// # Errors
+///
+/// Returns a usage message naming the offending flag or value.
+pub fn sweep_config_from_args(
+    args: impl Iterator<Item = String>,
+) -> Result<sweep::SweepConfig, String> {
+    let mut config = sweep::SweepConfig::default();
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let mut value_of =
+            |flag: &str| args.next().ok_or_else(|| format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--shards" => {
+                config.shards = value_of("--shards")?
+                    .parse()
+                    .map_err(|e| format!("invalid --shards value: {e}"))?;
+            }
+            "--threads" => {
+                config.threads = value_of("--threads")?
+                    .parse()
+                    .map_err(|e| format!("invalid --threads value: {e}"))?;
+            }
+            "--seed" => {
+                config.seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|e| format!("invalid --seed value: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(config)
 }
 
 /// Decision-time statistics over the correct processes of a single run.
@@ -163,8 +217,7 @@ mod tests {
     #[test]
     fn summarize_and_sweep_work_together() {
         let params = TaskParams::new(SystemParams::new(4, 2).unwrap(), 2).unwrap();
-        let adversary =
-            Adversary::failure_free(InputVector::from_values([2, 2, 1, 0])).unwrap();
+        let adversary = Adversary::failure_free(InputVector::from_values([2, 2, 1, 0])).unwrap();
         let protocols = all_protocols(TaskVariant::Nonuniform);
         let (run, transcripts) = run_sweep(&protocols, &params, &adversary).unwrap();
         assert_eq!(transcripts.len(), protocols.len());

@@ -88,8 +88,8 @@ impl Protocol for EarlyUniformFloodMin {
     fn decide(&self, ctx: &DecisionContext<'_>) -> Option<Value> {
         let k = ctx.k();
         let analysis = ctx.analysis;
-        let clean_now = analysis.is_low(k)
-            || analysis.observations().has_round_with_fewer_than_new_misses(k);
+        let clean_now =
+            analysis.is_low(k) || analysis.observations().has_round_with_fewer_than_new_misses(k);
         if clean_now && analysis.knows_will_persist(analysis.min_value()) {
             return Some(analysis.min_value());
         }
@@ -97,9 +97,8 @@ impl Protocol for EarlyUniformFloodMin {
             // The clean-round condition evaluated at the previous node: only
             // rounds up to m − 1 count.
             let clean_prev = analysis.was_low(k)
-                || (1..analysis.time().value()).any(|r| {
-                    analysis.observations().newly_missed_in(synchrony::Round::new(r)) < k
-                });
+                || (1..analysis.time().value())
+                    .any(|r| analysis.observations().newly_missed_in(synchrony::Round::new(r)) < k);
             if clean_prev {
                 return Some(
                     analysis

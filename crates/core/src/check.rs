@@ -98,11 +98,7 @@ pub fn check(
 }
 
 /// Checks only the Validity property (and the value-domain side condition).
-pub fn check_validity(
-    run: &Run,
-    transcript: &Transcript,
-    params: &TaskParams,
-) -> Vec<Violation> {
+pub fn check_validity(run: &Run, transcript: &Transcript, params: &TaskParams) -> Vec<Violation> {
     let present = run.adversary().inputs().present_values();
     let mut violations = Vec::new();
     for (process, decision) in transcript.decisions() {
@@ -163,8 +159,7 @@ mod tests {
         let params = TaskParams::new(system, 1).unwrap();
         let mut failures = FailurePattern::crash_free(3);
         failures.crash_silent(2, 2).unwrap();
-        let adversary =
-            Adversary::new(InputVector::from_values([0, 1, 1]), failures).unwrap();
+        let adversary = Adversary::new(InputVector::from_values([0, 1, 1]), failures).unwrap();
         let run = Run::generate(system, adversary, Time::new(3)).unwrap();
         (run, params)
     }

@@ -209,7 +209,14 @@ pub fn compare(
     for (index, adversary) in adversaries.iter().enumerate() {
         let (run, ta) = execute(first, params, adversary.clone())?;
         let (_, tb) = execute(second, params, adversary.clone())?;
-        compare_transcripts(index, &run, &ta, &tb, &mut first_improvements, &mut second_improvements);
+        compare_transcripts(
+            index,
+            &run,
+            &ta,
+            &tb,
+            &mut first_improvements,
+            &mut second_improvements,
+        );
     }
     Ok(DominationReport {
         first: first.name(),
@@ -323,8 +330,7 @@ mod tests {
                     if crashed >= 4 || !rng.random_bool(0.4) {
                         continue;
                     }
-                    let delivered: Vec<usize> =
-                        (0..6).filter(|_| rng.random_bool(0.5)).collect();
+                    let delivered: Vec<usize> = (0..6).filter(|_| rng.random_bool(0.5)).collect();
                     failures.crash(p, rng.random_range(1..=3), delivered).unwrap();
                     crashed += 1;
                 }
@@ -358,8 +364,7 @@ mod tests {
 
     #[test]
     fn last_decider_comparison_orders_optmin_before_floodmin() {
-        let report =
-            compare_last_decider(&Optmin, &FloodMin, &params(), &adversaries(25)).unwrap();
+        let report = compare_last_decider(&Optmin, &FloodMin, &params(), &adversaries(25)).unwrap();
         assert!(report.second_earlier().is_empty());
         assert_eq!(report.relation(), DominationRelation::FirstStrictlyDominates);
         assert_eq!(report.num_adversaries(), 25);

@@ -55,6 +55,150 @@ pub fn execute(
     Ok((run, transcript))
 }
 
+/// A reusable execution context for batches of runs.
+///
+/// The one-shot [`execute`] entry point allocates a fresh [`Run`] and
+/// [`Transcript`] per call and recomputes every node's [`ViewAnalysis`] per
+/// protocol.  Sweeping large adversary spaces (see the `sweep` crate) makes
+/// those allocations the dominant cost, so a `BatchRunner` keeps them alive
+/// across the runs of a batch:
+///
+/// * the simulated [`Run`] is rebuilt **in place** via [`Run::regenerate`],
+///   reusing the `O(horizon² · n)` layer structure of the previous run;
+/// * the per-protocol decision buffers (and the [`Transcript`]s wrapping
+///   them) are reused across runs;
+/// * each node's knowledge analysis is computed **once per run** and shared
+///   by every protocol in the batch, instead of once per protocol.
+///
+/// The produced transcripts are identical (`==`) to those of
+/// [`execute_on_run`] executed per protocol.
+///
+/// ```
+/// use set_consensus::{executor::BatchRunner, Optmin, FloodMin, TaskParams};
+/// use synchrony::{Adversary, InputVector, SystemParams};
+///
+/// let params = TaskParams::new(SystemParams::new(4, 2)?, 2)?;
+/// let adversary = Adversary::failure_free(InputVector::from_values([0, 1, 2, 2]))?;
+/// let mut runner = BatchRunner::new();
+/// let (run, transcripts) =
+///     runner.execute_batch(&[&Optmin, &FloodMin], &params, adversary)?;
+/// assert_eq!(transcripts.len(), 2);
+/// assert!(transcripts.iter().all(|t| t.all_correct_decided(run)));
+/// # Ok::<(), synchrony::ModelError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct BatchRunner {
+    run: Option<Run>,
+    transcripts: Vec<Transcript>,
+}
+
+impl BatchRunner {
+    /// Creates an empty runner; buffers are allocated lazily by the first
+    /// batch.
+    pub fn new() -> Self {
+        BatchRunner::default()
+    }
+
+    /// Simulates the run induced by `adversary` (rebuilding the previous
+    /// run's buffers in place) and executes every protocol on it, reusing
+    /// the decision buffers of the previous batch.
+    ///
+    /// Returns the shared run together with one transcript per protocol, in
+    /// the order given.  The borrows are valid until the next batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the adversary is inconsistent with the
+    /// parameters.
+    pub fn execute_batch(
+        &mut self,
+        protocols: &[&dyn Protocol],
+        params: &TaskParams,
+        adversary: Adversary,
+    ) -> Result<(&Run, &[Transcript]), ModelError> {
+        let horizon = params.horizon();
+        self.simulate(params.system(), adversary, horizon)?;
+        let run = self.run.as_ref().expect("the run was just simulated");
+        let n = run.n();
+
+        // Reshape the transcript pool, reusing the decision buffers.
+        self.transcripts.truncate(protocols.len());
+        while self.transcripts.len() < protocols.len() {
+            self.transcripts.push(Transcript {
+                protocol: String::new(),
+                decisions: Vec::new(),
+                horizon,
+            });
+        }
+        for (transcript, protocol) in self.transcripts.iter_mut().zip(protocols) {
+            transcript.protocol.clear();
+            transcript.protocol.push_str(&protocol.name());
+            transcript.horizon = horizon;
+            transcript.decisions.clear();
+            transcript.decisions.resize(n, None);
+        }
+
+        for m in 0..=run.horizon().index() {
+            let time = Time::new(m as u32);
+            for i in 0..n {
+                if !run.is_active(i, time) {
+                    continue;
+                }
+                if self.transcripts.iter().all(|t| t.decisions[i].is_some()) {
+                    continue;
+                }
+                let analysis = ViewAnalysis::new(run, Node::new(i, time))?;
+                let ctx = DecisionContext::new(params, &analysis);
+                for (transcript, protocol) in self.transcripts.iter_mut().zip(protocols) {
+                    if transcript.decisions[i].is_none() {
+                        if let Some(value) = protocol.decide(&ctx) {
+                            transcript.decisions[i] = Some(Decision { time, value });
+                        }
+                    }
+                }
+            }
+        }
+        Ok((run, &self.transcripts))
+    }
+
+    /// Simulates the run induced by `adversary` into the reused run buffer
+    /// without executing any protocol — for jobs that only need the
+    /// communication structure (e.g. topology sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the adversary is inconsistent with `system` or
+    /// the horizon is zero.
+    pub fn simulate(
+        &mut self,
+        system: synchrony::SystemParams,
+        adversary: Adversary,
+        horizon: Time,
+    ) -> Result<&Run, ModelError> {
+        match self.run.as_mut() {
+            Some(run) => run.regenerate(system, adversary, horizon)?,
+            None => self.run = Some(Run::generate(system, adversary, horizon)?),
+        }
+        Ok(self.run.as_ref().expect("the run was just simulated"))
+    }
+
+    /// Single-protocol convenience wrapper around [`BatchRunner::execute_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the adversary is inconsistent with the
+    /// parameters.
+    pub fn execute_one(
+        &mut self,
+        protocol: &dyn Protocol,
+        params: &TaskParams,
+        adversary: Adversary,
+    ) -> Result<(&Run, &Transcript), ModelError> {
+        let (run, transcripts) = self.execute_batch(&[protocol], params, adversary)?;
+        Ok((run, &transcripts[0]))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,8 +222,7 @@ mod tests {
         let params = TaskParams::new(SystemParams::new(3, 1).unwrap(), 1).unwrap();
         let mut failures = synchrony::FailurePattern::crash_free(3);
         failures.crash_silent(0, 1).unwrap();
-        let adversary =
-            Adversary::new(InputVector::from_values([0, 1, 1]), failures).unwrap();
+        let adversary = Adversary::new(InputVector::from_values([0, 1, 1]), failures).unwrap();
         let (run, transcript) = execute(&OwnValueAtOne, &params, adversary).unwrap();
         // p0 crashed before time 1 and never decides.
         assert_eq!(transcript.decision(0), None);
@@ -106,5 +249,57 @@ mod tests {
         // The first offer is at time 0 and later offers must not overwrite it.
         assert_eq!(transcript.decision_time(0), Some(Time::ZERO));
         assert_eq!(transcript.decision_value(0), Some(Value::new(0)));
+    }
+
+    #[test]
+    fn batch_runner_matches_per_protocol_execution() {
+        use crate::{EarlyFloodMin, FloodMin, Optmin};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let (n, t, k) = (6usize, 4usize, 2usize);
+        let params = TaskParams::new(SystemParams::new(n, t).unwrap(), k).unwrap();
+        let protocols: [&dyn Protocol; 3] = [&Optmin, &EarlyFloodMin, &FloodMin];
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut runner = BatchRunner::new();
+        for _ in 0..25 {
+            // A small random adversary.
+            let values: Vec<u64> = (0..n).map(|_| rng.random_range(0..=k as u64)).collect();
+            let mut failures = synchrony::FailurePattern::crash_free(n);
+            let mut crashed = 0usize;
+            for p in 0..n {
+                if crashed < t && rng.random_bool(0.4) {
+                    let round = rng.random_range(1..=2u32);
+                    let delivered: Vec<usize> = (0..n).filter(|_| rng.random_bool(0.5)).collect();
+                    failures.crash(p, round, delivered).unwrap();
+                    crashed += 1;
+                }
+            }
+            let adversary = Adversary::new(InputVector::from_values(values), failures).unwrap();
+
+            let (run, batched) =
+                runner.execute_batch(&protocols, &params, adversary.clone()).unwrap();
+            let reference_run =
+                synchrony::Run::generate(params.system(), adversary, params.horizon()).unwrap();
+            assert_eq!(run, &reference_run);
+            for (protocol, transcript) in protocols.iter().zip(batched) {
+                let reference = execute_on_run(*protocol, &params, &reference_run).unwrap();
+                assert_eq!(transcript, &reference);
+            }
+        }
+    }
+
+    #[test]
+    fn execute_one_reuses_buffers_across_calls() {
+        let params = TaskParams::new(SystemParams::new(3, 1).unwrap(), 1).unwrap();
+        let mut runner = BatchRunner::new();
+        for inputs in [[0u64, 1, 1], [1, 0, 1], [1, 1, 0]] {
+            let adversary = Adversary::failure_free(InputVector::from_values(inputs)).unwrap();
+            let (run, transcript) =
+                runner.execute_one(&crate::Optmin, &params, adversary.clone()).unwrap();
+            let (expected_run, expected) = execute(&crate::Optmin, &params, adversary).unwrap();
+            assert_eq!(run, &expected_run);
+            assert_eq!(transcript, &expected);
+        }
     }
 }

@@ -64,7 +64,7 @@ pub use domination::{
     compare, compare_last_decider, DominationRelation, DominationReport, ImprovementWitness,
     LastDeciderReport,
 };
-pub use executor::{execute, execute_on_run};
+pub use executor::{execute, execute_on_run, BatchRunner};
 pub use opt0::Opt0;
 pub use optmin::Optmin;
 pub use params::{TaskParams, TaskVariant};
@@ -85,16 +85,12 @@ pub mod prelude {
 /// given task variant, for sweeps and comparative experiments.
 pub fn all_protocols(variant: TaskVariant) -> Vec<Box<dyn Protocol>> {
     match variant {
-        TaskVariant::Nonuniform => vec![
-            Box::new(Optmin),
-            Box::new(EarlyFloodMin),
-            Box::new(FloodMin),
-        ],
-        TaskVariant::Uniform => vec![
-            Box::new(UPmin),
-            Box::new(EarlyUniformFloodMin),
-            Box::new(FloodMin),
-        ],
+        TaskVariant::Nonuniform => {
+            vec![Box::new(Optmin), Box::new(EarlyFloodMin), Box::new(FloodMin)]
+        }
+        TaskVariant::Uniform => {
+            vec![Box::new(UPmin), Box::new(EarlyUniformFloodMin), Box::new(FloodMin)]
+        }
     }
 }
 

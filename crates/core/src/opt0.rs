@@ -47,8 +47,7 @@ mod tests {
     #[test]
     fn sees_zero_and_decides_zero_immediately() {
         let params = params(3, 1);
-        let adversary =
-            Adversary::failure_free(InputVector::from_values([0, 1, 1])).unwrap();
+        let adversary = Adversary::failure_free(InputVector::from_values([0, 1, 1])).unwrap();
         let (run, transcript) = execute(&Opt0, &params, adversary).unwrap();
         assert_eq!(transcript.decision_value(0), Some(Value::new(0)));
         assert_eq!(transcript.decision_time(0), Some(Time::ZERO));
@@ -62,8 +61,7 @@ mod tests {
     #[test]
     fn all_ones_run_decides_one_after_one_clean_round() {
         let params = params(4, 2);
-        let adversary =
-            Adversary::failure_free(InputVector::from_values([1, 1, 1, 1])).unwrap();
+        let adversary = Adversary::failure_free(InputVector::from_values([1, 1, 1, 1])).unwrap();
         let (_, transcript) = execute(&Opt0, &params, adversary).unwrap();
         for i in 0..4 {
             assert_eq!(transcript.decision_value(i), Some(Value::new(1)));

@@ -81,8 +81,7 @@ mod tests {
     #[test]
     fn low_process_decides_immediately_at_time_zero() {
         let params = params(4, 2, 2);
-        let adversary =
-            Adversary::failure_free(InputVector::from_values([0, 2, 2, 2])).unwrap();
+        let adversary = Adversary::failure_free(InputVector::from_values([0, 2, 2, 2])).unwrap();
         let (_, transcript) = execute(&Optmin, &params, adversary).unwrap();
         // p0 starts with a low value and decides at time 0.
         assert_eq!(transcript.decision_time(0), Some(Time::ZERO));

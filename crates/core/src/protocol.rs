@@ -100,10 +100,8 @@ mod tests {
 
     #[test]
     fn trait_objects_and_references_forward() {
-        let params =
-            TaskParams::new(SystemParams::new(3, 1).unwrap(), 1).unwrap();
-        let adversary =
-            Adversary::failure_free(InputVector::from_values([0, 1, 1])).unwrap();
+        let params = TaskParams::new(SystemParams::new(3, 1).unwrap(), 1).unwrap();
+        let adversary = Adversary::failure_free(InputVector::from_values([0, 1, 1])).unwrap();
         let run = Run::generate(params.system(), adversary, Time::new(2)).unwrap();
         let analysis = ViewAnalysis::new(&run, Node::new(0, Time::new(1))).unwrap();
         let ctx = DecisionContext::new(&params, &analysis);

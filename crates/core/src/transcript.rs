@@ -23,9 +23,9 @@ pub struct Decision {
 /// variant.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Transcript {
-    protocol: String,
-    decisions: Vec<Option<Decision>>,
-    horizon: Time,
+    pub(crate) protocol: String,
+    pub(crate) decisions: Vec<Option<Decision>>,
+    pub(crate) horizon: Time,
 }
 
 impl Transcript {
@@ -66,10 +66,7 @@ impl Transcript {
 
     /// Iterates over `(process, decision)` pairs for processes that decided.
     pub fn decisions(&self) -> impl Iterator<Item = (ProcessId, Decision)> + '_ {
-        self.decisions
-            .iter()
-            .enumerate()
-            .filter_map(|(i, d)| d.map(|d| (ProcessId::new(i), d)))
+        self.decisions.iter().enumerate().filter_map(|(i, d)| d.map(|d| (ProcessId::new(i), d)))
     }
 
     /// Returns the set of values decided by *any* process (the relevant set
@@ -81,10 +78,7 @@ impl Transcript {
     /// Returns the set of values decided by processes that are correct in
     /// `run` (the relevant set for nonuniform `k`-Agreement).
     pub fn decided_values_of_correct(&self, run: &Run) -> ValueSet {
-        self.decisions()
-            .filter(|(p, _)| run.is_correct(*p))
-            .map(|(_, d)| d.value)
-            .collect()
+        self.decisions().filter(|(p, _)| run.is_correct(*p)).map(|(_, d)| d.value).collect()
     }
 
     /// Returns `true` if every process that is correct in `run` decided.
@@ -101,10 +95,7 @@ impl Transcript {
     /// Returns the latest decision time over the processes that are correct in
     /// `run`, or `None` if no correct process decided.
     pub fn last_correct_decision_time(&self, run: &Run) -> Option<Time> {
-        self.decisions()
-            .filter(|(p, _)| run.is_correct(*p))
-            .map(|(_, d)| d.time)
-            .max()
+        self.decisions().filter(|(p, _)| run.is_correct(*p)).map(|(_, d)| d.time).max()
     }
 
     /// Returns the number of processes that decided.
@@ -150,8 +141,7 @@ mod tests {
         let params = SystemParams::new(3, 1).unwrap();
         let mut failures = FailurePattern::crash_free(3);
         failures.crash_silent(2, 3).unwrap();
-        let adversary =
-            Adversary::new(InputVector::from_values([0, 1, 1]), failures).unwrap();
+        let adversary = Adversary::new(InputVector::from_values([0, 1, 1]), failures).unwrap();
         Run::generate(params, adversary, Time::new(3)).unwrap()
     }
 

@@ -58,9 +58,8 @@ impl Protocol for UPmin {
         // observer's previous node; the previous minimum is guaranteed to have
         // been re-broadcast by now, so it is safe to decide on it.
         if analysis.time() > synchrony::Time::ZERO {
-            let prev_capacity = analysis
-                .prev_hidden_capacity()
-                .expect("time > 0 implies a previous node exists");
+            let prev_capacity =
+                analysis.prev_hidden_capacity().expect("time > 0 implies a previous node exists");
             if analysis.was_low(k) || prev_capacity < k {
                 return Some(
                     analysis
@@ -128,8 +127,7 @@ mod tests {
     #[test]
     fn failure_free_run_decides_by_time_two() {
         let params = params(5, 3, 2);
-        let adversary =
-            Adversary::failure_free(InputVector::from_values([2, 1, 2, 2, 2])).unwrap();
+        let adversary = Adversary::failure_free(InputVector::from_values([2, 1, 2, 2, 2])).unwrap();
         let (run, transcript) = execute(&UPmin, &params, adversary).unwrap();
         assert!(transcript.all_correct_decided(&run));
         for (_, d) in transcript.decisions() {

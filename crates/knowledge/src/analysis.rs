@@ -137,9 +137,7 @@ impl ViewAnalysis {
                 let witnesses = seen
                     .layer(prev_time)
                     .iter()
-                    .filter(|&j| {
-                        values_seen(run, run.seen(j, prev_time)).contains(v)
-                    })
+                    .filter(|&j| values_seen(run, run.seen(j, prev_time)).contains(v))
                     .count();
                 witnesses >= needed
             } else {
@@ -405,10 +403,16 @@ mod tests {
     /// The Fig. 1 scenario: a hidden path carries the value 0 forward while
     /// the observer never sees it.
     fn fig1_run() -> Run {
-        build_run(5, 3, &[0, 1, 1, 1, 1], |f| {
-            f.crash(0, 1, [1]).unwrap(); // p0 reaches only p1
-            f.crash(1, 2, [2]).unwrap(); // p1 reaches only p2
-        }, 3)
+        build_run(
+            5,
+            3,
+            &[0, 1, 1, 1, 1],
+            |f| {
+                f.crash(0, 1, [1]).unwrap(); // p0 reaches only p1
+                f.crash(1, 2, [2]).unwrap(); // p1 reaches only p2
+            },
+            3,
+        )
     }
 
     /// The Fig. 2 scenario for k = 3: three disjoint crash chains keep three
@@ -417,12 +421,18 @@ mod tests {
     /// Processes 0‥2 are the layer-0 witnesses, 3‥5 the layer-1 witnesses,
     /// 6‥8 the layer-2 witnesses, and process 9 is the observer `i`.
     fn fig2_run() -> Run {
-        build_run(10, 6, &[1, 2, 3, 9, 9, 9, 9, 9, 9, 9], |f| {
-            for b in 0..3usize {
-                f.crash(b, 1, [3 + b]).unwrap(); // layer-0 witness reaches only its successor
-                f.crash(3 + b, 2, [6 + b]).unwrap(); // layer-1 witness reaches only its successor
-            }
-        }, 3)
+        build_run(
+            10,
+            6,
+            &[1, 2, 3, 9, 9, 9, 9, 9, 9, 9],
+            |f| {
+                for b in 0..3usize {
+                    f.crash(b, 1, [3 + b]).unwrap(); // layer-0 witness reaches only its successor
+                    f.crash(3 + b, 2, [6 + b]).unwrap(); // layer-1 witness reaches only its successor
+                }
+            },
+            3,
+        )
     }
 
     #[test]
@@ -566,9 +576,15 @@ mod tests {
         // t − d only if d ≥ 1.  p1 *did* observe p0's silence towards others?
         // No: p1 received p0's message, so it has no proof of the crash, and
         // d = 0, so it needs 2 witnesses but has 1.
-        let run = build_run(4, 2, &[0, 1, 1, 1], |f| {
-            f.crash(0, 1, [1]).unwrap();
-        }, 2);
+        let run = build_run(
+            4,
+            2,
+            &[0, 1, 1, 1],
+            |f| {
+                f.crash(0, 1, [1]).unwrap();
+            },
+            2,
+        );
         let a = ViewAnalysis::new(&run, Node::new(1, Time::new(1))).unwrap();
         assert!(a.vals().contains(0u64));
         assert!(!a.knows_will_persist(0u64));

@@ -67,10 +67,7 @@ impl HiddenCapacity {
         if self.capacity == 0 {
             return Vec::new();
         }
-        self.hidden_layers
-            .iter()
-            .map(|layer| layer.iter().take(self.capacity).collect())
-            .collect()
+        self.hidden_layers.iter().map(|layer| layer.iter().take(self.capacity).collect()).collect()
     }
 
     /// Returns `true` if the capacity is at least 1, i.e. a hidden path
@@ -122,11 +119,8 @@ mod tests {
 
     #[test]
     fn empty_layer_gives_zero_capacity() {
-        let layers = vec![
-            [1usize].into_iter().collect(),
-            PidSet::new(),
-            [1usize, 2].into_iter().collect(),
-        ];
+        let layers =
+            vec![[1usize].into_iter().collect(), PidSet::new(), [1usize, 2].into_iter().collect()];
         let hc = HiddenCapacity::from_layers(node(), layers);
         assert_eq!(hc.capacity(), 0);
         assert!(!hc.has_hidden_path());

@@ -94,8 +94,7 @@ impl DirectObservations {
     /// early-deciding protocols.  At time 0 there are no rounds, so the
     /// answer is `false`.
     pub fn has_round_with_fewer_than_new_misses(&self, k: usize) -> bool {
-        (1..self.missed_by_round.len())
-            .any(|r| self.newly_missed_in(Round::new(r as u32)) < k)
+        (1..self.missed_by_round.len()).any(|r| self.newly_missed_in(Round::new(r as u32)) < k)
     }
 
     /// Returns `true` if every round up to the observer's time revealed at
@@ -117,12 +116,7 @@ mod tests {
     use super::*;
     use synchrony::{Adversary, FailurePattern, InputVector, SystemParams};
 
-    fn run_with(
-        n: usize,
-        t: usize,
-        build: impl FnOnce(&mut FailurePattern),
-        horizon: u32,
-    ) -> Run {
+    fn run_with(n: usize, t: usize, build: impl FnOnce(&mut FailurePattern), horizon: u32) -> Run {
         let params = SystemParams::new(n, t).unwrap();
         let mut failures = FailurePattern::crash_free(n);
         build(&mut failures);
@@ -149,9 +143,14 @@ mod tests {
 
     #[test]
     fn silent_crash_is_missed_by_everyone_else() {
-        let run = run_with(4, 2, |f| {
-            f.crash_silent(0, 1).unwrap();
-        }, 2);
+        let run = run_with(
+            4,
+            2,
+            |f| {
+                f.crash_silent(0, 1).unwrap();
+            },
+            2,
+        );
         let obs = DirectObservations::compute(&run, Node::new(3, Time::new(2)));
         assert_eq!(obs.num_missed(), 1);
         assert!(obs.missed().contains(0));
@@ -161,9 +160,14 @@ mod tests {
 
     #[test]
     fn partial_delivery_is_missed_only_by_excluded_receivers() {
-        let run = run_with(4, 2, |f| {
-            f.crash(0, 1, [1]).unwrap();
-        }, 2);
+        let run = run_with(
+            4,
+            2,
+            |f| {
+                f.crash(0, 1, [1]).unwrap();
+            },
+            2,
+        );
         let favored = DirectObservations::compute(&run, Node::new(1, Time::new(2)));
         let excluded = DirectObservations::compute(&run, Node::new(2, Time::new(2)));
         // p1 received p0's round-1 message; it only misses p0 in round 2.
@@ -176,11 +180,16 @@ mod tests {
 
     #[test]
     fn per_round_counts_accumulate() {
-        let run = run_with(6, 4, |f| {
-            f.crash_silent(0, 1).unwrap();
-            f.crash_silent(1, 1).unwrap();
-            f.crash_silent(2, 2).unwrap();
-        }, 3);
+        let run = run_with(
+            6,
+            4,
+            |f| {
+                f.crash_silent(0, 1).unwrap();
+                f.crash_silent(1, 1).unwrap();
+                f.crash_silent(2, 2).unwrap();
+            },
+            3,
+        );
         let obs = DirectObservations::compute(&run, Node::new(5, Time::new(3)));
         assert_eq!(obs.newly_missed_in(Round::new(1)), 2);
         assert_eq!(obs.newly_missed_in(Round::new(2)), 1);

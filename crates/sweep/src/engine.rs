@@ -1,0 +1,268 @@
+//! The sharded, work-stealing sweep loop.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use set_consensus::{BatchRunner, TaskParams, TaskVariant};
+use synchrony::{Adversary, ModelError};
+
+/// Execution parameters of a sweep.
+///
+/// A sweep is deterministic in `(source, reducer, job, seed)`: neither
+/// `shards` nor `threads` may change the fold result (see [`Reducer`] for
+/// the laws that guarantee this; the shard-determinism integration tests
+/// enforce it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Number of deterministic shards the scenario space is partitioned
+    /// into; `0` picks `4 × threads`.  More shards mean finer-grained work
+    /// stealing.
+    pub shards: usize,
+    /// Number of worker threads; `0` picks the machine's available
+    /// parallelism, `1` runs fully sequentially on the calling thread.
+    pub threads: usize,
+    /// Seed forwarded to seeded scenario sources (ignored by exhaustive and
+    /// fixed sources).
+    pub seed: u64,
+}
+
+impl SweepConfig {
+    /// A fully sequential configuration: one shard, one thread.
+    pub fn sequential() -> Self {
+        SweepConfig { shards: 1, threads: 1, seed: Self::DEFAULT_SEED }
+    }
+
+    /// The default seed, matching the seed the pre-engine experiment
+    /// binaries used.
+    pub const DEFAULT_SEED: u64 = 1605;
+
+    /// Resolves `threads = 0` to the machine's available parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            thread::available_parallelism().map(usize::from).unwrap_or(1)
+        }
+    }
+
+    /// Resolves `shards = 0` to `4 × resolved_threads()`.
+    pub fn resolved_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            self.resolved_threads() * 4
+        }
+    }
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig { shards: 0, threads: 0, seed: Self::DEFAULT_SEED }
+    }
+}
+
+/// One unit of sweep work: a task instance plus the adversary to run it
+/// against.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Position of this scenario in its source's enumeration order.
+    pub index: usize,
+    /// The task parameters `(n, t, k)` the scenario is executed under.
+    pub params: TaskParams,
+    /// Which agreement variant the scenario's checks should use.
+    pub variant: TaskVariant,
+    /// The adversary.
+    pub adversary: Adversary,
+}
+
+/// A deterministic, randomly-addressable stream of scenarios.
+///
+/// Random addressability (`scenario(index)` in roughly constant time) is
+/// what lets shards seek to their slice of the space without replaying a
+/// sequential generator; see `sweep::source` for the implementations.
+pub trait ScenarioSource: Sync {
+    /// Total number of scenarios.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes the scenario at `index < len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the scenario cannot be constructed (a degenerate
+    /// configuration, typically caught at source construction instead).
+    fn scenario(&self, index: usize) -> Result<Scenario, ModelError>;
+}
+
+/// Folds per-scenario outcomes into a shard accumulator and merges shard
+/// accumulators.
+///
+/// Implementations must satisfy `merge(fold(A), fold(B)) == fold(A ++ B)`
+/// for consecutive slices `A`, `B` of the scenario order (concatenation
+/// compatibility).  Together with the engine's contiguous sharding and
+/// in-order merge, this makes the sweep result independent of the shard and
+/// thread counts — the property the shard-determinism tests pin down.
+/// Counters, histograms, keyed maxima/minima and keyed first-writer maps
+/// all qualify; anything sensitive to global interleaving does not.
+pub trait Reducer: Sync {
+    /// Per-scenario outcome produced by the job closure.
+    type Item: Send;
+    /// Shard accumulator.
+    type Acc: Send;
+
+    /// The accumulator of an empty shard (the fold identity).
+    fn empty(&self) -> Self::Acc;
+
+    /// Folds one outcome into a shard accumulator.
+    fn fold(&self, acc: &mut Self::Acc, item: Self::Item);
+
+    /// Merges two adjacent shard accumulators (`left` covers earlier
+    /// scenario indices).
+    fn merge(&self, left: Self::Acc, right: Self::Acc) -> Self::Acc;
+}
+
+/// Splits `0..total` into `shards` contiguous, near-equal ranges.
+fn shard_ranges(total: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.max(1);
+    let base = total / shards;
+    let extra = total % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for shard in 0..shards {
+        let len = base + usize::from(shard < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+/// Runs `job` on every scenario of `source` and folds the outcomes with
+/// `reducer`.
+///
+/// The scenario space is partitioned into [`SweepConfig::resolved_shards`]
+/// contiguous shards; worker threads *steal* shards from a shared queue
+/// (an atomic cursor), so a slow shard never idles the other workers.
+/// Each worker owns a [`BatchRunner`], so run/transcript buffers are
+/// reused across every scenario the worker executes.  Shard accumulators
+/// are merged in shard order, which — given the [`Reducer`] laws — makes
+/// the result identical for every shard/thread count, including the fully
+/// sequential path.
+///
+/// # Errors
+///
+/// Returns the job or source error of the lowest-indexed failing shard;
+/// remaining shards are abandoned as soon as possible.
+pub fn sweep<S, R, F>(
+    source: &S,
+    config: &SweepConfig,
+    reducer: &R,
+    job: F,
+) -> Result<R::Acc, ModelError>
+where
+    S: ScenarioSource + ?Sized,
+    R: Reducer,
+    F: Fn(&mut BatchRunner, &Scenario) -> Result<R::Item, ModelError> + Sync,
+{
+    let total = source.len();
+    let threads = config.resolved_threads();
+    let ranges = shard_ranges(total, config.resolved_shards());
+
+    let fold_shard =
+        |runner: &mut BatchRunner, range: (usize, usize)| -> Result<R::Acc, ModelError> {
+            let mut acc = reducer.empty();
+            for index in range.0..range.1 {
+                let scenario = source.scenario(index)?;
+                reducer.fold(&mut acc, job(runner, &scenario)?);
+            }
+            Ok(acc)
+        };
+
+    if threads <= 1 {
+        let mut runner = BatchRunner::new();
+        let mut merged = reducer.empty();
+        for &range in &ranges {
+            merged = reducer.merge(merged, fold_shard(&mut runner, range)?);
+        }
+        return Ok(merged);
+    }
+
+    let next_shard = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let shard_accs: Mutex<Vec<Option<R::Acc>>> = Mutex::new(ranges.iter().map(|_| None).collect());
+    let first_error: Mutex<Option<(usize, ModelError)>> = Mutex::new(None);
+
+    thread::scope(|scope| {
+        for _ in 0..threads.min(ranges.len()) {
+            scope.spawn(|| {
+                let mut runner = BatchRunner::new();
+                loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let shard = next_shard.fetch_add(1, Ordering::Relaxed);
+                    if shard >= ranges.len() {
+                        break;
+                    }
+                    match fold_shard(&mut runner, ranges[shard]) {
+                        Ok(acc) => {
+                            shard_accs.lock().expect("sweep accumulator lock")[shard] = Some(acc);
+                        }
+                        Err(error) => {
+                            failed.store(true, Ordering::Relaxed);
+                            let mut slot = first_error.lock().expect("sweep error lock");
+                            if slot.as_ref().is_none_or(|(s, _)| shard < *s) {
+                                *slot = Some((shard, error));
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some((_, error)) = first_error.into_inner().expect("sweep error lock") {
+        return Err(error);
+    }
+    let mut merged = reducer.empty();
+    for acc in shard_accs.into_inner().expect("sweep accumulator lock") {
+        merged = reducer.merge(merged, acc.expect("every shard completed"));
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_cover_the_space_contiguously() {
+        for total in [0usize, 1, 7, 64, 65] {
+            for shards in [1usize, 2, 3, 8, 100] {
+                let ranges = shard_ranges(total, shards);
+                assert_eq!(ranges.len(), shards);
+                assert_eq!(ranges.first().unwrap().0, 0);
+                assert_eq!(ranges.last().unwrap().1, total);
+                for window in ranges.windows(2) {
+                    assert_eq!(window[0].1, window[1].0);
+                }
+                let sizes: Vec<usize> = ranges.iter().map(|(s, e)| e - s).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced shards: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn config_resolution_defaults_are_sane() {
+        let config = SweepConfig::default();
+        assert!(config.resolved_threads() >= 1);
+        assert_eq!(config.resolved_shards(), config.resolved_threads() * 4);
+        assert_eq!(SweepConfig::sequential().resolved_threads(), 1);
+        assert_eq!(SweepConfig::sequential().resolved_shards(), 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Sharded, work-stealing scenario sweeps over the adversary space.
+//!
+//! The experimental claims of *Unbeatable Set Consensus via Topological and
+//! Combinatorial Reasoning* are universally quantified — unbeatability of
+//! `Optmin[k]`, the Theorem 3 bound for `u-Pmin[k]` — so verifying them
+//! means executing protocols against *every* adversary of a scope (or very
+//! many random ones).  Those runs are mutually independent, which makes the
+//! sweep embarrassingly parallel; this crate is the engine that exploits
+//! that:
+//!
+//! * [`ScenarioSource`] — a deterministic, *randomly-addressable* stream of
+//!   [`Scenario`]s.  [`source::ExhaustiveSource`] seeks into the adversary
+//!   enumeration via `adversary::AdversarySpace`, [`source::RandomSource`]
+//!   derives scenario `i` from a counter-based seed so any shard can start
+//!   anywhere, and [`source::FixedSource`] adapts the named scenario
+//!   families (e.g. the Fig. 4 uniform-gap family);
+//! * [`sweep`] — partitions the scenario space into deterministic
+//!   contiguous shards and lets worker threads *steal* shards from a shared
+//!   queue; every worker owns a `set_consensus::BatchRunner`, so run,
+//!   transcript and analysis buffers are reused across all the runs it
+//!   executes;
+//! * [`Reducer`] — folds per-run outcomes (decision-time histograms, check
+//!   violations, domination counters, …) into per-shard accumulators that
+//!   are merged in shard order.  The reducer law
+//!   `merge(fold(A), fold(B)) == fold(A ++ B)` makes the final result
+//!   **independent of the shard and thread counts** — the same
+//!   [`SweepConfig::seed`] yields bit-identical folds at `--threads 1` and
+//!   `--threads 64`;
+//! * [`experiments`] — the paper's headline experiments (Theorem 1,
+//!   Theorem 3, Fig. 4, Proposition 2) ported onto the engine; the `sweep`
+//!   CLI binary and the `exp_*` binaries in the `bench_harness` crate are
+//!   thin formatting wrappers around them.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use adversary::enumerate::{AdversarySpace, EnumerationConfig};
+//! use set_consensus::{check, Optmin, TaskParams, TaskVariant};
+//! use sweep::source::ExhaustiveSource;
+//! use sweep::{reduce, sweep, SweepConfig};
+//! use synchrony::SystemParams;
+//!
+//! // Every adversary of a small scope, checked under Optmin[2].
+//! let scope = EnumerationConfig::small(3, 1, 2);
+//! let params = TaskParams::new(SystemParams::new(3, 1)?, 2)?;
+//! let source = ExhaustiveSource::new(
+//!     AdversarySpace::new(scope)?,
+//!     params,
+//!     TaskVariant::Nonuniform,
+//! )?;
+//!
+//! // Fold correctness violations across the space, in parallel.
+//! let violations = sweep(
+//!     &source,
+//!     &SweepConfig::default(),
+//!     &reduce::Count,
+//!     |runner, scenario| {
+//!         let (run, transcript) =
+//!             runner.execute_one(&Optmin, &scenario.params, scenario.adversary.clone())?;
+//!         Ok(check::check(run, transcript, &scenario.params, scenario.variant).len() as u64)
+//!     },
+//! )?;
+//! assert_eq!(violations, 0);
+//! # Ok::<(), synchrony::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod experiments;
+pub mod reduce;
+pub mod source;
+
+pub use engine::{sweep, Reducer, Scenario, ScenarioSource, SweepConfig};

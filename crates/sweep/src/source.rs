@@ -1,0 +1,195 @@
+//! Scenario sources: adapters from the `adversary` generators to the
+//! engine's randomly-addressable [`ScenarioSource`] interface.
+
+use adversary::enumerate::AdversarySpace;
+use adversary::{RandomAdversaries, RandomConfig};
+use set_consensus::{TaskParams, TaskVariant};
+use synchrony::ModelError;
+
+use crate::engine::{Scenario, ScenarioSource};
+
+/// The exhaustive adversary space of an enumeration scope, every adversary
+/// executed under the same task parameters.
+///
+/// Random access is delegated to [`AdversarySpace::nth`], so a shard's
+/// first scenario costs the same as any other — no sequential replay.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveSource {
+    space: AdversarySpace,
+    params: TaskParams,
+    variant: TaskVariant,
+}
+
+impl ExhaustiveSource {
+    /// Wraps an adversary space.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the space is too large to index on this platform
+    /// (more than `usize::MAX` adversaries).
+    pub fn new(
+        space: AdversarySpace,
+        params: TaskParams,
+        variant: TaskVariant,
+    ) -> Result<Self, ModelError> {
+        if space.len() > usize::MAX as u128 {
+            return Err(ModelError::InvalidTaskParameter {
+                reason: format!(
+                    "enumeration scope of {} adversaries exceeds the addressable sweep size",
+                    space.len()
+                ),
+            });
+        }
+        Ok(ExhaustiveSource { space, params, variant })
+    }
+
+    /// Returns the underlying adversary space.
+    pub fn space(&self) -> &AdversarySpace {
+        &self.space
+    }
+}
+
+impl ScenarioSource for ExhaustiveSource {
+    fn len(&self) -> usize {
+        self.space.len() as usize
+    }
+
+    fn scenario(&self, index: usize) -> Result<Scenario, ModelError> {
+        Ok(Scenario {
+            index,
+            params: self.params,
+            variant: self.variant,
+            adversary: self.space.nth(index as u128),
+        })
+    }
+}
+
+/// A counter-based stream of seeded random scenarios.
+///
+/// Scenario `i` is drawn from a fresh generator seeded with
+/// `mix(seed, i)`, not from position `i` of one sequential stream.  This
+/// is what makes the source randomly addressable — and therefore makes the
+/// sweep result independent of how the space is sharded, which a shared
+/// sequential generator could never be.
+#[derive(Debug, Clone)]
+pub struct RandomSource {
+    config: RandomConfig,
+    params: TaskParams,
+    variant: TaskVariant,
+    seed: u64,
+    count: usize,
+}
+
+impl RandomSource {
+    /// Creates a stream of `count` scenarios from the given seed.
+    pub fn new(
+        config: RandomConfig,
+        params: TaskParams,
+        variant: TaskVariant,
+        seed: u64,
+        count: usize,
+    ) -> Self {
+        RandomSource { config, params, variant, seed, count }
+    }
+
+    /// SplitMix64-style mixing of the stream seed and the scenario index
+    /// into a per-scenario generator seed.
+    fn stream_seed(seed: u64, index: u64) -> u64 {
+        let mut z = seed.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl ScenarioSource for RandomSource {
+    fn len(&self) -> usize {
+        self.count
+    }
+
+    fn scenario(&self, index: usize) -> Result<Scenario, ModelError> {
+        let seed = Self::stream_seed(self.seed, index as u64);
+        let adversary = RandomAdversaries::new(self.config, seed).next_adversary();
+        Ok(Scenario { index, params: self.params, variant: self.variant, adversary })
+    }
+}
+
+/// A pre-materialized list of scenarios — the adapter for the named
+/// scenario families of `adversary::scenarios`, where each point of the
+/// family may carry different task parameters.
+#[derive(Debug, Clone, Default)]
+pub struct FixedSource {
+    scenarios: Vec<Scenario>,
+}
+
+impl FixedSource {
+    /// Wraps a list of scenarios, re-indexing them by position.
+    pub fn new(mut scenarios: Vec<Scenario>) -> Self {
+        for (index, scenario) in scenarios.iter_mut().enumerate() {
+            scenario.index = index;
+        }
+        FixedSource { scenarios }
+    }
+}
+
+impl ScenarioSource for FixedSource {
+    fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    fn scenario(&self, index: usize) -> Result<Scenario, ModelError> {
+        Ok(self.scenarios[index].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adversary::enumerate::EnumerationConfig;
+    use synchrony::SystemParams;
+
+    fn params() -> TaskParams {
+        TaskParams::new(SystemParams::new(3, 1).unwrap(), 1).unwrap()
+    }
+
+    #[test]
+    fn exhaustive_source_matches_space_order() {
+        let space = AdversarySpace::new(EnumerationConfig::small(3, 1, 1)).unwrap();
+        let source =
+            ExhaustiveSource::new(space.clone(), params(), TaskVariant::Nonuniform).unwrap();
+        assert_eq!(source.len() as u128, space.len());
+        for index in [0usize, 1, source.len() - 1] {
+            let scenario = source.scenario(index).unwrap();
+            assert_eq!(scenario.index, index);
+            assert_eq!(scenario.adversary, space.nth(index as u128));
+        }
+    }
+
+    #[test]
+    fn random_source_is_deterministic_and_addressable() {
+        let config = RandomConfig::new(5, 2, 2);
+        let source = RandomSource::new(config, params(), TaskVariant::Uniform, 7, 10);
+        let again = RandomSource::new(config, params(), TaskVariant::Uniform, 7, 10);
+        let other_seed = RandomSource::new(config, params(), TaskVariant::Uniform, 8, 10);
+        for index in 0..source.len() {
+            let a = source.scenario(index).unwrap().adversary;
+            // Same (seed, index) ⇒ same adversary, in any access order.
+            assert_eq!(a, again.scenario(index).unwrap().adversary);
+            assert_ne!(a, other_seed.scenario(index).unwrap().adversary);
+        }
+        // Distinct indices almost surely differ.
+        let first = source.scenario(0).unwrap().adversary;
+        let differing = (1..10).filter(|&i| source.scenario(i).unwrap().adversary != first).count();
+        assert!(differing > 5, "suspiciously repetitive stream");
+    }
+
+    #[test]
+    fn fixed_source_reindexes() {
+        let adversary = AdversarySpace::new(EnumerationConfig::small(3, 1, 1)).unwrap().nth(0);
+        let scenario =
+            Scenario { index: 99, params: params(), variant: TaskVariant::Uniform, adversary };
+        let source = FixedSource::new(vec![scenario.clone(), scenario]);
+        assert_eq!(source.scenario(0).unwrap().index, 0);
+        assert_eq!(source.scenario(1).unwrap().index, 1);
+    }
+}

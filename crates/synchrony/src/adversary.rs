@@ -119,10 +119,7 @@ mod tests {
     fn tiny_systems_are_rejected() {
         let inputs = InputVector::from_values([0]);
         let failures = FailurePattern::crash_free(1);
-        assert_eq!(
-            Adversary::new(inputs, failures),
-            Err(ModelError::TooFewProcesses { n: 1 })
-        );
+        assert_eq!(Adversary::new(inputs, failures), Err(ModelError::TooFewProcesses { n: 1 }));
     }
 
     #[test]

@@ -167,11 +167,7 @@ impl FailurePattern {
 
     /// Returns the set of processes crashing exactly in `round`.
     pub fn crashes_in_round(&self, round: Round) -> PidSet {
-        self.faults
-            .iter()
-            .filter(|(_, c)| c.round() == round)
-            .map(|(&p, _)| p)
-            .collect()
+        self.faults.iter().filter(|(_, c)| c.round() == round).map(|(&p, _)| p).collect()
     }
 
     /// Returns the latest crash round in the pattern, or `None` if crash-free.
@@ -304,10 +300,10 @@ mod tests {
     #[test]
     fn validation_errors() {
         let mut f = FailurePattern::crash_free(3);
-        assert_eq!(f.crash(5, 1, [0]).unwrap_err(), ModelError::ProcessOutOfRange {
-            process: 5,
-            n: 3
-        });
+        assert_eq!(
+            f.crash(5, 1, [0]).unwrap_err(),
+            ModelError::ProcessOutOfRange { process: 5, n: 3 }
+        );
         assert_eq!(f.crash(0, 0, [1]).unwrap_err(), ModelError::InvalidCrashRound);
         assert_eq!(
             f.crash(0, 1, [9]).unwrap_err(),

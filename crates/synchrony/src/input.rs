@@ -141,10 +141,7 @@ mod tests {
     fn check_max_value_detects_out_of_range() {
         let v = InputVector::from_values([0, 4, 1]);
         assert!(v.check_max_value(4).is_ok());
-        assert_eq!(
-            v.check_max_value(3),
-            Err(ModelError::ValueOutOfRange { value: 4, max: 3 })
-        );
+        assert_eq!(v.check_max_value(3), Err(ModelError::ValueOutOfRange { value: 4, max: 3 }));
     }
 
     #[test]
@@ -159,8 +156,7 @@ mod tests {
     #[test]
     fn iter_yields_pairs_in_order() {
         let v = InputVector::from_values([5, 6]);
-        let pairs: Vec<(usize, u64)> =
-            v.iter().map(|(p, val)| (p.index(), val.get())).collect();
+        let pairs: Vec<(usize, u64)> = v.iter().map(|(p, val)| (p.index(), val.get())).collect();
         assert_eq!(pairs, vec![(0, 5), (1, 6)]);
     }
 

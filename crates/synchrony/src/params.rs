@@ -104,10 +104,7 @@ mod tests {
 
     #[test]
     fn rejects_excessive_failure_bound() {
-        assert_eq!(
-            SystemParams::new(4, 4),
-            Err(ModelError::FailureBoundTooLarge { n: 4, t: 4 })
-        );
+        assert_eq!(SystemParams::new(4, 4), Err(ModelError::FailureBoundTooLarge { n: 4, t: 4 }));
         assert!(SystemParams::new(4, 3).is_ok());
     }
 

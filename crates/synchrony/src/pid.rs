@@ -245,10 +245,7 @@ impl PidSet {
 
     /// Returns `true` if the two sets have no member in common.
     pub fn is_disjoint(&self, other: &PidSet) -> bool {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .all(|(a, b)| a & b == 0)
+        self.words.iter().zip(other.words.iter()).all(|(a, b)| a & b == 0)
     }
 }
 

@@ -11,9 +11,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{
-    Adversary, ModelError, Node, PidSet, ProcessId, Round, SystemParams, Time, Value,
-};
+use crate::{Adversary, ModelError, Node, PidSet, ProcessId, Round, SystemParams, Time, Value};
 
 /// The layers of nodes seen by a given observer node `⟨i, m⟩`: for every time
 /// `ℓ ≤ m`, the set of processes `j` such that `⟨j, ℓ⟩` is *seen by* `⟨i, m⟩`
@@ -24,10 +22,6 @@ pub struct SeenLayers {
 }
 
 impl SeenLayers {
-    fn empty(num_layers: usize) -> Self {
-        SeenLayers { layers: vec![PidSet::new(); num_layers] }
-    }
-
     /// Returns the observer time `m`; the layers run from time `0` to `m`.
     pub fn observer_time(&self) -> Time {
         Time::new((self.layers.len() - 1) as u32)
@@ -115,54 +109,107 @@ impl Run {
         if horizon == Time::ZERO {
             return Err(ModelError::EmptyHorizon);
         }
-        let n = params.n();
-        let failures = adversary.failures();
-        let mut heard: Vec<Vec<PidSet>> = Vec::with_capacity(horizon.index() + 1);
-        let mut seen: Vec<Vec<SeenLayers>> = Vec::with_capacity(horizon.index() + 1);
+        let mut run = Run { params, adversary, horizon, heard: Vec::new(), seen: Vec::new() };
+        run.resimulate();
+        Ok(run)
+    }
+
+    /// Re-simulates this run in place for a new adversary (and possibly new
+    /// parameters and horizon), reusing the allocations of the previous
+    /// simulation.
+    ///
+    /// This is the buffer-reuse entry point behind the batched executor of
+    /// the `set-consensus` crate: sweeping millions of adversaries through
+    /// one `Run` avoids re-allocating the `O(horizon² · n)` layer structure
+    /// per run.  The resulting run is indistinguishable (`==`) from one
+    /// produced by [`Run::generate`] with the same arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the adversary is inconsistent with `params` or the
+    /// horizon is zero; `self` is left unchanged in that case.
+    pub fn regenerate(
+        &mut self,
+        params: SystemParams,
+        adversary: Adversary,
+        horizon: Time,
+    ) -> Result<(), ModelError> {
+        adversary.validate_against(&params)?;
+        if horizon == Time::ZERO {
+            return Err(ModelError::EmptyHorizon);
+        }
+        self.params = params;
+        self.adversary = adversary;
+        self.horizon = horizon;
+        self.resimulate();
+        Ok(())
+    }
+
+    /// The simulation loop shared by [`Run::generate`] and
+    /// [`Run::regenerate`], writing into `self.heard` / `self.seen` while
+    /// reusing any existing allocations (outer rows, per-node `PidSet` word
+    /// vectors and seen-layer vectors).
+    fn resimulate(&mut self) {
+        let n = self.params.n();
+        let end = self.horizon.index();
+        let failures = self.adversary.failures();
+        let heard = &mut self.heard;
+        let seen = &mut self.seen;
+
+        // Shape the time-indexed rows, reusing surviving rows and cells.
+        heard.resize_with(end + 1, Vec::new);
+        seen.resize_with(end + 1, Vec::new);
+        for row in heard.iter_mut() {
+            row.resize_with(n, PidSet::new);
+            for cell in row.iter_mut() {
+                cell.clear();
+            }
+        }
+        for row in seen.iter_mut() {
+            row.resize_with(n, || SeenLayers { layers: Vec::new() });
+        }
+        let reshape_layers = |layers: &mut Vec<PidSet>, num_layers: usize| {
+            layers.resize_with(num_layers, PidSet::new);
+            for layer in layers.iter_mut() {
+                layer.clear();
+            }
+        };
 
         // Time 0: every process has seen only its own initial node.
-        let mut heard0 = Vec::with_capacity(n);
-        let mut seen0 = Vec::with_capacity(n);
         for i in 0..n {
-            heard0.push(PidSet::singleton(i));
-            seen0.push(SeenLayers { layers: vec![PidSet::singleton(i)] });
+            heard[0][i].insert(i);
+            let layers = &mut seen[0][i].layers;
+            reshape_layers(layers, 1);
+            layers[0].insert(i);
         }
-        heard.push(heard0);
-        seen.push(seen0);
 
-        for m in 1..=horizon.index() {
+        for m in 1..=end {
             let time = Time::new(m as u32);
             let round = Round::new(m as u32);
-            let mut heard_m = Vec::with_capacity(n);
-            let mut seen_m = Vec::with_capacity(n);
+            let (earlier, later) = seen.split_at_mut(m);
+            let (prev_row, cur_row) = (&earlier[m - 1], &mut later[0]);
             for i in 0..n {
+                let layers = &mut cur_row[i].layers;
+                reshape_layers(layers, m + 1);
                 if !failures.is_active_at(i, time) {
-                    heard_m.push(PidSet::new());
-                    seen_m.push(SeenLayers::empty(m + 1));
+                    // heard[m][i] stays empty; the layers stay empty too.
                     continue;
                 }
-                let mut senders = PidSet::with_capacity(n);
+                let senders = &mut heard[m][i];
                 for j in 0..n {
                     if failures.delivers(j, round, i) {
                         senders.insert(j);
                     }
                 }
-                let mut layers = vec![PidSet::with_capacity(n); m + 1];
                 for sender in senders.iter() {
-                    let prev = &seen[m - 1][sender.index()];
+                    let prev = &prev_row[sender.index()];
                     for (time, layer) in prev.iter() {
                         layers[time.index()].union_with(layer);
                     }
                 }
                 layers[m].insert(i);
-                heard_m.push(senders);
-                seen_m.push(SeenLayers { layers });
             }
-            heard.push(heard_m);
-            seen.push(seen_m);
         }
-
-        Ok(Run { params, adversary, horizon, heard, seen })
     }
 
     /// A horizon long enough for every protocol in this repository to decide:
@@ -282,13 +329,7 @@ impl Run {
 
 impl fmt::Display for Run {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "run[{} | f={} | horizon {}]",
-            self.params,
-            self.num_failures(),
-            self.horizon
-        )
+        write!(f, "run[{} | f={} | horizon {}]", self.params, self.num_failures(), self.horizon)
     }
 }
 
@@ -318,7 +359,11 @@ mod tests {
         for i in 0..4 {
             let seen = run.seen(i, Time::new(1));
             assert_eq!(seen.layer(Time::ZERO).len(), 4, "everyone sees all initial nodes");
-            assert_eq!(seen.layer(Time::new(1)).len(), 1, "a node sees only itself at its own time");
+            assert_eq!(
+                seen.layer(Time::new(1)).len(),
+                1,
+                "a node sees only itself at its own time"
+            );
             assert_eq!(run.heard_from(i, Time::new(1)).len(), 4);
         }
     }
@@ -326,9 +371,15 @@ mod tests {
     #[test]
     fn partial_delivery_creates_asymmetric_views() {
         // p0 crashes in round 1 and reaches only p1.
-        let run = small_run(3, 1, &[0, 1, 1], |f| {
-            f.crash(0, 1, [1]).unwrap();
-        }, 3);
+        let run = small_run(
+            3,
+            1,
+            &[0, 1, 1],
+            |f| {
+                f.crash(0, 1, [1]).unwrap();
+            },
+            3,
+        );
         assert!(run.seen(1, Time::new(1)).contains_node(0, Time::ZERO));
         assert!(!run.seen(2, Time::new(1)).contains_node(0, Time::ZERO));
         // One more round: p1 relays p0's initial node to p2.
@@ -337,9 +388,15 @@ mod tests {
 
     #[test]
     fn crashed_processes_have_empty_structure() {
-        let run = small_run(3, 1, &[0, 1, 1], |f| {
-            f.crash_silent(0, 1).unwrap();
-        }, 2);
+        let run = small_run(
+            3,
+            1,
+            &[0, 1, 1],
+            |f| {
+                f.crash_silent(0, 1).unwrap();
+            },
+            2,
+        );
         assert!(run.heard_from(0, Time::new(1)).is_empty());
         assert_eq!(run.seen(0, Time::new(1)).total_seen(), 0);
         assert!(!run.is_active(0, Time::new(1)));
@@ -352,10 +409,16 @@ mod tests {
         // relays value 0 forward while the observer never sees it.
         // p0 holds 0 and crashes in round 1, reaching only p1.
         // p1 crashes in round 2, reaching only p2.
-        let run = small_run(4, 2, &[0, 1, 1, 1], |f| {
-            f.crash(0, 1, [1]).unwrap();
-            f.crash(1, 2, [2]).unwrap();
-        }, 3);
+        let run = small_run(
+            4,
+            2,
+            &[0, 1, 1, 1],
+            |f| {
+                f.crash(0, 1, [1]).unwrap();
+                f.crash(1, 2, [2]).unwrap();
+            },
+            3,
+        );
         let observer = Node::new(3, Time::new(2));
         assert!(!run.sees_node(observer, Node::new(0, Time::ZERO)));
         assert!(run.sees_node(Node::new(2, Time::new(2)), Node::new(0, Time::ZERO)));
@@ -363,19 +426,22 @@ mod tests {
 
     #[test]
     fn seen_is_monotone_in_time() {
-        let run = small_run(5, 2, &[0, 1, 2, 3, 4], |f| {
-            f.crash(0, 1, [1]).unwrap();
-            f.crash_silent(1, 2).unwrap();
-        }, 4);
+        let run = small_run(
+            5,
+            2,
+            &[0, 1, 2, 3, 4],
+            |f| {
+                f.crash(0, 1, [1]).unwrap();
+                f.crash_silent(1, 2).unwrap();
+            },
+            4,
+        );
         for i in 2..5 {
             for m in 1..4u32 {
                 let earlier = run.seen(i, Time::new(m));
                 let later = run.seen(i, Time::new(m + 1));
                 for (time, layer) in earlier.iter() {
-                    assert!(
-                        layer.is_subset(later.layer(time)),
-                        "seen sets only grow over time"
-                    );
+                    assert!(layer.is_subset(later.layer(time)), "seen sets only grow over time");
                 }
             }
         }
@@ -389,15 +455,59 @@ mod tests {
         let adversary = Adversary::new(InputVector::from_values([0, 1, 2]), failures).unwrap();
         assert!(Run::generate(params, adversary.clone(), Time::new(2)).is_err());
         let params_ok = SystemParams::new(3, 1).unwrap();
-        assert_eq!(
-            Run::generate(params_ok, adversary, Time::ZERO),
-            Err(ModelError::EmptyHorizon)
-        );
+        assert_eq!(Run::generate(params_ok, adversary, Time::ZERO), Err(ModelError::EmptyHorizon));
     }
 
     #[test]
     fn generous_horizon_covers_all_decision_bounds() {
         let params = SystemParams::new(6, 4).unwrap();
         assert_eq!(Run::generous_horizon(&params), Time::new(6));
+    }
+
+    #[test]
+    fn regenerate_matches_generate_across_shape_changes() {
+        // A sequence of (n, t, crash spec, horizon) deliberately varying every
+        // dimension, replayed through a single reused Run.
+        type CrashSpec = Vec<(usize, u32, Vec<usize>)>;
+        let specs: Vec<(usize, usize, CrashSpec, u32)> = vec![
+            (4, 2, vec![(0, 1, vec![1]), (1, 2, vec![])], 4),
+            (6, 3, vec![(5, 1, vec![0, 1, 2])], 6),
+            (3, 1, vec![], 2),
+            (4, 2, vec![(2, 1, vec![3])], 5),
+        ];
+        let mut reused: Option<Run> = None;
+        for (n, t, crashes, horizon) in specs {
+            let params = SystemParams::new(n, t).unwrap();
+            let mut failures = FailurePattern::crash_free(n);
+            for (p, round, delivered) in crashes {
+                failures.crash(p, round, delivered).unwrap();
+            }
+            let inputs: Vec<u64> = (0..n as u64).collect();
+            let adversary = Adversary::new(InputVector::from_values(inputs), failures).unwrap();
+            let fresh = Run::generate(params, adversary.clone(), Time::new(horizon)).unwrap();
+            match reused.as_mut() {
+                Some(run) => run.regenerate(params, adversary, Time::new(horizon)).unwrap(),
+                None => reused = Some(fresh.clone()),
+            }
+            assert_eq!(reused.as_ref().unwrap(), &fresh);
+        }
+    }
+
+    #[test]
+    fn regenerate_rejects_bad_arguments_and_preserves_state() {
+        let run = small_run(
+            3,
+            1,
+            &[0, 1, 2],
+            |f| {
+                f.crash_silent(0, 1).unwrap();
+            },
+            3,
+        );
+        let mut reused = run.clone();
+        let params = SystemParams::new(3, 1).unwrap();
+        let adversary = reused.adversary().clone();
+        assert_eq!(reused.regenerate(params, adversary, Time::ZERO), Err(ModelError::EmptyHorizon));
+        assert_eq!(reused, run);
     }
 }

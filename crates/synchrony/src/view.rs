@@ -133,12 +133,24 @@ mod tests {
 
     #[test]
     fn identical_adversaries_give_identical_views() {
-        let a = run_with(4, 1, &[0, 1, 2, 3], |f| {
-            f.crash(0, 1, [1]).unwrap();
-        }, 2);
-        let b = run_with(4, 1, &[0, 1, 2, 3], |f| {
-            f.crash(0, 1, [1]).unwrap();
-        }, 2);
+        let a = run_with(
+            4,
+            1,
+            &[0, 1, 2, 3],
+            |f| {
+                f.crash(0, 1, [1]).unwrap();
+            },
+            2,
+        );
+        let b = run_with(
+            4,
+            1,
+            &[0, 1, 2, 3],
+            |f| {
+                f.crash(0, 1, [1]).unwrap();
+            },
+            2,
+        );
         let node = Node::new(2, Time::new(2));
         assert!(View::extract(&a, node).indistinguishable_from(&View::extract(&b, node)));
     }
@@ -147,12 +159,24 @@ mod tests {
     fn hidden_initial_value_does_not_change_the_view() {
         // p0 crashes in round 1 reaching nobody: its initial value is invisible
         // to everyone, so changing it keeps all views of other processes equal.
-        let a = run_with(3, 1, &[0, 1, 1], |f| {
-            f.crash_silent(0, 1).unwrap();
-        }, 2);
-        let b = run_with(3, 1, &[9, 1, 1], |f| {
-            f.crash_silent(0, 1).unwrap();
-        }, 2);
+        let a = run_with(
+            3,
+            1,
+            &[0, 1, 1],
+            |f| {
+                f.crash_silent(0, 1).unwrap();
+            },
+            2,
+        );
+        let b = run_with(
+            3,
+            1,
+            &[9, 1, 1],
+            |f| {
+                f.crash_silent(0, 1).unwrap();
+            },
+            2,
+        );
         for i in 1..3 {
             for m in 1..=2u32 {
                 let node = Node::new(i, Time::new(m));
@@ -172,12 +196,24 @@ mod tests {
     #[test]
     fn delivery_pattern_changes_are_visible_to_receivers_only_after_relay() {
         // p0 crashes in round 1. In run `a` it reaches p1; in run `b` nobody.
-        let a = run_with(4, 1, &[0, 1, 2, 3], |f| {
-            f.crash(0, 1, [1]).unwrap();
-        }, 2);
-        let b = run_with(4, 1, &[0, 1, 2, 3], |f| {
-            f.crash_silent(0, 1).unwrap();
-        }, 2);
+        let a = run_with(
+            4,
+            1,
+            &[0, 1, 2, 3],
+            |f| {
+                f.crash(0, 1, [1]).unwrap();
+            },
+            2,
+        );
+        let b = run_with(
+            4,
+            1,
+            &[0, 1, 2, 3],
+            |f| {
+                f.crash_silent(0, 1).unwrap();
+            },
+            2,
+        );
         // At time 1, p3 cannot tell the two runs apart...
         let early = Node::new(3, Time::new(1));
         assert_eq!(View::extract(&a, early), View::extract(&b, early));
@@ -197,9 +233,15 @@ mod tests {
 
     #[test]
     fn view_reports_initial_values_only_for_seen_nodes() {
-        let run = run_with(3, 1, &[7, 1, 2], |f| {
-            f.crash_silent(0, 1).unwrap();
-        }, 1);
+        let run = run_with(
+            3,
+            1,
+            &[7, 1, 2],
+            |f| {
+                f.crash_silent(0, 1).unwrap();
+            },
+            1,
+        );
         let view = View::extract(&run, Node::new(2, Time::new(1)));
         assert_eq!(view.initial_value(0), None);
         assert_eq!(view.initial_value(1), Some(Value::new(1)));

@@ -167,13 +167,8 @@ impl WireRun {
         let failures = run.adversary().failures();
 
         let id_bits = (usize::BITS - (n.max(2) - 1).leading_zeros()).max(1);
-        let max_value = run
-            .adversary()
-            .inputs()
-            .present_values()
-            .max()
-            .map(Value::get)
-            .unwrap_or(0);
+        let max_value =
+            run.adversary().inputs().present_values().max().map(Value::get).unwrap_or(0);
         let value_bits = (u64::BITS - max_value.leading_zeros()).max(1);
         let round_bits = (u32::BITS - horizon.value().leading_zeros()).max(1);
 
@@ -368,9 +363,8 @@ impl WireRun {
                 let seen = run.seen(i, time);
                 // Initial values: known iff the time-0 node is seen.
                 for origin in 0..self.n {
-                    let fip = seen
-                        .contains_node(origin, Time::ZERO)
-                        .then(|| run.initial_value(origin));
+                    let fip =
+                        seen.contains_node(origin, Time::ZERO).then(|| run.initial_value(origin));
                     if fip != self.value_known_from(i, time, origin) {
                         return false;
                     }
@@ -452,8 +446,7 @@ mod tests {
             }
             if rng.random_bool(0.4) {
                 let round = rng.random_range(1..=horizon);
-                let delivered: Vec<usize> =
-                    (0..n).filter(|_| rng.random_bool(0.5)).collect();
+                let delivered: Vec<usize> = (0..n).filter(|_| rng.random_bool(0.5)).collect();
                 failures.crash(p, round, delivered).unwrap();
                 crashed += 1;
             }
@@ -475,17 +468,20 @@ mod tests {
 
     #[test]
     fn partial_delivery_knowledge_matches_full_information() {
-        let run = run_with(5, 2, &[0, 1, 2, 3, 4], |f| {
-            f.crash(0, 1, [1]).unwrap();
-            f.crash(2, 2, [3]).unwrap();
-        }, 4);
+        let run = run_with(
+            5,
+            2,
+            &[0, 1, 2, 3, 4],
+            |f| {
+                f.crash(0, 1, [1]).unwrap();
+                f.crash(2, 2, [3]).unwrap();
+            },
+            4,
+        );
         let wire = WireRun::simulate(&run);
         assert!(wire.matches_full_information(&run));
         // p4 learns about p0's crash in round 1 directly.
-        assert_eq!(
-            wire.earliest_failure_known(4, Time::new(1), 0),
-            Some(Round::new(1))
-        );
+        assert_eq!(wire.earliest_failure_known(4, Time::new(1), 0), Some(Round::new(1)));
     }
 
     #[test]

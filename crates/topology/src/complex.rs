@@ -96,12 +96,9 @@ impl SimplicialComplex {
     /// Iterates over the facets: the simplices that are maximal under
     /// inclusion.
     pub fn facets(&self) -> impl Iterator<Item = &Simplex> {
-        self.simplices.iter().filter(move |s| {
-            !self
-                .simplices
-                .iter()
-                .any(|other| other != *s && s.is_face_of(other))
-        })
+        self.simplices
+            .iter()
+            .filter(move |s| !self.simplices.iter().any(|other| other != *s && s.is_face_of(other)))
     }
 
     /// Returns `true` if all facets have the same dimension.
@@ -168,10 +165,7 @@ impl SimplicialComplex {
 
     /// Returns the Euler characteristic `Σ (−1)^d · n_d`.
     pub fn euler_characteristic(&self) -> i64 {
-        self.simplices
-            .iter()
-            .map(|s| if s.dimension() % 2 == 0 { 1i64 } else { -1i64 })
-            .sum()
+        self.simplices.iter().map(|s| if s.dimension() % 2 == 0 { 1i64 } else { -1i64 }).sum()
     }
 }
 

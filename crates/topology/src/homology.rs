@@ -123,9 +123,7 @@ pub fn betti_numbers(complex: &SimplicialComplex) -> BettiNumbers {
     }
     ranks[dimension + 1] = 0;
 
-    let reduced = (0..=dimension)
-        .map(|d| by_dim[d].len() - ranks[d] - ranks[d + 1])
-        .collect();
+    let reduced = (0..=dimension).map(|d| by_dim[d].len() - ranks[d] - ranks[d + 1]).collect();
     BettiNumbers { reduced }
 }
 
@@ -169,10 +167,8 @@ mod tests {
 
     #[test]
     fn two_disjoint_edges_are_disconnected() {
-        let complex = SimplicialComplex::from_simplices([
-            Simplex::new([0, 1]),
-            Simplex::new([2, 3]),
-        ]);
+        let complex =
+            SimplicialComplex::from_simplices([Simplex::new([0, 1]), Simplex::new([2, 3])]);
         assert_eq!(connected_components(&complex), 2);
         assert_eq!(betti_numbers(&complex).reduced(0), 1);
         assert!(!is_q_connected(&complex, 0));

@@ -187,8 +187,7 @@ mod tests {
         let system = SystemParams::new(n, 1).unwrap();
         let adversaries = one_round_adversaries(n);
         let pc = ProtocolComplex::build(system, &adversaries, Time::new(1)).unwrap();
-        let failure_free =
-            Adversary::failure_free(InputVector::from_values([0, 1, 1])).unwrap();
+        let failure_free = Adversary::failure_free(InputVector::from_values([0, 1, 1])).unwrap();
         let run = Run::generate(system, failure_free, Time::new(1)).unwrap();
         for i in 0..n {
             let id = pc.state_id(&run, Node::new(i, Time::new(1)));
@@ -208,11 +207,9 @@ mod tests {
         // has a hidden node at every layer (hidden capacity 1).
         let mut failures = FailurePattern::crash_free(n);
         failures.crash_silent(0, 1).unwrap();
-        let adversary =
-            Adversary::new(InputVector::from_values([0, 1, 1]), failures).unwrap();
+        let adversary = Adversary::new(InputVector::from_values([0, 1, 1]), failures).unwrap();
         let run = Run::generate(system, adversary, Time::new(1)).unwrap();
-        let analysis =
-            knowledge::ViewAnalysis::new(&run, Node::new(2, Time::new(1))).unwrap();
+        let analysis = knowledge::ViewAnalysis::new(&run, Node::new(2, Time::new(1))).unwrap();
         assert!(analysis.hidden_capacity() >= 1);
         let id = pc.state_id(&run, Node::new(2, Time::new(1))).unwrap();
         assert!(pc.star_is_q_connected(id, 0));
@@ -223,16 +220,13 @@ mod tests {
         let n = 3;
         let system = SystemParams::new(n, 1).unwrap();
         // Build the complex from failure-free runs only.
-        let adversaries: Vec<Adversary> = one_round_adversaries(n)
-            .into_iter()
-            .filter(|a| a.num_failures() == 0)
-            .collect();
+        let adversaries: Vec<Adversary> =
+            one_round_adversaries(n).into_iter().filter(|a| a.num_failures() == 0).collect();
         let pc = ProtocolComplex::build(system, &adversaries, Time::new(1)).unwrap();
         // A run with a crash produces a view that is not a vertex.
         let mut failures = FailurePattern::crash_free(n);
         failures.crash_silent(0, 1).unwrap();
-        let adversary =
-            Adversary::new(InputVector::from_values([0, 1, 1]), failures).unwrap();
+        let adversary = Adversary::new(InputVector::from_values([0, 1, 1]), failures).unwrap();
         let run = Run::generate(system, adversary, Time::new(1)).unwrap();
         assert!(pc.state_id(&run, Node::new(2, Time::new(1))).is_none());
     }

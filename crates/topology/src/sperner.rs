@@ -62,10 +62,7 @@ pub fn is_sperner_coloring(subdivision: &Subdivision, coloring: &Coloring) -> bo
 /// Counts the full-dimensional simplices of the subdivision whose vertices
 /// receive pairwise distinct colors (and therefore all base-simplex colors).
 pub fn fully_colored_facets(subdivision: &Subdivision, coloring: &Coloring) -> usize {
-    subdivision
-        .full_facets()
-        .filter(|facet| is_fully_colored(facet, coloring))
-        .count()
+    subdivision.full_facets().filter(|facet| is_fully_colored(facet, coloring)).count()
 }
 
 fn is_fully_colored(facet: &Simplex, coloring: &Coloring) -> bool {

@@ -190,9 +190,10 @@ impl Subdivision {
     /// the base, every full-dimensional facet's carriers cover the base, and
     /// the subdivision is pure of the base dimension.
     pub fn is_structurally_valid(&self) -> bool {
-        let carriers_ok = (0..self.num_vertices()).all(|id| self.carrier(id).is_face_of(&self.base));
-        let pure = self.complex.is_pure()
-            && self.complex.dimension() == Some(self.base.dimension());
+        let carriers_ok =
+            (0..self.num_vertices()).all(|id| self.carrier(id).is_face_of(&self.base));
+        let pure =
+            self.complex.is_pure() && self.complex.dimension() == Some(self.base.dimension());
         let facets_cover = self.full_facets().all(|facet| {
             let union = facet
                 .vertices()

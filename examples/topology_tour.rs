@@ -8,7 +8,9 @@
 //! ```
 
 use knowledge::ViewAnalysis;
-use synchrony::{Adversary, FailurePattern, InputVector, ModelError, Node, Run, SystemParams, Time};
+use synchrony::{
+    Adversary, FailurePattern, InputVector, ModelError, Node, Run, SystemParams, Time,
+};
 use topology::{homology, sperner, ProtocolComplex, Simplex, Subdivision};
 
 fn main() -> Result<(), ModelError> {
@@ -33,9 +35,8 @@ fn main() -> Result<(), ModelError> {
     let system = SystemParams::new(n, 1)?;
     let mut adversaries = Vec::new();
     for mask in 0..(1u32 << n) {
-        let inputs = InputVector::from_values(
-            (0..n).map(|i| u64::from(mask >> i & 1)).collect::<Vec<_>>(),
-        );
+        let inputs =
+            InputVector::from_values((0..n).map(|i| u64::from(mask >> i & 1)).collect::<Vec<_>>());
         adversaries.push(Adversary::failure_free(inputs.clone())?);
         for crasher in 0..n {
             let others: Vec<usize> = (0..n).filter(|&p| p != crasher).collect();

@@ -15,13 +15,8 @@ use synchrony::{ModelError, SystemParams};
 
 fn main() -> Result<(), ModelError> {
     let (n, t, k) = (4usize, 2usize, 2usize);
-    let config = EnumerationConfig {
-        n,
-        t,
-        max_value: k as u64,
-        max_crash_round: 2,
-        partial_delivery: true,
-    };
+    let config =
+        EnumerationConfig { n, t, max_value: k as u64, max_crash_round: 2, partial_delivery: true };
     let adversaries = enumerate::adversaries(&config)?;
     let params = TaskParams::new(SystemParams::new(n, t)?, k)?;
     println!(

@@ -7,7 +7,9 @@
 //! ```
 
 use adversary::scenarios;
-use set_consensus::{check, execute, EarlyUniformFloodMin, FloodMin, Protocol, TaskParams, TaskVariant, UPmin};
+use set_consensus::{
+    check, execute, EarlyUniformFloodMin, FloodMin, Protocol, TaskParams, TaskVariant, UPmin,
+};
 use synchrony::{ModelError, SystemParams};
 
 fn main() -> Result<(), ModelError> {

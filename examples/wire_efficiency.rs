@@ -36,10 +36,7 @@ fn main() -> Result<(), ModelError> {
     println!("  reports sent:             {}", stats.reports());
     println!("  total bits:               {}", stats.total_bits());
     println!("  max bits per ordered pair: {}", stats.max_pair_bits());
-    println!(
-        "  per-pair constant c (bits / n·log₂n): {:.2}",
-        stats.n_log_n_constant()
-    );
+    println!("  per-pair constant c (bits / n·log₂n): {:.2}", stats.n_log_n_constant());
     println!(
         "  knowledge identical to the full-information protocol: {}",
         wire.matches_full_information(&run)

@@ -14,7 +14,10 @@
 //! * [`topology`] — simplicial complexes, subdivisions, Sperner's lemma,
 //!   GF(2) homology, protocol complexes;
 //! * [`adversary`] — scenario families (Figs. 1, 2, 4, Lemma 2), random
-//!   generation and exhaustive enumeration.
+//!   generation and exhaustive enumeration;
+//! * [`sweep`] — the sharded, work-stealing scenario-sweep engine that
+//!   executes protocol runs over whole adversary spaces in parallel, with
+//!   deterministic (shard- and thread-count independent) fold results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,5 +25,6 @@
 pub use adversary;
 pub use knowledge;
 pub use set_consensus;
+pub use sweep;
 pub use synchrony;
 pub use topology;

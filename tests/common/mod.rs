@@ -1,41 +1,79 @@
 //! Shared helpers for the integration and property tests.
+//!
+//! The original proptest strategies were rewritten as explicit seeded
+//! generators (the build environment cannot fetch proptest); each property
+//! test now draws a fixed number of cases from [`AdversaryCases`] and
+//! asserts the property on every one.  The stream is deterministic per
+//! seed, so a failure reproduces exactly by re-running the test; to zoom in
+//! on the offending case, iterate with `.enumerate()` and bisect by index.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use synchrony::{Adversary, FailurePattern, InputVector};
 
-/// A proptest strategy producing well-formed adversaries for a system of `n`
+/// A deterministic stream of well-formed adversaries for a system of `n`
 /// processes with at most `t` crashes, values in `{0, …, max_value}` and
 /// crash rounds in `{1, …, max_round}`.
-pub fn adversaries(
+///
+/// Mirrors the distribution of the original proptest strategy: every process
+/// independently crashes with probability 1/2 (budget-limited, in process
+/// order), at a uniform round, delivering to an independent uniform subset.
+pub struct AdversaryCases {
+    rng: StdRng,
     n: usize,
     t: usize,
     max_value: u64,
     max_round: u32,
-) -> impl Strategy<Value = Adversary> {
-    let inputs = proptest::collection::vec(0..=max_value, n);
-    let crashes = proptest::collection::vec(
-        (any::<bool>(), 1..=max_round, proptest::collection::vec(any::<bool>(), n)),
-        n,
-    );
-    (inputs, crashes).prop_map(move |(values, crashes)| {
-        let mut failures = FailurePattern::crash_free(n);
-        let mut budget = t;
-        for (process, (crash, round, delivered)) in crashes.into_iter().enumerate() {
-            if !crash || budget == 0 {
+    remaining: usize,
+}
+
+impl AdversaryCases {
+    /// Creates a stream of `cases` adversaries from the given seed.
+    pub fn new(
+        seed: u64,
+        cases: usize,
+        n: usize,
+        t: usize,
+        max_value: u64,
+        max_round: u32,
+    ) -> Self {
+        AdversaryCases {
+            rng: StdRng::seed_from_u64(seed),
+            n,
+            t,
+            max_value,
+            max_round,
+            remaining: cases,
+        }
+    }
+}
+
+impl Iterator for AdversaryCases {
+    type Item = Adversary;
+
+    fn next(&mut self) -> Option<Adversary> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let values: Vec<u64> =
+            (0..self.n).map(|_| self.rng.random_range(0..=self.max_value)).collect();
+        let mut failures = FailurePattern::crash_free(self.n);
+        let mut budget = self.t;
+        for process in 0..self.n {
+            if budget == 0 || !self.rng.random_bool(0.5) {
                 continue;
             }
-            let delivered: Vec<usize> = delivered
-                .into_iter()
-                .enumerate()
-                .filter(|(_, deliver)| *deliver)
-                .map(|(p, _)| p)
-                .collect();
+            let round = self.rng.random_range(1..=self.max_round);
+            let delivered: Vec<usize> = (0..self.n).filter(|_| self.rng.random_bool(0.5)).collect();
             failures
                 .crash(process, round, delivered)
                 .expect("generated crash parameters are valid");
             budget -= 1;
         }
-        Adversary::new(InputVector::from_values(values), failures)
-            .expect("generated adversaries are well formed")
-    })
+        Some(
+            Adversary::new(InputVector::from_values(values), failures)
+                .expect("generated adversaries are well formed"),
+        )
+    }
 }

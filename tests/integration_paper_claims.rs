@@ -37,7 +37,8 @@ fn fig2_hidden_capacity_blocks_optmin_and_admits_witness_runs() {
     let t = scenario.adversary.num_failures();
     let system = SystemParams::new(scenario.adversary.n(), t).unwrap();
     let params = TaskParams::new(system, k).unwrap();
-    let run = Run::generate(system, scenario.adversary.clone(), Time::new(depth as u32 + 2)).unwrap();
+    let run =
+        Run::generate(system, scenario.adversary.clone(), Time::new(depth as u32 + 2)).unwrap();
     let transcript = execute_on_run(&Optmin, &params, &run).unwrap();
     // The observer cannot decide while its hidden capacity is at least k.
     assert!(transcript.decision_time(scenario.observer).unwrap() > Time::new(depth as u32));
@@ -63,7 +64,8 @@ fn fig3_lemma1_low_values_are_all_decided_in_the_witness_run() {
     let t = scenario.adversary.num_failures();
     let system = SystemParams::new(scenario.adversary.n(), t).unwrap();
     let params = TaskParams::new(system, k).unwrap();
-    let run = Run::generate(system, scenario.adversary.clone(), Time::new(depth as u32 + 2)).unwrap();
+    let run =
+        Run::generate(system, scenario.adversary.clone(), Time::new(depth as u32 + 2)).unwrap();
     let observer = Node::new(scenario.observer, Time::new(depth as u32));
     let values: Vec<Value> = (0..k as u64).map(Value::new).collect();
     let (witness, witness_run) = lemma2::witness_run(&run, observer, &values).unwrap();
@@ -90,7 +92,8 @@ fn fig4_uniform_gap_separates_u_pmin_from_all_baselines() {
 
         let (run, upmin) = execute(&UPmin, &params, scenario.adversary.clone()).unwrap();
         let (_, optmin) = execute(&Optmin, &params, scenario.adversary.clone()).unwrap();
-        let (_, early) = execute(&EarlyUniformFloodMin, &params, scenario.adversary.clone()).unwrap();
+        let (_, early) =
+            execute(&EarlyUniformFloodMin, &params, scenario.adversary.clone()).unwrap();
         let (_, flood) = execute(&FloodMin, &params, scenario.adversary.clone()).unwrap();
 
         for i in scenario.correct.iter() {

@@ -61,13 +61,8 @@ fn proposition_two_holds_on_small_protocol_complexes() {
 #[test]
 fn one_round_protocol_complex_is_connected() {
     let (n, t, k) = (4usize, 2usize, 2usize);
-    let config = EnumerationConfig {
-        n,
-        t,
-        max_value: k as u64,
-        max_crash_round: 1,
-        partial_delivery: true,
-    };
+    let config =
+        EnumerationConfig { n, t, max_value: k as u64, max_crash_round: 1, partial_delivery: true };
     let adversaries = enumerate::adversaries(&config).unwrap();
     let system = SystemParams::new(n, t).unwrap();
     let complex = ProtocolComplex::build(system, &adversaries, Time::new(1)).unwrap();

@@ -1,12 +1,11 @@
 //! Property-based tests of the model substrate: structural invariants of
 //! runs, knowledge analyses and the wire protocol hold on arbitrary
-//! adversaries.
+//! adversaries (64 seeded random cases per property).
 
 mod common;
 
-use common::adversaries;
+use common::AdversaryCases;
 use knowledge::ViewAnalysis;
-use proptest::prelude::*;
 use synchrony::{Node, Run, SystemParams, Time, WireRun};
 
 const N: usize = 6;
@@ -14,18 +13,21 @@ const T: usize = 4;
 const MAX_VALUE: u64 = 3;
 const MAX_ROUND: u32 = 3;
 const HORIZON: u32 = 5;
+const CASES: usize = 64;
 
 fn run_of(adversary: synchrony::Adversary) -> Run {
     let params = SystemParams::new(N, T).unwrap();
     Run::generate(params, adversary, Time::new(HORIZON)).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn cases(seed: u64) -> AdversaryCases {
+    AdversaryCases::new(seed, CASES, N, T, MAX_VALUE, MAX_ROUND)
+}
 
-    /// Seen-sets only grow over time: what a process has seen it never forgets.
-    #[test]
-    fn seen_sets_are_monotone(adversary in adversaries(N, T, MAX_VALUE, MAX_ROUND)) {
+/// Seen-sets only grow over time: what a process has seen it never forgets.
+#[test]
+fn seen_sets_are_monotone() {
+    for adversary in cases(0xA001) {
         let run = run_of(adversary);
         for i in 0..N {
             for m in 1..HORIZON {
@@ -35,15 +37,17 @@ proptest! {
                     continue;
                 }
                 for (time, layer) in run.seen(i, now).iter() {
-                    prop_assert!(layer.is_subset(run.seen(i, next).layer(time)));
+                    assert!(layer.is_subset(run.seen(i, next).layer(time)));
                 }
             }
         }
     }
+}
 
-    /// A process always sees itself, at every layer up to its own time.
-    #[test]
-    fn a_process_sees_its_own_past(adversary in adversaries(N, T, MAX_VALUE, MAX_ROUND)) {
+/// A process always sees itself, at every layer up to its own time.
+#[test]
+fn a_process_sees_its_own_past() {
+    for adversary in cases(0xA002) {
         let run = run_of(adversary);
         for i in 0..N {
             for m in 0..=HORIZON {
@@ -52,15 +56,17 @@ proptest! {
                     continue;
                 }
                 for layer in 0..=m {
-                    prop_assert!(run.seen(i, time).contains_node(i, Time::new(layer)));
+                    assert!(run.seen(i, time).contains_node(i, Time::new(layer)));
                 }
             }
         }
     }
+}
 
-    /// Hidden capacity never increases as the observer learns more.
-    #[test]
-    fn hidden_capacity_is_nonincreasing(adversary in adversaries(N, T, MAX_VALUE, MAX_ROUND)) {
+/// Hidden capacity never increases as the observer learns more.
+#[test]
+fn hidden_capacity_is_nonincreasing() {
+    for adversary in cases(0xA003) {
         let run = run_of(adversary);
         for i in 0..N {
             let mut previous: Option<usize> = None;
@@ -71,17 +77,19 @@ proptest! {
                 }
                 let analysis = ViewAnalysis::new(&run, Node::new(i, time)).unwrap();
                 if let Some(prev) = previous {
-                    prop_assert!(analysis.hidden_capacity() <= prev);
+                    assert!(analysis.hidden_capacity() <= prev);
                 }
                 previous = Some(analysis.hidden_capacity());
             }
         }
     }
+}
 
-    /// Values seen, low status and known failures are monotone over time, and
-    /// directly missed processes are always provably crashed.
-    #[test]
-    fn knowledge_is_monotone_and_consistent(adversary in adversaries(N, T, MAX_VALUE, MAX_ROUND)) {
+/// Values seen, low status and known failures are monotone over time, and
+/// directly missed processes are always provably crashed.
+#[test]
+fn knowledge_is_monotone_and_consistent() {
+    for adversary in cases(0xA004) {
         let run = run_of(adversary);
         for i in 0..N {
             let mut previous: Option<ViewAnalysis> = None;
@@ -91,21 +99,23 @@ proptest! {
                     break;
                 }
                 let analysis = ViewAnalysis::new(&run, Node::new(i, time)).unwrap();
-                prop_assert!(analysis.observations().missed().is_subset(analysis.known_crashed()));
-                prop_assert!(analysis.vals().contains(run.initial_value(i)));
+                assert!(analysis.observations().missed().is_subset(analysis.known_crashed()));
+                assert!(analysis.vals().contains(run.initial_value(i)));
                 if let Some(prev) = &previous {
-                    prop_assert!(prev.vals().is_subset(analysis.vals()));
-                    prop_assert!(prev.known_crashed().is_subset(analysis.known_crashed()));
+                    assert!(prev.vals().is_subset(analysis.vals()));
+                    assert!(prev.known_crashed().is_subset(analysis.known_crashed()));
                 }
                 previous = Some(analysis);
             }
         }
     }
+}
 
-    /// Every process a view analysis believes crashed really did crash, and
-    /// the earliest known crash round never precedes the true crash round.
-    #[test]
-    fn knowledge_of_failures_is_sound(adversary in adversaries(N, T, MAX_VALUE, MAX_ROUND)) {
+/// Every process a view analysis believes crashed really did crash, and
+/// the earliest known crash round never precedes the true crash round.
+#[test]
+fn knowledge_of_failures_is_sound() {
+    for adversary in cases(0xA005) {
         let run = run_of(adversary);
         for i in 0..N {
             for m in 0..=HORIZON {
@@ -116,30 +126,34 @@ proptest! {
                 let analysis = ViewAnalysis::new(&run, Node::new(i, time)).unwrap();
                 for p in analysis.known_crashed().iter() {
                     let actual = run.adversary().failures().crash_round(p);
-                    prop_assert!(actual.is_some(), "known crash of a correct process");
+                    assert!(actual.is_some(), "known crash of a correct process");
                     let known = analysis.earliest_known_crash(p).unwrap();
-                    prop_assert!(known >= actual.unwrap());
+                    assert!(known >= actual.unwrap());
                 }
             }
         }
     }
+}
 
-    /// The Appendix E wire protocol reconstructs exactly the full-information
-    /// knowledge, and its per-pair traffic stays within the O(n log n) regime.
-    #[test]
-    fn wire_protocol_matches_full_information(adversary in adversaries(N, T, MAX_VALUE, MAX_ROUND)) {
+/// The Appendix E wire protocol reconstructs exactly the full-information
+/// knowledge, and its per-pair traffic stays within the O(n log n) regime.
+#[test]
+fn wire_protocol_matches_full_information() {
+    for adversary in cases(0xA006) {
         let run = run_of(adversary);
         let wire = WireRun::simulate(&run);
-        prop_assert!(wire.matches_full_information(&run));
-        prop_assert!(wire.stats().n_log_n_constant() < 64.0);
+        assert!(wire.matches_full_information(&run));
+        assert!(wire.stats().n_log_n_constant() < 64.0);
     }
+}
 
-    /// Views extracted for the same adversary are identical across two
-    /// independent simulations (the model is deterministic).
-    #[test]
-    fn simulation_is_deterministic(adversary in adversaries(N, T, MAX_VALUE, MAX_ROUND)) {
+/// Views extracted for the same adversary are identical across two
+/// independent simulations (the model is deterministic).
+#[test]
+fn simulation_is_deterministic() {
+    for adversary in cases(0xA007) {
         let a = run_of(adversary.clone());
         let b = run_of(adversary);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

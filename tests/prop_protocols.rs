@@ -1,112 +1,123 @@
 //! Property-based tests of the protocols: correctness, the paper's decision
-//! bounds and the domination relations hold on arbitrary adversaries.
+//! bounds and the domination relations hold on arbitrary adversaries
+//! (48 seeded random cases per property, swept over `k`).
 
 mod common;
 
-use common::adversaries;
-use proptest::prelude::*;
+use common::AdversaryCases;
 use set_consensus::{
-    check, execute, EarlyFloodMin, EarlyUniformFloodMin, FloodMin, Optmin, TaskParams,
-    TaskVariant, UPmin,
+    check, execute, EarlyFloodMin, EarlyUniformFloodMin, FloodMin, Optmin, TaskParams, TaskVariant,
+    UPmin,
 };
 use synchrony::SystemParams;
 
 const N: usize = 7;
 const T: usize = 5;
 const MAX_ROUND: u32 = 3;
+const CASES: usize = 48;
 
 fn params(k: usize) -> TaskParams {
     TaskParams::new(SystemParams::new(N, T).unwrap(), k).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn cases(seed: u64, max_value: u64) -> AdversaryCases {
+    AdversaryCases::new(seed, CASES, N, T, max_value, MAX_ROUND)
+}
 
-    /// Optmin[k] satisfies Validity, Decision and k-Agreement, and decides by
-    /// ⌊f/k⌋ + 1 (Proposition 1).
-    #[test]
-    fn optmin_is_correct_and_fast(
-        k in 1usize..=3,
-        adversary in adversaries(N, T, 3, MAX_ROUND),
-    ) {
-        let params = TaskParams::with_max_value(SystemParams::new(N, T).unwrap(), k, 3).unwrap();
-        let (run, transcript) = execute(&Optmin, &params, adversary).unwrap();
-        prop_assert!(check::check(&run, &transcript, &params, TaskVariant::Nonuniform).is_empty());
-        let bound = params.nonuniform_early_bound(run.num_failures());
-        for (p, d) in transcript.decisions() {
-            if run.is_correct(p) {
-                prop_assert!(d.time <= bound);
+/// Optmin[k] satisfies Validity, Decision and k-Agreement, and decides by
+/// ⌊f/k⌋ + 1 (Proposition 1).
+#[test]
+fn optmin_is_correct_and_fast() {
+    for k in 1usize..=3 {
+        for adversary in cases(0xB001 + k as u64, 3) {
+            let params =
+                TaskParams::with_max_value(SystemParams::new(N, T).unwrap(), k, 3).unwrap();
+            let (run, transcript) = execute(&Optmin, &params, adversary).unwrap();
+            assert!(check::check(&run, &transcript, &params, TaskVariant::Nonuniform).is_empty());
+            let bound = params.nonuniform_early_bound(run.num_failures());
+            for (p, d) in transcript.decisions() {
+                if run.is_correct(p) {
+                    assert!(d.time <= bound);
+                }
             }
         }
     }
+}
 
-    /// u-Pmin[k] satisfies Uniform k-Agreement and the Theorem 3 bound.
-    #[test]
-    fn u_pmin_is_correct_and_fast(
-        k in 1usize..=3,
-        adversary in adversaries(N, T, 3, MAX_ROUND),
-    ) {
-        let params = TaskParams::with_max_value(SystemParams::new(N, T).unwrap(), k, 3).unwrap();
-        let (run, transcript) = execute(&UPmin, &params, adversary).unwrap();
-        prop_assert!(check::check(&run, &transcript, &params, TaskVariant::Uniform).is_empty());
-        let bound = params.uniform_early_bound(run.num_failures());
-        for (p, d) in transcript.decisions() {
-            if run.is_correct(p) {
-                prop_assert!(d.time <= bound);
+/// u-Pmin[k] satisfies Uniform k-Agreement and the Theorem 3 bound.
+#[test]
+fn u_pmin_is_correct_and_fast() {
+    for k in 1usize..=3 {
+        for adversary in cases(0xB011 + k as u64, 3) {
+            let params =
+                TaskParams::with_max_value(SystemParams::new(N, T).unwrap(), k, 3).unwrap();
+            let (run, transcript) = execute(&UPmin, &params, adversary).unwrap();
+            assert!(check::check(&run, &transcript, &params, TaskVariant::Uniform).is_empty());
+            let bound = params.uniform_early_bound(run.num_failures());
+            for (p, d) in transcript.decisions() {
+                if run.is_correct(p) {
+                    assert!(d.time <= bound);
+                }
             }
         }
     }
+}
 
-    /// The literature baselines are correct as well (they are only slower).
-    #[test]
-    fn baselines_are_correct(
-        k in 1usize..=3,
-        adversary in adversaries(N, T, 3, MAX_ROUND),
-    ) {
-        let params = TaskParams::with_max_value(SystemParams::new(N, T).unwrap(), k, 3).unwrap();
-        let (run, flood) = execute(&FloodMin, &params, adversary.clone()).unwrap();
-        let (_, early) = execute(&EarlyFloodMin, &params, adversary.clone()).unwrap();
-        let (_, uniform) = execute(&EarlyUniformFloodMin, &params, adversary).unwrap();
-        prop_assert!(check::check(&run, &flood, &params, TaskVariant::Uniform).is_empty());
-        prop_assert!(check::check(&run, &early, &params, TaskVariant::Nonuniform).is_empty());
-        prop_assert!(check::check(&run, &uniform, &params, TaskVariant::Uniform).is_empty());
+/// The literature baselines are correct as well (they are only slower).
+#[test]
+fn baselines_are_correct() {
+    for k in 1usize..=3 {
+        for adversary in cases(0xB021 + k as u64, 3) {
+            let params =
+                TaskParams::with_max_value(SystemParams::new(N, T).unwrap(), k, 3).unwrap();
+            let (run, flood) = execute(&FloodMin, &params, adversary.clone()).unwrap();
+            let (_, early) = execute(&EarlyFloodMin, &params, adversary.clone()).unwrap();
+            let (_, uniform) = execute(&EarlyUniformFloodMin, &params, adversary).unwrap();
+            assert!(check::check(&run, &flood, &params, TaskVariant::Uniform).is_empty());
+            assert!(check::check(&run, &early, &params, TaskVariant::Nonuniform).is_empty());
+            assert!(check::check(&run, &uniform, &params, TaskVariant::Uniform).is_empty());
+        }
     }
+}
 
-    /// Optmin[k] dominates every nonuniform competitor pointwise, and
-    /// u-Pmin[k] dominates the uniform failure-counting baseline pointwise —
-    /// no process ever decides later under the paper's protocols.
-    #[test]
-    fn hidden_capacity_protocols_dominate_failure_counting(
-        k in 1usize..=3,
-        adversary in adversaries(N, T, 3, MAX_ROUND),
-    ) {
-        let params = TaskParams::with_max_value(SystemParams::new(N, T).unwrap(), k, 3).unwrap();
-        let (_, optmin) = execute(&Optmin, &params, adversary.clone()).unwrap();
-        let (_, early) = execute(&EarlyFloodMin, &params, adversary.clone()).unwrap();
-        let (_, flood) = execute(&FloodMin, &params, adversary.clone()).unwrap();
-        let (_, upmin) = execute(&UPmin, &params, adversary.clone()).unwrap();
-        let (_, uniform) = execute(&EarlyUniformFloodMin, &params, adversary).unwrap();
-        for i in 0..N {
-            if let Some(baseline) = early.decision_time(i) {
-                prop_assert!(optmin.decision_time(i).unwrap() <= baseline);
-            }
-            if let Some(baseline) = flood.decision_time(i) {
-                prop_assert!(optmin.decision_time(i).unwrap() <= baseline);
-            }
-            if let Some(baseline) = uniform.decision_time(i) {
-                prop_assert!(upmin.decision_time(i).unwrap() <= baseline);
+/// Optmin[k] dominates every nonuniform competitor pointwise, and
+/// u-Pmin[k] dominates the uniform failure-counting baseline pointwise —
+/// no process ever decides later under the paper's protocols.
+#[test]
+fn hidden_capacity_protocols_dominate_failure_counting() {
+    for k in 1usize..=3 {
+        for adversary in cases(0xB031 + k as u64, 3) {
+            let params =
+                TaskParams::with_max_value(SystemParams::new(N, T).unwrap(), k, 3).unwrap();
+            let (_, optmin) = execute(&Optmin, &params, adversary.clone()).unwrap();
+            let (_, early) = execute(&EarlyFloodMin, &params, adversary.clone()).unwrap();
+            let (_, flood) = execute(&FloodMin, &params, adversary.clone()).unwrap();
+            let (_, upmin) = execute(&UPmin, &params, adversary.clone()).unwrap();
+            let (_, uniform) = execute(&EarlyUniformFloodMin, &params, adversary).unwrap();
+            for i in 0..N {
+                if let Some(baseline) = early.decision_time(i) {
+                    assert!(optmin.decision_time(i).unwrap() <= baseline);
+                }
+                if let Some(baseline) = flood.decision_time(i) {
+                    assert!(optmin.decision_time(i).unwrap() <= baseline);
+                }
+                if let Some(baseline) = uniform.decision_time(i) {
+                    assert!(upmin.decision_time(i).unwrap() <= baseline);
+                }
             }
         }
     }
+}
 
-    /// Opt0 / Optmin[1] agreement: with binary inputs, all correct processes
-    /// decide the same value, and that value was someone's input.
-    #[test]
-    fn binary_consensus_special_case(adversary in adversaries(N, T, 1, MAX_ROUND)) {
+/// Opt0 / Optmin[1] agreement: with binary inputs, all correct processes
+/// decide the same value, and that value was someone's input.
+#[test]
+fn binary_consensus_special_case() {
+    for adversary in cases(0xB041, 1) {
         let params = params(1);
         let (run, transcript) = execute(&Optmin, &params, adversary).unwrap();
         let decided = transcript.decided_values_of_correct(&run);
-        prop_assert!(decided.len() <= 1);
-        prop_assert!(check::check(&run, &transcript, &params, TaskVariant::Nonuniform).is_empty());
+        assert!(decided.len() <= 1);
+        assert!(check::check(&run, &transcript, &params, TaskVariant::Nonuniform).is_empty());
     }
 }

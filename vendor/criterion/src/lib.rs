@@ -1,0 +1,151 @@
+//! Minimal wall-clock benchmark harness standing in for `criterion`.
+//!
+//! The build environment has no network access, so this crate provides the
+//! slice of criterion's API the workspace benches use —
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Criterion::bench_function`],
+//! [`BenchmarkId`] and [`Bencher::iter`] — measuring mean wall-clock time
+//! per iteration and printing one line per benchmark to stdout.  There are
+//! no statistical analyses or HTML reports; see `vendor/README.md`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(400);
+/// Warm-up iterations before measuring.
+const WARMUP_ITERS: u64 = 2;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+
+    /// Measures a single benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_benchmark(&id.to_string(), &mut f);
+    }
+}
+
+/// A named group of benchmarks (purely cosmetic in this stand-in).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Measures one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), &mut |b| f(b, input));
+    }
+
+    /// Measures one benchmark without an input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_benchmark(&format!("{}/{}", self.name, id), &mut f);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A two-part benchmark identifier, `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an identifier from a function name and a parameter label.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { function: function.to_string(), parameter: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Runs the closure handed to `iter` and accumulates timing.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    /// Number of measured iterations.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times the routine: a short warm-up, then however many iterations fit
+    /// in the target measurement window (at least 10).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        // Estimate a single iteration to size the batch.
+        let probe = Instant::now();
+        std::hint::black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(10, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        let total = start.elapsed();
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn run_benchmark(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    let (value, unit) = humanize(bencher.mean_ns);
+    println!("bench: {name:<60} {value:>10.2} {unit}/iter ({} iters)", bencher.iters);
+}
+
+fn humanize(ns: f64) -> (f64, &'static str) {
+    if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    }
+}
+
+/// Declares a benchmark group function that runs every listed target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,147 @@
+//! Deterministic stand-in for the slice of `rand` 0.9 this workspace uses.
+//!
+//! Provides [`rngs::StdRng`] (a SplitMix64 generator), [`SeedableRng`] with
+//! `seed_from_u64`, and the [`Rng`] extension methods `random_range` and
+//! `random_bool`.  The workspace only draws seeded pseudo-random adversaries
+//! for tests and benchmarks, so reproducibility matters and cryptographic or
+//! state-of-the-art statistical quality does not.  See `vendor/README.md`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core interface of a random number generator.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Extension methods for sampling, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from the given range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        // 53 high bits give a uniform double in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A range that a uniform value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample(self, rng: &mut impl RngCore) -> $ty {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
+                self.start + (rng.next_u64() as u128 % span) as $ty
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample(self, rng: &mut impl RngCore) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from an empty range");
+                let span = (end as u128) - (start as u128) + 1;
+                start + (rng.next_u64() as u128 % span) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The stand-in "standard" generator: SplitMix64.
+    ///
+    /// Deterministic across platforms and more than adequate for generating
+    /// test adversaries; not a reproduction of the real `StdRng`'s stream.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.random_range(0..1_000_000u64)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random_range(0..1_000_000u64)).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.random_range(0..1_000_000u64)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u32 = rng.random_range(3..=9);
+            assert!((3..=9).contains(&x));
+            let y: usize = rng.random_range(0..5);
+            assert!(y < 5);
+        }
+    }
+
+    #[test]
+    fn random_bool_respects_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "suspicious bias: {heads}");
+    }
+}

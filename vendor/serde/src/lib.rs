@@ -1,0 +1,287 @@
+//! Minimal stand-in for the crates.io `serde` crate.
+//!
+//! The build environment has no network access, so this crate provides just
+//! the slice of serde's API surface the workspace actually compiles against:
+//! the [`Serialize`]/[`Deserialize`] traits, the [`Serializer`] /
+//! [`Deserializer`] driver traits, sequence (de)serialization via
+//! [`ser::SerializeSeq`], [`de::Visitor`] and [`de::SeqAccess`], and the
+//! re-exported derive macros (which expand to nothing — see
+//! `vendor/README.md`).  Swapping the real `serde` back in requires no
+//! source change outside the root manifest.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value that can be serialized through a [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data format that can serialize values (driver side).
+pub trait Serializer: Sized {
+    /// The value produced by a successful serialization.
+    type Ok;
+    /// The error type of the format.
+    type Error: ser::Error;
+    /// The sub-serializer for sequences.
+    type SerializeSeq: ser::SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u32`.
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i64`.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Begins serializing a sequence of (optionally known) length.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Serializes an absent optional value.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a present optional value.
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Serialization-side helper traits.
+pub mod ser {
+    use super::Serialize;
+    use std::fmt::Display;
+
+    /// Errors produced by a [`super::Serializer`].
+    pub trait Error: Sized + std::error::Error {
+        /// Builds a custom error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Incremental serialization of a sequence.
+    pub trait SerializeSeq {
+        /// The value produced when the sequence ends.
+        type Ok;
+        /// The error type of the format.
+        type Error;
+        /// Serializes one element of the sequence.
+        fn serialize_element<T: ?Sized + Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the sequence.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+/// A value that can be deserialized through a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data format that can deserialize values (driver side).
+pub trait Deserializer<'de>: Sized {
+    /// The error type of the format.
+    type Error: de::Error;
+
+    /// Deserializes a `bool`, driving the given visitor.
+    fn deserialize_bool<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u32`, driving the given visitor.
+    fn deserialize_u32<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u64`, driving the given visitor.
+    fn deserialize_u64<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i64`, driving the given visitor.
+    fn deserialize_i64<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `f64`, driving the given visitor.
+    fn deserialize_f64<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a string, driving the given visitor.
+    fn deserialize_string<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a sequence, driving the given visitor.
+    fn deserialize_seq<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+}
+
+/// Deserialization-side helper traits.
+pub mod de {
+    use super::Deserialize;
+    use std::fmt;
+    use std::fmt::Display;
+
+    /// Errors produced by a [`super::Deserializer`].
+    pub trait Error: Sized + std::error::Error {
+        /// Builds a custom error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Drives the deserialization of one value.
+    pub trait Visitor<'de>: Sized {
+        /// The value this visitor produces.
+        type Value;
+
+        /// Formats a description of what the visitor expects.
+        fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+        /// Visits a `bool`.
+        fn visit_bool<E: Error>(self, _v: bool) -> Result<Self::Value, E> {
+            Err(E::custom(Unexpected(&self)))
+        }
+
+        /// Visits a `u32`.
+        fn visit_u32<E: Error>(self, _v: u32) -> Result<Self::Value, E> {
+            Err(E::custom(Unexpected(&self)))
+        }
+
+        /// Visits a `u64`.
+        fn visit_u64<E: Error>(self, _v: u64) -> Result<Self::Value, E> {
+            Err(E::custom(Unexpected(&self)))
+        }
+
+        /// Visits an `i64`.
+        fn visit_i64<E: Error>(self, _v: i64) -> Result<Self::Value, E> {
+            Err(E::custom(Unexpected(&self)))
+        }
+
+        /// Visits an `f64`.
+        fn visit_f64<E: Error>(self, _v: f64) -> Result<Self::Value, E> {
+            Err(E::custom(Unexpected(&self)))
+        }
+
+        /// Visits a borrowed string.
+        fn visit_str<E: Error>(self, _v: &str) -> Result<Self::Value, E> {
+            Err(E::custom(Unexpected(&self)))
+        }
+
+        /// Visits an owned string (delegates to [`Visitor::visit_str`]).
+        fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+            self.visit_str(&v)
+        }
+
+        /// Visits a sequence.
+        fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+            Err(<A::Error as Error>::custom(Unexpected(&self)))
+        }
+    }
+
+    /// Display adapter rendering a visitor's `expecting` message.
+    struct Unexpected<'a, V>(&'a V);
+
+    impl<'de, V: Visitor<'de>> Display for Unexpected<'_, V> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "unexpected input, expected ")?;
+            self.0.expecting(f)
+        }
+    }
+
+    /// Incremental access to the elements of a sequence.
+    pub trait SeqAccess<'de> {
+        /// The error type of the format.
+        type Error: Error;
+        /// Deserializes the next element, or `None` at the end.
+        fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+    }
+}
+
+macro_rules! impl_primitive {
+    ($ty:ty, $ser:ident, $de:ident, $visit:ident, $as:ty) => {
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$ser(*self as $as)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct PrimitiveVisitor;
+                impl<'de> de::Visitor<'de> for PrimitiveVisitor {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str(stringify!($ty))
+                    }
+                    fn $visit<E: de::Error>(self, v: $as) -> Result<$ty, E> {
+                        Ok(v as $ty)
+                    }
+                }
+                deserializer.$de(PrimitiveVisitor)
+            }
+        }
+    };
+}
+
+impl_primitive!(bool, serialize_bool, deserialize_bool, visit_bool, bool);
+impl_primitive!(u8, serialize_u32, deserialize_u32, visit_u32, u32);
+impl_primitive!(u16, serialize_u32, deserialize_u32, visit_u32, u32);
+impl_primitive!(u32, serialize_u32, deserialize_u32, visit_u32, u32);
+impl_primitive!(u64, serialize_u64, deserialize_u64, visit_u64, u64);
+impl_primitive!(usize, serialize_u64, deserialize_u64, visit_u64, u64);
+impl_primitive!(i32, serialize_i64, deserialize_i64, visit_i64, i64);
+impl_primitive!(i64, serialize_i64, deserialize_i64, visit_i64, i64);
+impl_primitive!(f64, serialize_f64, deserialize_f64, visit_f64, f64);
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StringVisitor;
+        impl<'de> de::Visitor<'de> for StringVisitor {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: de::Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+        }
+        deserializer.deserialize_string(StringVisitor)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeSeq;
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct VecVisitor<T>(std::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> de::Visitor<'de> for VecVisitor<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: de::SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::new();
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(VecVisitor(std::marker::PhantomData))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(value) => serializer.serialize_some(value),
+            None => serializer.serialize_none(),
+        }
+    }
+}

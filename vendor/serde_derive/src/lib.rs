@@ -1,0 +1,22 @@
+//! No-op stand-in for the real `serde_derive` proc-macro crate.
+//!
+//! The derive macros accept the usual `#[serde(...)]` helper attributes and
+//! expand to nothing: nothing in this workspace serializes derived types
+//! through a real data format, the derives only keep type definitions
+//! source-compatible with the crates.io `serde` (see `vendor/README.md`).
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers) and expands
+/// to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
