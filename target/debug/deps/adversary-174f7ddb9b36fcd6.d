@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adversary-174f7ddb9b36fcd6.d: crates/adversary/src/lib.rs crates/adversary/src/enumerate.rs crates/adversary/src/lemma2.rs crates/adversary/src/random.rs crates/adversary/src/scenarios.rs
+
+/root/repo/target/debug/deps/adversary-174f7ddb9b36fcd6: crates/adversary/src/lib.rs crates/adversary/src/enumerate.rs crates/adversary/src/lemma2.rs crates/adversary/src/random.rs crates/adversary/src/scenarios.rs
+
+crates/adversary/src/lib.rs:
+crates/adversary/src/enumerate.rs:
+crates/adversary/src/lemma2.rs:
+crates/adversary/src/random.rs:
+crates/adversary/src/scenarios.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/adversary-759f37373806a240.d: crates/adversary/src/lib.rs crates/adversary/src/enumerate.rs crates/adversary/src/lemma2.rs crates/adversary/src/random.rs crates/adversary/src/scenarios.rs
+
+/root/repo/target/debug/deps/libadversary-759f37373806a240.rlib: crates/adversary/src/lib.rs crates/adversary/src/enumerate.rs crates/adversary/src/lemma2.rs crates/adversary/src/random.rs crates/adversary/src/scenarios.rs
+
+/root/repo/target/debug/deps/libadversary-759f37373806a240.rmeta: crates/adversary/src/lib.rs crates/adversary/src/enumerate.rs crates/adversary/src/lemma2.rs crates/adversary/src/random.rs crates/adversary/src/scenarios.rs
+
+crates/adversary/src/lib.rs:
+crates/adversary/src/enumerate.rs:
+crates/adversary/src/lemma2.rs:
+crates/adversary/src/random.rs:
+crates/adversary/src/scenarios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adversary-c81d6cb90e6d1561.d: crates/adversary/src/lib.rs crates/adversary/src/enumerate.rs crates/adversary/src/lemma2.rs crates/adversary/src/random.rs crates/adversary/src/scenarios.rs
+
+/root/repo/target/debug/deps/libadversary-c81d6cb90e6d1561.rmeta: crates/adversary/src/lib.rs crates/adversary/src/enumerate.rs crates/adversary/src/lemma2.rs crates/adversary/src/random.rs crates/adversary/src/scenarios.rs
+
+crates/adversary/src/lib.rs:
+crates/adversary/src/enumerate.rs:
+crates/adversary/src/lemma2.rs:
+crates/adversary/src/random.rs:
+crates/adversary/src/scenarios.rs:

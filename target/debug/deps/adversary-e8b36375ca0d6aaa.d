@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/adversary-e8b36375ca0d6aaa.d: crates/adversary/src/lib.rs crates/adversary/src/enumerate.rs crates/adversary/src/lemma2.rs crates/adversary/src/random.rs crates/adversary/src/scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadversary-e8b36375ca0d6aaa.rmeta: crates/adversary/src/lib.rs crates/adversary/src/enumerate.rs crates/adversary/src/lemma2.rs crates/adversary/src/random.rs crates/adversary/src/scenarios.rs Cargo.toml
+
+crates/adversary/src/lib.rs:
+crates/adversary/src/enumerate.rs:
+crates/adversary/src/lemma2.rs:
+crates/adversary/src/random.rs:
+crates/adversary/src/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_fig4-d6c7f048f4f7c3e5.d: crates/bench/benches/bench_fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_fig4-d6c7f048f4f7c3e5.rmeta: crates/bench/benches/bench_fig4.rs Cargo.toml
+
+crates/bench/benches/bench_fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

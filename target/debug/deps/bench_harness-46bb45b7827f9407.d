@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench_harness-46bb45b7827f9407.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libbench_harness-46bb45b7827f9407.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libbench_harness-46bb45b7827f9407.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

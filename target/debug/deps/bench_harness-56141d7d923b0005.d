@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench_harness-56141d7d923b0005.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libbench_harness-56141d7d923b0005.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench_harness-769bbc9e8561b992.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/bench_harness-769bbc9e8561b992: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

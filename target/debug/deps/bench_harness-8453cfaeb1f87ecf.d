@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench_harness-8453cfaeb1f87ecf.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench_harness-8453cfaeb1f87ecf.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench_harness-8453cfaeb1f87ecf.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

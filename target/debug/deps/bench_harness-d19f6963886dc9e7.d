@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench_harness-d19f6963886dc9e7.d: crates/bench/src/lib.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_harness-d19f6963886dc9e7.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench_harness-e9078d7d4af0d62a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench_harness-e9078d7d4af0d62a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench_harness-e9078d7d4af0d62a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

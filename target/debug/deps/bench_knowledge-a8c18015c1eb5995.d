@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_knowledge-a8c18015c1eb5995.d: crates/bench/benches/bench_knowledge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_knowledge-a8c18015c1eb5995.rmeta: crates/bench/benches/bench_knowledge.rs Cargo.toml
+
+crates/bench/benches/bench_knowledge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

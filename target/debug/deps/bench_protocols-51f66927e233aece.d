@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_protocols-51f66927e233aece.d: crates/bench/benches/bench_protocols.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_protocols-51f66927e233aece.rmeta: crates/bench/benches/bench_protocols.rs Cargo.toml
+
+crates/bench/benches/bench_protocols.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_sweep-930df61ac751a92c.d: crates/bench/benches/bench_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_sweep-930df61ac751a92c.rmeta: crates/bench/benches/bench_sweep.rs Cargo.toml
+
+crates/bench/benches/bench_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_topology-8a1b044a4d08b916.d: crates/bench/benches/bench_topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_topology-8a1b044a4d08b916.rmeta: crates/bench/benches/bench_topology.rs Cargo.toml
+
+crates/bench/benches/bench_topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

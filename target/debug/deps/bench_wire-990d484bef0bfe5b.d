@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_wire-990d484bef0bfe5b.d: crates/bench/benches/bench_wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_wire-990d484bef0bfe5b.rmeta: crates/bench/benches/bench_wire.rs Cargo.toml
+
+crates/bench/benches/bench_wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

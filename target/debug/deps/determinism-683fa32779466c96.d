@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-683fa32779466c96.d: crates/sweep/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-683fa32779466c96: crates/sweep/tests/determinism.rs
+
+crates/sweep/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_appendix_e_bits-52a6c88fb31603b1.d: crates/bench/src/bin/exp_appendix_e_bits.rs
+
+/root/repo/target/debug/deps/exp_appendix_e_bits-52a6c88fb31603b1: crates/bench/src/bin/exp_appendix_e_bits.rs
+
+crates/bench/src/bin/exp_appendix_e_bits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_appendix_e_bits-5cdd868d1ffe27e7.d: crates/bench/src/bin/exp_appendix_e_bits.rs
+
+/root/repo/target/debug/deps/exp_appendix_e_bits-5cdd868d1ffe27e7: crates/bench/src/bin/exp_appendix_e_bits.rs
+
+crates/bench/src/bin/exp_appendix_e_bits.rs:

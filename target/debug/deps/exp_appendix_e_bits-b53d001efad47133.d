@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_appendix_e_bits-b53d001efad47133.d: crates/bench/src/bin/exp_appendix_e_bits.rs
+
+/root/repo/target/debug/deps/exp_appendix_e_bits-b53d001efad47133: crates/bench/src/bin/exp_appendix_e_bits.rs
+
+crates/bench/src/bin/exp_appendix_e_bits.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_appendix_e_bits-e171a3485c3730a7.d: crates/bench/src/bin/exp_appendix_e_bits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_appendix_e_bits-e171a3485c3730a7.rmeta: crates/bench/src/bin/exp_appendix_e_bits.rs Cargo.toml
+
+crates/bench/src/bin/exp_appendix_e_bits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_decision_time_survey-09da5819b9d49bf9.d: crates/bench/src/bin/exp_decision_time_survey.rs
+
+/root/repo/target/debug/deps/exp_decision_time_survey-09da5819b9d49bf9: crates/bench/src/bin/exp_decision_time_survey.rs
+
+crates/bench/src/bin/exp_decision_time_survey.rs:

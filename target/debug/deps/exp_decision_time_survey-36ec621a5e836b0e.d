@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_decision_time_survey-36ec621a5e836b0e.d: crates/bench/src/bin/exp_decision_time_survey.rs
+
+/root/repo/target/debug/deps/exp_decision_time_survey-36ec621a5e836b0e: crates/bench/src/bin/exp_decision_time_survey.rs
+
+crates/bench/src/bin/exp_decision_time_survey.rs:

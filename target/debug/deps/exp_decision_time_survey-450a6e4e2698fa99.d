@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_decision_time_survey-450a6e4e2698fa99.d: crates/bench/src/bin/exp_decision_time_survey.rs
+
+/root/repo/target/debug/deps/exp_decision_time_survey-450a6e4e2698fa99: crates/bench/src/bin/exp_decision_time_survey.rs
+
+crates/bench/src/bin/exp_decision_time_survey.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_decision_time_survey-509d36d21a8c0402.d: crates/bench/src/bin/exp_decision_time_survey.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_decision_time_survey-509d36d21a8c0402.rmeta: crates/bench/src/bin/exp_decision_time_survey.rs Cargo.toml
+
+crates/bench/src/bin/exp_decision_time_survey.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

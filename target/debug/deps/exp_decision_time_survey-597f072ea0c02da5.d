@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_decision_time_survey-597f072ea0c02da5.d: crates/bench/src/bin/exp_decision_time_survey.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_decision_time_survey-597f072ea0c02da5.rmeta: crates/bench/src/bin/exp_decision_time_survey.rs Cargo.toml
+
+crates/bench/src/bin/exp_decision_time_survey.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_decision_time_survey-91037042ed778dde.d: crates/bench/src/bin/exp_decision_time_survey.rs
+
+/root/repo/target/debug/deps/exp_decision_time_survey-91037042ed778dde: crates/bench/src/bin/exp_decision_time_survey.rs
+
+crates/bench/src/bin/exp_decision_time_survey.rs:

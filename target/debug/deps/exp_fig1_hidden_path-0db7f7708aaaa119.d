@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig1_hidden_path-0db7f7708aaaa119.d: crates/bench/src/bin/exp_fig1_hidden_path.rs
+
+/root/repo/target/debug/deps/exp_fig1_hidden_path-0db7f7708aaaa119: crates/bench/src/bin/exp_fig1_hidden_path.rs
+
+crates/bench/src/bin/exp_fig1_hidden_path.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig1_hidden_path-b1c6269367552023.d: crates/bench/src/bin/exp_fig1_hidden_path.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig1_hidden_path-b1c6269367552023.rmeta: crates/bench/src/bin/exp_fig1_hidden_path.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig1_hidden_path.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig1_hidden_path-b44d8b15c47cebd9.d: crates/bench/src/bin/exp_fig1_hidden_path.rs
+
+/root/repo/target/debug/deps/exp_fig1_hidden_path-b44d8b15c47cebd9: crates/bench/src/bin/exp_fig1_hidden_path.rs
+
+crates/bench/src/bin/exp_fig1_hidden_path.rs:

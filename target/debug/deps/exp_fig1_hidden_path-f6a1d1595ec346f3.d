@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig1_hidden_path-f6a1d1595ec346f3.d: crates/bench/src/bin/exp_fig1_hidden_path.rs
+
+/root/repo/target/debug/deps/exp_fig1_hidden_path-f6a1d1595ec346f3: crates/bench/src/bin/exp_fig1_hidden_path.rs
+
+crates/bench/src/bin/exp_fig1_hidden_path.rs:

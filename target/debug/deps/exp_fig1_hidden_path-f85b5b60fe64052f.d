@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig1_hidden_path-f85b5b60fe64052f.d: crates/bench/src/bin/exp_fig1_hidden_path.rs
+
+/root/repo/target/debug/deps/exp_fig1_hidden_path-f85b5b60fe64052f: crates/bench/src/bin/exp_fig1_hidden_path.rs
+
+crates/bench/src/bin/exp_fig1_hidden_path.rs:

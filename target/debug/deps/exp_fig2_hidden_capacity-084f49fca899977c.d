@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2_hidden_capacity-084f49fca899977c.d: crates/bench/src/bin/exp_fig2_hidden_capacity.rs
+
+/root/repo/target/debug/deps/exp_fig2_hidden_capacity-084f49fca899977c: crates/bench/src/bin/exp_fig2_hidden_capacity.rs
+
+crates/bench/src/bin/exp_fig2_hidden_capacity.rs:

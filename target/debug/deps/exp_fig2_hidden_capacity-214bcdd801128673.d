@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2_hidden_capacity-214bcdd801128673.d: crates/bench/src/bin/exp_fig2_hidden_capacity.rs
+
+/root/repo/target/debug/deps/exp_fig2_hidden_capacity-214bcdd801128673: crates/bench/src/bin/exp_fig2_hidden_capacity.rs
+
+crates/bench/src/bin/exp_fig2_hidden_capacity.rs:

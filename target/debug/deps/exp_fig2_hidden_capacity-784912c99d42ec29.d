@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2_hidden_capacity-784912c99d42ec29.d: crates/bench/src/bin/exp_fig2_hidden_capacity.rs
+
+/root/repo/target/debug/deps/exp_fig2_hidden_capacity-784912c99d42ec29: crates/bench/src/bin/exp_fig2_hidden_capacity.rs
+
+crates/bench/src/bin/exp_fig2_hidden_capacity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig2_hidden_capacity-de5641697ade392b.d: crates/bench/src/bin/exp_fig2_hidden_capacity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig2_hidden_capacity-de5641697ade392b.rmeta: crates/bench/src/bin/exp_fig2_hidden_capacity.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig2_hidden_capacity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3_lemma1-342fbdefb1a5c74c.d: crates/bench/src/bin/exp_fig3_lemma1.rs
+
+/root/repo/target/debug/deps/exp_fig3_lemma1-342fbdefb1a5c74c: crates/bench/src/bin/exp_fig3_lemma1.rs
+
+crates/bench/src/bin/exp_fig3_lemma1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3_lemma1-3f66639711008a86.d: crates/bench/src/bin/exp_fig3_lemma1.rs
+
+/root/repo/target/debug/deps/exp_fig3_lemma1-3f66639711008a86: crates/bench/src/bin/exp_fig3_lemma1.rs
+
+crates/bench/src/bin/exp_fig3_lemma1.rs:

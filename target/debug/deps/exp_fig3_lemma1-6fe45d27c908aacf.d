@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3_lemma1-6fe45d27c908aacf.d: crates/bench/src/bin/exp_fig3_lemma1.rs
+
+/root/repo/target/debug/deps/exp_fig3_lemma1-6fe45d27c908aacf: crates/bench/src/bin/exp_fig3_lemma1.rs
+
+crates/bench/src/bin/exp_fig3_lemma1.rs:

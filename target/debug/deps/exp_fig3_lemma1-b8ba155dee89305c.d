@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3_lemma1-b8ba155dee89305c.d: crates/bench/src/bin/exp_fig3_lemma1.rs
+
+/root/repo/target/debug/deps/exp_fig3_lemma1-b8ba155dee89305c: crates/bench/src/bin/exp_fig3_lemma1.rs
+
+crates/bench/src/bin/exp_fig3_lemma1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4_uniform_gap-27da4cba3047418f.d: crates/bench/src/bin/exp_fig4_uniform_gap.rs
+
+/root/repo/target/debug/deps/exp_fig4_uniform_gap-27da4cba3047418f: crates/bench/src/bin/exp_fig4_uniform_gap.rs
+
+crates/bench/src/bin/exp_fig4_uniform_gap.rs:

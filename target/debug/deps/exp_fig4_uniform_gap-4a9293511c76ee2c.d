@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4_uniform_gap-4a9293511c76ee2c.d: crates/bench/src/bin/exp_fig4_uniform_gap.rs
+
+/root/repo/target/debug/deps/exp_fig4_uniform_gap-4a9293511c76ee2c: crates/bench/src/bin/exp_fig4_uniform_gap.rs
+
+crates/bench/src/bin/exp_fig4_uniform_gap.rs:

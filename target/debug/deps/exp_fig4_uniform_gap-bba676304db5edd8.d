@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4_uniform_gap-bba676304db5edd8.d: crates/bench/src/bin/exp_fig4_uniform_gap.rs
+
+/root/repo/target/debug/deps/exp_fig4_uniform_gap-bba676304db5edd8: crates/bench/src/bin/exp_fig4_uniform_gap.rs
+
+crates/bench/src/bin/exp_fig4_uniform_gap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4_uniform_gap-c8ed94b0483addc0.d: crates/bench/src/bin/exp_fig4_uniform_gap.rs
+
+/root/repo/target/debug/deps/exp_fig4_uniform_gap-c8ed94b0483addc0: crates/bench/src/bin/exp_fig4_uniform_gap.rs
+
+crates/bench/src/bin/exp_fig4_uniform_gap.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig4_uniform_gap-ef4d90f0a40fa952.d: crates/bench/src/bin/exp_fig4_uniform_gap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig4_uniform_gap-ef4d90f0a40fa952.rmeta: crates/bench/src/bin/exp_fig4_uniform_gap.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig4_uniform_gap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_prop1_decision_bound-2966b40b4a88591c.d: crates/bench/src/bin/exp_prop1_decision_bound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_prop1_decision_bound-2966b40b4a88591c.rmeta: crates/bench/src/bin/exp_prop1_decision_bound.rs Cargo.toml
+
+crates/bench/src/bin/exp_prop1_decision_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_prop1_decision_bound-2f52a3d8a6d1f1e1.d: crates/bench/src/bin/exp_prop1_decision_bound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_prop1_decision_bound-2f52a3d8a6d1f1e1.rmeta: crates/bench/src/bin/exp_prop1_decision_bound.rs Cargo.toml
+
+crates/bench/src/bin/exp_prop1_decision_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

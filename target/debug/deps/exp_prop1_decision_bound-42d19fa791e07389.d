@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_prop1_decision_bound-42d19fa791e07389.d: crates/bench/src/bin/exp_prop1_decision_bound.rs
+
+/root/repo/target/debug/deps/exp_prop1_decision_bound-42d19fa791e07389: crates/bench/src/bin/exp_prop1_decision_bound.rs
+
+crates/bench/src/bin/exp_prop1_decision_bound.rs:

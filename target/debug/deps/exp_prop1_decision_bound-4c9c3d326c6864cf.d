@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_prop1_decision_bound-4c9c3d326c6864cf.d: crates/bench/src/bin/exp_prop1_decision_bound.rs
+
+/root/repo/target/debug/deps/exp_prop1_decision_bound-4c9c3d326c6864cf: crates/bench/src/bin/exp_prop1_decision_bound.rs
+
+crates/bench/src/bin/exp_prop1_decision_bound.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_prop2_connectivity-3d264cc31c04283a.d: crates/bench/src/bin/exp_prop2_connectivity.rs
+
+/root/repo/target/debug/deps/exp_prop2_connectivity-3d264cc31c04283a: crates/bench/src/bin/exp_prop2_connectivity.rs
+
+crates/bench/src/bin/exp_prop2_connectivity.rs:

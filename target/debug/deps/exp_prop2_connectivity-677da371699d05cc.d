@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_prop2_connectivity-677da371699d05cc.d: crates/bench/src/bin/exp_prop2_connectivity.rs
+
+/root/repo/target/debug/deps/exp_prop2_connectivity-677da371699d05cc: crates/bench/src/bin/exp_prop2_connectivity.rs
+
+crates/bench/src/bin/exp_prop2_connectivity.rs:

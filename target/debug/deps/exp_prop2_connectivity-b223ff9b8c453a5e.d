@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_prop2_connectivity-b223ff9b8c453a5e.d: crates/bench/src/bin/exp_prop2_connectivity.rs
+
+/root/repo/target/debug/deps/exp_prop2_connectivity-b223ff9b8c453a5e: crates/bench/src/bin/exp_prop2_connectivity.rs
+
+crates/bench/src/bin/exp_prop2_connectivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_prop2_connectivity-de3277a7908d8a5b.d: crates/bench/src/bin/exp_prop2_connectivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_prop2_connectivity-de3277a7908d8a5b.rmeta: crates/bench/src/bin/exp_prop2_connectivity.rs Cargo.toml
+
+crates/bench/src/bin/exp_prop2_connectivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_prop2_connectivity-f04d96e77873c6b5.d: crates/bench/src/bin/exp_prop2_connectivity.rs
+
+/root/repo/target/debug/deps/exp_prop2_connectivity-f04d96e77873c6b5: crates/bench/src/bin/exp_prop2_connectivity.rs
+
+crates/bench/src/bin/exp_prop2_connectivity.rs:

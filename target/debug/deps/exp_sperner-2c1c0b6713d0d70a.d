@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sperner-2c1c0b6713d0d70a.d: crates/bench/src/bin/exp_sperner.rs
+
+/root/repo/target/debug/deps/exp_sperner-2c1c0b6713d0d70a: crates/bench/src/bin/exp_sperner.rs
+
+crates/bench/src/bin/exp_sperner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sperner-2fcf5c6aded9dd70.d: crates/bench/src/bin/exp_sperner.rs
+
+/root/repo/target/debug/deps/exp_sperner-2fcf5c6aded9dd70: crates/bench/src/bin/exp_sperner.rs
+
+crates/bench/src/bin/exp_sperner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_sperner-c332f6aa42aaca67.d: crates/bench/src/bin/exp_sperner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_sperner-c332f6aa42aaca67.rmeta: crates/bench/src/bin/exp_sperner.rs Cargo.toml
+
+crates/bench/src/bin/exp_sperner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

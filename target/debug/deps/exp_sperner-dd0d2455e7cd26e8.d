@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sperner-dd0d2455e7cd26e8.d: crates/bench/src/bin/exp_sperner.rs
+
+/root/repo/target/debug/deps/exp_sperner-dd0d2455e7cd26e8: crates/bench/src/bin/exp_sperner.rs
+
+crates/bench/src/bin/exp_sperner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sperner-e745ac346bcc85e1.d: crates/bench/src/bin/exp_sperner.rs
+
+/root/repo/target/debug/deps/exp_sperner-e745ac346bcc85e1: crates/bench/src/bin/exp_sperner.rs
+
+crates/bench/src/bin/exp_sperner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_thm1_unbeatability-114de085b120b9e9.d: crates/bench/src/bin/exp_thm1_unbeatability.rs
+
+/root/repo/target/debug/deps/exp_thm1_unbeatability-114de085b120b9e9: crates/bench/src/bin/exp_thm1_unbeatability.rs
+
+crates/bench/src/bin/exp_thm1_unbeatability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_thm1_unbeatability-2d44635e721587d0.d: crates/bench/src/bin/exp_thm1_unbeatability.rs
+
+/root/repo/target/debug/deps/exp_thm1_unbeatability-2d44635e721587d0: crates/bench/src/bin/exp_thm1_unbeatability.rs
+
+crates/bench/src/bin/exp_thm1_unbeatability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_thm1_unbeatability-a826a54547c74da7.d: crates/bench/src/bin/exp_thm1_unbeatability.rs
+
+/root/repo/target/debug/deps/exp_thm1_unbeatability-a826a54547c74da7: crates/bench/src/bin/exp_thm1_unbeatability.rs
+
+crates/bench/src/bin/exp_thm1_unbeatability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_thm1_unbeatability-ce8e5584e2ddb3bb.d: crates/bench/src/bin/exp_thm1_unbeatability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_thm1_unbeatability-ce8e5584e2ddb3bb.rmeta: crates/bench/src/bin/exp_thm1_unbeatability.rs Cargo.toml
+
+crates/bench/src/bin/exp_thm1_unbeatability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_thm2_last_decider-0f298768e123e79e.d: crates/bench/src/bin/exp_thm2_last_decider.rs
+
+/root/repo/target/debug/deps/exp_thm2_last_decider-0f298768e123e79e: crates/bench/src/bin/exp_thm2_last_decider.rs
+
+crates/bench/src/bin/exp_thm2_last_decider.rs:

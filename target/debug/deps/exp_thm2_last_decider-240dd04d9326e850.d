@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_thm2_last_decider-240dd04d9326e850.d: crates/bench/src/bin/exp_thm2_last_decider.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_thm2_last_decider-240dd04d9326e850.rmeta: crates/bench/src/bin/exp_thm2_last_decider.rs Cargo.toml
+
+crates/bench/src/bin/exp_thm2_last_decider.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_thm2_last_decider-4c278fada1df8947.d: crates/bench/src/bin/exp_thm2_last_decider.rs
+
+/root/repo/target/debug/deps/exp_thm2_last_decider-4c278fada1df8947: crates/bench/src/bin/exp_thm2_last_decider.rs
+
+crates/bench/src/bin/exp_thm2_last_decider.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_thm2_last_decider-e79569e87a180501.d: crates/bench/src/bin/exp_thm2_last_decider.rs
+
+/root/repo/target/debug/deps/exp_thm2_last_decider-e79569e87a180501: crates/bench/src/bin/exp_thm2_last_decider.rs
+
+crates/bench/src/bin/exp_thm2_last_decider.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_thm3_uniform_bound-09a32b748fe3b683.d: crates/bench/src/bin/exp_thm3_uniform_bound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_thm3_uniform_bound-09a32b748fe3b683.rmeta: crates/bench/src/bin/exp_thm3_uniform_bound.rs Cargo.toml
+
+crates/bench/src/bin/exp_thm3_uniform_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_thm3_uniform_bound-39ae80c5514650ef.d: crates/bench/src/bin/exp_thm3_uniform_bound.rs
+
+/root/repo/target/debug/deps/exp_thm3_uniform_bound-39ae80c5514650ef: crates/bench/src/bin/exp_thm3_uniform_bound.rs
+
+crates/bench/src/bin/exp_thm3_uniform_bound.rs:

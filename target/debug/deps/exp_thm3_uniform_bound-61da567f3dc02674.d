@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_thm3_uniform_bound-61da567f3dc02674.d: crates/bench/src/bin/exp_thm3_uniform_bound.rs
+
+/root/repo/target/debug/deps/exp_thm3_uniform_bound-61da567f3dc02674: crates/bench/src/bin/exp_thm3_uniform_bound.rs
+
+crates/bench/src/bin/exp_thm3_uniform_bound.rs:

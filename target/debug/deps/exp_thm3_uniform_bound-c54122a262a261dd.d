@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_thm3_uniform_bound-c54122a262a261dd.d: crates/bench/src/bin/exp_thm3_uniform_bound.rs
+
+/root/repo/target/debug/deps/exp_thm3_uniform_bound-c54122a262a261dd: crates/bench/src/bin/exp_thm3_uniform_bound.rs
+
+crates/bench/src/bin/exp_thm3_uniform_bound.rs:

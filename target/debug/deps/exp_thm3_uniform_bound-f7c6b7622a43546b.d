@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_thm3_uniform_bound-f7c6b7622a43546b.d: crates/bench/src/bin/exp_thm3_uniform_bound.rs
+
+/root/repo/target/debug/deps/exp_thm3_uniform_bound-f7c6b7622a43546b: crates/bench/src/bin/exp_thm3_uniform_bound.rs
+
+crates/bench/src/bin/exp_thm3_uniform_bound.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_paper_claims-7eee0b5ab55dcf45.d: tests/integration_paper_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_paper_claims-7eee0b5ab55dcf45.rmeta: tests/integration_paper_claims.rs Cargo.toml
+
+tests/integration_paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_paper_claims-8ac240e3ea6e9169.d: tests/integration_paper_claims.rs
+
+/root/repo/target/debug/deps/integration_paper_claims-8ac240e3ea6e9169: tests/integration_paper_claims.rs
+
+tests/integration_paper_claims.rs:

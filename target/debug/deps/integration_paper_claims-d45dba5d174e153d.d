@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_paper_claims-d45dba5d174e153d.d: tests/integration_paper_claims.rs
+
+/root/repo/target/debug/deps/integration_paper_claims-d45dba5d174e153d: tests/integration_paper_claims.rs
+
+tests/integration_paper_claims.rs:

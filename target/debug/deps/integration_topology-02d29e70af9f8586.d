@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_topology-02d29e70af9f8586.d: tests/integration_topology.rs
+
+/root/repo/target/debug/deps/integration_topology-02d29e70af9f8586: tests/integration_topology.rs
+
+tests/integration_topology.rs:

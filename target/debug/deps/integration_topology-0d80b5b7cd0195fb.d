@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_topology-0d80b5b7cd0195fb.d: tests/integration_topology.rs
+
+/root/repo/target/debug/deps/integration_topology-0d80b5b7cd0195fb: tests/integration_topology.rs
+
+tests/integration_topology.rs:

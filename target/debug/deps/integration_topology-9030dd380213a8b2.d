@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_topology-9030dd380213a8b2.d: tests/integration_topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_topology-9030dd380213a8b2.rmeta: tests/integration_topology.rs Cargo.toml
+
+tests/integration_topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

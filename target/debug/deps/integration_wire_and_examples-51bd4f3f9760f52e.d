@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_wire_and_examples-51bd4f3f9760f52e.d: tests/integration_wire_and_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_wire_and_examples-51bd4f3f9760f52e.rmeta: tests/integration_wire_and_examples.rs Cargo.toml
+
+tests/integration_wire_and_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

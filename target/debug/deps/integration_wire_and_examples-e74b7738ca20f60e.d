@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_wire_and_examples-e74b7738ca20f60e.d: tests/integration_wire_and_examples.rs
+
+/root/repo/target/debug/deps/integration_wire_and_examples-e74b7738ca20f60e: tests/integration_wire_and_examples.rs
+
+tests/integration_wire_and_examples.rs:

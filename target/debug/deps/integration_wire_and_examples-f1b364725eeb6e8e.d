@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_wire_and_examples-f1b364725eeb6e8e.d: tests/integration_wire_and_examples.rs
+
+/root/repo/target/debug/deps/integration_wire_and_examples-f1b364725eeb6e8e: tests/integration_wire_and_examples.rs
+
+tests/integration_wire_and_examples.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/knowledge-212cfd5d70d340d5.d: crates/knowledge/src/lib.rs crates/knowledge/src/analysis.rs crates/knowledge/src/capacity.rs crates/knowledge/src/observation.rs crates/knowledge/src/status.rs
+
+/root/repo/target/debug/deps/libknowledge-212cfd5d70d340d5.rlib: crates/knowledge/src/lib.rs crates/knowledge/src/analysis.rs crates/knowledge/src/capacity.rs crates/knowledge/src/observation.rs crates/knowledge/src/status.rs
+
+/root/repo/target/debug/deps/libknowledge-212cfd5d70d340d5.rmeta: crates/knowledge/src/lib.rs crates/knowledge/src/analysis.rs crates/knowledge/src/capacity.rs crates/knowledge/src/observation.rs crates/knowledge/src/status.rs
+
+crates/knowledge/src/lib.rs:
+crates/knowledge/src/analysis.rs:
+crates/knowledge/src/capacity.rs:
+crates/knowledge/src/observation.rs:
+crates/knowledge/src/status.rs:

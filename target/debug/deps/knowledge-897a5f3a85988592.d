@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/knowledge-897a5f3a85988592.d: crates/knowledge/src/lib.rs crates/knowledge/src/analysis.rs crates/knowledge/src/capacity.rs crates/knowledge/src/observation.rs crates/knowledge/src/status.rs
+
+/root/repo/target/debug/deps/knowledge-897a5f3a85988592: crates/knowledge/src/lib.rs crates/knowledge/src/analysis.rs crates/knowledge/src/capacity.rs crates/knowledge/src/observation.rs crates/knowledge/src/status.rs
+
+crates/knowledge/src/lib.rs:
+crates/knowledge/src/analysis.rs:
+crates/knowledge/src/capacity.rs:
+crates/knowledge/src/observation.rs:
+crates/knowledge/src/status.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/knowledge-ac84502e85d2adaf.d: crates/knowledge/src/lib.rs crates/knowledge/src/analysis.rs crates/knowledge/src/capacity.rs crates/knowledge/src/observation.rs crates/knowledge/src/status.rs Cargo.toml
+
+/root/repo/target/debug/deps/libknowledge-ac84502e85d2adaf.rmeta: crates/knowledge/src/lib.rs crates/knowledge/src/analysis.rs crates/knowledge/src/capacity.rs crates/knowledge/src/observation.rs crates/knowledge/src/status.rs Cargo.toml
+
+crates/knowledge/src/lib.rs:
+crates/knowledge/src/analysis.rs:
+crates/knowledge/src/capacity.rs:
+crates/knowledge/src/observation.rs:
+crates/knowledge/src/status.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

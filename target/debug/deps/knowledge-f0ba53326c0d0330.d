@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/knowledge-f0ba53326c0d0330.d: crates/knowledge/src/lib.rs crates/knowledge/src/analysis.rs crates/knowledge/src/capacity.rs crates/knowledge/src/observation.rs crates/knowledge/src/status.rs
+
+/root/repo/target/debug/deps/libknowledge-f0ba53326c0d0330.rmeta: crates/knowledge/src/lib.rs crates/knowledge/src/analysis.rs crates/knowledge/src/capacity.rs crates/knowledge/src/observation.rs crates/knowledge/src/status.rs
+
+crates/knowledge/src/lib.rs:
+crates/knowledge/src/analysis.rs:
+crates/knowledge/src/capacity.rs:
+crates/knowledge/src/observation.rs:
+crates/knowledge/src/status.rs:

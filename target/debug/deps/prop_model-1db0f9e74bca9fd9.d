@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/prop_model-1db0f9e74bca9fd9.d: tests/prop_model.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/prop_model-1db0f9e74bca9fd9: tests/prop_model.rs tests/common/mod.rs
+
+tests/prop_model.rs:
+tests/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/prop_model-1dc4221fa7a12ecf.d: tests/prop_model.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/prop_model-1dc4221fa7a12ecf: tests/prop_model.rs tests/common/mod.rs
+
+tests/prop_model.rs:
+tests/common/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prop_model-941aeef39090f6e3.d: tests/prop_model.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_model-941aeef39090f6e3.rmeta: tests/prop_model.rs tests/common/mod.rs Cargo.toml
+
+tests/prop_model.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

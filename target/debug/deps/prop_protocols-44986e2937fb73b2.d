@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prop_protocols-44986e2937fb73b2.d: tests/prop_protocols.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_protocols-44986e2937fb73b2.rmeta: tests/prop_protocols.rs tests/common/mod.rs Cargo.toml
+
+tests/prop_protocols.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

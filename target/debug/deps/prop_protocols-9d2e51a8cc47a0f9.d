@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/prop_protocols-9d2e51a8cc47a0f9.d: tests/prop_protocols.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/prop_protocols-9d2e51a8cc47a0f9: tests/prop_protocols.rs tests/common/mod.rs
+
+tests/prop_protocols.rs:
+tests/common/mod.rs:

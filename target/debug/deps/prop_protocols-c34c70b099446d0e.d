@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/prop_protocols-c34c70b099446d0e.d: tests/prop_protocols.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/prop_protocols-c34c70b099446d0e: tests/prop_protocols.rs tests/common/mod.rs
+
+tests/prop_protocols.rs:
+tests/common/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-669f9789ed1af031.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-669f9789ed1af031: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-1eea21d92cf61af3.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-1eea21d92cf61af3.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-1eea21d92cf61af3.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-4f4b62fdaa5664ab.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-4f4b62fdaa5664ab: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-9c380fcdd6161139.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-9c380fcdd6161139.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

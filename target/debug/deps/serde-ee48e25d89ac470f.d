@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-ee48e25d89ac470f.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ee48e25d89ac470f.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ee48e25d89ac470f.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-60ae8eea37dddc56.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-60ae8eea37dddc56.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-e33078648112e68c.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-e33078648112e68c: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

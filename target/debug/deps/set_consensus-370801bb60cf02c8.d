@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/set_consensus-370801bb60cf02c8.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/check.rs crates/core/src/domination.rs crates/core/src/executor.rs crates/core/src/opt0.rs crates/core/src/optmin.rs crates/core/src/params.rs crates/core/src/protocol.rs crates/core/src/transcript.rs crates/core/src/u_pmin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libset_consensus-370801bb60cf02c8.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/check.rs crates/core/src/domination.rs crates/core/src/executor.rs crates/core/src/opt0.rs crates/core/src/optmin.rs crates/core/src/params.rs crates/core/src/protocol.rs crates/core/src/transcript.rs crates/core/src/u_pmin.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/check.rs:
+crates/core/src/domination.rs:
+crates/core/src/executor.rs:
+crates/core/src/opt0.rs:
+crates/core/src/optmin.rs:
+crates/core/src/params.rs:
+crates/core/src/protocol.rs:
+crates/core/src/transcript.rs:
+crates/core/src/u_pmin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/set_consensus-3df1fded4ecf0fbe.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/check.rs crates/core/src/domination.rs crates/core/src/executor.rs crates/core/src/opt0.rs crates/core/src/optmin.rs crates/core/src/params.rs crates/core/src/protocol.rs crates/core/src/transcript.rs crates/core/src/u_pmin.rs
+
+/root/repo/target/debug/deps/set_consensus-3df1fded4ecf0fbe: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/check.rs crates/core/src/domination.rs crates/core/src/executor.rs crates/core/src/opt0.rs crates/core/src/optmin.rs crates/core/src/params.rs crates/core/src/protocol.rs crates/core/src/transcript.rs crates/core/src/u_pmin.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/check.rs:
+crates/core/src/domination.rs:
+crates/core/src/executor.rs:
+crates/core/src/opt0.rs:
+crates/core/src/optmin.rs:
+crates/core/src/params.rs:
+crates/core/src/protocol.rs:
+crates/core/src/transcript.rs:
+crates/core/src/u_pmin.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep-03ce1877e667f109.d: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/experiments.rs crates/sweep/src/reduce.rs crates/sweep/src/source.rs
+
+/root/repo/target/debug/deps/sweep-03ce1877e667f109: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/experiments.rs crates/sweep/src/reduce.rs crates/sweep/src/source.rs
+
+crates/sweep/src/lib.rs:
+crates/sweep/src/engine.rs:
+crates/sweep/src/experiments.rs:
+crates/sweep/src/reduce.rs:
+crates/sweep/src/source.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-4e0ade9b076c1dd1.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-4e0ade9b076c1dd1: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sweep-71a33ae432eb7675.d: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/experiments.rs crates/sweep/src/reduce.rs crates/sweep/src/source.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep-71a33ae432eb7675.rmeta: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/experiments.rs crates/sweep/src/reduce.rs crates/sweep/src/source.rs Cargo.toml
+
+crates/sweep/src/lib.rs:
+crates/sweep/src/engine.rs:
+crates/sweep/src/experiments.rs:
+crates/sweep/src/reduce.rs:
+crates/sweep/src/source.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-a4af87513f236147.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-a4af87513f236147: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sweep-a7124733019c237a.d: crates/sweep/src/lib.rs
+
+/root/repo/target/debug/deps/libsweep-a7124733019c237a.rlib: crates/sweep/src/lib.rs
+
+/root/repo/target/debug/deps/libsweep-a7124733019c237a.rmeta: crates/sweep/src/lib.rs
+
+crates/sweep/src/lib.rs:

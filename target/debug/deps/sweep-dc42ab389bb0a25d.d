@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep-dc42ab389bb0a25d.d: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/experiments.rs crates/sweep/src/reduce.rs crates/sweep/src/source.rs
+
+/root/repo/target/debug/deps/libsweep-dc42ab389bb0a25d.rmeta: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/experiments.rs crates/sweep/src/reduce.rs crates/sweep/src/source.rs
+
+crates/sweep/src/lib.rs:
+crates/sweep/src/engine.rs:
+crates/sweep/src/experiments.rs:
+crates/sweep/src/reduce.rs:
+crates/sweep/src/source.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sweep-e267fbb9d2aa21f3.d: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/experiments.rs crates/sweep/src/reduce.rs crates/sweep/src/source.rs
+
+/root/repo/target/debug/deps/libsweep-e267fbb9d2aa21f3.rlib: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/experiments.rs crates/sweep/src/reduce.rs crates/sweep/src/source.rs
+
+/root/repo/target/debug/deps/libsweep-e267fbb9d2aa21f3.rmeta: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/experiments.rs crates/sweep/src/reduce.rs crates/sweep/src/source.rs
+
+crates/sweep/src/lib.rs:
+crates/sweep/src/engine.rs:
+crates/sweep/src/experiments.rs:
+crates/sweep/src/reduce.rs:
+crates/sweep/src/source.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/synchrony-1c0c7fe6d8953c13.d: crates/synchrony/src/lib.rs crates/synchrony/src/adversary.rs crates/synchrony/src/error.rs crates/synchrony/src/failure.rs crates/synchrony/src/input.rs crates/synchrony/src/node.rs crates/synchrony/src/params.rs crates/synchrony/src/pid.rs crates/synchrony/src/run.rs crates/synchrony/src/time.rs crates/synchrony/src/value.rs crates/synchrony/src/view.rs crates/synchrony/src/wire.rs
+
+/root/repo/target/debug/deps/libsynchrony-1c0c7fe6d8953c13.rlib: crates/synchrony/src/lib.rs crates/synchrony/src/adversary.rs crates/synchrony/src/error.rs crates/synchrony/src/failure.rs crates/synchrony/src/input.rs crates/synchrony/src/node.rs crates/synchrony/src/params.rs crates/synchrony/src/pid.rs crates/synchrony/src/run.rs crates/synchrony/src/time.rs crates/synchrony/src/value.rs crates/synchrony/src/view.rs crates/synchrony/src/wire.rs
+
+/root/repo/target/debug/deps/libsynchrony-1c0c7fe6d8953c13.rmeta: crates/synchrony/src/lib.rs crates/synchrony/src/adversary.rs crates/synchrony/src/error.rs crates/synchrony/src/failure.rs crates/synchrony/src/input.rs crates/synchrony/src/node.rs crates/synchrony/src/params.rs crates/synchrony/src/pid.rs crates/synchrony/src/run.rs crates/synchrony/src/time.rs crates/synchrony/src/value.rs crates/synchrony/src/view.rs crates/synchrony/src/wire.rs
+
+crates/synchrony/src/lib.rs:
+crates/synchrony/src/adversary.rs:
+crates/synchrony/src/error.rs:
+crates/synchrony/src/failure.rs:
+crates/synchrony/src/input.rs:
+crates/synchrony/src/node.rs:
+crates/synchrony/src/params.rs:
+crates/synchrony/src/pid.rs:
+crates/synchrony/src/run.rs:
+crates/synchrony/src/time.rs:
+crates/synchrony/src/value.rs:
+crates/synchrony/src/view.rs:
+crates/synchrony/src/wire.rs:

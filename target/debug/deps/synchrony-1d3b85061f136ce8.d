@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/synchrony-1d3b85061f136ce8.d: crates/synchrony/src/lib.rs crates/synchrony/src/adversary.rs crates/synchrony/src/error.rs crates/synchrony/src/failure.rs crates/synchrony/src/input.rs crates/synchrony/src/node.rs crates/synchrony/src/params.rs crates/synchrony/src/pid.rs crates/synchrony/src/run.rs crates/synchrony/src/time.rs crates/synchrony/src/value.rs crates/synchrony/src/view.rs crates/synchrony/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsynchrony-1d3b85061f136ce8.rmeta: crates/synchrony/src/lib.rs crates/synchrony/src/adversary.rs crates/synchrony/src/error.rs crates/synchrony/src/failure.rs crates/synchrony/src/input.rs crates/synchrony/src/node.rs crates/synchrony/src/params.rs crates/synchrony/src/pid.rs crates/synchrony/src/run.rs crates/synchrony/src/time.rs crates/synchrony/src/value.rs crates/synchrony/src/view.rs crates/synchrony/src/wire.rs Cargo.toml
+
+crates/synchrony/src/lib.rs:
+crates/synchrony/src/adversary.rs:
+crates/synchrony/src/error.rs:
+crates/synchrony/src/failure.rs:
+crates/synchrony/src/input.rs:
+crates/synchrony/src/node.rs:
+crates/synchrony/src/params.rs:
+crates/synchrony/src/pid.rs:
+crates/synchrony/src/run.rs:
+crates/synchrony/src/time.rs:
+crates/synchrony/src/value.rs:
+crates/synchrony/src/view.rs:
+crates/synchrony/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

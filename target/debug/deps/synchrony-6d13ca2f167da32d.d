@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/synchrony-6d13ca2f167da32d.d: crates/synchrony/src/lib.rs crates/synchrony/src/adversary.rs crates/synchrony/src/error.rs crates/synchrony/src/failure.rs crates/synchrony/src/input.rs crates/synchrony/src/node.rs crates/synchrony/src/params.rs crates/synchrony/src/pid.rs crates/synchrony/src/run.rs crates/synchrony/src/time.rs crates/synchrony/src/value.rs crates/synchrony/src/view.rs crates/synchrony/src/wire.rs
+
+/root/repo/target/debug/deps/libsynchrony-6d13ca2f167da32d.rlib: crates/synchrony/src/lib.rs crates/synchrony/src/adversary.rs crates/synchrony/src/error.rs crates/synchrony/src/failure.rs crates/synchrony/src/input.rs crates/synchrony/src/node.rs crates/synchrony/src/params.rs crates/synchrony/src/pid.rs crates/synchrony/src/run.rs crates/synchrony/src/time.rs crates/synchrony/src/value.rs crates/synchrony/src/view.rs crates/synchrony/src/wire.rs
+
+/root/repo/target/debug/deps/libsynchrony-6d13ca2f167da32d.rmeta: crates/synchrony/src/lib.rs crates/synchrony/src/adversary.rs crates/synchrony/src/error.rs crates/synchrony/src/failure.rs crates/synchrony/src/input.rs crates/synchrony/src/node.rs crates/synchrony/src/params.rs crates/synchrony/src/pid.rs crates/synchrony/src/run.rs crates/synchrony/src/time.rs crates/synchrony/src/value.rs crates/synchrony/src/view.rs crates/synchrony/src/wire.rs
+
+crates/synchrony/src/lib.rs:
+crates/synchrony/src/adversary.rs:
+crates/synchrony/src/error.rs:
+crates/synchrony/src/failure.rs:
+crates/synchrony/src/input.rs:
+crates/synchrony/src/node.rs:
+crates/synchrony/src/params.rs:
+crates/synchrony/src/pid.rs:
+crates/synchrony/src/run.rs:
+crates/synchrony/src/time.rs:
+crates/synchrony/src/value.rs:
+crates/synchrony/src/view.rs:
+crates/synchrony/src/wire.rs:

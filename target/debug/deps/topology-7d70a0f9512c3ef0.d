@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/topology-7d70a0f9512c3ef0.d: crates/topology/src/lib.rs crates/topology/src/complex.rs crates/topology/src/homology.rs crates/topology/src/protocol_complex.rs crates/topology/src/simplex.rs crates/topology/src/sperner.rs crates/topology/src/subdivision.rs
+
+/root/repo/target/debug/deps/topology-7d70a0f9512c3ef0: crates/topology/src/lib.rs crates/topology/src/complex.rs crates/topology/src/homology.rs crates/topology/src/protocol_complex.rs crates/topology/src/simplex.rs crates/topology/src/sperner.rs crates/topology/src/subdivision.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/complex.rs:
+crates/topology/src/homology.rs:
+crates/topology/src/protocol_complex.rs:
+crates/topology/src/simplex.rs:
+crates/topology/src/sperner.rs:
+crates/topology/src/subdivision.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/topology-ac9a21ee9151b6cf.d: crates/topology/src/lib.rs crates/topology/src/complex.rs crates/topology/src/homology.rs crates/topology/src/protocol_complex.rs crates/topology/src/simplex.rs crates/topology/src/sperner.rs crates/topology/src/subdivision.rs
+
+/root/repo/target/debug/deps/libtopology-ac9a21ee9151b6cf.rlib: crates/topology/src/lib.rs crates/topology/src/complex.rs crates/topology/src/homology.rs crates/topology/src/protocol_complex.rs crates/topology/src/simplex.rs crates/topology/src/sperner.rs crates/topology/src/subdivision.rs
+
+/root/repo/target/debug/deps/libtopology-ac9a21ee9151b6cf.rmeta: crates/topology/src/lib.rs crates/topology/src/complex.rs crates/topology/src/homology.rs crates/topology/src/protocol_complex.rs crates/topology/src/simplex.rs crates/topology/src/sperner.rs crates/topology/src/subdivision.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/complex.rs:
+crates/topology/src/homology.rs:
+crates/topology/src/protocol_complex.rs:
+crates/topology/src/simplex.rs:
+crates/topology/src/sperner.rs:
+crates/topology/src/subdivision.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/topology-ceb51bb03fc8f95e.d: crates/topology/src/lib.rs crates/topology/src/complex.rs crates/topology/src/homology.rs crates/topology/src/protocol_complex.rs crates/topology/src/simplex.rs crates/topology/src/sperner.rs crates/topology/src/subdivision.rs
+
+/root/repo/target/debug/deps/libtopology-ceb51bb03fc8f95e.rmeta: crates/topology/src/lib.rs crates/topology/src/complex.rs crates/topology/src/homology.rs crates/topology/src/protocol_complex.rs crates/topology/src/simplex.rs crates/topology/src/sperner.rs crates/topology/src/subdivision.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/complex.rs:
+crates/topology/src/homology.rs:
+crates/topology/src/protocol_complex.rs:
+crates/topology/src/simplex.rs:
+crates/topology/src/sperner.rs:
+crates/topology/src/subdivision.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/topology-dc01dd5fc999e5b4.d: crates/topology/src/lib.rs crates/topology/src/complex.rs crates/topology/src/homology.rs crates/topology/src/protocol_complex.rs crates/topology/src/simplex.rs crates/topology/src/sperner.rs crates/topology/src/subdivision.rs
+
+/root/repo/target/debug/deps/libtopology-dc01dd5fc999e5b4.rlib: crates/topology/src/lib.rs crates/topology/src/complex.rs crates/topology/src/homology.rs crates/topology/src/protocol_complex.rs crates/topology/src/simplex.rs crates/topology/src/sperner.rs crates/topology/src/subdivision.rs
+
+/root/repo/target/debug/deps/libtopology-dc01dd5fc999e5b4.rmeta: crates/topology/src/lib.rs crates/topology/src/complex.rs crates/topology/src/homology.rs crates/topology/src/protocol_complex.rs crates/topology/src/simplex.rs crates/topology/src/sperner.rs crates/topology/src/subdivision.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/complex.rs:
+crates/topology/src/homology.rs:
+crates/topology/src/protocol_complex.rs:
+crates/topology/src/simplex.rs:
+crates/topology/src/sperner.rs:
+crates/topology/src/subdivision.rs:

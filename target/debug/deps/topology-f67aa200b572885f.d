@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/topology-f67aa200b572885f.d: crates/topology/src/lib.rs crates/topology/src/complex.rs crates/topology/src/homology.rs crates/topology/src/protocol_complex.rs crates/topology/src/simplex.rs crates/topology/src/sperner.rs crates/topology/src/subdivision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopology-f67aa200b572885f.rmeta: crates/topology/src/lib.rs crates/topology/src/complex.rs crates/topology/src/homology.rs crates/topology/src/protocol_complex.rs crates/topology/src/simplex.rs crates/topology/src/sperner.rs crates/topology/src/subdivision.rs Cargo.toml
+
+crates/topology/src/lib.rs:
+crates/topology/src/complex.rs:
+crates/topology/src/homology.rs:
+crates/topology/src/protocol_complex.rs:
+crates/topology/src/simplex.rs:
+crates/topology/src/sperner.rs:
+crates/topology/src/subdivision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/unbeatable_set_consensus-13224de304e9bf5e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libunbeatable_set_consensus-13224de304e9bf5e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libunbeatable_set_consensus-13224de304e9bf5e.rmeta: src/lib.rs
+
+src/lib.rs:

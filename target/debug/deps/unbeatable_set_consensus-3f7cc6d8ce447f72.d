@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/unbeatable_set_consensus-3f7cc6d8ce447f72.d: src/lib.rs
+
+/root/repo/target/debug/deps/libunbeatable_set_consensus-3f7cc6d8ce447f72.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libunbeatable_set_consensus-3f7cc6d8ce447f72.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/unbeatable_set_consensus-79b699e66835d467.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libunbeatable_set_consensus-79b699e66835d467.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

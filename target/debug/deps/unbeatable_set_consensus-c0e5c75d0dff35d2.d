@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/unbeatable_set_consensus-c0e5c75d0dff35d2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libunbeatable_set_consensus-c0e5c75d0dff35d2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libunbeatable_set_consensus-c0e5c75d0dff35d2.rmeta: src/lib.rs
+
+src/lib.rs:

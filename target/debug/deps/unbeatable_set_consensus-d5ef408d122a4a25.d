@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/unbeatable_set_consensus-d5ef408d122a4a25.d: src/lib.rs
+
+/root/repo/target/debug/deps/unbeatable_set_consensus-d5ef408d122a4a25: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9f0eb5cb19974471.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9f0eb5cb19974471: examples/quickstart.rs
+
+examples/quickstart.rs:

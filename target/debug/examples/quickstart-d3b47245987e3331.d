@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d3b47245987e3331.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d3b47245987e3331: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/topology_tour-432377c162aeb42f.d: examples/topology_tour.rs
+
+/root/repo/target/debug/examples/topology_tour-432377c162aeb42f: examples/topology_tour.rs
+
+examples/topology_tour.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/topology_tour-8d8fc78f343adc40.d: examples/topology_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtopology_tour-8d8fc78f343adc40.rmeta: examples/topology_tour.rs Cargo.toml
+
+examples/topology_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/topology_tour-9b09310dced23177.d: examples/topology_tour.rs
+
+/root/repo/target/debug/examples/topology_tour-9b09310dced23177: examples/topology_tour.rs
+
+examples/topology_tour.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/unbeatability_audit-4a69e6d25b3213eb.d: examples/unbeatability_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libunbeatability_audit-4a69e6d25b3213eb.rmeta: examples/unbeatability_audit.rs Cargo.toml
+
+examples/unbeatability_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

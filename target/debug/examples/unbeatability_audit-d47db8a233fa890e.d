@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/unbeatability_audit-d47db8a233fa890e.d: examples/unbeatability_audit.rs
+
+/root/repo/target/debug/examples/unbeatability_audit-d47db8a233fa890e: examples/unbeatability_audit.rs
+
+examples/unbeatability_audit.rs:

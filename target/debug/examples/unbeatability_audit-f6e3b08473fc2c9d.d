@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/unbeatability_audit-f6e3b08473fc2c9d.d: examples/unbeatability_audit.rs
+
+/root/repo/target/debug/examples/unbeatability_audit-f6e3b08473fc2c9d: examples/unbeatability_audit.rs
+
+examples/unbeatability_audit.rs:

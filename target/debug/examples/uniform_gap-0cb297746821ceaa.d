@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/uniform_gap-0cb297746821ceaa.d: examples/uniform_gap.rs Cargo.toml
+
+/root/repo/target/debug/examples/libuniform_gap-0cb297746821ceaa.rmeta: examples/uniform_gap.rs Cargo.toml
+
+examples/uniform_gap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

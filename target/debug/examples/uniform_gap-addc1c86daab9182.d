@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/uniform_gap-addc1c86daab9182.d: examples/uniform_gap.rs
+
+/root/repo/target/debug/examples/uniform_gap-addc1c86daab9182: examples/uniform_gap.rs
+
+examples/uniform_gap.rs:

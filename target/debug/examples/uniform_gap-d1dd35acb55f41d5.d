@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/uniform_gap-d1dd35acb55f41d5.d: examples/uniform_gap.rs
+
+/root/repo/target/debug/examples/uniform_gap-d1dd35acb55f41d5: examples/uniform_gap.rs
+
+examples/uniform_gap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wire_efficiency-08e6d747016ef179.d: examples/wire_efficiency.rs
+
+/root/repo/target/debug/examples/wire_efficiency-08e6d747016ef179: examples/wire_efficiency.rs
+
+examples/wire_efficiency.rs:

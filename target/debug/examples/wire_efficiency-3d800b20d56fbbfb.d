@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wire_efficiency-3d800b20d56fbbfb.d: examples/wire_efficiency.rs
+
+/root/repo/target/debug/examples/wire_efficiency-3d800b20d56fbbfb: examples/wire_efficiency.rs
+
+examples/wire_efficiency.rs:

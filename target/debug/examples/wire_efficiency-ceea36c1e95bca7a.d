@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wire_efficiency-ceea36c1e95bca7a.d: examples/wire_efficiency.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwire_efficiency-ceea36c1e95bca7a.rmeta: examples/wire_efficiency.rs Cargo.toml
+
+examples/wire_efficiency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["synchrony",[["impl&lt;P: <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.Into.html\" title=\"trait core::convert::Into\">Into</a>&lt;<a class=\"struct\" href=\"synchrony/pid/struct.ProcessId.html\" title=\"struct synchrony::pid::ProcessId\">ProcessId</a>&gt;&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/collect/trait.Extend.html\" title=\"trait core::iter::traits::collect::Extend\">Extend</a>&lt;P&gt; for <a class=\"struct\" href=\"synchrony/pid/struct.PidSet.html\" title=\"struct synchrony::pid::PidSet\">PidSet</a>",0],["impl&lt;V: <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.Into.html\" title=\"trait core::convert::Into\">Into</a>&lt;<a class=\"struct\" href=\"synchrony/value/struct.Value.html\" title=\"struct synchrony::value::Value\">Value</a>&gt;&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/collect/trait.Extend.html\" title=\"trait core::iter::traits::collect::Extend\">Extend</a>&lt;V&gt; for <a class=\"struct\" href=\"synchrony/value/struct.ValueSet.html\" title=\"struct synchrony::value::ValueSet\">ValueSet</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[1173]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["adversary",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/iterator/trait.Iterator.html\" title=\"trait core::iter::traits::iterator::Iterator\">Iterator</a> for <a class=\"struct\" href=\"adversary/random/struct.RandomAdversaries.html\" title=\"struct adversary::random::RandomAdversaries\">RandomAdversaries</a>",0]]],["synchrony",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/iterator/trait.Iterator.html\" title=\"trait core::iter::traits::iterator::Iterator\">Iterator</a> for <a class=\"struct\" href=\"synchrony/pid/struct.Iter.html\" title=\"struct synchrony::pid::Iter\">Iter</a>&lt;'_&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[357,323]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["synchrony",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.Add.html\" title=\"trait core::ops::arith::Add\">Add</a>&lt;<a class=\"primitive\" href=\"https://doc.rust-lang.org/1.95.0/std/primitive.u32.html\">u32</a>&gt; for <a class=\"struct\" href=\"synchrony/time/struct.Time.html\" title=\"struct synchrony::time::Time\">Time</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[379]}

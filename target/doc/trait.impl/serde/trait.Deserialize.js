@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["serde",[]],["synchrony",[["impl&lt;'de&gt; <a class=\"trait\" href=\"serde/trait.Deserialize.html\" title=\"trait serde::Deserialize\">Deserialize</a>&lt;'de&gt; for <a class=\"struct\" href=\"synchrony/pid/struct.PidSet.html\" title=\"struct synchrony::pid::PidSet\">PidSet</a>",0]]],["synchrony",[["impl&lt;'de&gt; Deserialize&lt;'de&gt; for <a class=\"struct\" href=\"synchrony/pid/struct.PidSet.html\" title=\"struct synchrony::pid::PidSet\">PidSet</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[12,274,178]}

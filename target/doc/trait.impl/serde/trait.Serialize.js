@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["serde",[]],["synchrony",[["impl <a class=\"trait\" href=\"serde/trait.Serialize.html\" title=\"trait serde::Serialize\">Serialize</a> for <a class=\"struct\" href=\"synchrony/pid/struct.PidSet.html\" title=\"struct synchrony::pid::PidSet\">PidSet</a>",0]]],["synchrony",[["impl Serialize for <a class=\"struct\" href=\"synchrony/pid/struct.PidSet.html\" title=\"struct synchrony::pid::PidSet\">PidSet</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[12,246,154]}

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/adversary-4c18d8a8b8e76617.d: crates/adversary/src/lib.rs crates/adversary/src/enumerate.rs crates/adversary/src/lemma2.rs crates/adversary/src/random.rs crates/adversary/src/scenarios.rs
+
+/root/repo/target/release/deps/libadversary-4c18d8a8b8e76617.rlib: crates/adversary/src/lib.rs crates/adversary/src/enumerate.rs crates/adversary/src/lemma2.rs crates/adversary/src/random.rs crates/adversary/src/scenarios.rs
+
+/root/repo/target/release/deps/libadversary-4c18d8a8b8e76617.rmeta: crates/adversary/src/lib.rs crates/adversary/src/enumerate.rs crates/adversary/src/lemma2.rs crates/adversary/src/random.rs crates/adversary/src/scenarios.rs
+
+crates/adversary/src/lib.rs:
+crates/adversary/src/enumerate.rs:
+crates/adversary/src/lemma2.rs:
+crates/adversary/src/random.rs:
+crates/adversary/src/scenarios.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bench_harness-984ab2da40201ab3.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libbench_harness-984ab2da40201ab3.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libbench_harness-984ab2da40201ab3.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

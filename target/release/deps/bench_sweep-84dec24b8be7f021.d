@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_sweep-84dec24b8be7f021.d: crates/bench/benches/bench_sweep.rs
+
+/root/repo/target/release/deps/bench_sweep-84dec24b8be7f021: crates/bench/benches/bench_sweep.rs
+
+crates/bench/benches/bench_sweep.rs:

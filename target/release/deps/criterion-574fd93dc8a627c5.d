@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-574fd93dc8a627c5.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-574fd93dc8a627c5.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-574fd93dc8a627c5.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

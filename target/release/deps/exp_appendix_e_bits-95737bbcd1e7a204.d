@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_appendix_e_bits-95737bbcd1e7a204.d: crates/bench/src/bin/exp_appendix_e_bits.rs
+
+/root/repo/target/release/deps/exp_appendix_e_bits-95737bbcd1e7a204: crates/bench/src/bin/exp_appendix_e_bits.rs
+
+crates/bench/src/bin/exp_appendix_e_bits.rs:

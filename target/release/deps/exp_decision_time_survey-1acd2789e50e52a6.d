@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_decision_time_survey-1acd2789e50e52a6.d: crates/bench/src/bin/exp_decision_time_survey.rs
+
+/root/repo/target/release/deps/exp_decision_time_survey-1acd2789e50e52a6: crates/bench/src/bin/exp_decision_time_survey.rs
+
+crates/bench/src/bin/exp_decision_time_survey.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig1_hidden_path-81da0109ffb3442a.d: crates/bench/src/bin/exp_fig1_hidden_path.rs
+
+/root/repo/target/release/deps/exp_fig1_hidden_path-81da0109ffb3442a: crates/bench/src/bin/exp_fig1_hidden_path.rs
+
+crates/bench/src/bin/exp_fig1_hidden_path.rs:

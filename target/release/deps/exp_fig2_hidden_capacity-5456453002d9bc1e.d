@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig2_hidden_capacity-5456453002d9bc1e.d: crates/bench/src/bin/exp_fig2_hidden_capacity.rs
+
+/root/repo/target/release/deps/exp_fig2_hidden_capacity-5456453002d9bc1e: crates/bench/src/bin/exp_fig2_hidden_capacity.rs
+
+crates/bench/src/bin/exp_fig2_hidden_capacity.rs:

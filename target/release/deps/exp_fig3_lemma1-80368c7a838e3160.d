@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig3_lemma1-80368c7a838e3160.d: crates/bench/src/bin/exp_fig3_lemma1.rs
+
+/root/repo/target/release/deps/exp_fig3_lemma1-80368c7a838e3160: crates/bench/src/bin/exp_fig3_lemma1.rs
+
+crates/bench/src/bin/exp_fig3_lemma1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig4_uniform_gap-94788a3655bad12a.d: crates/bench/src/bin/exp_fig4_uniform_gap.rs
+
+/root/repo/target/release/deps/exp_fig4_uniform_gap-94788a3655bad12a: crates/bench/src/bin/exp_fig4_uniform_gap.rs
+
+crates/bench/src/bin/exp_fig4_uniform_gap.rs:

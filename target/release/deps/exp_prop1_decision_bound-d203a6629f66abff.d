@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_prop1_decision_bound-d203a6629f66abff.d: crates/bench/src/bin/exp_prop1_decision_bound.rs
+
+/root/repo/target/release/deps/exp_prop1_decision_bound-d203a6629f66abff: crates/bench/src/bin/exp_prop1_decision_bound.rs
+
+crates/bench/src/bin/exp_prop1_decision_bound.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_prop2_connectivity-086eb2182ca7e46f.d: crates/bench/src/bin/exp_prop2_connectivity.rs
+
+/root/repo/target/release/deps/exp_prop2_connectivity-086eb2182ca7e46f: crates/bench/src/bin/exp_prop2_connectivity.rs
+
+crates/bench/src/bin/exp_prop2_connectivity.rs:

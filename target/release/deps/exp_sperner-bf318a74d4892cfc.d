@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_sperner-bf318a74d4892cfc.d: crates/bench/src/bin/exp_sperner.rs
+
+/root/repo/target/release/deps/exp_sperner-bf318a74d4892cfc: crates/bench/src/bin/exp_sperner.rs
+
+crates/bench/src/bin/exp_sperner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_thm1_unbeatability-34692a3a20c8be74.d: crates/bench/src/bin/exp_thm1_unbeatability.rs
+
+/root/repo/target/release/deps/exp_thm1_unbeatability-34692a3a20c8be74: crates/bench/src/bin/exp_thm1_unbeatability.rs
+
+crates/bench/src/bin/exp_thm1_unbeatability.rs:

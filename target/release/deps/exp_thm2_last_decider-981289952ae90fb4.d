@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_thm2_last_decider-981289952ae90fb4.d: crates/bench/src/bin/exp_thm2_last_decider.rs
+
+/root/repo/target/release/deps/exp_thm2_last_decider-981289952ae90fb4: crates/bench/src/bin/exp_thm2_last_decider.rs
+
+crates/bench/src/bin/exp_thm2_last_decider.rs:

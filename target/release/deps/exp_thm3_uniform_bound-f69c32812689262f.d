@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_thm3_uniform_bound-f69c32812689262f.d: crates/bench/src/bin/exp_thm3_uniform_bound.rs
+
+/root/repo/target/release/deps/exp_thm3_uniform_bound-f69c32812689262f: crates/bench/src/bin/exp_thm3_uniform_bound.rs
+
+crates/bench/src/bin/exp_thm3_uniform_bound.rs:

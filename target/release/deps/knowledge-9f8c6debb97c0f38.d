@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/knowledge-9f8c6debb97c0f38.d: crates/knowledge/src/lib.rs crates/knowledge/src/analysis.rs crates/knowledge/src/capacity.rs crates/knowledge/src/observation.rs crates/knowledge/src/status.rs
+
+/root/repo/target/release/deps/libknowledge-9f8c6debb97c0f38.rlib: crates/knowledge/src/lib.rs crates/knowledge/src/analysis.rs crates/knowledge/src/capacity.rs crates/knowledge/src/observation.rs crates/knowledge/src/status.rs
+
+/root/repo/target/release/deps/libknowledge-9f8c6debb97c0f38.rmeta: crates/knowledge/src/lib.rs crates/knowledge/src/analysis.rs crates/knowledge/src/capacity.rs crates/knowledge/src/observation.rs crates/knowledge/src/status.rs
+
+crates/knowledge/src/lib.rs:
+crates/knowledge/src/analysis.rs:
+crates/knowledge/src/capacity.rs:
+crates/knowledge/src/observation.rs:
+crates/knowledge/src/status.rs:

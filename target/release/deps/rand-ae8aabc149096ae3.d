@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-ae8aabc149096ae3.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ae8aabc149096ae3.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ae8aabc149096ae3.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-b242607be86ceaf4.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b242607be86ceaf4.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b242607be86ceaf4.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-a3c5800abc8ac373.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-a3c5800abc8ac373.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

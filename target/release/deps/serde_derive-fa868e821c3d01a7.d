@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-fa868e821c3d01a7.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-fa868e821c3d01a7.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

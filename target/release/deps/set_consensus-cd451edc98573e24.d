@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/set_consensus-cd451edc98573e24.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/check.rs crates/core/src/domination.rs crates/core/src/executor.rs crates/core/src/opt0.rs crates/core/src/optmin.rs crates/core/src/params.rs crates/core/src/protocol.rs crates/core/src/transcript.rs crates/core/src/u_pmin.rs
+
+/root/repo/target/release/deps/libset_consensus-cd451edc98573e24.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/check.rs crates/core/src/domination.rs crates/core/src/executor.rs crates/core/src/opt0.rs crates/core/src/optmin.rs crates/core/src/params.rs crates/core/src/protocol.rs crates/core/src/transcript.rs crates/core/src/u_pmin.rs
+
+/root/repo/target/release/deps/libset_consensus-cd451edc98573e24.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/check.rs crates/core/src/domination.rs crates/core/src/executor.rs crates/core/src/opt0.rs crates/core/src/optmin.rs crates/core/src/params.rs crates/core/src/protocol.rs crates/core/src/transcript.rs crates/core/src/u_pmin.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/check.rs:
+crates/core/src/domination.rs:
+crates/core/src/executor.rs:
+crates/core/src/opt0.rs:
+crates/core/src/optmin.rs:
+crates/core/src/params.rs:
+crates/core/src/protocol.rs:
+crates/core/src/transcript.rs:
+crates/core/src/u_pmin.rs:

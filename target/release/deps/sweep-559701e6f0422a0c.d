@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sweep-559701e6f0422a0c.d: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/experiments.rs crates/sweep/src/reduce.rs crates/sweep/src/source.rs
+
+/root/repo/target/release/deps/libsweep-559701e6f0422a0c.rlib: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/experiments.rs crates/sweep/src/reduce.rs crates/sweep/src/source.rs
+
+/root/repo/target/release/deps/libsweep-559701e6f0422a0c.rmeta: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/experiments.rs crates/sweep/src/reduce.rs crates/sweep/src/source.rs
+
+crates/sweep/src/lib.rs:
+crates/sweep/src/engine.rs:
+crates/sweep/src/experiments.rs:
+crates/sweep/src/reduce.rs:
+crates/sweep/src/source.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-d1aa000bcbbe9472.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-d1aa000bcbbe9472: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

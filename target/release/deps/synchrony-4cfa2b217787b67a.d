@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/synchrony-4cfa2b217787b67a.d: crates/synchrony/src/lib.rs crates/synchrony/src/adversary.rs crates/synchrony/src/error.rs crates/synchrony/src/failure.rs crates/synchrony/src/input.rs crates/synchrony/src/node.rs crates/synchrony/src/params.rs crates/synchrony/src/pid.rs crates/synchrony/src/run.rs crates/synchrony/src/time.rs crates/synchrony/src/value.rs crates/synchrony/src/view.rs crates/synchrony/src/wire.rs
+
+/root/repo/target/release/deps/libsynchrony-4cfa2b217787b67a.rlib: crates/synchrony/src/lib.rs crates/synchrony/src/adversary.rs crates/synchrony/src/error.rs crates/synchrony/src/failure.rs crates/synchrony/src/input.rs crates/synchrony/src/node.rs crates/synchrony/src/params.rs crates/synchrony/src/pid.rs crates/synchrony/src/run.rs crates/synchrony/src/time.rs crates/synchrony/src/value.rs crates/synchrony/src/view.rs crates/synchrony/src/wire.rs
+
+/root/repo/target/release/deps/libsynchrony-4cfa2b217787b67a.rmeta: crates/synchrony/src/lib.rs crates/synchrony/src/adversary.rs crates/synchrony/src/error.rs crates/synchrony/src/failure.rs crates/synchrony/src/input.rs crates/synchrony/src/node.rs crates/synchrony/src/params.rs crates/synchrony/src/pid.rs crates/synchrony/src/run.rs crates/synchrony/src/time.rs crates/synchrony/src/value.rs crates/synchrony/src/view.rs crates/synchrony/src/wire.rs
+
+crates/synchrony/src/lib.rs:
+crates/synchrony/src/adversary.rs:
+crates/synchrony/src/error.rs:
+crates/synchrony/src/failure.rs:
+crates/synchrony/src/input.rs:
+crates/synchrony/src/node.rs:
+crates/synchrony/src/params.rs:
+crates/synchrony/src/pid.rs:
+crates/synchrony/src/run.rs:
+crates/synchrony/src/time.rs:
+crates/synchrony/src/value.rs:
+crates/synchrony/src/view.rs:
+crates/synchrony/src/wire.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/unbeatable_set_consensus-01bda4cdd976a8ac.d: src/lib.rs
+
+/root/repo/target/release/deps/libunbeatable_set_consensus-01bda4cdd976a8ac.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libunbeatable_set_consensus-01bda4cdd976a8ac.rmeta: src/lib.rs
+
+src/lib.rs:

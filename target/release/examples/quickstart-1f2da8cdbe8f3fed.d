@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-1f2da8cdbe8f3fed.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-1f2da8cdbe8f3fed: examples/quickstart.rs
+
+examples/quickstart.rs:
