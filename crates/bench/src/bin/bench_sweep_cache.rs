@@ -1,0 +1,76 @@
+//! Perf snapshot of the cross-adversary analysis cache on the exhaustive
+//! Theorem 1 scope — the acceptance measurement of the cache work.
+//!
+//! Runs `sweep::experiments::thm1` twice on a sequential configuration
+//! (wall times stay comparable on any core count): once with the
+//! view-keyed analysis cache disabled and once enabled, verifies the two
+//! produce identical tables, and writes a `BENCH_sweep_cache.json`
+//! snapshot recording wall time, the number of full `ViewAnalysis`
+//! constructions, the constructions avoided, and the reduction factor —
+//! so the perf trajectory of the sweep hot path is recorded in-repo.
+//!
+//! ```text
+//! bench_sweep_cache [output.json]     # default: BENCH_sweep_cache.json
+//! ```
+
+use std::time::Instant;
+
+use bench_harness::report;
+use sweep::experiments;
+use sweep::SweepConfig;
+
+fn main() {
+    let output = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sweep_cache.json".to_owned());
+    let uncached_config = SweepConfig { cache: false, ..SweepConfig::sequential() };
+    let cached_config = SweepConfig::sequential();
+
+    let start = Instant::now();
+    let (uncached_rows, uncached_stats) =
+        experiments::thm1_with_stats(&uncached_config).expect("built-in scopes are well formed");
+    let uncached_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let (cached_rows, cached_stats) =
+        experiments::thm1_with_stats(&cached_config).expect("built-in scopes are well formed");
+    let cached_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(cached_rows, uncached_rows, "the cache must not change the fold");
+
+    let reduction = uncached_stats.cache.constructions() as f64
+        / cached_stats.cache.constructions().max(1) as f64;
+    let speedup = uncached_ms / cached_ms.max(1e-9);
+
+    eprintln!("uncached: {}", report::sweep_stats_line(&uncached_stats));
+    eprintln!("cached:   {}", report::sweep_stats_line(&cached_stats));
+    eprintln!(
+        "constructions {:.2}x fewer, wall {:.0} ms -> {:.0} ms ({:.2}x)",
+        reduction, uncached_ms, cached_ms, speedup
+    );
+
+    // The vendored serde stub has no serializer; the snapshot is small and
+    // flat, so it is rendered by hand.
+    let json = format!(
+        "{{\n  \"experiment\": \"exp_thm1_unbeatability exhaustive scopes\",\n  \
+         \"config\": {{ \"shards\": 1, \"threads\": 1 }},\n  \
+         \"scenarios\": {scenarios},\n  \
+         \"uncached\": {{ \"wall_ms\": {uncached_ms:.1}, \"analyses_constructed\": {uc} }},\n  \
+         \"cached\": {{ \"wall_ms\": {cached_ms:.1}, \"analyses_constructed\": {cc}, \
+         \"cache_hits\": {hits}, \"hit_rate\": {rate:.4} }},\n  \
+         \"constructions_avoided\": {avoided},\n  \
+         \"construction_reduction_factor\": {reduction:.2},\n  \
+         \"wall_speedup\": {speedup:.2}\n}}\n",
+        scenarios = cached_stats.scenarios,
+        uc = uncached_stats.cache.constructions(),
+        cc = cached_stats.cache.constructions(),
+        hits = cached_stats.cache.hits,
+        rate = cached_stats.cache.hit_rate(),
+        avoided = cached_stats.cache.constructions_avoided(),
+    );
+    std::fs::write(&output, json).expect("writing the snapshot");
+    println!("wrote {output}");
+
+    assert!(
+        reduction >= 3.0,
+        "acceptance: expected a >=3x reduction in ViewAnalysis constructions, got {reduction:.2}x"
+    );
+}

@@ -26,12 +26,18 @@ fn main() {
         Ok(config) => config,
         Err(message) => {
             eprintln!(
-                "{message}\nusage: exp_thm1_unbeatability [--shards N] [--threads N] [--seed N]"
+                "{message}\nusage: exp_thm1_unbeatability \
+                 [--shards N] [--threads N] [--seed N] [--no-cache]"
             );
             std::process::exit(2);
         }
     };
-    let rows = experiments::thm1(&config).expect("the built-in scopes are well formed");
+    let (rows, stats) =
+        experiments::thm1_with_stats(&config).expect("the built-in scopes are well formed");
     println!("{}", report::thm1_table(&rows));
     println!("{}", report::THM1_CLAIM);
+    // The table above is parallelism-invariant; the stats line below may
+    // legally vary with --threads/--shards (per-worker caches) and is
+    // printed to stderr so output diffs stay clean.
+    eprintln!("{}", report::sweep_stats_line(&stats));
 }

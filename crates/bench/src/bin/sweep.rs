@@ -2,7 +2,7 @@
 //! the sharded, work-stealing engine of the `sweep` crate.
 //!
 //! ```text
-//! sweep <thm1|thm3|fig4|prop2|all> [--shards N] [--threads N] [--seed N]
+//! sweep <thm1|thm3|fig4|prop2|all> [--shards N] [--threads N] [--seed N] [--no-cache]
 //! ```
 //!
 //! The fold results are independent of `--shards` and `--threads`: for the
@@ -13,7 +13,7 @@ use bench_harness::{report, sweep_config_from_args};
 use sweep::experiments;
 
 const USAGE: &str = "usage: sweep <thm1|thm3|fig4|prop2|all> \
-                     [--shards N] [--threads N] [--seed N]";
+                     [--shards N] [--threads N] [--seed N] [--no-cache]";
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -32,8 +32,12 @@ fn main() {
     let run = |name: &str| -> Result<(), synchrony::ModelError> {
         match name {
             "thm1" => {
-                println!("{}", report::thm1_table(&experiments::thm1(&config)?));
+                let (rows, stats) = experiments::thm1_with_stats(&config)?;
+                println!("{}", report::thm1_table(&rows));
                 println!("{}", report::THM1_CLAIM);
+                // Stats may vary with parallelism; stderr keeps stdout diffs
+                // (the CI determinism smoke test) parallelism-invariant.
+                eprintln!("{}", report::sweep_stats_line(&stats));
             }
             "thm3" => {
                 println!("{}", report::thm3_table(&experiments::thm3(&config)?));

@@ -96,9 +96,9 @@ impl fmt::Display for Table {
 }
 
 /// Parses the sweep flags shared by the experiment binaries and the `sweep`
-/// CLI — `--shards N`, `--threads N`, `--seed N` — into a
+/// CLI — `--shards N`, `--threads N`, `--seed N`, `--no-cache` — into a
 /// [`sweep::SweepConfig`], starting from the engine defaults (automatic
-/// parallelism, seed 1605).
+/// parallelism, seed 1605, analysis cache on).
 ///
 /// # Errors
 ///
@@ -126,6 +126,9 @@ pub fn sweep_config_from_args(
                 config.seed = value_of("--seed")?
                     .parse()
                     .map_err(|e| format!("invalid --seed value: {e}"))?;
+            }
+            "--no-cache" => {
+                config.cache = false;
             }
             other => return Err(format!("unknown flag {other}")),
         }

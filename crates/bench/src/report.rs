@@ -6,8 +6,24 @@
 //! fold data.
 
 use sweep::experiments::{Fig4Row, Prop2Report, Thm1Case, Thm3Row};
+use sweep::SweepStats;
 
 use crate::Table;
+
+/// Renders the execution statistics of a sweep — scenario count and the
+/// analysis-cache counters — as the one-line trailer the experiment
+/// binaries print under their tables.
+pub fn sweep_stats_line(stats: &SweepStats) -> String {
+    format!(
+        "sweep stats: {} scenarios; knowledge analyses: {} requested, {} constructed, \
+         {} served from cache (hit rate {:.1}%)",
+        stats.scenarios,
+        stats.cache.lookups(),
+        stats.cache.constructions(),
+        stats.cache.constructions_avoided(),
+        stats.cache.hit_rate() * 100.0,
+    )
+}
 
 /// The paper-claim trailer of the Theorem 1 experiment.
 pub const THM1_CLAIM: &str =

@@ -1,6 +1,6 @@
 //! Execution of a protocol against an adversary.
 
-use knowledge::ViewAnalysis;
+use knowledge::{AnalysisCache, ViewAnalysis};
 use synchrony::{Adversary, ModelError, Node, Run, Time};
 
 use crate::{Decision, DecisionContext, Protocol, TaskParams, Transcript};
@@ -68,10 +68,15 @@ pub fn execute(
 /// * the per-protocol decision buffers (and the [`Transcript`]s wrapping
 ///   them) are reused across runs;
 /// * each node's knowledge analysis is computed **once per run** and shared
-///   by every protocol in the batch, instead of once per protocol.
+///   by every protocol in the batch, instead of once per protocol;
+/// * with [`BatchRunner::cached`], the *structural* part of each analysis is
+///   additionally shared **across runs** through a view-keyed
+///   [`AnalysisCache`]: adversaries that induce the same view pattern at a
+///   node (the common case in exhaustive sweeps, where input vectors are
+///   crossed with failure patterns) reuse one construction.
 ///
 /// The produced transcripts are identical (`==`) to those of
-/// [`execute_on_run`] executed per protocol.
+/// [`execute_on_run`] executed per protocol — with or without the cache.
 ///
 /// ```
 /// use set_consensus::{executor::BatchRunner, Optmin, FloodMin, TaskParams};
@@ -86,17 +91,44 @@ pub fn execute(
 /// assert!(transcripts.iter().all(|t| t.all_correct_decided(run)));
 /// # Ok::<(), synchrony::ModelError>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct BatchRunner {
     run: Option<Run>,
     transcripts: Vec<Transcript>,
+    cache: AnalysisCache,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner::new()
+    }
 }
 
 impl BatchRunner {
-    /// Creates an empty runner; buffers are allocated lazily by the first
-    /// batch.
+    /// Creates an empty runner without a cross-run analysis cache; buffers
+    /// are allocated lazily by the first batch.
     pub fn new() -> Self {
-        BatchRunner::default()
+        BatchRunner::with_cache(AnalysisCache::disabled())
+    }
+
+    /// Creates an empty runner with an enabled cross-run [`AnalysisCache`].
+    pub fn cached() -> Self {
+        BatchRunner::with_cache(AnalysisCache::new())
+    }
+
+    /// Creates an empty runner around an existing cache handle (shared or
+    /// disabled), so several runners — or a runner and auxiliary analyses —
+    /// can pool one cache.
+    pub fn with_cache(cache: AnalysisCache) -> Self {
+        BatchRunner { run: None, transcripts: Vec::new(), cache }
+    }
+
+    /// Returns a handle to the runner's analysis cache.  The handle shares
+    /// state with the runner, so job code can run extra per-node analyses
+    /// through the same cache (clone it *before* borrowing the runner's run)
+    /// and read the hit/miss counters afterwards.
+    pub fn cache(&self) -> &AnalysisCache {
+        &self.cache
     }
 
     /// Simulates the run induced by `adversary` (rebuilding the previous
@@ -147,7 +179,7 @@ impl BatchRunner {
                 if self.transcripts.iter().all(|t| t.decisions[i].is_some()) {
                     continue;
                 }
-                let analysis = ViewAnalysis::new(run, Node::new(i, time))?;
+                let analysis = self.cache.analyze(run, Node::new(i, time))?;
                 let ctx = DecisionContext::new(params, &analysis);
                 for (transcript, protocol) in self.transcripts.iter_mut().zip(protocols) {
                     if transcript.decisions[i].is_none() {
@@ -262,6 +294,7 @@ mod tests {
         let protocols: [&dyn Protocol; 3] = [&Optmin, &EarlyFloodMin, &FloodMin];
         let mut rng = StdRng::seed_from_u64(99);
         let mut runner = BatchRunner::new();
+        let mut cached_runner = BatchRunner::cached();
         for _ in 0..25 {
             // A small random adversary.
             let values: Vec<u64> = (0..n).map(|_| rng.random_range(0..=k as u64)).collect();
@@ -280,13 +313,24 @@ mod tests {
             let (run, batched) =
                 runner.execute_batch(&protocols, &params, adversary.clone()).unwrap();
             let reference_run =
-                synchrony::Run::generate(params.system(), adversary, params.horizon()).unwrap();
+                synchrony::Run::generate(params.system(), adversary.clone(), params.horizon())
+                    .unwrap();
             assert_eq!(run, &reference_run);
             for (protocol, transcript) in protocols.iter().zip(batched) {
                 let reference = execute_on_run(*protocol, &params, &reference_run).unwrap();
                 assert_eq!(transcript, &reference);
             }
+            // The cross-run cache must not change a single decision.
+            let (cached_run, cached) =
+                cached_runner.execute_batch(&protocols, &params, adversary).unwrap();
+            assert_eq!(cached_run, &reference_run);
+            for (protocol, transcript) in protocols.iter().zip(cached) {
+                let reference = execute_on_run(*protocol, &params, &reference_run).unwrap();
+                assert_eq!(transcript, &reference);
+            }
         }
+        let stats = cached_runner.cache().stats();
+        assert!(stats.hits > 0, "repeated view patterns must hit the cache");
     }
 
     #[test]

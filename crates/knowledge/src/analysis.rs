@@ -41,36 +41,49 @@ pub struct ViewAnalysis {
     persistent: ValueSet,
 }
 
-impl ViewAnalysis {
-    /// Analyzes the node `⟨i, m⟩` of `run`.
+/// The input-value-independent part of a [`ViewAnalysis`].
+///
+/// Everything here is determined by the *pattern* of the observer's view —
+/// its [`synchrony::ViewKey`] — alone: relabeling the initial values of the
+/// adversary changes none of these fields.  That makes the structure safe to
+/// share across adversaries through [`crate::AnalysisCache`];
+/// [`ViewStructure::complete`] then recomputes the (cheap) value-dependent
+/// fields against a concrete run.
+#[derive(Debug, Clone)]
+pub(crate) struct ViewStructure {
+    node: Node,
+    n: usize,
+    t: usize,
+    seen: SeenLayers,
+    capacity: HiddenCapacity,
+    prev_capacity: Option<usize>,
+    earliest_known_crash: Vec<Option<Round>>,
+    known_crashed: PidSet,
+    observations: DirectObservations,
+    /// Layer-0 seen set of the observer's previous node (`None` at time 0) —
+    /// the support of `Vals⟨i, m − 1⟩`.
+    prev_seen0: Option<PidSet>,
+    /// Layer-0 seen set of every time-`(m − 1)` witness, in increasing
+    /// process order of `seen.layer(m − 1)` — the supports behind the
+    /// persistence witness counts of Definition 3.
+    witness_seen0: Vec<PidSet>,
+}
+
+impl ViewStructure {
+    /// Computes the structural analysis of the node `⟨i, m⟩` of `run`.
     ///
     /// # Errors
     ///
-    /// Returns an error if the node lies beyond the run's horizon, its process
-    /// is out of range, or the process has already crashed at that time (a
-    /// crashed node has no local state to analyze).
-    pub fn new(run: &Run, node: Node) -> Result<Self, ModelError> {
-        run.check_time(node.time)?;
-        run.params().check_process(node.process)?;
-        if !run.is_active(node.process, node.time) {
-            return Err(ModelError::InactiveNode {
-                process: node.process.index(),
-                time: node.time.value() as u64,
-            });
-        }
+    /// Returns an error if the node lies beyond the run's horizon, its
+    /// process is out of range, or the process has already crashed at that
+    /// time (a crashed node has no local state to analyze).
+    pub(crate) fn compute(run: &Run, node: Node) -> Result<Self, ModelError> {
+        validate_node(run, node)?;
 
         let n = run.n();
         let t = run.t();
         let m = node.time.index();
         let seen = run.seen(node.process, node.time).clone();
-
-        // Values seen now and at the observer's previous node.
-        let vals = values_seen(run, &seen);
-        let prev_vals = if m > 0 {
-            values_seen(run, run.seen(node.process, node.time - 1))
-        } else {
-            ValueSet::new()
-        };
 
         // Provable crashes: a seen node did not hear from the process.
         let mut earliest_known_crash: Vec<Option<Round>> = vec![None; n];
@@ -126,20 +139,61 @@ impl ViewAnalysis {
 
         let observations = DirectObservations::compute(run, node);
 
-        // Persistence (Definition 3).
-        let d = known_crashed.len();
-        let needed = t.saturating_sub(d);
+        // Persistence supports: the subviews of seen nodes are determined by
+        // the observer's view, so these sets are structural too.
+        let (prev_seen0, witness_seen0) = if m > 0 {
+            let prev_time = node.time - 1;
+            let prev_seen0 = run.seen(node.process, prev_time).layer(Time::ZERO).clone();
+            let witness_seen0 = seen
+                .layer(prev_time)
+                .iter()
+                .map(|j| run.seen(j, prev_time).layer(Time::ZERO).clone())
+                .collect();
+            (Some(prev_seen0), witness_seen0)
+        } else {
+            (None, Vec::new())
+        };
+
+        Ok(ViewStructure {
+            node,
+            n,
+            t,
+            seen,
+            capacity,
+            prev_capacity,
+            earliest_known_crash,
+            known_crashed,
+            observations,
+            prev_seen0,
+            witness_seen0,
+        })
+    }
+
+    /// Completes the structure against a concrete run's initial values,
+    /// producing a [`ViewAnalysis`] identical (`==`) to
+    /// [`ViewAnalysis::new`] of that run and node.
+    ///
+    /// The run must induce this structure at the node (guaranteed when the
+    /// structure was looked up by the run's [`synchrony::ViewKey`]); only the
+    /// layer-0 value assignment is read from it.
+    pub(crate) fn complete(&self, run: &Run) -> ViewAnalysis {
+        let m = self.node.time.index();
+        let values_of = |support: &PidSet| -> ValueSet {
+            support.iter().map(|p| run.initial_value(p)).collect()
+        };
+
+        let vals = values_of(self.seen.layer(Time::ZERO));
+        let prev_vals = self.prev_seen0.as_ref().map(&values_of).unwrap_or_default();
+
+        // Persistence (Definition 3), against the cached witness supports.
+        let d = self.known_crashed.len();
+        let needed = self.t.saturating_sub(d);
+        let witness_vals: Vec<ValueSet> = self.witness_seen0.iter().map(&values_of).collect();
         let mut persistent = ValueSet::new();
         for v in vals.iter() {
             let via_own_history = m > 0 && prev_vals.contains(v);
             let via_witnesses = if m > 0 {
-                let prev_time = node.time - 1;
-                let witnesses = seen
-                    .layer(prev_time)
-                    .iter()
-                    .filter(|&j| values_seen(run, run.seen(j, prev_time)).contains(v))
-                    .count();
-                witnesses >= needed
+                witness_vals.iter().filter(|w| w.contains(v)).count() >= needed
             } else {
                 needed == 0
             };
@@ -148,20 +202,33 @@ impl ViewAnalysis {
             }
         }
 
-        Ok(ViewAnalysis {
-            node,
-            n,
-            t,
-            seen,
+        ViewAnalysis {
+            node: self.node,
+            n: self.n,
+            t: self.t,
+            seen: self.seen.clone(),
             vals,
             prev_vals,
-            capacity,
-            prev_capacity,
-            earliest_known_crash,
-            known_crashed,
-            observations,
+            capacity: self.capacity.clone(),
+            prev_capacity: self.prev_capacity,
+            earliest_known_crash: self.earliest_known_crash.clone(),
+            known_crashed: self.known_crashed.clone(),
+            observations: self.observations.clone(),
             persistent,
-        })
+        }
+    }
+}
+
+impl ViewAnalysis {
+    /// Analyzes the node `⟨i, m⟩` of `run`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the node lies beyond the run's horizon, its process
+    /// is out of range, or the process has already crashed at that time (a
+    /// crashed node has no local state to analyze).
+    pub fn new(run: &Run, node: Node) -> Result<Self, ModelError> {
+        Ok(ViewStructure::compute(run, node)?.complete(run))
     }
 
     /// Returns the analyzed node `⟨i, m⟩`.
@@ -334,9 +401,20 @@ impl fmt::Display for ViewAnalysis {
     }
 }
 
-/// The set of initial values visible in the given seen-layers.
-fn values_seen(run: &Run, seen: &SeenLayers) -> ValueSet {
-    seen.layer(Time::ZERO).iter().map(|p| run.initial_value(p)).collect()
+/// Checks that `⟨i, m⟩` is a node an analysis is defined for: within the
+/// run's horizon, a real process, and still active (a crashed node has no
+/// local state).  Shared by [`ViewAnalysis::new`] and the analysis cache,
+/// which must reject invalid nodes *before* touching the run's structures.
+pub(crate) fn validate_node(run: &Run, node: Node) -> Result<(), ModelError> {
+    run.check_time(node.time)?;
+    run.params().check_process(node.process)?;
+    if !run.is_active(node.process, node.time) {
+        return Err(ModelError::InactiveNode {
+            process: node.process.index(),
+            time: node.time.value() as u64,
+        });
+    }
+    Ok(())
 }
 
 /// The hidden capacity of an arbitrary node, computed directly (used for the

@@ -16,7 +16,10 @@
 //!
 //! The central type is [`ViewAnalysis`], computed once per node from a
 //! [`synchrony::Run`]; protocol implementations in the `set-consensus` crate
-//! consume it and read exactly like the paper's pseudo-code.
+//! consume it and read exactly like the paper's pseudo-code.  For sweeps
+//! over whole adversary spaces, [`AnalysisCache`] memoizes the structural
+//! (input-value-independent) part of every analysis *across adversaries*,
+//! keyed by the view's `synchrony::ViewKey` — see the [`cache`] module.
 //!
 //! ```
 //! use synchrony::{Adversary, FailurePattern, InputVector, Node, Run, SystemParams, Time};
@@ -42,11 +45,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod cache;
 pub mod capacity;
 pub mod observation;
 pub mod status;
 
 pub use analysis::ViewAnalysis;
+pub use cache::{AnalysisCache, CacheStats};
 pub use capacity::HiddenCapacity;
 pub use observation::DirectObservations;
 pub use status::NodeStatus;

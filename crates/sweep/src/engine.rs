@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
+use knowledge::CacheStats;
 use set_consensus::{BatchRunner, TaskParams, TaskVariant};
 use synchrony::{Adversary, ModelError};
 
@@ -25,12 +26,18 @@ pub struct SweepConfig {
     /// Seed forwarded to seeded scenario sources (ignored by exhaustive and
     /// fixed sources).
     pub seed: u64,
+    /// Whether each worker keeps a cross-adversary, view-keyed
+    /// [`knowledge::AnalysisCache`] (default `true`).  The cache can only
+    /// change how fast a fold is computed, never its value — cached and
+    /// uncached sweeps are bit-identical at any shard/thread count, which
+    /// the determinism tests pin down.
+    pub cache: bool,
 }
 
 impl SweepConfig {
     /// A fully sequential configuration: one shard, one thread.
     pub fn sequential() -> Self {
-        SweepConfig { shards: 1, threads: 1, seed: Self::DEFAULT_SEED }
+        SweepConfig { shards: 1, threads: 1, seed: Self::DEFAULT_SEED, cache: true }
     }
 
     /// The default seed, matching the seed the pre-engine experiment
@@ -58,7 +65,31 @@ impl SweepConfig {
 
 impl Default for SweepConfig {
     fn default() -> Self {
-        SweepConfig { shards: 0, threads: 0, seed: Self::DEFAULT_SEED }
+        SweepConfig { shards: 0, threads: 0, seed: Self::DEFAULT_SEED, cache: true }
+    }
+}
+
+/// Execution statistics of one sweep, aggregated over every worker.
+///
+/// The statistics describe *how* the fold was computed (they may legally
+/// vary with shard and thread counts, e.g. fewer cache hits when the space
+/// is split across more per-worker caches); the fold value itself never
+/// does.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Number of scenarios executed.
+    pub scenarios: u64,
+    /// Knowledge-analysis cache counters summed over the per-worker caches
+    /// (all zeros for jobs that never request an analysis).
+    pub cache: CacheStats,
+}
+
+impl SweepStats {
+    /// Adds another sweep's statistics into this one (for experiments that
+    /// chain several sweeps).
+    pub fn merge(&mut self, other: SweepStats) {
+        self.scenarios += other.scenarios;
+        self.cache.merge(other.cache);
     }
 }
 
@@ -144,14 +175,7 @@ fn shard_ranges(total: usize, shards: usize) -> Vec<(usize, usize)> {
 /// Runs `job` on every scenario of `source` and folds the outcomes with
 /// `reducer`.
 ///
-/// The scenario space is partitioned into [`SweepConfig::resolved_shards`]
-/// contiguous shards; worker threads *steal* shards from a shared queue
-/// (an atomic cursor), so a slow shard never idles the other workers.
-/// Each worker owns a [`BatchRunner`], so run/transcript buffers are
-/// reused across every scenario the worker executes.  Shard accumulators
-/// are merged in shard order, which — given the [`Reducer`] laws — makes
-/// the result identical for every shard/thread count, including the fully
-/// sequential path.
+/// Equivalent to [`sweep_with_stats`] with the statistics discarded.
 ///
 /// # Errors
 ///
@@ -168,9 +192,43 @@ where
     R: Reducer,
     F: Fn(&mut BatchRunner, &Scenario) -> Result<R::Item, ModelError> + Sync,
 {
+    sweep_with_stats(source, config, reducer, job).map(|(acc, _)| acc)
+}
+
+/// Runs `job` on every scenario of `source`, folds the outcomes with
+/// `reducer`, and reports execution statistics (scenario and
+/// analysis-cache counters) alongside the fold.
+///
+/// The scenario space is partitioned into [`SweepConfig::resolved_shards`]
+/// contiguous shards; worker threads *steal* shards from a shared queue
+/// (an atomic cursor), so a slow shard never idles the other workers.
+/// Each worker owns a [`BatchRunner`] — with a cross-adversary
+/// [`knowledge::AnalysisCache`] when [`SweepConfig::cache`] is set — so
+/// run/transcript buffers and cached view analyses are reused across every
+/// scenario the worker executes.  Shard accumulators are merged in shard
+/// order, which — given the [`Reducer`] laws — makes the fold identical for
+/// every shard/thread count and cache setting, including the fully
+/// sequential path; only the statistics may differ between parallelisms.
+///
+/// # Errors
+///
+/// Returns the job or source error of the lowest-indexed failing shard;
+/// remaining shards are abandoned as soon as possible.
+pub fn sweep_with_stats<S, R, F>(
+    source: &S,
+    config: &SweepConfig,
+    reducer: &R,
+    job: F,
+) -> Result<(R::Acc, SweepStats), ModelError>
+where
+    S: ScenarioSource + ?Sized,
+    R: Reducer,
+    F: Fn(&mut BatchRunner, &Scenario) -> Result<R::Item, ModelError> + Sync,
+{
     let total = source.len();
     let threads = config.resolved_threads();
     let ranges = shard_ranges(total, config.resolved_shards());
+    let make_runner = || if config.cache { BatchRunner::cached() } else { BatchRunner::new() };
 
     let fold_shard =
         |runner: &mut BatchRunner, range: (usize, usize)| -> Result<R::Acc, ModelError> {
@@ -183,23 +241,25 @@ where
         };
 
     if threads <= 1 {
-        let mut runner = BatchRunner::new();
+        let mut runner = make_runner();
         let mut merged = reducer.empty();
         for &range in &ranges {
             merged = reducer.merge(merged, fold_shard(&mut runner, range)?);
         }
-        return Ok(merged);
+        let stats = SweepStats { scenarios: total as u64, cache: runner.cache().stats() };
+        return Ok((merged, stats));
     }
 
     let next_shard = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
     let shard_accs: Mutex<Vec<Option<R::Acc>>> = Mutex::new(ranges.iter().map(|_| None).collect());
     let first_error: Mutex<Option<(usize, ModelError)>> = Mutex::new(None);
+    let cache_stats: Mutex<CacheStats> = Mutex::new(CacheStats::default());
 
     thread::scope(|scope| {
         for _ in 0..threads.min(ranges.len()) {
             scope.spawn(|| {
-                let mut runner = BatchRunner::new();
+                let mut runner = make_runner();
                 loop {
                     if failed.load(Ordering::Relaxed) {
                         break;
@@ -221,6 +281,7 @@ where
                         }
                     }
                 }
+                cache_stats.lock().expect("sweep stats lock").merge(runner.cache().stats());
             });
         }
     });
@@ -232,7 +293,11 @@ where
     for acc in shard_accs.into_inner().expect("sweep accumulator lock") {
         merged = reducer.merge(merged, acc.expect("every shard completed"));
     }
-    Ok(merged)
+    let stats = SweepStats {
+        scenarios: total as u64,
+        cache: cache_stats.into_inner().expect("sweep stats lock"),
+    };
+    Ok((merged, stats))
 }
 
 #[cfg(test)]
@@ -262,7 +327,16 @@ mod tests {
         let config = SweepConfig::default();
         assert!(config.resolved_threads() >= 1);
         assert_eq!(config.resolved_shards(), config.resolved_threads() * 4);
+        assert!(config.cache, "the analysis cache defaults to on");
         assert_eq!(SweepConfig::sequential().resolved_threads(), 1);
         assert_eq!(SweepConfig::sequential().resolved_shards(), 1);
+    }
+
+    #[test]
+    fn sweep_stats_merge_adds_counters() {
+        let mut stats = SweepStats { scenarios: 3, cache: CacheStats { hits: 1, misses: 2 } };
+        stats.merge(SweepStats { scenarios: 4, cache: CacheStats { hits: 10, misses: 20 } });
+        assert_eq!(stats.scenarios, 7);
+        assert_eq!(stats.cache, CacheStats { hits: 11, misses: 22 });
     }
 }

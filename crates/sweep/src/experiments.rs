@@ -22,7 +22,7 @@ use synchrony::{
 };
 use topology::{homology, ProtocolComplex};
 
-use crate::engine::{sweep, Reducer, Scenario, SweepConfig};
+use crate::engine::{sweep, sweep_with_stats, Reducer, Scenario, SweepConfig, SweepStats};
 use crate::source::{ExhaustiveSource, FixedSource, RandomSource};
 
 /// Latest decision time among the correct processes of a run (`0` if no
@@ -93,12 +93,32 @@ impl Reducer for Thm1Reducer {
 /// Sweeps the exhaustive small-system scopes of experiment E7 and returns
 /// one row per `(n, t, k)` case.
 ///
+/// Equivalent to [`thm1_with_stats`] with the statistics discarded.
+///
 /// # Errors
 ///
 /// Propagates model errors from the executor (none occur for the built-in
 /// scopes).
 pub fn thm1(config: &SweepConfig) -> Result<Vec<Thm1Case>, ModelError> {
+    thm1_with_stats(config).map(|(rows, _)| rows)
+}
+
+/// [`thm1`], plus the execution statistics summed over the per-case sweeps.
+///
+/// This experiment is the headline scope of the analysis-cache work: both
+/// the executor's per-node analyses and the Lemma-3 structure check run
+/// through each worker's view-keyed cache, so the reported
+/// `stats.cache.constructions()` is the number of full `ViewAnalysis`
+/// constructions the whole experiment performed (compare against a
+/// `cache: false` run to measure the reduction).
+///
+/// # Errors
+///
+/// Propagates model errors from the executor (none occur for the built-in
+/// scopes).
+pub fn thm1_with_stats(config: &SweepConfig) -> Result<(Vec<Thm1Case>, SweepStats), ModelError> {
     let mut rows = Vec::new();
+    let mut stats = SweepStats::default();
     for (n, t, k) in [(3usize, 1usize, 1usize), (4, 2, 1), (4, 2, 2), (5, 2, 2)] {
         let scope = EnumerationConfig {
             n,
@@ -112,55 +132,65 @@ pub fn thm1(config: &SweepConfig) -> Result<Vec<Thm1Case>, ModelError> {
         let params = TaskParams::new(SystemParams::new(n, t)?, k)?;
         let source = ExhaustiveSource::new(space, params, TaskVariant::Nonuniform)?;
 
-        let acc = sweep(&source, config, &Thm1Reducer, |runner, scenario| {
-            let protocols: [&dyn Protocol; 3] = [&Optmin, &EarlyFloodMin, &FloodMin];
-            let (run, transcripts) =
-                runner.execute_batch(&protocols, &scenario.params, scenario.adversary.clone())?;
-            let mut outcome = Thm1Outcome::default();
+        let (acc, case_stats) =
+            sweep_with_stats(&source, config, &Thm1Reducer, |runner, scenario| {
+                let protocols: [&dyn Protocol; 3] = [&Optmin, &EarlyFloodMin, &FloodMin];
+                // The structure check below analyzes nodes outside the executor;
+                // clone the worker's cache handle before borrowing the run so
+                // those analyses share the same cross-adversary cache.
+                let analyzer = runner.cache().clone();
+                let (run, transcripts) = runner.execute_batch(
+                    &protocols,
+                    &scenario.params,
+                    scenario.adversary.clone(),
+                )?;
+                let mut outcome = Thm1Outcome::default();
 
-            // (1) correctness of every implemented nonuniform protocol.
-            for transcript in transcripts {
-                outcome.violations +=
-                    check::check(run, transcript, &scenario.params, TaskVariant::Nonuniform).len()
-                        as u64;
-            }
+                // (1) correctness of every implemented nonuniform protocol.
+                for transcript in transcripts {
+                    outcome.violations +=
+                        check::check(run, transcript, &scenario.params, TaskVariant::Nonuniform)
+                            .len() as u64;
+                }
 
-            // (2) a competitor "beats" Optmin[k] if any process decides
-            // strictly earlier under it in this run (the second-improvement
-            // condition of the domination comparison).
-            let optmin = &transcripts[0];
-            for (slot, competitor) in transcripts[1..].iter().enumerate() {
+                // (2) a competitor "beats" Optmin[k] if any process decides
+                // strictly earlier under it in this run (the second-improvement
+                // condition of the domination comparison).
+                let optmin = &transcripts[0];
+                for (slot, competitor) in transcripts[1..].iter().enumerate() {
+                    for i in 0..run.n() {
+                        let improves = match (optmin.decision_time(i), competitor.decision_time(i))
+                        {
+                            (Some(a), Some(b)) => b < a,
+                            (None, Some(_)) => true,
+                            _ => false,
+                        };
+                        if improves {
+                            outcome.beaten[slot] = true;
+                        }
+                    }
+                }
+
+                // (3) Lemma-3 structure: Optmin[k] decides exactly when
+                // low-or-HC<k first holds.
                 for i in 0..run.n() {
-                    let improves = match (optmin.decision_time(i), competitor.decision_time(i)) {
-                        (Some(a), Some(b)) => b < a,
-                        (None, Some(_)) => true,
-                        _ => false,
-                    };
-                    if improves {
-                        outcome.beaten[slot] = true;
+                    for m in 0..=run.horizon().index() {
+                        let time = Time::new(m as u32);
+                        if !run.is_active(i, time) {
+                            continue;
+                        }
+                        let analysis = analyzer.analyze(run, Node::new(i, time))?;
+                        let enabled = analysis.is_low(scenario.params.k())
+                            || analysis.hidden_capacity() < scenario.params.k();
+                        let decided_by_now = optmin.decision_time(i).is_some_and(|d| d <= time);
+                        if enabled != decided_by_now {
+                            outcome.structure += 1;
+                        }
                     }
                 }
-            }
-
-            // (3) Lemma-3 structure: Optmin[k] decides exactly when
-            // low-or-HC<k first holds.
-            for i in 0..run.n() {
-                for m in 0..=run.horizon().index() {
-                    let time = Time::new(m as u32);
-                    if !run.is_active(i, time) {
-                        continue;
-                    }
-                    let analysis = ViewAnalysis::new(run, Node::new(i, time))?;
-                    let enabled = analysis.is_low(scenario.params.k())
-                        || analysis.hidden_capacity() < scenario.params.k();
-                    let decided_by_now = optmin.decision_time(i).is_some_and(|d| d <= time);
-                    if enabled != decided_by_now {
-                        outcome.structure += 1;
-                    }
-                }
-            }
-            Ok(outcome)
-        })?;
+                Ok(outcome)
+            })?;
+        stats.merge(case_stats);
 
         rows.push(Thm1Case {
             n,
@@ -172,7 +202,7 @@ pub fn thm1(config: &SweepConfig) -> Result<Vec<Thm1Case>, ModelError> {
             structure_violations: acc.structure,
         });
     }
-    Ok(rows)
+    Ok((rows, stats))
 }
 
 // ---------------------------------------------------------------------------
@@ -475,6 +505,7 @@ pub fn prop2(config: &SweepConfig) -> Result<Prop2Report, ModelError> {
         let source = ExhaustiveSource::new(space, params, TaskVariant::Nonuniform)?;
         let complex_ref = &complex;
         let with_capacity = sweep(&source, config, &Prop2Reducer, move |runner, scenario| {
+            let analyzer = runner.cache().clone();
             let run = runner.simulate(system, scenario.adversary.clone(), time)?;
             let mut found = Vec::new();
             for i in 0..n {
@@ -484,7 +515,7 @@ pub fn prop2(config: &SweepConfig) -> Result<Prop2Report, ModelError> {
                 let Some(id) = complex_ref.state_id(run, Node::new(i, time)) else {
                     continue;
                 };
-                let analysis = ViewAnalysis::new(run, Node::new(i, time))?;
+                let analysis = analyzer.analyze(run, Node::new(i, time))?;
                 if analysis.hidden_capacity() >= 1 {
                     found.push(id);
                 }

@@ -14,11 +14,15 @@
 //!   derives scenario `i` from a counter-based seed so any shard can start
 //!   anywhere, and [`source::FixedSource`] adapts the named scenario
 //!   families (e.g. the Fig. 4 uniform-gap family);
-//! * [`sweep`] — partitions the scenario space into deterministic
-//!   contiguous shards and lets worker threads *steal* shards from a shared
-//!   queue; every worker owns a `set_consensus::BatchRunner`, so run,
-//!   transcript and analysis buffers are reused across all the runs it
-//!   executes;
+//! * [`sweep`] (and [`sweep_with_stats`]) — partitions the scenario space
+//!   into deterministic contiguous shards and lets worker threads *steal*
+//!   shards from a shared queue; every worker owns a
+//!   `set_consensus::BatchRunner`, so run, transcript and analysis buffers
+//!   are reused across all the runs it executes — and, with
+//!   [`SweepConfig::cache`] (the default), a cross-adversary
+//!   `knowledge::AnalysisCache` that shares the structural part of every
+//!   node's knowledge analysis between all the adversaries the worker
+//!   visits, with hit/miss counters reported through [`SweepStats`];
 //! * [`Reducer`] — folds per-run outcomes (decision-time histograms, check
 //!   violations, domination counters, …) into per-shard accumulators that
 //!   are merged in shard order.  The reducer law
@@ -73,4 +77,6 @@ pub mod experiments;
 pub mod reduce;
 pub mod source;
 
-pub use engine::{sweep, Reducer, Scenario, ScenarioSource, SweepConfig};
+pub use engine::{
+    sweep, sweep_with_stats, Reducer, Scenario, ScenarioSource, SweepConfig, SweepStats,
+};

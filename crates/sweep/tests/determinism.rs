@@ -1,14 +1,17 @@
 //! Shard-determinism contract of the sweep engine: for a fixed seed and
 //! scenario family, the fold result is identical for every shard and thread
-//! count (ISSUE acceptance: 1, 2 and 8 shards).
+//! count (ISSUE acceptance: 1, 2 and 8 shards) — and for every setting of
+//! the cross-adversary analysis cache, which may only change how fast a
+//! fold is computed, never its value.
 
 use adversary::enumerate::{AdversarySpace, EnumerationConfig};
 use adversary::RandomConfig;
-use set_consensus::{check, Optmin, TaskParams, TaskVariant, UPmin};
+use knowledge::ViewAnalysis;
+use set_consensus::{check, Optmin, Protocol, TaskParams, TaskVariant, UPmin};
 use sweep::reduce::{Count, DecisionTimeHistogram};
 use sweep::source::{ExhaustiveSource, RandomSource};
-use sweep::{sweep, SweepConfig};
-use synchrony::{SystemParams, Time};
+use sweep::{sweep, sweep_with_stats, SweepConfig};
+use synchrony::{Node, SystemParams, Time};
 
 const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
@@ -43,9 +46,15 @@ fn exhaustive_histogram_is_shard_invariant() {
     assert!(!reference.is_empty());
     for shards in SHARD_COUNTS {
         for threads in THREAD_COUNTS {
-            let config = SweepConfig { shards, threads, seed: SweepConfig::DEFAULT_SEED };
-            let fold = sweep(&source, &config, &DecisionTimeHistogram, job).unwrap();
-            assert_eq!(fold, reference, "histogram diverged at shards={shards}, threads={threads}");
+            for cache in [false, true] {
+                let config =
+                    SweepConfig { shards, threads, seed: SweepConfig::DEFAULT_SEED, cache };
+                let fold = sweep(&source, &config, &DecisionTimeHistogram, job).unwrap();
+                assert_eq!(
+                    fold, reference,
+                    "histogram diverged at shards={shards}, threads={threads}, cache={cache}"
+                );
+            }
         }
     }
 }
@@ -66,7 +75,7 @@ fn random_family_fold_is_seed_deterministic_and_shard_invariant() {
     let reference = sweep(&random_source(42), &SweepConfig::sequential(), &Count, job).unwrap();
     for shards in SHARD_COUNTS {
         for threads in THREAD_COUNTS {
-            let config = SweepConfig { shards, threads, seed: 42 };
+            let config = SweepConfig { shards, threads, seed: 42, cache: true };
             let fold = sweep(&random_source(42), &config, &Count, job).unwrap();
             assert_eq!(
                 fold, reference,
@@ -88,8 +97,80 @@ fn ported_experiments_are_parallelism_invariant() {
     let fig4_reference = sweep::experiments::fig4(&sequential).unwrap();
     let thm3_reference = sweep::experiments::thm3(&sequential).unwrap();
     for shards in SHARD_COUNTS {
-        let config = SweepConfig { shards, threads: 4, seed: SweepConfig::DEFAULT_SEED };
-        assert_eq!(sweep::experiments::fig4(&config).unwrap(), fig4_reference);
-        assert_eq!(sweep::experiments::thm3(&config).unwrap(), thm3_reference);
+        for cache in [false, true] {
+            let config = SweepConfig { shards, threads: 4, seed: SweepConfig::DEFAULT_SEED, cache };
+            assert_eq!(sweep::experiments::fig4(&config).unwrap(), fig4_reference);
+            assert_eq!(sweep::experiments::thm3(&config).unwrap(), thm3_reference);
+        }
+    }
+}
+
+/// The cached-vs-uncached bit-identity contract on a Theorem-1-shaped job
+/// (batched executor *plus* per-node structure analyses through the worker's
+/// cache handle — the sweep hot path the cache was built for), across every
+/// shard/thread combination.  On the side, the hit counters must show the
+/// cache actually collapsing the per-adversary constructions: the scope
+/// crosses 8 input vectors with every failure pattern, so the number of full
+/// constructions must drop by well over the 3× acceptance floor.
+#[test]
+fn analysis_cache_is_invisible_to_folds_and_collapses_constructions() {
+    let source = exhaustive_source();
+    let job = |runner: &mut set_consensus::BatchRunner, scenario: &sweep::Scenario| {
+        let protocols: [&dyn Protocol; 2] = [&Optmin, &UPmin];
+        let analyzer = runner.cache().clone();
+        let (run, transcripts) =
+            runner.execute_batch(&protocols, &scenario.params, scenario.adversary.clone())?;
+        let mut fingerprint = 0u64;
+        for transcript in transcripts {
+            fingerprint = fingerprint.wrapping_mul(31).wrapping_add(
+                check::check(run, transcript, &scenario.params, scenario.variant).len() as u64,
+            );
+        }
+        // Per-node knowledge analyses outside the executor, mixed into the
+        // fold so any cache-induced divergence would flip it.
+        for m in 0..=run.horizon().index() {
+            let time = Time::new(m as u32);
+            for i in 0..run.n() {
+                if !run.is_active(i, time) {
+                    continue;
+                }
+                let analysis = analyzer.analyze(run, Node::new(i, time))?;
+                let reference = ViewAnalysis::new(run, Node::new(i, time))?;
+                assert_eq!(analysis, reference, "cached analysis diverged at ⟨{i}, {m}⟩");
+                fingerprint = fingerprint
+                    .wrapping_mul(31)
+                    .wrapping_add(analysis.hidden_capacity() as u64)
+                    .wrapping_add(analysis.min_value().get() << 8);
+            }
+        }
+        // Bound the per-scenario value so the `Count` sum cannot overflow.
+        Ok(fingerprint % (1 << 32))
+    };
+
+    let sequential = SweepConfig::sequential();
+    let uncached = SweepConfig { cache: false, ..sequential };
+    let (reference, cold_stats) = sweep_with_stats(&source, &uncached, &Count, job).unwrap();
+    let (cached_fold, warm_stats) = sweep_with_stats(&source, &sequential, &Count, job).unwrap();
+    assert_eq!(cached_fold, reference, "cache on/off diverged sequentially");
+    assert_eq!(cold_stats.cache.hits, 0, "a disabled cache never hits");
+    assert!(
+        warm_stats.cache.constructions() * 3 <= cold_stats.cache.constructions(),
+        "expected ≥3× fewer ViewAnalysis constructions, got {} (cached) vs {} (uncached)",
+        warm_stats.cache.constructions(),
+        cold_stats.cache.constructions(),
+    );
+
+    for shards in SHARD_COUNTS {
+        for threads in THREAD_COUNTS {
+            for cache in [false, true] {
+                let config =
+                    SweepConfig { shards, threads, seed: SweepConfig::DEFAULT_SEED, cache };
+                let fold = sweep(&source, &config, &Count, job).unwrap();
+                assert_eq!(
+                    fold, reference,
+                    "fold diverged at shards={shards}, threads={threads}, cache={cache}"
+                );
+            }
+        }
     }
 }

@@ -74,7 +74,7 @@ pub use pid::{PidSet, ProcessId};
 pub use run::{Run, SeenLayers};
 pub use time::{Round, Time};
 pub use value::{Value, ValueSet};
-pub use view::View;
+pub use view::{View, ViewKey};
 pub use wire::{WireMessage, WireReport, WireRun, WireStats};
 
 /// Convenient glob-import of the most frequently used types.

@@ -247,6 +247,14 @@ impl PidSet {
     pub fn is_disjoint(&self, other: &PidSet) -> bool {
         self.words.iter().zip(other.words.iter()).all(|(a, b)| a & b == 0)
     }
+
+    /// Returns the normalized backing bitmap (no trailing zero words): bit
+    /// `b` of word `w` is process `64·w + b`.  Equal sets always expose
+    /// equal word slices, which is what makes the slice usable as an exact
+    /// structural encoding (see [`crate::ViewKey`]).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
 }
 
 impl<P: Into<ProcessId>> FromIterator<P> for PidSet {

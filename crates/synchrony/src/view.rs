@@ -103,6 +103,109 @@ impl View {
     pub fn indistinguishable_from(&self, other: &View) -> bool {
         self == other
     }
+
+    /// Returns the canonical *pattern* key of this view under failure bound
+    /// `t` — the input-value-free identity used by cross-adversary caches.
+    /// See [`ViewKey`] for the equivalence it induces.
+    pub fn canonical_key(&self, t: usize) -> ViewKey {
+        let mut words = Vec::with_capacity(2 * self.seen.num_layers());
+        for (time, layer) in self.seen.iter() {
+            push_set_words(&mut words, layer);
+            if time == Time::ZERO {
+                continue;
+            }
+            for p in layer.iter() {
+                let heard = self
+                    .incoming
+                    .get(&Node::new(p, time))
+                    .expect("every seen node at a positive time has incoming edges");
+                push_set_words(&mut words, heard);
+            }
+        }
+        ViewKey {
+            n: self.initial_values.len() as u32,
+            t: t as u32,
+            node: self.node,
+            words: words.into_boxed_slice(),
+        }
+    }
+}
+
+/// A canonical, input-value-free key identifying the *pattern* of a view.
+///
+/// Two nodes (of possibly different runs) receive equal keys exactly when
+/// their views coincide after erasing the initial values: same observer node,
+/// same seen layers, the same incoming-edge structure at every seen node, and
+/// the same system bounds `(n, t)`.  The structural part of a knowledge
+/// analysis — seen/hidden classification, provable crashes, hidden capacity,
+/// direct observations, persistence witnesses — is determined by exactly this
+/// data, so the key is what the cross-adversary `knowledge` analysis cache
+/// indexes on: adversaries that differ only in input values (or in failures
+/// invisible to the observer) collide, which is the overwhelmingly common
+/// case in exhaustive sweeps.
+///
+/// The encoding is **exact** (the layer and incoming-edge bitmaps are stored
+/// length-prefixed, so distinct patterns never alias) rather than a lossy
+/// digest, so cache correctness never rests on a collision argument.
+///
+/// ```
+/// use synchrony::{Adversary, InputVector, Node, Run, SystemParams, Time, ViewKey};
+///
+/// let params = SystemParams::new(3, 1)?;
+/// let a = Run::generate(params, Adversary::failure_free(InputVector::from_values([0, 1, 2]))?,
+///     Time::new(2))?;
+/// let b = Run::generate(params, Adversary::failure_free(InputVector::from_values([2, 0, 1]))?,
+///     Time::new(2))?;
+/// let node = Node::new(1, Time::new(2));
+/// // Same failure pattern, different inputs: the pattern keys collide.
+/// assert_eq!(ViewKey::from_run(&a, node), ViewKey::from_run(&b, node));
+/// # Ok::<(), synchrony::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ViewKey {
+    n: u32,
+    t: u32,
+    node: Node,
+    /// Length-prefixed bitmap words: for every layer time `ℓ = 0 … m`, the
+    /// seen set at `ℓ`, followed (for `ℓ ≥ 1`) by the heard-from set of each
+    /// seen node at `ℓ` in increasing process order.
+    words: Box<[u64]>,
+}
+
+impl ViewKey {
+    /// Extracts the pattern key of `node`'s view directly from `run`, without
+    /// materializing a [`View`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node lies beyond the run's horizon or its process is out
+    /// of range.
+    pub fn from_run(run: &Run, node: Node) -> Self {
+        let seen = run.seen(node.process, node.time);
+        let mut words = Vec::with_capacity(2 * seen.num_layers());
+        for (time, layer) in seen.iter() {
+            push_set_words(&mut words, layer);
+            if time == Time::ZERO {
+                continue;
+            }
+            for p in layer.iter() {
+                push_set_words(&mut words, run.heard_from(p, time));
+            }
+        }
+        ViewKey { n: run.n() as u32, t: run.t() as u32, node, words: words.into_boxed_slice() }
+    }
+
+    /// Returns the observer node the key describes.
+    pub fn node(&self) -> Node {
+        self.node
+    }
+}
+
+/// Appends a length-prefixed copy of the set's bitmap words.
+fn push_set_words(words: &mut Vec<u64>, set: &PidSet) {
+    let w = set.as_words();
+    words.push(w.len() as u64);
+    words.extend_from_slice(w);
 }
 
 impl fmt::Display for View {
@@ -229,6 +332,58 @@ mod tests {
         let incoming = view.incoming_of(Node::new(1, Time::new(1))).unwrap();
         assert_eq!(incoming.len(), 3);
         assert!(view.incoming_of(Node::new(1, Time::new(9))).is_none());
+    }
+
+    #[test]
+    fn pattern_keys_ignore_input_values_but_not_structure() {
+        let crash = |f: &mut FailurePattern| {
+            f.crash(0, 1, [1]).unwrap();
+        };
+        let a = run_with(4, 1, &[0, 1, 2, 3], crash, 2);
+        let b = run_with(4, 1, &[3, 0, 0, 1], crash, 2);
+        let silent = run_with(
+            4,
+            1,
+            &[0, 1, 2, 3],
+            |f| {
+                f.crash_silent(0, 1).unwrap();
+            },
+            2,
+        );
+        for i in 1..4 {
+            for m in 1..=2u32 {
+                let node = Node::new(i, Time::new(m));
+                // Input relabeling never changes the key…
+                assert_eq!(ViewKey::from_run(&a, node), ViewKey::from_run(&b, node));
+            }
+        }
+        // …but a visible delivery difference does (p3 sees it at time 2 via
+        // p1's relay; compare `delivery_pattern_changes_are_visible…` above).
+        let late = Node::new(3, Time::new(2));
+        assert_ne!(ViewKey::from_run(&a, late), ViewKey::from_run(&silent, late));
+        // Keys of different observers never collide.
+        assert_ne!(ViewKey::from_run(&a, late), ViewKey::from_run(&a, Node::new(2, Time::new(2))));
+    }
+
+    #[test]
+    fn view_canonical_key_matches_the_run_extraction() {
+        let run = run_with(
+            4,
+            2,
+            &[0, 1, 2, 3],
+            |f| {
+                f.crash(0, 1, [1]).unwrap();
+                f.crash_silent(3, 2).unwrap();
+            },
+            3,
+        );
+        for i in 1..3 {
+            for m in 0..=3u32 {
+                let node = Node::new(i, Time::new(m));
+                let view = View::extract(&run, node);
+                assert_eq!(view.canonical_key(2), ViewKey::from_run(&run, node));
+            }
+        }
     }
 
     #[test]
