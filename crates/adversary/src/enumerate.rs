@@ -333,6 +333,21 @@ impl AdversarySpace {
         self.num_patterns * self.num_inputs
     }
 
+    /// Returns the number of input vectors crossed with each failure
+    /// pattern — the length of a *structure-major block*: adversaries
+    /// `p · inputs_per_pattern() .. (p + 1) · inputs_per_pattern()` all
+    /// share failure pattern `p` and therefore induce one communication
+    /// structure.  The sweep engine aligns shard boundaries to this block
+    /// so run-structure reuse survives any sharding.
+    pub fn inputs_per_pattern(&self) -> u128 {
+        self.num_inputs
+    }
+
+    /// Returns the number of failure patterns in the space.
+    pub fn num_patterns(&self) -> u128 {
+        self.num_patterns
+    }
+
     /// Returns `true` if the space contains no adversary (never the case for
     /// a valid configuration, which always contains the crash-free pattern).
     pub fn is_empty(&self) -> bool {

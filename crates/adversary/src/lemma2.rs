@@ -115,9 +115,8 @@ pub fn witness_adversary(
 
     // Build the modified adversary.
     let n = run.n();
-    let original = run.adversary();
     let mut inputs = InputVector::from_values(
-        (0..n).map(|p| original.inputs().value_of(p).get()).collect::<Vec<_>>(),
+        (0..n).map(|p| run.inputs().value_of(p).get()).collect::<Vec<_>>(),
     );
     for (b, chain) in chains.iter().enumerate() {
         inputs = inputs.with_value(chain[0], values[b]);
@@ -136,7 +135,7 @@ pub fn witness_adversary(
             failures.crash(pid, (layer + 1) as u32, [successor])?;
         } else if layers[m].contains(&pid) {
             // Layer-m witnesses are kept alive (w.l.o.g. in the proof).
-        } else if let Some(fault) = original.failures().fault(pid) {
+        } else if let Some(fault) = run.failures().fault(pid) {
             // Change 3 for other crashing processes: each witness at layer
             // ℓ ≥ 1 receives in round ℓ exactly what the observer receives,
             // so a crashing sender delivers to the witness iff it delivers to

@@ -87,18 +87,18 @@ fn bench_sweep_cache(c: &mut Criterion) {
             .unwrap();
     let mut group = c.benchmark_group("sweep_cache");
     for cache in [false, true] {
-        let config = SweepConfig { shards: 1, threads: 1, seed: SweepConfig::DEFAULT_SEED, cache };
+        // Reuse stays off so the cache keeps seeing every lookup — with it
+        // on, the per-structure memo would bypass the cache on ~98% of the
+        // scenarios and the cache-on/off gap would vanish into noise.
+        let config = SweepConfig { cache, reuse: false, ..SweepConfig::sequential() };
         group.bench_with_input(
             BenchmarkId::new("exhaustive_optmin", if cache { "cache_on" } else { "cache_off" }),
             &config,
             |b, config| {
                 b.iter(|| {
                     let violations = sweep(&source, config, &Count, |runner, scenario| {
-                        let (run, transcript) = runner.execute_one(
-                            &Optmin,
-                            &scenario.params,
-                            scenario.adversary.clone(),
-                        )?;
+                        let (run, transcript) =
+                            runner.execute_one(&Optmin, &scenario.params, &scenario.adversary)?;
                         Ok(check::check(run, transcript, &scenario.params, scenario.variant).len()
                             as u64)
                     })

@@ -31,19 +31,21 @@ fn bench_sweep_scaling(c: &mut Criterion) {
     let source = exhaustive_source();
     let mut group = c.benchmark_group("sweep_scaling");
     for threads in [1usize, 2, 4] {
-        let config =
-            SweepConfig { shards: 16, threads, seed: SweepConfig::DEFAULT_SEED, cache: true };
+        let config = SweepConfig {
+            shards: 16,
+            threads,
+            seed: SweepConfig::DEFAULT_SEED,
+            cache: true,
+            reuse: true,
+        };
         group.bench_with_input(
             BenchmarkId::new("exhaustive_optmin", format!("threads{threads}")),
             &config,
             |b, config| {
                 b.iter(|| {
                     let violations = sweep(&source, config, &Count, |runner, scenario| {
-                        let (run, transcript) = runner.execute_one(
-                            &Optmin,
-                            &scenario.params,
-                            scenario.adversary.clone(),
-                        )?;
+                        let (run, transcript) =
+                            runner.execute_one(&Optmin, &scenario.params, &scenario.adversary)?;
                         Ok(check::check(run, transcript, &scenario.params, scenario.variant).len()
                             as u64)
                     })
@@ -88,7 +90,7 @@ fn bench_batched_executor(c: &mut Criterion) {
                 let mut runner = BatchRunner::new();
                 for adversary in adversaries {
                     let (_, transcripts) =
-                        runner.execute_batch(&protocols, &params, adversary.clone()).unwrap();
+                        runner.execute_batch(&protocols, &params, adversary).unwrap();
                     std::hint::black_box(transcripts.len());
                 }
             });

@@ -28,7 +28,7 @@ fn bench_wire_simulation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("full_information", n), &run, |b, run| {
             b.iter(|| {
                 let regenerated =
-                    Run::generate(system, run.adversary().clone(), Time::new(rounds)).unwrap();
+                    Run::generate(system, run.to_adversary(), Time::new(rounds)).unwrap();
                 std::hint::black_box(regenerated)
             });
         });

@@ -1,0 +1,105 @@
+//! Perf snapshot of structure-major sweep execution on the exhaustive
+//! Theorem 1 scopes — the acceptance measurement of the run-structure
+//! reuse work (the Amdahl follow-up to `bench_sweep_cache`).
+//!
+//! Runs `sweep::experiments::thm1` twice on a sequential configuration
+//! (wall times stay comparable on any core count): once with run-structure
+//! reuse disabled and once enabled (the analysis cache stays on in both
+//! arms, so the measured delta isolates the reuse), verifies the two
+//! produce identical tables, and writes a `BENCH_run_reuse.json` snapshot
+//! recording wall time, the number of communication structures simulated
+//! vs. reused, and the speedup — both against the reuse-off arm and
+//! against the PR 2 cached baseline read from the checked-in
+//! `BENCH_sweep_cache.json`, so the perf trajectory of the sweep hot path
+//! is recorded in-repo.
+//!
+//! ```text
+//! bench_run_reuse [output.json]     # default: BENCH_run_reuse.json
+//! ```
+
+use std::time::Instant;
+
+use bench_harness::report;
+use sweep::experiments;
+use sweep::SweepConfig;
+
+/// Wall time of the cached, reuse-free Theorem 1 sweep recorded by PR 2 —
+/// the baseline the tentpole acceptance (≥ 2× wall) is measured against.
+/// Used only if `BENCH_sweep_cache.json` is missing or unreadable; normally
+/// the baseline is read from that snapshot so the two stay consistent when
+/// snapshots are re-recorded on different hardware.
+const PR2_CACHED_BASELINE_FALLBACK_MS: f64 = 3175.2;
+
+/// Extracts the `wall_ms` of the `"cached"` section from the
+/// `BENCH_sweep_cache.json` next to the requested output file (the vendored
+/// serde stub has no deserializer; the snapshot format is flat and ours).
+fn pr2_cached_baseline_ms(output: &str) -> f64 {
+    let path = std::path::Path::new(output).with_file_name("BENCH_sweep_cache.json");
+    let parsed = std::fs::read_to_string(path).ok().and_then(|json| {
+        let cached = json.split("\"cached\"").nth(1)?;
+        let number = cached.split("\"wall_ms\":").nth(1)?;
+        number.split([',', '}']).next()?.trim().parse().ok()
+    });
+    parsed.unwrap_or(PR2_CACHED_BASELINE_FALLBACK_MS)
+}
+
+fn main() {
+    let output = std::env::args().nth(1).unwrap_or_else(|| "BENCH_run_reuse.json".to_owned());
+    let pr2_cached_baseline_ms = pr2_cached_baseline_ms(&output);
+    let rebuild_config = SweepConfig { reuse: false, ..SweepConfig::sequential() };
+    let reuse_config = SweepConfig::sequential();
+
+    let start = Instant::now();
+    let (rebuild_rows, rebuild_stats) =
+        experiments::thm1_with_stats(&rebuild_config).expect("built-in scopes are well formed");
+    let rebuild_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let (reuse_rows, reuse_stats) =
+        experiments::thm1_with_stats(&reuse_config).expect("built-in scopes are well formed");
+    let reuse_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(reuse_rows, rebuild_rows, "structure reuse must not change the fold");
+
+    let simulation_reduction =
+        rebuild_stats.runs.simulated as f64 / reuse_stats.runs.simulated.max(1) as f64;
+    let speedup = rebuild_ms / reuse_ms.max(1e-9);
+    let speedup_vs_pr2 = pr2_cached_baseline_ms / reuse_ms.max(1e-9);
+
+    eprintln!("reuse off: {}", report::sweep_stats_line(&rebuild_stats));
+    eprintln!("reuse on:  {}", report::sweep_stats_line(&reuse_stats));
+    eprintln!(
+        "structures {:.2}x fewer, wall {:.0} ms -> {:.0} ms ({:.2}x; {:.2}x vs the PR 2 \
+         cached baseline of {:.0} ms)",
+        simulation_reduction, rebuild_ms, reuse_ms, speedup, speedup_vs_pr2, pr2_cached_baseline_ms
+    );
+
+    // The vendored serde stub has no serializer; the snapshot is small and
+    // flat, so it is rendered by hand.
+    let json = format!(
+        "{{\n  \"experiment\": \"exp_thm1_unbeatability exhaustive scopes\",\n  \
+         \"config\": {{ \"shards\": 1, \"threads\": 1, \"cache\": true }},\n  \
+         \"scenarios\": {scenarios},\n  \
+         \"reuse_off\": {{ \"wall_ms\": {rebuild_ms:.1}, \"structures_simulated\": {rs} }},\n  \
+         \"reuse_on\": {{ \"wall_ms\": {reuse_ms:.1}, \"structures_simulated\": {us}, \
+         \"structures_reused\": {ur}, \"reuse_rate\": {rate:.4} }},\n  \
+         \"simulation_reduction_factor\": {simulation_reduction:.2},\n  \
+         \"wall_speedup_vs_reuse_off\": {speedup:.2},\n  \
+         \"pr2_cached_baseline_ms\": {pr2_cached_baseline_ms:.1},\n  \
+         \"wall_speedup_vs_pr2_baseline\": {speedup_vs_pr2:.2}\n}}\n",
+        scenarios = reuse_stats.scenarios,
+        rs = rebuild_stats.runs.simulated,
+        us = reuse_stats.runs.simulated,
+        ur = reuse_stats.runs.reused,
+        rate = reuse_stats.runs.reuse_rate(),
+    );
+    std::fs::write(&output, json).expect("writing the snapshot");
+    println!("wrote {output}");
+
+    assert!(
+        simulation_reduction >= 4.0,
+        "acceptance: expected a >=4x reduction in structure simulations \
+         (the smallest thm1 scope crosses 8 input vectors per pattern), got \
+         {simulation_reduction:.2}x"
+    );
+}

@@ -21,8 +21,12 @@ use sweep::SweepConfig;
 
 fn main() {
     let output = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sweep_cache.json".to_owned());
-    let uncached_config = SweepConfig { cache: false, ..SweepConfig::sequential() };
-    let cached_config = SweepConfig::sequential();
+    // Structure reuse is pinned OFF in both arms: this snapshot isolates the
+    // analysis cache, and its cached arm doubles as the pre-reuse baseline
+    // that `bench_run_reuse` reads back (`pr2_cached_baseline_ms`) — with
+    // reuse on, both measurements would collapse into the reuse-on numbers.
+    let uncached_config = SweepConfig { cache: false, reuse: false, ..SweepConfig::sequential() };
+    let cached_config = SweepConfig { reuse: false, ..SweepConfig::sequential() };
 
     let start = Instant::now();
     let (uncached_rows, uncached_stats) =

@@ -44,7 +44,7 @@ fn main() {
                     table.push(&[
                         k.to_string(),
                         format!("{crash_probability:.1}"),
-                        protocol.name(),
+                        protocol.name().to_owned(),
                         format!("{:.2}", totals[idx].0 / SAMPLES as f64),
                         totals[idx].1.to_string(),
                         totals[idx].2.to_string(),

@@ -19,7 +19,7 @@ fn main() {
         Ok(config) => config,
         Err(message) => {
             eprintln!(
-                "{message}\nusage: exp_fig4_uniform_gap [--shards N] [--threads N] [--seed N] [--no-cache]"
+                "{message}\nusage: exp_fig4_uniform_gap [--shards N] [--threads N] [--seed N] [--no-cache] [--no-reuse]"
             );
             std::process::exit(2);
         }

@@ -29,7 +29,7 @@ fn main() {
         Ok(config) => config,
         Err(message) => {
             eprintln!(
-                "{message}\nusage: exp_prop2_connectivity [--shards N] [--threads N] [--seed N] [--no-cache]"
+                "{message}\nusage: exp_prop2_connectivity [--shards N] [--threads N] [--seed N] [--no-cache] [--no-reuse]"
             );
             std::process::exit(2);
         }

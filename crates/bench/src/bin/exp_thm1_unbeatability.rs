@@ -27,7 +27,7 @@ fn main() {
         Err(message) => {
             eprintln!(
                 "{message}\nusage: exp_thm1_unbeatability \
-                 [--shards N] [--threads N] [--seed N] [--no-cache]"
+                 [--shards N] [--threads N] [--seed N] [--no-cache] [--no-reuse]"
             );
             std::process::exit(2);
         }

@@ -14,7 +14,7 @@ fn main() {
         Ok(config) => config,
         Err(message) => {
             eprintln!(
-                "{message}\nusage: exp_thm3_uniform_bound [--shards N] [--threads N] [--seed N] [--no-cache]"
+                "{message}\nusage: exp_thm3_uniform_bound [--shards N] [--threads N] [--seed N] [--no-cache] [--no-reuse]"
             );
             std::process::exit(2);
         }

@@ -2,7 +2,7 @@
 //! the sharded, work-stealing engine of the `sweep` crate.
 //!
 //! ```text
-//! sweep <thm1|thm3|fig4|prop2|all> [--shards N] [--threads N] [--seed N] [--no-cache]
+//! sweep <thm1|thm3|fig4|prop2|all> [--shards N] [--threads N] [--seed N] [--no-cache] [--no-reuse]
 //! ```
 //!
 //! The fold results are independent of `--shards` and `--threads`: for the
@@ -13,7 +13,7 @@ use bench_harness::{report, sweep_config_from_args};
 use sweep::experiments;
 
 const USAGE: &str = "usage: sweep <thm1|thm3|fig4|prop2|all> \
-                     [--shards N] [--threads N] [--seed N] [--no-cache]";
+                     [--shards N] [--threads N] [--seed N] [--no-cache] [--no-reuse]";
 
 fn main() {
     let mut args = std::env::args().skip(1);

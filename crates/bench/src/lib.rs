@@ -96,9 +96,10 @@ impl fmt::Display for Table {
 }
 
 /// Parses the sweep flags shared by the experiment binaries and the `sweep`
-/// CLI — `--shards N`, `--threads N`, `--seed N`, `--no-cache` — into a
-/// [`sweep::SweepConfig`], starting from the engine defaults (automatic
-/// parallelism, seed 1605, analysis cache on).
+/// CLI — `--shards N`, `--threads N`, `--seed N`, `--no-cache`,
+/// `--no-reuse` — into a [`sweep::SweepConfig`], starting from the engine
+/// defaults (automatic parallelism, seed 1605, analysis cache and
+/// run-structure reuse on).
 ///
 /// # Errors
 ///
@@ -129,6 +130,9 @@ pub fn sweep_config_from_args(
             }
             "--no-cache" => {
                 config.cache = false;
+            }
+            "--no-reuse" => {
+                config.reuse = false;
             }
             other => return Err(format!("unknown flag {other}")),
         }

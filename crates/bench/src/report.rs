@@ -10,18 +10,22 @@ use sweep::SweepStats;
 
 use crate::Table;
 
-/// Renders the execution statistics of a sweep — scenario count and the
-/// analysis-cache counters — as the one-line trailer the experiment
-/// binaries print under their tables.
+/// Renders the execution statistics of a sweep — scenario count, the
+/// analysis-cache counters, and the run-structure reuse counters — as the
+/// one-line trailer the experiment binaries print under their tables.
 pub fn sweep_stats_line(stats: &SweepStats) -> String {
     format!(
         "sweep stats: {} scenarios; knowledge analyses: {} requested, {} constructed, \
-         {} served from cache (hit rate {:.1}%)",
+         {} served from cache (hit rate {:.1}%); run structures: {} simulated, \
+         {} reused (reuse rate {:.1}%)",
         stats.scenarios,
         stats.cache.lookups(),
         stats.cache.constructions(),
         stats.cache.constructions_avoided(),
         stats.cache.hit_rate() * 100.0,
+        stats.runs.simulated,
+        stats.runs.reused,
+        stats.runs.reuse_rate() * 100.0,
     )
 }
 

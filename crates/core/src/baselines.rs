@@ -39,8 +39,8 @@ use crate::{DecisionContext, Protocol};
 pub struct FloodMin;
 
 impl Protocol for FloodMin {
-    fn name(&self) -> String {
-        "FloodMin".to_owned()
+    fn name(&self) -> &str {
+        "FloodMin"
     }
 
     fn decide(&self, ctx: &DecisionContext<'_>) -> Option<Value> {
@@ -56,8 +56,8 @@ impl Protocol for FloodMin {
 pub struct EarlyFloodMin;
 
 impl Protocol for EarlyFloodMin {
-    fn name(&self) -> String {
-        "EarlyFloodMin".to_owned()
+    fn name(&self) -> &str {
+        "EarlyFloodMin"
     }
 
     fn decide(&self, ctx: &DecisionContext<'_>) -> Option<Value> {
@@ -81,8 +81,8 @@ impl Protocol for EarlyFloodMin {
 pub struct EarlyUniformFloodMin;
 
 impl Protocol for EarlyUniformFloodMin {
-    fn name(&self) -> String {
-        "EarlyUniformFloodMin".to_owned()
+    fn name(&self) -> &str {
+        "EarlyUniformFloodMin"
     }
 
     fn decide(&self, ctx: &DecisionContext<'_>) -> Option<Value> {

@@ -99,7 +99,7 @@ pub fn check(
 
 /// Checks only the Validity property (and the value-domain side condition).
 pub fn check_validity(run: &Run, transcript: &Transcript, params: &TaskParams) -> Vec<Violation> {
-    let present = run.adversary().inputs().present_values();
+    let present = run.inputs().present_values();
     let mut violations = Vec::new();
     for (process, decision) in transcript.decisions() {
         if !present.contains(decision.value) {

@@ -219,8 +219,8 @@ pub fn compare(
         );
     }
     Ok(DominationReport {
-        first: first.name(),
-        second: second.name(),
+        first: first.name().to_owned(),
+        second: second.name().to_owned(),
         adversaries: adversaries.len(),
         first_improvements,
         second_improvements,
@@ -299,8 +299,8 @@ pub fn compare_last_decider(
         }
     }
     Ok(LastDeciderReport {
-        first: first.name(),
-        second: second.name(),
+        first: first.name().to_owned(),
+        second: second.name().to_owned(),
         first_earlier,
         second_earlier,
         adversaries: adversaries.len(),

@@ -1,7 +1,7 @@
 //! Execution of a protocol against an adversary.
 
-use knowledge::{AnalysisCache, ViewAnalysis};
-use synchrony::{Adversary, ModelError, Node, Run, Time};
+use knowledge::{AnalysisCache, StructureMemo, ViewAnalysis};
+use synchrony::{Adversary, ModelError, Node, Run, StructureReuse, Time};
 
 use crate::{Decision, DecisionContext, Protocol, TaskParams, Transcript};
 
@@ -36,7 +36,7 @@ pub fn execute_on_run(
             }
         }
     }
-    Ok(Transcript::new(protocol.name(), decisions, run.horizon()))
+    Ok(Transcript::new(protocol.name().to_owned(), decisions, run.horizon()))
 }
 
 /// Simulates the run induced by `adversary` (with a horizon generous enough
@@ -55,6 +55,57 @@ pub fn execute(
     Ok((run, transcript))
 }
 
+/// Communication-structure simulation counters of a [`BatchRunner`].
+///
+/// `simulated + reused` is the total number of runs the runner prepared; a
+/// *reused* run skipped the `O(horizon² · n²)` full-information simulation
+/// because its failure pattern (and parameters and horizon) matched the
+/// previous run's — see [`synchrony::StructureReuse`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunReuseStats {
+    /// Runs whose communication structure was simulated from scratch.
+    pub simulated: u64,
+    /// Runs that reused the previous communication structure outright.
+    pub reused: u64,
+}
+
+impl RunReuseStats {
+    /// Returns the total number of runs prepared.
+    pub fn total(&self) -> u64 {
+        self.simulated + self.reused
+    }
+
+    /// Returns the fraction of runs that skipped simulation, in `[0, 1]`
+    /// (`0` when no run was prepared).
+    pub fn reuse_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.reused as f64 / self.total() as f64
+        }
+    }
+
+    /// Adds another counter pair into this one (for aggregating per-worker
+    /// runners into sweep-level stats).
+    pub fn merge(&mut self, other: RunReuseStats) {
+        self.simulated += other.simulated;
+        self.reused += other.reused;
+    }
+
+    fn record(&mut self, reuse: StructureReuse) {
+        match reuse {
+            StructureReuse::Simulated => self.simulated += 1,
+            StructureReuse::Reused => self.reused += 1,
+        }
+    }
+}
+
+/// A per-node observer invoked by [`BatchRunner::execute_batch_observed`]:
+/// the run, the node, its knowledge analysis, and the transcripts as decided
+/// *up to and including* that node (one per protocol, in batch order).
+pub type NodeObserver<'a> =
+    &'a mut dyn FnMut(&Run, Node, &ViewAnalysis, &[Transcript]) -> Result<(), ModelError>;
+
 /// A reusable execution context for batches of runs.
 ///
 /// The one-shot [`execute`] entry point allocates a fresh [`Run`] and
@@ -63,20 +114,29 @@ pub fn execute(
 /// those allocations the dominant cost, so a `BatchRunner` keeps them alive
 /// across the runs of a batch:
 ///
-/// * the simulated [`Run`] is rebuilt **in place** via [`Run::regenerate`],
-///   reusing the `O(horizon² · n)` layer structure of the previous run;
+/// * the simulated [`Run`] is rebuilt **in place** via [`Run::regenerate`];
+///   when consecutive adversaries share a failure pattern (the
+///   structure-major order of exhaustive sweeps), the simulation is skipped
+///   outright and only the input overlay is swapped — counted in
+///   [`BatchRunner::run_stats`] and controllable via
+///   [`BatchRunner::structure_reuse`];
 /// * the per-protocol decision buffers (and the [`Transcript`]s wrapping
-///   them) are reused across runs;
+///   them, including their protocol-name strings) are reused across runs;
 /// * each node's knowledge analysis is computed **once per run** and shared
 ///   by every protocol in the batch, instead of once per protocol;
 /// * with [`BatchRunner::cached`], the *structural* part of each analysis is
 ///   additionally shared **across runs** through a view-keyed
 ///   [`AnalysisCache`]: adversaries that induce the same view pattern at a
 ///   node (the common case in exhaustive sweeps, where input vectors are
-///   crossed with failure patterns) reuse one construction.
+///   crossed with failure patterns) reuse one construction;
+/// * while the run structure is being reused, a per-structure
+///   [`StructureMemo`] additionally pins each node's *completed* analysis
+///   and refreshes only its value-dependent fields per run — the whole
+///   view-key/hashing path is skipped across an input block.
 ///
 /// The produced transcripts are identical (`==`) to those of
-/// [`execute_on_run`] executed per protocol — with or without the cache.
+/// [`execute_on_run`] executed per protocol — with or without the cache and
+/// with or without structure reuse.
 ///
 /// ```
 /// use set_consensus::{executor::BatchRunner, Optmin, FloodMin, TaskParams};
@@ -86,7 +146,7 @@ pub fn execute(
 /// let adversary = Adversary::failure_free(InputVector::from_values([0, 1, 2, 2]))?;
 /// let mut runner = BatchRunner::new();
 /// let (run, transcripts) =
-///     runner.execute_batch(&[&Optmin, &FloodMin], &params, adversary)?;
+///     runner.execute_batch(&[&Optmin, &FloodMin], &params, &adversary)?;
 /// assert_eq!(transcripts.len(), 2);
 /// assert!(transcripts.iter().all(|t| t.all_correct_decided(run)));
 /// # Ok::<(), synchrony::ModelError>(())
@@ -96,6 +156,18 @@ pub struct BatchRunner {
     run: Option<Run>,
     transcripts: Vec<Transcript>,
     cache: AnalysisCache,
+    /// Per-node analyses of the *current* run structure, recompleted in
+    /// place while the structure is being reused (invalidated on every
+    /// re-simulation).  Only consulted once the structure has actually been
+    /// reused (`memo_live`), so workloads that never repeat a failure
+    /// pattern — random sources — never pay for populating a memo that the
+    /// next run would throw away.
+    memo: StructureMemo,
+    /// `true` from the first [`StructureReuse::Reused`] run on the current
+    /// structure until its next re-simulation.
+    memo_live: bool,
+    reuse: bool,
+    run_stats: RunReuseStats,
 }
 
 impl Default for BatchRunner {
@@ -120,7 +192,24 @@ impl BatchRunner {
     /// disabled), so several runners — or a runner and auxiliary analyses —
     /// can pool one cache.
     pub fn with_cache(cache: AnalysisCache) -> Self {
-        BatchRunner { run: None, transcripts: Vec::new(), cache }
+        BatchRunner {
+            run: None,
+            transcripts: Vec::new(),
+            cache,
+            memo: StructureMemo::new(),
+            memo_live: false,
+            reuse: true,
+            run_stats: RunReuseStats::default(),
+        }
+    }
+
+    /// Sets whether consecutive runs with an identical failure pattern may
+    /// share one communication structure (default `true`).  Disabling forces
+    /// a full re-simulation per run — the reuse-off arm of A/B comparisons;
+    /// results are identical either way.
+    pub fn structure_reuse(mut self, enabled: bool) -> Self {
+        self.reuse = enabled;
+        self
     }
 
     /// Returns a handle to the runner's analysis cache.  The handle shares
@@ -129,6 +218,11 @@ impl BatchRunner {
     /// and read the hit/miss counters afterwards.
     pub fn cache(&self) -> &AnalysisCache {
         &self.cache
+    }
+
+    /// Returns a snapshot of the run-structure simulation counters.
+    pub fn run_stats(&self) -> RunReuseStats {
+        self.run_stats
     }
 
     /// Simulates the run induced by `adversary` (rebuilding the previous
@@ -146,14 +240,59 @@ impl BatchRunner {
         &mut self,
         protocols: &[&dyn Protocol],
         params: &TaskParams,
-        adversary: Adversary,
+        adversary: &Adversary,
     ) -> Result<(&Run, &[Transcript]), ModelError> {
+        self.run_batch(protocols, params, adversary, None)?;
+        Ok((self.run.as_ref().expect("the run was just simulated"), &self.transcripts))
+    }
+
+    /// [`BatchRunner::execute_batch`], additionally invoking `observer` at
+    /// **every** active node of the run, exactly once, with the node's
+    /// knowledge analysis and the decision state so far.
+    ///
+    /// This is the hook for per-node structure checks that would otherwise
+    /// re-analyze the whole run in a second pass (e.g. the Theorem 1
+    /// Lemma 3 scan): the observer runs inside the executor's decision loop,
+    /// right *after* the node's protocols were offered their decision, so
+    /// `transcripts[p].decision_time(i)` reflects every decision taken up to
+    /// and including the observed node.  Unlike the plain batch loop —
+    /// which skips analyzing nodes once every protocol has decided — the
+    /// observed loop analyzes every active node, so the observer sees all of
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the adversary is inconsistent with the
+    /// parameters, or propagates the first error returned by `observer`.
+    pub fn execute_batch_observed(
+        &mut self,
+        protocols: &[&dyn Protocol],
+        params: &TaskParams,
+        adversary: &Adversary,
+        mut observer: impl FnMut(&Run, Node, &ViewAnalysis, &[Transcript]) -> Result<(), ModelError>,
+    ) -> Result<(&Run, &[Transcript]), ModelError> {
+        self.run_batch(protocols, params, adversary, Some(&mut observer))?;
+        Ok((self.run.as_ref().expect("the run was just simulated"), &self.transcripts))
+    }
+
+    /// The shared batch loop behind [`BatchRunner::execute_batch`] and
+    /// [`BatchRunner::execute_batch_observed`].
+    fn run_batch(
+        &mut self,
+        protocols: &[&dyn Protocol],
+        params: &TaskParams,
+        adversary: &Adversary,
+        mut observer: Option<NodeObserver<'_>>,
+    ) -> Result<(), ModelError> {
         let horizon = params.horizon();
         self.simulate(params.system(), adversary, horizon)?;
         let run = self.run.as_ref().expect("the run was just simulated");
         let n = run.n();
 
-        // Reshape the transcript pool, reusing the decision buffers.
+        // Reshape the transcript pool, reusing the decision buffers — and the
+        // protocol-name strings, which are rewritten only when the protocol
+        // in that slot actually changed (names are compared, not rebuilt, so
+        // steady-state batches allocate nothing here).
         self.transcripts.truncate(protocols.len());
         while self.transcripts.len() < protocols.len() {
             self.transcripts.push(Transcript {
@@ -163,8 +302,11 @@ impl BatchRunner {
             });
         }
         for (transcript, protocol) in self.transcripts.iter_mut().zip(protocols) {
-            transcript.protocol.clear();
-            transcript.protocol.push_str(&protocol.name());
+            let name = protocol.name();
+            if transcript.protocol != name {
+                transcript.protocol.clear();
+                transcript.protocol.push_str(name);
+            }
             transcript.horizon = horizon;
             transcript.decisions.clear();
             transcript.decisions.resize(n, None);
@@ -176,11 +318,27 @@ impl BatchRunner {
                 if !run.is_active(i, time) {
                     continue;
                 }
-                if self.transcripts.iter().all(|t| t.decisions[i].is_some()) {
+                // Without an observer, a node whose every protocol has
+                // already decided needs no analysis; an observer must see
+                // every active node exactly once.
+                if observer.is_none() && self.transcripts.iter().all(|t| t.decisions[i].is_some()) {
                     continue;
                 }
-                let analysis = self.cache.analyze(run, Node::new(i, time))?;
-                let ctx = DecisionContext::new(params, &analysis);
+                let node = Node::new(i, time);
+                // Structure-major fast path: once the structure is actually
+                // being reused, the node's analysis comes from the
+                // per-structure memo (recompleted in place); the first run
+                // of a pattern — and every run of a never-repeating
+                // workload — goes through the view-keyed cache instead, so
+                // the memo is only ever populated when it will pay off.
+                let analysis_slot;
+                let analysis: &ViewAnalysis = if self.memo_live {
+                    self.memo.analyze(&self.cache, run, node)?
+                } else {
+                    analysis_slot = self.cache.analyze(run, node)?;
+                    &analysis_slot
+                };
+                let ctx = DecisionContext::new(params, analysis);
                 for (transcript, protocol) in self.transcripts.iter_mut().zip(protocols) {
                     if transcript.decisions[i].is_none() {
                         if let Some(value) = protocol.decide(&ctx) {
@@ -188,14 +346,20 @@ impl BatchRunner {
                         }
                     }
                 }
+                if let Some(observe) = observer.as_mut() {
+                    observe(run, node, analysis, &self.transcripts)?;
+                }
             }
         }
-        Ok((run, &self.transcripts))
+        Ok(())
     }
 
     /// Simulates the run induced by `adversary` into the reused run buffer
     /// without executing any protocol — for jobs that only need the
-    /// communication structure (e.g. topology sweeps).
+    /// communication structure (e.g. topology sweeps).  When the adversary's
+    /// failure pattern matches the previous run's (and structure reuse is
+    /// enabled), the simulation is skipped and only the input overlay is
+    /// swapped.
     ///
     /// # Errors
     ///
@@ -204,12 +368,23 @@ impl BatchRunner {
     pub fn simulate(
         &mut self,
         system: synchrony::SystemParams,
-        adversary: Adversary,
+        adversary: &Adversary,
         horizon: Time,
     ) -> Result<&Run, ModelError> {
-        match self.run.as_mut() {
-            Some(run) => run.regenerate(system, adversary, horizon)?,
-            None => self.run = Some(Run::generate(system, adversary, horizon)?),
+        let reuse = match self.run.as_mut() {
+            Some(run) => run.regenerate_with(system, adversary, horizon, self.reuse)?,
+            None => {
+                self.run = Some(Run::generate(system, adversary.clone(), horizon)?);
+                StructureReuse::Simulated
+            }
+        };
+        self.run_stats.record(reuse);
+        match reuse {
+            StructureReuse::Simulated => {
+                self.memo.invalidate();
+                self.memo_live = false;
+            }
+            StructureReuse::Reused => self.memo_live = true,
         }
         Ok(self.run.as_ref().expect("the run was just simulated"))
     }
@@ -224,7 +399,7 @@ impl BatchRunner {
         &mut self,
         protocol: &dyn Protocol,
         params: &TaskParams,
-        adversary: Adversary,
+        adversary: &Adversary,
     ) -> Result<(&Run, &Transcript), ModelError> {
         let (run, transcripts) = self.execute_batch(&[protocol], params, adversary)?;
         Ok((run, &transcripts[0]))
@@ -240,8 +415,8 @@ mod tests {
     struct OwnValueAtOne;
 
     impl Protocol for OwnValueAtOne {
-        fn name(&self) -> String {
-            "OwnValueAtOne".to_owned()
+        fn name(&self) -> &str {
+            "OwnValueAtOne"
         }
 
         fn decide(&self, ctx: &DecisionContext<'_>) -> Option<Value> {
@@ -268,8 +443,8 @@ mod tests {
     fn decisions_are_irrevocable_and_unique() {
         struct EveryRound;
         impl Protocol for EveryRound {
-            fn name(&self) -> String {
-                "EveryRound".to_owned()
+            fn name(&self) -> &str {
+                "EveryRound"
             }
             fn decide(&self, ctx: &DecisionContext<'_>) -> Option<Value> {
                 Some(Value::new(ctx.analysis.time().value() as u64))
@@ -283,11 +458,26 @@ mod tests {
         assert_eq!(transcript.decision_value(0), Some(Value::new(0)));
     }
 
+    fn random_adversary(rng: &mut impl rand::Rng, n: usize, t: usize, k: usize) -> Adversary {
+        let values: Vec<u64> = (0..n).map(|_| rng.random_range(0..=k as u64)).collect();
+        let mut failures = synchrony::FailurePattern::crash_free(n);
+        let mut crashed = 0usize;
+        for p in 0..n {
+            if crashed < t && rng.random_bool(0.4) {
+                let round = rng.random_range(1..=2u32);
+                let delivered: Vec<usize> = (0..n).filter(|_| rng.random_bool(0.5)).collect();
+                failures.crash(p, round, delivered).unwrap();
+                crashed += 1;
+            }
+        }
+        Adversary::new(InputVector::from_values(values), failures).unwrap()
+    }
+
     #[test]
     fn batch_runner_matches_per_protocol_execution() {
         use crate::{EarlyFloodMin, FloodMin, Optmin};
         use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use rand::SeedableRng;
 
         let (n, t, k) = (6usize, 4usize, 2usize);
         let params = TaskParams::new(SystemParams::new(n, t).unwrap(), k).unwrap();
@@ -296,22 +486,9 @@ mod tests {
         let mut runner = BatchRunner::new();
         let mut cached_runner = BatchRunner::cached();
         for _ in 0..25 {
-            // A small random adversary.
-            let values: Vec<u64> = (0..n).map(|_| rng.random_range(0..=k as u64)).collect();
-            let mut failures = synchrony::FailurePattern::crash_free(n);
-            let mut crashed = 0usize;
-            for p in 0..n {
-                if crashed < t && rng.random_bool(0.4) {
-                    let round = rng.random_range(1..=2u32);
-                    let delivered: Vec<usize> = (0..n).filter(|_| rng.random_bool(0.5)).collect();
-                    failures.crash(p, round, delivered).unwrap();
-                    crashed += 1;
-                }
-            }
-            let adversary = Adversary::new(InputVector::from_values(values), failures).unwrap();
+            let adversary = random_adversary(&mut rng, n, t, k);
 
-            let (run, batched) =
-                runner.execute_batch(&protocols, &params, adversary.clone()).unwrap();
+            let (run, batched) = runner.execute_batch(&protocols, &params, &adversary).unwrap();
             let reference_run =
                 synchrony::Run::generate(params.system(), adversary.clone(), params.horizon())
                     .unwrap();
@@ -322,7 +499,7 @@ mod tests {
             }
             // The cross-run cache must not change a single decision.
             let (cached_run, cached) =
-                cached_runner.execute_batch(&protocols, &params, adversary).unwrap();
+                cached_runner.execute_batch(&protocols, &params, &adversary).unwrap();
             assert_eq!(cached_run, &reference_run);
             for (protocol, transcript) in protocols.iter().zip(cached) {
                 let reference = execute_on_run(*protocol, &params, &reference_run).unwrap();
@@ -333,6 +510,105 @@ mod tests {
         assert!(stats.hits > 0, "repeated view patterns must hit the cache");
     }
 
+    /// Replaying input vectors over a fixed failure pattern must (a) reuse
+    /// the communication structure, (b) produce transcripts identical to
+    /// one-shot execution, and (c) stop reusing when reuse is disabled —
+    /// without changing a single decision.
+    #[test]
+    fn structure_reuse_is_counted_and_invisible() {
+        use crate::Optmin;
+
+        let params = TaskParams::new(SystemParams::new(4, 2).unwrap(), 2).unwrap();
+        let mut failures = synchrony::FailurePattern::crash_free(4);
+        failures.crash(0, 1, [1]).unwrap();
+        let inputs = [[0u64, 1, 2, 2], [2, 2, 1, 0], [1, 1, 1, 1], [0, 0, 2, 1]];
+
+        let mut reusing = BatchRunner::cached();
+        let mut rebuilding = BatchRunner::cached().structure_reuse(false);
+        for values in inputs {
+            let adversary =
+                Adversary::new(InputVector::from_values(values), failures.clone()).unwrap();
+            let (_, expected) = execute(&Optmin, &params, adversary.clone()).unwrap();
+            let (_, transcript) = reusing.execute_one(&Optmin, &params, &adversary).unwrap();
+            assert_eq!(transcript, &expected);
+            let (_, transcript) = rebuilding.execute_one(&Optmin, &params, &adversary).unwrap();
+            assert_eq!(transcript, &expected);
+        }
+        assert_eq!(
+            reusing.run_stats(),
+            RunReuseStats { simulated: 1, reused: inputs.len() as u64 - 1 }
+        );
+        assert_eq!(
+            rebuilding.run_stats(),
+            RunReuseStats { simulated: inputs.len() as u64, reused: 0 }
+        );
+        assert!(reusing.run_stats().reuse_rate() > 0.7);
+        assert_eq!(rebuilding.run_stats().reuse_rate(), 0.0);
+    }
+
+    /// The observed batch loop must visit every active node exactly once, in
+    /// time-major order, with decision state that matches the final
+    /// transcripts truncated at the observed time.
+    #[test]
+    fn observed_execution_sees_every_active_node_once_with_live_decisions() {
+        use crate::{FloodMin, Optmin};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let (n, t, k) = (5usize, 3usize, 2usize);
+        let params = TaskParams::new(SystemParams::new(n, t).unwrap(), k).unwrap();
+        let protocols: [&dyn Protocol; 2] = [&Optmin, &FloodMin];
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut runner = BatchRunner::cached();
+        for _ in 0..10 {
+            let adversary = random_adversary(&mut rng, n, t, k);
+            let mut visited: Vec<Node> = Vec::new();
+            let mut live_optmin: Vec<(Node, Option<Time>)> = Vec::new();
+            let (run, transcripts) = runner
+                .execute_batch_observed(
+                    &protocols,
+                    &params,
+                    &adversary,
+                    |run, node, analysis, transcripts| {
+                        assert_eq!(analysis.time(), node.time);
+                        assert!(run.is_active(node.process, node.time));
+                        visited.push(node);
+                        live_optmin.push((node, transcripts[0].decision_time(node.process)));
+                        Ok(())
+                    },
+                )
+                .unwrap();
+
+            // Exactly the active nodes, each once, time-major.
+            let mut expected: Vec<Node> = Vec::new();
+            for m in 0..=run.horizon().index() {
+                let time = Time::new(m as u32);
+                for i in 0..run.n() {
+                    if run.is_active(i, time) {
+                        expected.push(Node::new(i, time));
+                    }
+                }
+            }
+            assert_eq!(visited, expected);
+
+            // The live decision state equals the final transcript, truncated
+            // at the observed node's time.
+            for (node, live) in live_optmin {
+                let finalized =
+                    transcripts[0].decision_time(node.process).filter(|&d| d <= node.time);
+                assert_eq!(live, finalized, "live decision state diverged at {node}");
+            }
+
+            // And the transcripts equal the plain batch path.
+            let reference_run =
+                synchrony::Run::generate(params.system(), adversary, params.horizon()).unwrap();
+            for (protocol, transcript) in protocols.iter().zip(transcripts) {
+                let reference = execute_on_run(*protocol, &params, &reference_run).unwrap();
+                assert_eq!(transcript, &reference);
+            }
+        }
+    }
+
     #[test]
     fn execute_one_reuses_buffers_across_calls() {
         let params = TaskParams::new(SystemParams::new(3, 1).unwrap(), 1).unwrap();
@@ -340,10 +616,12 @@ mod tests {
         for inputs in [[0u64, 1, 1], [1, 0, 1], [1, 1, 0]] {
             let adversary = Adversary::failure_free(InputVector::from_values(inputs)).unwrap();
             let (run, transcript) =
-                runner.execute_one(&crate::Optmin, &params, adversary.clone()).unwrap();
+                runner.execute_one(&crate::Optmin, &params, &adversary).unwrap();
             let (expected_run, expected) = execute(&crate::Optmin, &params, adversary).unwrap();
             assert_eq!(run, &expected_run);
             assert_eq!(transcript, &expected);
         }
+        // All three adversaries are failure-free: one simulation, two reuses.
+        assert_eq!(runner.run_stats(), RunReuseStats { simulated: 1, reused: 2 });
     }
 }

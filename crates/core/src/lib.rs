@@ -64,7 +64,7 @@ pub use domination::{
     compare, compare_last_decider, DominationRelation, DominationReport, ImprovementWitness,
     LastDeciderReport,
 };
-pub use executor::{execute, execute_on_run, BatchRunner};
+pub use executor::{execute, execute_on_run, BatchRunner, NodeObserver, RunReuseStats};
 pub use opt0::Opt0;
 pub use optmin::Optmin;
 pub use params::{TaskParams, TaskVariant};
@@ -101,10 +101,10 @@ mod tests {
     #[test]
     fn all_protocols_lists_the_expected_names() {
         let nonuniform: Vec<String> =
-            all_protocols(TaskVariant::Nonuniform).iter().map(|p| p.name()).collect();
+            all_protocols(TaskVariant::Nonuniform).iter().map(|p| p.name().to_owned()).collect();
         assert_eq!(nonuniform, vec!["Optmin[k]", "EarlyFloodMin", "FloodMin"]);
         let uniform: Vec<String> =
-            all_protocols(TaskVariant::Uniform).iter().map(|p| p.name()).collect();
+            all_protocols(TaskVariant::Uniform).iter().map(|p| p.name().to_owned()).collect();
         assert_eq!(uniform, vec!["u-Pmin[k]", "EarlyUniformFloodMin", "FloodMin"]);
     }
 }

@@ -24,8 +24,8 @@ use crate::{DecisionContext, Optmin, Protocol};
 pub struct Opt0;
 
 impl Protocol for Opt0 {
-    fn name(&self) -> String {
-        "Opt0".to_owned()
+    fn name(&self) -> &str {
+        "Opt0"
     }
 
     fn decide(&self, ctx: &DecisionContext<'_>) -> Option<Value> {

@@ -39,8 +39,8 @@ use crate::{DecisionContext, Protocol};
 pub struct Optmin;
 
 impl Protocol for Optmin {
-    fn name(&self) -> String {
-        "Optmin[k]".to_owned()
+    fn name(&self) -> &str {
+        "Optmin[k]"
     }
 
     fn decide(&self, ctx: &DecisionContext<'_>) -> Option<Value> {

@@ -48,7 +48,11 @@ impl<'a> DecisionContext<'a> {
 pub trait Protocol {
     /// A short human-readable name for reports and benchmarks, e.g.
     /// `"Optmin[k]"`.
-    fn name(&self) -> String;
+    ///
+    /// The name is borrowed (typically a `'static` literal) so the batched
+    /// executor can compare it against its cached transcript labels without
+    /// allocating on every batch.
+    fn name(&self) -> &str;
 
     /// The decision taken by an undecided process at the analyzed node, if
     /// any.
@@ -62,7 +66,7 @@ impl fmt::Debug for dyn Protocol + '_ {
 }
 
 impl<P: Protocol + ?Sized> Protocol for &P {
-    fn name(&self) -> String {
+    fn name(&self) -> &str {
         (**self).name()
     }
 
@@ -72,7 +76,7 @@ impl<P: Protocol + ?Sized> Protocol for &P {
 }
 
 impl<P: Protocol + ?Sized> Protocol for Box<P> {
-    fn name(&self) -> String {
+    fn name(&self) -> &str {
         (**self).name()
     }
 
@@ -89,8 +93,8 @@ mod tests {
     struct AlwaysZero;
 
     impl Protocol for AlwaysZero {
-        fn name(&self) -> String {
-            "AlwaysZero".to_owned()
+        fn name(&self) -> &str {
+            "AlwaysZero"
         }
 
         fn decide(&self, _ctx: &DecisionContext<'_>) -> Option<Value> {

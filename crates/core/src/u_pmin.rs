@@ -38,8 +38,8 @@ use crate::{DecisionContext, Protocol};
 pub struct UPmin;
 
 impl Protocol for UPmin {
-    fn name(&self) -> String {
-        "u-Pmin[k]".to_owned()
+    fn name(&self) -> &str {
+        "u-Pmin[k]"
     }
 
     fn decide(&self, ctx: &DecisionContext<'_>) -> Option<Value> {
@@ -85,8 +85,8 @@ impl Protocol for UPmin {
 pub struct UOpt0;
 
 impl Protocol for UOpt0 {
-    fn name(&self) -> String {
-        "u-Opt0".to_owned()
+    fn name(&self) -> &str {
+        "u-Opt0"
     }
 
     fn decide(&self, ctx: &DecisionContext<'_>) -> Option<Value> {

@@ -177,44 +177,69 @@ impl ViewStructure {
     /// structure was looked up by the run's [`synchrony::ViewKey`]); only the
     /// layer-0 value assignment is read from it.
     pub(crate) fn complete(&self, run: &Run) -> ViewAnalysis {
+        let mut analysis = ViewAnalysis {
+            node: self.node,
+            n: self.n,
+            t: self.t,
+            seen: self.seen.clone(),
+            vals: ValueSet::new(),
+            prev_vals: ValueSet::new(),
+            capacity: self.capacity.clone(),
+            prev_capacity: self.prev_capacity,
+            earliest_known_crash: self.earliest_known_crash.clone(),
+            known_crashed: self.known_crashed.clone(),
+            observations: self.observations.clone(),
+            persistent: ValueSet::new(),
+        };
+        self.recomplete(run, &mut analysis);
+        analysis
+    }
+
+    /// Refreshes the value-dependent fields (`vals`, `prev_vals`,
+    /// `persistent`) of an analysis previously produced by
+    /// [`ViewStructure::complete`] of *this* structure, against a new run
+    /// that induces the same structure at the node.
+    ///
+    /// This is the innermost step of structure-major sweep execution: when
+    /// only the input overlay of a run changed, every structural field of
+    /// the analysis is already correct and the refresh allocates nothing —
+    /// in particular, persistence is counted directly on the cached witness
+    /// supports instead of materializing per-witness value sets.
+    pub(crate) fn recomplete(&self, run: &Run, analysis: &mut ViewAnalysis) {
+        debug_assert_eq!(analysis.node, self.node, "analysis completed from another structure");
         let m = self.node.time.index();
-        let values_of = |support: &PidSet| -> ValueSet {
-            support.iter().map(|p| run.initial_value(p)).collect()
+        let values_into = |support: &PidSet, out: &mut ValueSet| {
+            out.clear();
+            for p in support.iter() {
+                out.insert(run.initial_value(p));
+            }
         };
 
-        let vals = values_of(self.seen.layer(Time::ZERO));
-        let prev_vals = self.prev_seen0.as_ref().map(&values_of).unwrap_or_default();
+        let ViewAnalysis { vals, prev_vals, persistent, .. } = analysis;
+        values_into(self.seen.layer(Time::ZERO), vals);
+        match &self.prev_seen0 {
+            Some(support) => values_into(support, prev_vals),
+            None => prev_vals.clear(),
+        }
 
         // Persistence (Definition 3), against the cached witness supports.
         let d = self.known_crashed.len();
         let needed = self.t.saturating_sub(d);
-        let witness_vals: Vec<ValueSet> = self.witness_seen0.iter().map(&values_of).collect();
-        let mut persistent = ValueSet::new();
+        persistent.clear();
         for v in vals.iter() {
             let via_own_history = m > 0 && prev_vals.contains(v);
             let via_witnesses = if m > 0 {
-                witness_vals.iter().filter(|w| w.contains(v)).count() >= needed
+                self.witness_seen0
+                    .iter()
+                    .filter(|support| support.iter().any(|p| run.initial_value(p) == v))
+                    .count()
+                    >= needed
             } else {
                 needed == 0
             };
             if via_own_history || via_witnesses {
                 persistent.insert(v);
             }
-        }
-
-        ViewAnalysis {
-            node: self.node,
-            n: self.n,
-            t: self.t,
-            seen: self.seen.clone(),
-            vals,
-            prev_vals,
-            capacity: self.capacity.clone(),
-            prev_capacity: self.prev_capacity,
-            earliest_known_crash: self.earliest_known_crash.clone(),
-            known_crashed: self.known_crashed.clone(),
-            observations: self.observations.clone(),
-            persistent,
         }
     }
 }

@@ -160,28 +160,55 @@ impl AnalysisCache {
     ///
     /// Same conditions as [`ViewAnalysis::new`].
     pub fn analyze(&self, run: &Run, node: Node) -> Result<ViewAnalysis, ModelError> {
+        self.with_structure(run, node, |structure| structure.complete(run))
+    }
+
+    /// Looks up (or computes and stores) the structural analysis of the
+    /// node, returning a clone of the [`ViewStructure`] — the entry point of
+    /// the per-structure memo ([`crate::StructureMemo`]), which keeps the
+    /// clone alive across every input overlay of the structure.  Counts in
+    /// the same hit/miss statistics as [`AnalysisCache::analyze`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ViewAnalysis::new`].
+    pub(crate) fn structure_for(&self, run: &Run, node: Node) -> Result<ViewStructure, ModelError> {
+        self.with_structure(run, node, ViewStructure::clone)
+    }
+
+    /// The lookup-or-compute core shared by [`AnalysisCache::analyze`] and
+    /// [`AnalysisCache::structure_for`]: validates the node, resolves its
+    /// [`ViewStructure`] (from the map on a hit, computed — and stored, up
+    /// to [`MAX_ENTRIES`] — on a miss, always computed when disabled),
+    /// counts the hit/miss, and hands the structure to `use_structure`.
+    fn with_structure<T>(
+        &self,
+        run: &Run,
+        node: Node,
+        use_structure: impl FnOnce(&ViewStructure) -> T,
+    ) -> Result<T, ModelError> {
         // Reject invalid nodes up front: key extraction reads the run's
         // structures directly and must only ever see validated nodes.
         validate_node(run, node)?;
         let mut inner = self.inner.borrow_mut();
         if !inner.enabled {
-            let analysis = ViewAnalysis::new(run, node)?;
+            let structure = ViewStructure::compute(run, node)?;
             inner.stats.misses += 1;
-            return Ok(analysis);
+            return Ok(use_structure(&structure));
         }
         let key = ViewKey::from_run(run, node);
         if let Some(structure) = inner.map.get(&key) {
-            let analysis = structure.complete(run);
+            let result = use_structure(structure);
             inner.stats.hits += 1;
-            return Ok(analysis);
+            return Ok(result);
         }
         let structure = ViewStructure::compute(run, node)?;
-        let analysis = structure.complete(run);
+        let result = use_structure(&structure);
         inner.stats.misses += 1;
         if inner.map.len() < MAX_ENTRIES {
             inner.map.insert(key, structure);
         }
-        Ok(analysis)
+        Ok(result)
     }
 
     /// Returns a snapshot of the hit/miss counters.
@@ -257,7 +284,7 @@ mod tests {
                     }
                     let cached = cache.analyze(run, node).unwrap();
                     let reference = ViewAnalysis::new(run, node).unwrap();
-                    assert_eq!(cached, reference, "divergence at {node} of {}", run.adversary());
+                    assert_eq!(cached, reference, "divergence at {node} of {}", run.to_adversary());
                 }
             }
         }

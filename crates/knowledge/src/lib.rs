@@ -47,11 +47,13 @@
 pub mod analysis;
 pub mod cache;
 pub mod capacity;
+pub mod memo;
 pub mod observation;
 pub mod status;
 
 pub use analysis::ViewAnalysis;
 pub use cache::{AnalysisCache, CacheStats};
 pub use capacity::HiddenCapacity;
+pub use memo::StructureMemo;
 pub use observation::DirectObservations;
 pub use status::NodeStatus;

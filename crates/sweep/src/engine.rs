@@ -5,7 +5,7 @@ use std::sync::Mutex;
 use std::thread;
 
 use knowledge::CacheStats;
-use set_consensus::{BatchRunner, TaskParams, TaskVariant};
+use set_consensus::{BatchRunner, RunReuseStats, TaskParams, TaskVariant};
 use synchrony::{Adversary, ModelError};
 
 /// Execution parameters of a sweep.
@@ -18,7 +18,9 @@ use synchrony::{Adversary, ModelError};
 pub struct SweepConfig {
     /// Number of deterministic shards the scenario space is partitioned
     /// into; `0` picks `4 × threads`.  More shards mean finer-grained work
-    /// stealing.
+    /// stealing.  Shard boundaries are aligned to the source's
+    /// [`ScenarioSource::structure_block`] so run-structure reuse survives
+    /// any shard count.
     pub shards: usize,
     /// Number of worker threads; `0` picks the machine's available
     /// parallelism, `1` runs fully sequentially on the calling thread.
@@ -32,12 +34,18 @@ pub struct SweepConfig {
     /// uncached sweeps are bit-identical at any shard/thread count, which
     /// the determinism tests pin down.
     pub cache: bool,
+    /// Whether each worker's [`BatchRunner`] may reuse one simulated
+    /// communication structure across consecutive scenarios that share a
+    /// failure pattern (default `true`).  Like the cache, reuse is purely a
+    /// speed knob: folds with reuse on and off are bit-identical at any
+    /// parallelism.
+    pub reuse: bool,
 }
 
 impl SweepConfig {
     /// A fully sequential configuration: one shard, one thread.
     pub fn sequential() -> Self {
-        SweepConfig { shards: 1, threads: 1, seed: Self::DEFAULT_SEED, cache: true }
+        SweepConfig { shards: 1, threads: 1, seed: Self::DEFAULT_SEED, cache: true, reuse: true }
     }
 
     /// The default seed, matching the seed the pre-engine experiment
@@ -65,7 +73,7 @@ impl SweepConfig {
 
 impl Default for SweepConfig {
     fn default() -> Self {
-        SweepConfig { shards: 0, threads: 0, seed: Self::DEFAULT_SEED, cache: true }
+        SweepConfig { shards: 0, threads: 0, seed: Self::DEFAULT_SEED, cache: true, reuse: true }
     }
 }
 
@@ -82,6 +90,10 @@ pub struct SweepStats {
     /// Knowledge-analysis cache counters summed over the per-worker caches
     /// (all zeros for jobs that never request an analysis).
     pub cache: CacheStats,
+    /// Run-structure simulation counters summed over the per-worker
+    /// runners: how many communication structures were simulated vs. reused
+    /// outright across input vectors.
+    pub runs: RunReuseStats,
 }
 
 impl SweepStats {
@@ -90,6 +102,7 @@ impl SweepStats {
     pub fn merge(&mut self, other: SweepStats) {
         self.scenarios += other.scenarios;
         self.cache.merge(other.cache);
+        self.runs.merge(other.runs);
     }
 }
 
@@ -128,6 +141,21 @@ pub trait ScenarioSource: Sync {
     /// Returns an error if the scenario cannot be constructed (a degenerate
     /// configuration, typically caught at source construction instead).
     fn scenario(&self, index: usize) -> Result<Scenario, ModelError>;
+
+    /// The number of consecutive scenarios that share one communication
+    /// structure (failure pattern), starting at every multiple of the
+    /// returned value — `1` if scenarios have no such structure-major
+    /// blocking.
+    ///
+    /// The engine aligns shard boundaries to multiples of this block so a
+    /// worker's [`BatchRunner`] can reuse one simulated [`synchrony::Run`]
+    /// structure across a whole block regardless of the `--shards` and
+    /// `--threads` settings.  Purely an efficiency hint: any value is
+    /// correct (the fold never depends on shard boundaries), a misaligned
+    /// value only costs extra simulations.
+    fn structure_block(&self) -> usize {
+        1
+    }
 }
 
 /// Folds per-scenario outcomes into a shard accumulator and merges shard
@@ -157,17 +185,30 @@ pub trait Reducer: Sync {
     fn merge(&self, left: Self::Acc, right: Self::Acc) -> Self::Acc;
 }
 
-/// Splits `0..total` into `shards` contiguous, near-equal ranges.
-fn shard_ranges(total: usize, shards: usize) -> Vec<(usize, usize)> {
+/// Splits `0..total` into `shards` contiguous ranges whose boundaries fall
+/// on multiples of `block`, keeping the per-shard block counts near-equal.
+///
+/// With `block = 1` this is the classic near-equal partition.  With a
+/// larger block — the structure-major case, where `block` consecutive
+/// scenarios share one failure pattern — every shard starts at a fresh
+/// pattern, so cutting the space never splits a reuse run across workers.
+/// When there are fewer blocks than shards, trailing shards come out empty;
+/// the fold is indifferent (a shard of an empty range folds to the reducer
+/// identity).
+fn shard_ranges(total: usize, shards: usize, block: usize) -> Vec<(usize, usize)> {
     let shards = shards.max(1);
-    let base = total / shards;
-    let extra = total % shards;
+    let block = block.max(1);
+    let blocks = total.div_ceil(block);
+    let base = blocks / shards;
+    let extra = blocks % shards;
     let mut ranges = Vec::with_capacity(shards);
-    let mut start = 0;
+    let mut start_block = 0usize;
     for shard in 0..shards {
         let len = base + usize::from(shard < extra);
-        ranges.push((start, start + len));
-        start += len;
+        let start = (start_block * block).min(total);
+        let end = ((start_block + len) * block).min(total);
+        ranges.push((start, end));
+        start_block += len;
     }
     ranges
 }
@@ -196,19 +237,23 @@ where
 }
 
 /// Runs `job` on every scenario of `source`, folds the outcomes with
-/// `reducer`, and reports execution statistics (scenario and
-/// analysis-cache counters) alongside the fold.
+/// `reducer`, and reports execution statistics (scenario, analysis-cache
+/// and run-structure-reuse counters) alongside the fold.
 ///
 /// The scenario space is partitioned into [`SweepConfig::resolved_shards`]
-/// contiguous shards; worker threads *steal* shards from a shared queue
-/// (an atomic cursor), so a slow shard never idles the other workers.
-/// Each worker owns a [`BatchRunner`] — with a cross-adversary
-/// [`knowledge::AnalysisCache`] when [`SweepConfig::cache`] is set — so
-/// run/transcript buffers and cached view analyses are reused across every
+/// contiguous shards, with boundaries aligned to the source's
+/// [`ScenarioSource::structure_block`]; worker threads *steal* shards from
+/// a shared queue (an atomic cursor), so a slow shard never idles the other
+/// workers.  Each worker owns a [`BatchRunner`] — with a cross-adversary
+/// [`knowledge::AnalysisCache`] when [`SweepConfig::cache`] is set, and
+/// run-structure reuse across same-pattern scenarios when
+/// [`SweepConfig::reuse`] is set — so run/transcript buffers, cached view
+/// analyses and whole communication structures are reused across every
 /// scenario the worker executes.  Shard accumulators are merged in shard
 /// order, which — given the [`Reducer`] laws — makes the fold identical for
-/// every shard/thread count and cache setting, including the fully
-/// sequential path; only the statistics may differ between parallelisms.
+/// every shard/thread count, cache setting and reuse setting, including the
+/// fully sequential path; only the statistics may differ between
+/// parallelisms.
 ///
 /// # Errors
 ///
@@ -227,8 +272,11 @@ where
 {
     let total = source.len();
     let threads = config.resolved_threads();
-    let ranges = shard_ranges(total, config.resolved_shards());
-    let make_runner = || if config.cache { BatchRunner::cached() } else { BatchRunner::new() };
+    let ranges = shard_ranges(total, config.resolved_shards(), source.structure_block());
+    let make_runner = || {
+        let runner = if config.cache { BatchRunner::cached() } else { BatchRunner::new() };
+        runner.structure_reuse(config.reuse)
+    };
 
     let fold_shard =
         |runner: &mut BatchRunner, range: (usize, usize)| -> Result<R::Acc, ModelError> {
@@ -246,7 +294,11 @@ where
         for &range in &ranges {
             merged = reducer.merge(merged, fold_shard(&mut runner, range)?);
         }
-        let stats = SweepStats { scenarios: total as u64, cache: runner.cache().stats() };
+        let stats = SweepStats {
+            scenarios: total as u64,
+            cache: runner.cache().stats(),
+            runs: runner.run_stats(),
+        };
         return Ok((merged, stats));
     }
 
@@ -254,7 +306,7 @@ where
     let failed = AtomicBool::new(false);
     let shard_accs: Mutex<Vec<Option<R::Acc>>> = Mutex::new(ranges.iter().map(|_| None).collect());
     let first_error: Mutex<Option<(usize, ModelError)>> = Mutex::new(None);
-    let cache_stats: Mutex<CacheStats> = Mutex::new(CacheStats::default());
+    let worker_stats: Mutex<(CacheStats, RunReuseStats)> = Mutex::new(Default::default());
 
     thread::scope(|scope| {
         for _ in 0..threads.min(ranges.len()) {
@@ -281,7 +333,9 @@ where
                         }
                     }
                 }
-                cache_stats.lock().expect("sweep stats lock").merge(runner.cache().stats());
+                let mut stats = worker_stats.lock().expect("sweep stats lock");
+                stats.0.merge(runner.cache().stats());
+                stats.1.merge(runner.run_stats());
             });
         }
     });
@@ -293,10 +347,8 @@ where
     for acc in shard_accs.into_inner().expect("sweep accumulator lock") {
         merged = reducer.merge(merged, acc.expect("every shard completed"));
     }
-    let stats = SweepStats {
-        scenarios: total as u64,
-        cache: cache_stats.into_inner().expect("sweep stats lock"),
-    };
+    let (cache, runs) = worker_stats.into_inner().expect("sweep stats lock");
+    let stats = SweepStats { scenarios: total as u64, cache, runs };
     Ok((merged, stats))
 }
 
@@ -308,7 +360,7 @@ mod tests {
     fn shard_ranges_cover_the_space_contiguously() {
         for total in [0usize, 1, 7, 64, 65] {
             for shards in [1usize, 2, 3, 8, 100] {
-                let ranges = shard_ranges(total, shards);
+                let ranges = shard_ranges(total, shards, 1);
                 assert_eq!(ranges.len(), shards);
                 assert_eq!(ranges.first().unwrap().0, 0);
                 assert_eq!(ranges.last().unwrap().1, total);
@@ -323,20 +375,61 @@ mod tests {
     }
 
     #[test]
+    fn shard_ranges_align_to_structure_blocks() {
+        for (total, block) in [(64usize, 8usize), (65, 8), (7, 16), (120, 5), (33, 1)] {
+            for shards in [1usize, 2, 3, 8, 100] {
+                let ranges = shard_ranges(total, shards, block);
+                assert_eq!(ranges.len(), shards);
+                assert_eq!(ranges.first().unwrap().0, 0);
+                assert_eq!(ranges.last().unwrap().1, total);
+                for window in ranges.windows(2) {
+                    assert_eq!(window[0].1, window[1].0, "shards must stay contiguous");
+                }
+                for &(start, end) in &ranges {
+                    assert!(
+                        start % block == 0 || start == total,
+                        "shard start {start} must open a fresh block (or be empty at the end)"
+                    );
+                    assert!(
+                        end % block == 0 || end == total,
+                        "shard end {end} must close a block (or the space)"
+                    );
+                }
+                // Near-equal in *blocks*, not scenarios.
+                let block_counts: Vec<usize> =
+                    ranges.iter().map(|(s, e)| (e - s).div_ceil(block)).collect();
+                let (min, max) =
+                    (block_counts.iter().min().unwrap(), block_counts.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced block counts: {block_counts:?}");
+            }
+        }
+    }
+
+    #[test]
     fn config_resolution_defaults_are_sane() {
         let config = SweepConfig::default();
         assert!(config.resolved_threads() >= 1);
         assert_eq!(config.resolved_shards(), config.resolved_threads() * 4);
         assert!(config.cache, "the analysis cache defaults to on");
+        assert!(config.reuse, "run-structure reuse defaults to on");
         assert_eq!(SweepConfig::sequential().resolved_threads(), 1);
         assert_eq!(SweepConfig::sequential().resolved_shards(), 1);
     }
 
     #[test]
     fn sweep_stats_merge_adds_counters() {
-        let mut stats = SweepStats { scenarios: 3, cache: CacheStats { hits: 1, misses: 2 } };
-        stats.merge(SweepStats { scenarios: 4, cache: CacheStats { hits: 10, misses: 20 } });
+        let mut stats = SweepStats {
+            scenarios: 3,
+            cache: CacheStats { hits: 1, misses: 2 },
+            runs: RunReuseStats { simulated: 1, reused: 4 },
+        };
+        stats.merge(SweepStats {
+            scenarios: 4,
+            cache: CacheStats { hits: 10, misses: 20 },
+            runs: RunReuseStats { simulated: 2, reused: 8 },
+        });
         assert_eq!(stats.scenarios, 7);
         assert_eq!(stats.cache, CacheStats { hits: 11, misses: 22 });
+        assert_eq!(stats.runs, RunReuseStats { simulated: 3, reused: 12 });
     }
 }

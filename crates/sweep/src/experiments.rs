@@ -105,12 +105,17 @@ pub fn thm1(config: &SweepConfig) -> Result<Vec<Thm1Case>, ModelError> {
 
 /// [`thm1`], plus the execution statistics summed over the per-case sweeps.
 ///
-/// This experiment is the headline scope of the analysis-cache work: both
-/// the executor's per-node analyses and the Lemma-3 structure check run
-/// through each worker's view-keyed cache, so the reported
-/// `stats.cache.constructions()` is the number of full `ViewAnalysis`
-/// constructions the whole experiment performed (compare against a
-/// `cache: false` run to measure the reduction).
+/// This experiment is the headline scope of the sweep-performance work:
+///
+/// * every per-node analysis — including the Lemma-3 structure check, which
+///   runs *inside* the executor's decision loop via the per-node observer,
+///   analyzing each node exactly once per run — goes through each worker's
+///   view-keyed cache, so `stats.cache.constructions()` is the number of
+///   full `ViewAnalysis` constructions the whole experiment performed;
+/// * the exhaustive scopes are swept pattern-major, so `stats.runs` shows
+///   one communication-structure simulation per failure pattern with every
+///   other input vector reusing it (compare against `reuse: false` /
+///   `cache: false` runs to measure each reduction).
 ///
 /// # Errors
 ///
@@ -135,16 +140,30 @@ pub fn thm1_with_stats(config: &SweepConfig) -> Result<(Vec<Thm1Case>, SweepStat
         let (acc, case_stats) =
             sweep_with_stats(&source, config, &Thm1Reducer, |runner, scenario| {
                 let protocols: [&dyn Protocol; 3] = [&Optmin, &EarlyFloodMin, &FloodMin];
-                // The structure check below analyzes nodes outside the executor;
-                // clone the worker's cache handle before borrowing the run so
-                // those analyses share the same cross-adversary cache.
-                let analyzer = runner.cache().clone();
-                let (run, transcripts) = runner.execute_batch(
+                let mut outcome = Thm1Outcome::default();
+                let case_k = scenario.params.k();
+                // (3) Lemma-3 structure: Optmin[k] decides exactly when
+                // low-or-HC<k first holds.  Checked *inside* the executor's
+                // decision loop via the per-node observer — transcripts[0]
+                // (Optmin) reflects every decision up to the observed node,
+                // and each node is analyzed exactly once per run instead of
+                // in a second full pass.
+                let (run, transcripts) = runner.execute_batch_observed(
                     &protocols,
                     &scenario.params,
-                    scenario.adversary.clone(),
+                    &scenario.adversary,
+                    |_, node, analysis, transcripts| {
+                        let enabled =
+                            analysis.is_low(case_k) || analysis.hidden_capacity() < case_k;
+                        let decided_by_now = transcripts[0]
+                            .decision_time(node.process)
+                            .is_some_and(|d| d <= node.time);
+                        if enabled != decided_by_now {
+                            outcome.structure += 1;
+                        }
+                        Ok(())
+                    },
                 )?;
-                let mut outcome = Thm1Outcome::default();
 
                 // (1) correctness of every implemented nonuniform protocol.
                 for transcript in transcripts {
@@ -171,23 +190,6 @@ pub fn thm1_with_stats(config: &SweepConfig) -> Result<(Vec<Thm1Case>, SweepStat
                     }
                 }
 
-                // (3) Lemma-3 structure: Optmin[k] decides exactly when
-                // low-or-HC<k first holds.
-                for i in 0..run.n() {
-                    for m in 0..=run.horizon().index() {
-                        let time = Time::new(m as u32);
-                        if !run.is_active(i, time) {
-                            continue;
-                        }
-                        let analysis = analyzer.analyze(run, Node::new(i, time))?;
-                        let enabled = analysis.is_low(scenario.params.k())
-                            || analysis.hidden_capacity() < scenario.params.k();
-                        let decided_by_now = optmin.decision_time(i).is_some_and(|d| d <= time);
-                        if enabled != decided_by_now {
-                            outcome.structure += 1;
-                        }
-                    }
-                }
                 Ok(outcome)
             })?;
         stats.merge(case_stats);
@@ -292,7 +294,7 @@ pub fn thm3(config: &SweepConfig) -> Result<Vec<Thm3Row>, ModelError> {
         );
         let acc = sweep(&source, config, &Thm3Reducer, |runner, scenario| {
             let (run, transcript) =
-                runner.execute_one(&UPmin, &scenario.params, scenario.adversary.clone())?;
+                runner.execute_one(&UPmin, &scenario.params, &scenario.adversary)?;
             let violations =
                 check::check(run, transcript, &scenario.params, TaskVariant::Uniform).len() as u64;
             Ok((run.num_failures(), latest_correct_decision(run, transcript), violations))
@@ -385,7 +387,7 @@ pub fn fig4(config: &SweepConfig) -> Result<Vec<Fig4Row>, ModelError> {
     let acc = sweep(&source, config, &Fig4Reducer, |runner, scenario| {
         let protocols: [&dyn Protocol; 4] = [&UPmin, &Optmin, &EarlyUniformFloodMin, &FloodMin];
         let (run, transcripts) =
-            runner.execute_batch(&protocols, &scenario.params, scenario.adversary.clone())?;
+            runner.execute_batch(&protocols, &scenario.params, &scenario.adversary)?;
         let mut latest = [0u32; 4];
         let mut violations = 0u64;
         for (slot, transcript) in transcripts.iter().enumerate() {
@@ -506,7 +508,7 @@ pub fn prop2(config: &SweepConfig) -> Result<Prop2Report, ModelError> {
         let complex_ref = &complex;
         let with_capacity = sweep(&source, config, &Prop2Reducer, move |runner, scenario| {
             let analyzer = runner.cache().clone();
-            let run = runner.simulate(system, scenario.adversary.clone(), time)?;
+            let run = runner.simulate(system, &scenario.adversary, time)?;
             let mut found = Vec::new();
             for i in 0..n {
                 if !run.is_active(i, time) {

@@ -13,16 +13,26 @@
 //!   enumeration via `adversary::AdversarySpace`, [`source::RandomSource`]
 //!   derives scenario `i` from a counter-based seed so any shard can start
 //!   anywhere, and [`source::FixedSource`] adapts the named scenario
-//!   families (e.g. the Fig. 4 uniform-gap family);
+//!   families (e.g. the Fig. 4 uniform-gap family).  Sources additionally
+//!   advertise their *structure block*
+//!   ([`ScenarioSource::structure_block`]): the number of consecutive
+//!   scenarios sharing one failure pattern, so the engine can cut shard
+//!   boundaries pattern-contiguously;
 //! * [`sweep`] (and [`sweep_with_stats`]) — partitions the scenario space
-//!   into deterministic contiguous shards and lets worker threads *steal*
-//!   shards from a shared queue; every worker owns a
-//!   `set_consensus::BatchRunner`, so run, transcript and analysis buffers
-//!   are reused across all the runs it executes — and, with
-//!   [`SweepConfig::cache`] (the default), a cross-adversary
-//!   `knowledge::AnalysisCache` that shares the structural part of every
-//!   node's knowledge analysis between all the adversaries the worker
-//!   visits, with hit/miss counters reported through [`SweepStats`];
+//!   into deterministic contiguous shards (aligned to the source's
+//!   structure block) and lets worker threads *steal* shards from a shared
+//!   queue; every worker owns a `set_consensus::BatchRunner`, so run,
+//!   transcript and analysis buffers are reused across all the runs it
+//!   executes.  Two cross-adversary reuse layers ride on top, both on by
+//!   default and both invisible to the fold: with [`SweepConfig::cache`], a
+//!   `knowledge::AnalysisCache` shares the structural part of every node's
+//!   knowledge analysis between all the adversaries the worker visits; with
+//!   [`SweepConfig::reuse`], the runner executes *structure-major* — every
+//!   scenario that repeats the previous failure pattern (the whole
+//!   input-vector block of an exhaustive scope) skips the run simulation
+//!   outright and only swaps the input overlay (`synchrony::RunStructure`).
+//!   Hit/miss and simulated/reused counters are reported through
+//!   [`SweepStats`];
 //! * [`Reducer`] — folds per-run outcomes (decision-time histograms, check
 //!   violations, domination counters, …) into per-shard accumulators that
 //!   are merged in shard order.  The reducer law
@@ -60,7 +70,7 @@
 //!     &reduce::Count,
 //!     |runner, scenario| {
 //!         let (run, transcript) =
-//!             runner.execute_one(&Optmin, &scenario.params, scenario.adversary.clone())?;
+//!             runner.execute_one(&Optmin, &scenario.params, &scenario.adversary)?;
 //!         Ok(check::check(run, transcript, &scenario.params, scenario.variant).len() as u64)
 //!     },
 //! )?;

@@ -62,6 +62,15 @@ impl ScenarioSource for ExhaustiveSource {
             adversary: self.space.nth(index as u128),
         })
     }
+
+    /// The enumeration is pattern-major: each failure pattern spans one
+    /// contiguous block of `inputs_per_pattern()` scenarios, so a whole
+    /// block shares one communication structure.  (The cast cannot
+    /// truncate: the constructor rejects spaces beyond `usize::MAX`, and a
+    /// block never exceeds the space.)
+    fn structure_block(&self) -> usize {
+        self.space.inputs_per_pattern() as usize
+    }
 }
 
 /// A counter-based stream of seeded random scenarios.

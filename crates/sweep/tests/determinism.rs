@@ -1,8 +1,8 @@
 //! Shard-determinism contract of the sweep engine: for a fixed seed and
 //! scenario family, the fold result is identical for every shard and thread
 //! count (ISSUE acceptance: 1, 2 and 8 shards) — and for every setting of
-//! the cross-adversary analysis cache, which may only change how fast a
-//! fold is computed, never its value.
+//! the cross-adversary analysis cache and of run-structure reuse, which may
+//! only change how fast a fold is computed, never its value.
 
 use adversary::enumerate::{AdversarySpace, EnumerationConfig};
 use adversary::RandomConfig;
@@ -10,7 +10,7 @@ use knowledge::ViewAnalysis;
 use set_consensus::{check, Optmin, Protocol, TaskParams, TaskVariant, UPmin};
 use sweep::reduce::{Count, DecisionTimeHistogram};
 use sweep::source::{ExhaustiveSource, RandomSource};
-use sweep::{sweep, sweep_with_stats, SweepConfig};
+use sweep::{sweep, sweep_with_stats, ScenarioSource, SweepConfig};
 use synchrony::{Node, SystemParams, Time};
 
 const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -35,7 +35,7 @@ fn exhaustive_histogram_is_shard_invariant() {
     let source = exhaustive_source();
     let job = |runner: &mut set_consensus::BatchRunner, scenario: &sweep::Scenario| {
         let (run, transcript) =
-            runner.execute_one(&Optmin, &scenario.params, scenario.adversary.clone())?;
+            runner.execute_one(&Optmin, &scenario.params, &scenario.adversary)?;
         Ok((0..run.n())
             .filter_map(|i| transcript.decision_time(i).map(Time::value))
             .max()
@@ -47,13 +47,21 @@ fn exhaustive_histogram_is_shard_invariant() {
     for shards in SHARD_COUNTS {
         for threads in THREAD_COUNTS {
             for cache in [false, true] {
-                let config =
-                    SweepConfig { shards, threads, seed: SweepConfig::DEFAULT_SEED, cache };
-                let fold = sweep(&source, &config, &DecisionTimeHistogram, job).unwrap();
-                assert_eq!(
-                    fold, reference,
-                    "histogram diverged at shards={shards}, threads={threads}, cache={cache}"
-                );
+                for reuse in [false, true] {
+                    let config = SweepConfig {
+                        shards,
+                        threads,
+                        seed: SweepConfig::DEFAULT_SEED,
+                        cache,
+                        reuse,
+                    };
+                    let fold = sweep(&source, &config, &DecisionTimeHistogram, job).unwrap();
+                    assert_eq!(
+                        fold, reference,
+                        "histogram diverged at shards={shards}, threads={threads}, \
+                         cache={cache}, reuse={reuse}"
+                    );
+                }
             }
         }
     }
@@ -65,7 +73,7 @@ fn exhaustive_histogram_is_shard_invariant() {
 fn random_family_fold_is_seed_deterministic_and_shard_invariant() {
     let job = |runner: &mut set_consensus::BatchRunner, scenario: &sweep::Scenario| {
         let (run, transcript) =
-            runner.execute_one(&UPmin, &scenario.params, scenario.adversary.clone())?;
+            runner.execute_one(&UPmin, &scenario.params, &scenario.adversary)?;
         let violations =
             check::check(run, transcript, &scenario.params, scenario.variant).len() as u64;
         // Mix failure counts into the fold so it is sensitive to which
@@ -75,7 +83,7 @@ fn random_family_fold_is_seed_deterministic_and_shard_invariant() {
     let reference = sweep(&random_source(42), &SweepConfig::sequential(), &Count, job).unwrap();
     for shards in SHARD_COUNTS {
         for threads in THREAD_COUNTS {
-            let config = SweepConfig { shards, threads, seed: 42, cache: true };
+            let config = SweepConfig { shards, threads, seed: 42, cache: true, reuse: true };
             let fold = sweep(&random_source(42), &config, &Count, job).unwrap();
             assert_eq!(
                 fold, reference,
@@ -98,7 +106,13 @@ fn ported_experiments_are_parallelism_invariant() {
     let thm3_reference = sweep::experiments::thm3(&sequential).unwrap();
     for shards in SHARD_COUNTS {
         for cache in [false, true] {
-            let config = SweepConfig { shards, threads: 4, seed: SweepConfig::DEFAULT_SEED, cache };
+            let config = SweepConfig {
+                shards,
+                threads: 4,
+                seed: SweepConfig::DEFAULT_SEED,
+                cache,
+                reuse: true,
+            };
             assert_eq!(sweep::experiments::fig4(&config).unwrap(), fig4_reference);
             assert_eq!(sweep::experiments::thm3(&config).unwrap(), thm3_reference);
         }
@@ -119,7 +133,7 @@ fn analysis_cache_is_invisible_to_folds_and_collapses_constructions() {
         let protocols: [&dyn Protocol; 2] = [&Optmin, &UPmin];
         let analyzer = runner.cache().clone();
         let (run, transcripts) =
-            runner.execute_batch(&protocols, &scenario.params, scenario.adversary.clone())?;
+            runner.execute_batch(&protocols, &scenario.params, &scenario.adversary)?;
         let mut fingerprint = 0u64;
         for transcript in transcripts {
             fingerprint = fingerprint.wrapping_mul(31).wrapping_add(
@@ -163,13 +177,98 @@ fn analysis_cache_is_invisible_to_folds_and_collapses_constructions() {
     for shards in SHARD_COUNTS {
         for threads in THREAD_COUNTS {
             for cache in [false, true] {
-                let config =
-                    SweepConfig { shards, threads, seed: SweepConfig::DEFAULT_SEED, cache };
+                let config = SweepConfig {
+                    shards,
+                    threads,
+                    seed: SweepConfig::DEFAULT_SEED,
+                    cache,
+                    reuse: true,
+                };
                 let fold = sweep(&source, &config, &Count, job).unwrap();
                 assert_eq!(
                     fold, reference,
                     "fold diverged at shards={shards}, threads={threads}, cache={cache}"
                 );
+            }
+        }
+    }
+}
+
+/// The structure-reuse bit-identity contract (tentpole acceptance): folds
+/// with run-structure reuse on and off are identical at every shard/thread
+/// combination, and the pattern-aligned sharding guarantees *exactly one*
+/// communication-structure simulation per failure pattern no matter how the
+/// space is cut — the property that makes the reuse survive any
+/// `--shards`/`--threads` setting.
+#[test]
+fn structure_reuse_is_invisible_to_folds_and_collapses_simulations() {
+    let source = exhaustive_source();
+    let patterns = source.space().num_patterns() as u64;
+    let inputs_per_pattern = source.space().inputs_per_pattern() as u64;
+    let total = ScenarioSource::len(&source) as u64;
+    assert_eq!(patterns * inputs_per_pattern, total);
+
+    let job = |runner: &mut set_consensus::BatchRunner, scenario: &sweep::Scenario| {
+        let protocols: [&dyn Protocol; 2] = [&Optmin, &UPmin];
+        let (run, transcripts) =
+            runner.execute_batch(&protocols, &scenario.params, &scenario.adversary)?;
+        // Mix decisions and run shape into the fold so any structure-reuse
+        // divergence (wrong pattern, stale overlay, stale layers) flips it.
+        let mut fingerprint = run.num_failures() as u64;
+        for transcript in transcripts {
+            fingerprint = fingerprint.wrapping_mul(31).wrapping_add(
+                check::check(run, transcript, &scenario.params, scenario.variant).len() as u64,
+            );
+            for i in 0..run.n() {
+                fingerprint = fingerprint.wrapping_mul(31).wrapping_add(
+                    transcript
+                        .decision_time(i)
+                        .map(|t| u64::from(t.value()) + 1)
+                        .unwrap_or_default(),
+                );
+            }
+        }
+        Ok(fingerprint % (1 << 32))
+    };
+
+    let sequential = SweepConfig::sequential();
+    let rebuild = SweepConfig { reuse: false, ..sequential };
+    let (reference, rebuild_stats) = sweep_with_stats(&source, &rebuild, &Count, job).unwrap();
+    let (reused_fold, reuse_stats) = sweep_with_stats(&source, &sequential, &Count, job).unwrap();
+    assert_eq!(reused_fold, reference, "reuse on/off diverged sequentially");
+    assert_eq!(rebuild_stats.runs.reused, 0, "a reuse-disabled runner never reuses a structure");
+    assert_eq!(rebuild_stats.runs.simulated, total);
+    assert_eq!(
+        reuse_stats.runs.simulated, patterns,
+        "sequential reuse must simulate exactly once per failure pattern"
+    );
+    assert_eq!(reuse_stats.runs.reused, total - patterns);
+
+    for shards in SHARD_COUNTS {
+        for threads in THREAD_COUNTS {
+            for reuse in [false, true] {
+                let config = SweepConfig {
+                    shards,
+                    threads,
+                    seed: SweepConfig::DEFAULT_SEED,
+                    cache: true,
+                    reuse,
+                };
+                let (fold, stats) = sweep_with_stats(&source, &config, &Count, job).unwrap();
+                assert_eq!(
+                    fold, reference,
+                    "fold diverged at shards={shards}, threads={threads}, reuse={reuse}"
+                );
+                if reuse {
+                    // Pattern-aligned shard boundaries: every pattern block
+                    // lands in one shard, so the whole sweep still simulates
+                    // exactly one structure per pattern, at any parallelism.
+                    assert_eq!(
+                        stats.runs.simulated, patterns,
+                        "shards={shards}, threads={threads} split a pattern block"
+                    );
+                    assert_eq!(stats.runs.reused, total - patterns);
+                }
             }
         }
     }

@@ -3,15 +3,29 @@
 //! A protocol `P` and an adversary `α` uniquely determine a run `r = P[α]`.
 //! Because all our protocols are full-information protocols (fip's), the
 //! *communication structure* of the run — who hears from whom, and hence the
-//! views `G_α(i, m)` — depends only on the adversary.  [`Run`] materializes
-//! that structure once; decision rules are layered on top by the
+//! views `G_α(i, m)` — depends only on the **failure pattern** of the
+//! adversary; the input vector merely labels the time-0 nodes with values.
+//! That observation is reified in the type split here:
+//!
+//! * [`RunStructure`] — the failure-pattern-keyed part: the `heard`/`seen`
+//!   layers plus activity, simulated once per `(params, failures, horizon)`;
+//! * [`Run`] — a `RunStructure` plus the thin input-vector overlay.
+//!
+//! [`Run::regenerate`] exploits the split: when the next adversary shares
+//! the previous one's failure pattern (the common case in exhaustive
+//! sweeps, which cross every input vector with every pattern), only the
+//! overlay is swapped and the simulation is skipped entirely — reported as
+//! [`StructureReuse::Reused`].  Decision rules are layered on top by the
 //! `set-consensus` crate.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Adversary, ModelError, Node, PidSet, ProcessId, Round, SystemParams, Time, Value};
+use crate::{
+    Adversary, FailurePattern, InputVector, ModelError, Node, PidSet, ProcessId, Round,
+    SystemParams, Time, Value,
+};
 
 /// The layers of nodes seen by a given observer node `⟨i, m⟩`: for every time
 /// `ℓ ≤ m`, the set of processes `j` such that `⟨j, ℓ⟩` is *seen by* `⟨i, m⟩`
@@ -64,10 +78,28 @@ impl SeenLayers {
     }
 }
 
-/// The full-information communication structure of a run.
+/// Whether [`Run::regenerate`] had to re-simulate the communication
+/// structure or could reuse the previous one outright.
 ///
-/// A `Run` records, for every time `m` up to the horizon and every process
-/// `i` that is still active at `m`:
+/// Reuse happens exactly when the new `(params, failures, horizon)` triple
+/// equals the previous run's — the structure is a pure function of that
+/// triple, so skipping the simulation is observationally invisible (the
+/// resulting [`Run`] is `==` to a freshly generated one).  The enum exists
+/// so callers (the `set-consensus` batch executor, the sweep engine) can
+/// count how much simulation work a sweep actually avoided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructureReuse {
+    /// The communication structure was simulated (first run, or the failure
+    /// pattern / parameters / horizon changed).
+    Simulated,
+    /// The previous structure was kept; only the input overlay was swapped.
+    Reused,
+}
+
+/// The failure-pattern-keyed communication structure of a run.
+///
+/// A `RunStructure` records, for every time `m` up to the horizon and every
+/// process `i` that is still active at `m`:
 ///
 /// * `heard_from(i, m)` — the processes whose round-`m` messages reached `i`
 ///   (including `i` itself);
@@ -77,13 +109,13 @@ impl SeenLayers {
 /// For processes that have already crashed at `m`, both structures are empty;
 /// such nodes never take decisions.
 ///
-/// The horizon must be long enough for the protocols under study to decide;
-/// `⌊t/k⌋ + 2` always suffices for the protocols in this repository, and
-/// [`Run::generous_horizon`] provides a safe default of `t + 2`.
+/// The structure is a pure function of `(params, failures, horizon)` — input
+/// values never enter the simulation — which is what makes it shareable
+/// across every input vector of a sweep (see [`Run::regenerate`]).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Run {
+pub struct RunStructure {
     params: SystemParams,
-    adversary: Adversary,
+    failures: FailurePattern,
     horizon: Time,
     /// `heard[m][i]`: senders of round-`m` messages received by `i` (row 0 is
     /// the singleton `{i}` by convention — a process "hears from itself").
@@ -92,67 +124,43 @@ pub struct Run {
     seen: Vec<Vec<SeenLayers>>,
 }
 
-impl Run {
-    /// Simulates the full-information exchange under `adversary` for
+impl RunStructure {
+    /// Simulates the full-information exchange under `failures` for
     /// `horizon` rounds and records the resulting communication structure.
     ///
     /// # Errors
     ///
-    /// Returns an error if the adversary is inconsistent with `params` or the
-    /// horizon is zero.
+    /// Returns an error if the failure pattern is inconsistent with `params`
+    /// or the horizon is zero.
     pub fn generate(
         params: SystemParams,
-        adversary: Adversary,
+        failures: FailurePattern,
         horizon: Time,
     ) -> Result<Self, ModelError> {
-        adversary.validate_against(&params)?;
+        failures.validate_against(&params)?;
         if horizon == Time::ZERO {
             return Err(ModelError::EmptyHorizon);
         }
-        let mut run = Run { params, adversary, horizon, heard: Vec::new(), seen: Vec::new() };
-        run.resimulate();
-        Ok(run)
+        let mut structure =
+            RunStructure { params, failures, horizon, heard: Vec::new(), seen: Vec::new() };
+        structure.resimulate();
+        Ok(structure)
     }
 
-    /// Re-simulates this run in place for a new adversary (and possibly new
-    /// parameters and horizon), reusing the allocations of the previous
-    /// simulation.
-    ///
-    /// This is the buffer-reuse entry point behind the batched executor of
-    /// the `set-consensus` crate: sweeping millions of adversaries through
-    /// one `Run` avoids re-allocating the `O(horizon² · n)` layer structure
-    /// per run.  The resulting run is indistinguishable (`==`) from one
-    /// produced by [`Run::generate`] with the same arguments.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the adversary is inconsistent with `params` or the
-    /// horizon is zero; `self` is left unchanged in that case.
-    pub fn regenerate(
-        &mut self,
-        params: SystemParams,
-        adversary: Adversary,
-        horizon: Time,
-    ) -> Result<(), ModelError> {
-        adversary.validate_against(&params)?;
-        if horizon == Time::ZERO {
-            return Err(ModelError::EmptyHorizon);
-        }
-        self.params = params;
-        self.adversary = adversary;
-        self.horizon = horizon;
-        self.resimulate();
-        Ok(())
+    /// Returns `true` if this structure was simulated under exactly the
+    /// given `(params, failures, horizon)` triple — the precondition for
+    /// reusing it as-is under a different input vector.
+    pub fn matches(&self, params: &SystemParams, failures: &FailurePattern, horizon: Time) -> bool {
+        self.params == *params && self.horizon == horizon && self.failures == *failures
     }
 
-    /// The simulation loop shared by [`Run::generate`] and
-    /// [`Run::regenerate`], writing into `self.heard` / `self.seen` while
+    /// The simulation loop, writing into `self.heard` / `self.seen` while
     /// reusing any existing allocations (outer rows, per-node `PidSet` word
     /// vectors and seen-layer vectors).
     fn resimulate(&mut self) {
         let n = self.params.n();
         let end = self.horizon.index();
-        let failures = self.adversary.failures();
+        let failures = &self.failures;
         let heard = &mut self.heard;
         let seen = &mut self.seen;
 
@@ -212,65 +220,19 @@ impl Run {
         }
     }
 
-    /// A horizon long enough for every protocol in this repository to decide:
-    /// `t + 2` rounds.
-    pub fn generous_horizon(params: &SystemParams) -> Time {
-        Time::new(params.t() as u32 + 2)
-    }
-
-    /// Returns the system parameters of the run.
+    /// Returns the system parameters of the structure.
     pub fn params(&self) -> &SystemParams {
         &self.params
     }
 
-    /// Returns the adversary that produced this run.
-    pub fn adversary(&self) -> &Adversary {
-        &self.adversary
-    }
-
-    /// Returns the number of processes.
-    pub fn n(&self) -> usize {
-        self.params.n()
-    }
-
-    /// Returns the failure bound `t`.
-    pub fn t(&self) -> usize {
-        self.params.t()
-    }
-
-    /// Returns the number of processes that actually fail in this run (`f`).
-    pub fn num_failures(&self) -> usize {
-        self.adversary.num_failures()
+    /// Returns the failure pattern the structure was simulated under.
+    pub fn failures(&self) -> &FailurePattern {
+        &self.failures
     }
 
     /// Returns the last simulated time.
     pub fn horizon(&self) -> Time {
         self.horizon
-    }
-
-    /// Returns the initial value of `process`.
-    pub fn initial_value(&self, process: impl Into<ProcessId>) -> Value {
-        self.adversary.inputs().value_of(process)
-    }
-
-    /// Returns `true` if `process` has not yet crashed at `time`.
-    pub fn is_active(&self, process: impl Into<ProcessId>, time: Time) -> bool {
-        self.adversary.failures().is_active_at(process, time)
-    }
-
-    /// Returns the set of processes still active at `time`.
-    pub fn active_at(&self, time: Time) -> PidSet {
-        self.adversary.failures().active_at(time)
-    }
-
-    /// Returns `true` if `process` never crashes in this run.
-    pub fn is_correct(&self, process: impl Into<ProcessId>) -> bool {
-        self.adversary.failures().is_correct(process)
-    }
-
-    /// Returns the set of processes that never crash in this run.
-    pub fn correct_set(&self) -> PidSet {
-        self.adversary.failures().correct_set()
     }
 
     /// Returns the set of processes whose round-`time` messages reached
@@ -292,6 +254,204 @@ impl Run {
     pub fn seen(&self, process: impl Into<ProcessId>, time: Time) -> &SeenLayers {
         &self.seen[time.index()][process.into().index()]
     }
+}
+
+/// The full-information structure of a run: a (potentially shared)
+/// [`RunStructure`] plus the input-vector overlay.
+///
+/// The horizon must be long enough for the protocols under study to decide;
+/// `⌊t/k⌋ + 2` always suffices for the protocols in this repository, and
+/// [`Run::generous_horizon`] provides a safe default of `t + 2`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Run {
+    structure: RunStructure,
+    inputs: InputVector,
+}
+
+impl Run {
+    /// Simulates the full-information exchange under `adversary` for
+    /// `horizon` rounds and records the resulting communication structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the adversary is inconsistent with `params` or the
+    /// horizon is zero.
+    pub fn generate(
+        params: SystemParams,
+        adversary: Adversary,
+        horizon: Time,
+    ) -> Result<Self, ModelError> {
+        adversary.validate_against(&params)?;
+        let (inputs, failures) = adversary.into_parts();
+        Ok(Run { structure: RunStructure::generate(params, failures, horizon)?, inputs })
+    }
+
+    /// Re-targets this run at a new adversary (and possibly new parameters
+    /// and horizon), reusing as much of the previous simulation as possible.
+    ///
+    /// Two levels of reuse stack up here:
+    ///
+    /// * if the new `(params, failure pattern, horizon)` triple equals the
+    ///   previous one — the structure-major access pattern of exhaustive
+    ///   sweeps, which enumerate every input vector under one pattern before
+    ///   moving on — the simulation is **skipped entirely** and only the
+    ///   input overlay is swapped ([`StructureReuse::Reused`]);
+    /// * otherwise the run is re-simulated in place, reusing the allocations
+    ///   of the previous simulation (`O(horizon² · n)` of layer structure).
+    ///
+    /// Either way the resulting run is indistinguishable (`==`) from one
+    /// produced by [`Run::generate`] with the same arguments.  Use
+    /// [`Run::regenerate_with`] to force re-simulation (the reuse-off arm of
+    /// A/B comparisons).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the adversary is inconsistent with `params` or the
+    /// horizon is zero; `self` is left unchanged in that case.
+    pub fn regenerate(
+        &mut self,
+        params: SystemParams,
+        adversary: &Adversary,
+        horizon: Time,
+    ) -> Result<StructureReuse, ModelError> {
+        self.regenerate_with(params, adversary, horizon, true)
+    }
+
+    /// [`Run::regenerate`] with structure reuse under the caller's control:
+    /// `allow_reuse = false` always re-simulates, even when the failure
+    /// pattern is unchanged.
+    ///
+    /// The adversary is taken by reference so the reuse path clones only
+    /// the input vector — the failure pattern (a heap-backed map) is merely
+    /// compared, never copied, on the hot path of a structure-major sweep.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Run::regenerate`].
+    pub fn regenerate_with(
+        &mut self,
+        params: SystemParams,
+        adversary: &Adversary,
+        horizon: Time,
+        allow_reuse: bool,
+    ) -> Result<StructureReuse, ModelError> {
+        adversary.validate_against(&params)?;
+        if horizon == Time::ZERO {
+            return Err(ModelError::EmptyHorizon);
+        }
+        if allow_reuse && self.structure.matches(&params, adversary.failures(), horizon) {
+            self.inputs.clone_from(adversary.inputs());
+            return Ok(StructureReuse::Reused);
+        }
+        self.structure.params = params;
+        self.structure.failures.clone_from(adversary.failures());
+        self.structure.horizon = horizon;
+        self.structure.resimulate();
+        self.inputs.clone_from(adversary.inputs());
+        Ok(StructureReuse::Simulated)
+    }
+
+    /// A horizon long enough for every protocol in this repository to decide:
+    /// `t + 2` rounds.
+    pub fn generous_horizon(params: &SystemParams) -> Time {
+        Time::new(params.t() as u32 + 2)
+    }
+
+    /// Returns the system parameters of the run.
+    pub fn params(&self) -> &SystemParams {
+        self.structure.params()
+    }
+
+    /// Returns the communication structure of the run (the input-independent
+    /// part).
+    pub fn structure(&self) -> &RunStructure {
+        &self.structure
+    }
+
+    /// Returns the input vector of the run.
+    pub fn inputs(&self) -> &InputVector {
+        &self.inputs
+    }
+
+    /// Returns the failure pattern of the run.
+    pub fn failures(&self) -> &FailurePattern {
+        self.structure.failures()
+    }
+
+    /// Reassembles the adversary `α = (v⃗, F)` that produced this run.
+    ///
+    /// The components are no longer stored as one [`Adversary`] (the failure
+    /// pattern lives in the shared [`RunStructure`]), so this clones; prefer
+    /// [`Run::inputs`] / [`Run::failures`] when one component suffices.
+    pub fn to_adversary(&self) -> Adversary {
+        Adversary::new(self.inputs.clone(), self.structure.failures().clone())
+            .expect("a run's components are always consistent")
+    }
+
+    /// Returns the number of processes.
+    pub fn n(&self) -> usize {
+        self.params().n()
+    }
+
+    /// Returns the failure bound `t`.
+    pub fn t(&self) -> usize {
+        self.params().t()
+    }
+
+    /// Returns the number of processes that actually fail in this run (`f`).
+    pub fn num_failures(&self) -> usize {
+        self.failures().num_faulty()
+    }
+
+    /// Returns the last simulated time.
+    pub fn horizon(&self) -> Time {
+        self.structure.horizon()
+    }
+
+    /// Returns the initial value of `process`.
+    pub fn initial_value(&self, process: impl Into<ProcessId>) -> Value {
+        self.inputs.value_of(process)
+    }
+
+    /// Returns `true` if `process` has not yet crashed at `time`.
+    pub fn is_active(&self, process: impl Into<ProcessId>, time: Time) -> bool {
+        self.failures().is_active_at(process, time)
+    }
+
+    /// Returns the set of processes still active at `time`.
+    pub fn active_at(&self, time: Time) -> PidSet {
+        self.failures().active_at(time)
+    }
+
+    /// Returns `true` if `process` never crashes in this run.
+    pub fn is_correct(&self, process: impl Into<ProcessId>) -> bool {
+        self.failures().is_correct(process)
+    }
+
+    /// Returns the set of processes that never crash in this run.
+    pub fn correct_set(&self) -> PidSet {
+        self.failures().correct_set()
+    }
+
+    /// Returns the set of processes whose round-`time` messages reached
+    /// `process` (including `process` itself); empty if the process has
+    /// crashed by `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` exceeds the horizon or `process` is out of range.
+    pub fn heard_from(&self, process: impl Into<ProcessId>, time: Time) -> &PidSet {
+        self.structure.heard_from(process, time)
+    }
+
+    /// Returns the seen-layers of `⟨process, time⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` exceeds the horizon or `process` is out of range.
+    pub fn seen(&self, process: impl Into<ProcessId>, time: Time) -> &SeenLayers {
+        self.structure.seen(process, time)
+    }
 
     /// Returns `true` if `target` is seen by `observer` (a message chain leads
     /// from the target node to the observer node).
@@ -307,7 +467,7 @@ impl Run {
         round: Round,
         receiver: impl Into<ProcessId>,
     ) -> bool {
-        self.adversary.failures().delivers(sender, round, receiver)
+        self.failures().delivers(sender, round, receiver)
     }
 
     /// Validates that `time` lies within the simulated horizon.
@@ -316,12 +476,12 @@ impl Run {
     ///
     /// Returns [`ModelError::TimeBeyondHorizon`] otherwise.
     pub fn check_time(&self, time: Time) -> Result<(), ModelError> {
-        if time <= self.horizon {
+        if time <= self.horizon() {
             Ok(())
         } else {
             Err(ModelError::TimeBeyondHorizon {
                 time: time.value() as u64,
-                horizon: self.horizon.value() as u64,
+                horizon: self.horizon().value() as u64,
             })
         }
     }
@@ -329,7 +489,7 @@ impl Run {
 
 impl fmt::Display for Run {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "run[{} | f={} | horizon {}]", self.params, self.num_failures(), self.horizon)
+        write!(f, "run[{} | f={} | horizon {}]", self.params(), self.num_failures(), self.horizon())
     }
 }
 
@@ -486,11 +646,63 @@ mod tests {
             let adversary = Adversary::new(InputVector::from_values(inputs), failures).unwrap();
             let fresh = Run::generate(params, adversary.clone(), Time::new(horizon)).unwrap();
             match reused.as_mut() {
-                Some(run) => run.regenerate(params, adversary, Time::new(horizon)).unwrap(),
+                Some(run) => {
+                    let reuse = run.regenerate(params, &adversary, Time::new(horizon)).unwrap();
+                    assert_eq!(reuse, StructureReuse::Simulated, "every spec changes the pattern");
+                }
                 None => reused = Some(fresh.clone()),
             }
             assert_eq!(reused.as_ref().unwrap(), &fresh);
         }
+    }
+
+    /// The tentpole contract: for a fixed failure pattern, the communication
+    /// structure is *identical* across all input vectors, `regenerate`
+    /// detects it and skips the simulation, and the reused run is `==` to a
+    /// freshly generated one.
+    #[test]
+    fn regenerate_reuses_the_structure_across_input_vectors() {
+        let params = SystemParams::new(4, 2).unwrap();
+        let mut failures = FailurePattern::crash_free(4);
+        failures.crash(0, 1, [1]).unwrap();
+        failures.crash_silent(3, 2).unwrap();
+        let horizon = Time::new(4);
+
+        let first =
+            Adversary::new(InputVector::from_values([0, 1, 2, 3]), failures.clone()).unwrap();
+        let mut run = Run::generate(params, first, horizon).unwrap();
+        let reference_structure = run.structure().clone();
+
+        for inputs in [[3u64, 2, 1, 0], [1, 1, 1, 1], [0, 9, 0, 9]] {
+            let adversary =
+                Adversary::new(InputVector::from_values(inputs), failures.clone()).unwrap();
+            let reuse = run.regenerate(params, &adversary, horizon).unwrap();
+            assert_eq!(reuse, StructureReuse::Reused, "same pattern must skip resimulation");
+            assert_eq!(run.structure(), &reference_structure);
+            let fresh = Run::generate(params, adversary, horizon).unwrap();
+            assert_eq!(run, fresh);
+            // Forcing re-simulation must produce the same run and report it.
+            let forced =
+                run.regenerate_with(params, &fresh.to_adversary(), horizon, false).unwrap();
+            assert_eq!(forced, StructureReuse::Simulated);
+            assert_eq!(run, fresh);
+        }
+
+        // A changed horizon or pattern invalidates the structure.
+        let same_inputs = InputVector::from_values([0, 1, 2, 3]);
+        let longer = Adversary::new(same_inputs.clone(), failures.clone()).unwrap();
+        assert_eq!(
+            run.regenerate(params, &longer, Time::new(5)).unwrap(),
+            StructureReuse::Simulated
+        );
+        let mut other_failures = FailurePattern::crash_free(4);
+        other_failures.crash(0, 1, [2]).unwrap();
+        other_failures.crash_silent(3, 2).unwrap();
+        let other = Adversary::new(same_inputs, other_failures).unwrap();
+        assert_eq!(
+            run.regenerate(params, &other, Time::new(5)).unwrap(),
+            StructureReuse::Simulated
+        );
     }
 
     #[test]
@@ -506,8 +718,27 @@ mod tests {
         );
         let mut reused = run.clone();
         let params = SystemParams::new(3, 1).unwrap();
-        let adversary = reused.adversary().clone();
-        assert_eq!(reused.regenerate(params, adversary, Time::ZERO), Err(ModelError::EmptyHorizon));
+        let adversary = reused.to_adversary();
+        assert_eq!(
+            reused.regenerate(params, &adversary, Time::ZERO),
+            Err(ModelError::EmptyHorizon)
+        );
         assert_eq!(reused, run);
+    }
+
+    #[test]
+    fn to_adversary_roundtrips_the_components() {
+        let run = small_run(
+            3,
+            1,
+            &[2, 0, 1],
+            |f| {
+                f.crash(1, 1, [2]).unwrap();
+            },
+            2,
+        );
+        let adversary = run.to_adversary();
+        assert_eq!(adversary.inputs(), run.inputs());
+        assert_eq!(adversary.failures(), run.failures());
     }
 }

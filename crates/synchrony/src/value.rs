@@ -117,6 +117,11 @@ impl ValueSet {
         self.values.insert(value.into())
     }
 
+    /// Removes every value from the set.
+    pub fn clear(&mut self) {
+        self.values.clear();
+    }
+
     /// Returns `true` if the value belongs to the set.
     pub fn contains(&self, value: impl Into<Value>) -> bool {
         self.values.contains(&value.into())

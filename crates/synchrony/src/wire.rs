@@ -164,11 +164,10 @@ impl WireRun {
     pub fn simulate(run: &Run) -> Self {
         let n = run.n();
         let horizon = run.horizon();
-        let failures = run.adversary().failures();
+        let failures = run.failures();
 
         let id_bits = (usize::BITS - (n.max(2) - 1).leading_zeros()).max(1);
-        let max_value =
-            run.adversary().inputs().present_values().max().map(Value::get).unwrap_or(0);
+        let max_value = run.inputs().present_values().max().map(Value::get).unwrap_or(0);
         let value_bits = (u64::BITS - max_value.leading_zeros()).max(1);
         let round_bits = (u32::BITS - horizon.value().leading_zeros()).max(1);
 
@@ -492,7 +491,7 @@ mod tests {
             assert!(
                 wire.matches_full_information(&run),
                 "divergence for seed {seed}: {}",
-                run.adversary()
+                run.to_adversary()
             );
         }
     }

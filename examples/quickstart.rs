@@ -27,7 +27,7 @@ fn main() -> Result<(), ModelError> {
     let (run, transcript) = execute(&Optmin, &params, adversary)?;
 
     println!("run: {run}");
-    println!("adversary: {}", run.adversary());
+    println!("adversary: {}", run.to_adversary());
     println!();
     println!("decisions of {}:", transcript.protocol());
     for i in 0..run.n() {

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification in one command: formatting, lints, build, tests.
+#
+#   scripts/ci.sh           # fmt --check + clippy -D warnings + tests
+#   scripts/ci.sh --bench   # additionally re-record BENCH_run_reuse.json
+#
+# The --bench arm runs the structure-reuse perf snapshot binary
+# (`bench_run_reuse`), which re-measures the exhaustive Theorem 1 scopes
+# with run-structure reuse off vs. on and overwrites the checked-in
+# BENCH_run_reuse.json; run it on an otherwise idle machine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace -q
+
+if [[ "${1:-}" == "--bench" ]]; then
+    cargo run --release -p bench_harness --bin bench_run_reuse
+fi

@@ -125,7 +125,7 @@ fn knowledge_of_failures_is_sound() {
                 }
                 let analysis = ViewAnalysis::new(&run, Node::new(i, time)).unwrap();
                 for p in analysis.known_crashed().iter() {
-                    let actual = run.adversary().failures().crash_round(p);
+                    let actual = run.failures().crash_round(p);
                     assert!(actual.is_some(), "known crash of a correct process");
                     let known = analysis.earliest_known_crash(p).unwrap();
                     assert!(known >= actual.unwrap());
@@ -155,5 +155,39 @@ fn simulation_is_deterministic() {
         let a = run_of(adversary.clone());
         let b = run_of(adversary);
         assert_eq!(a, b);
+    }
+}
+
+/// The communication structure is a function of the failure pattern alone:
+/// for a fixed pattern, every input vector induces a bit-identical
+/// [`synchrony::RunStructure`] — the invariant behind structure-major sweep
+/// execution — and `regenerate` detects it, reuses the structure, and still
+/// matches a from-scratch simulation exactly.
+#[test]
+fn run_structure_is_input_invariant() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use synchrony::{Adversary, InputVector, StructureReuse};
+
+    let params = SystemParams::new(N, T).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xA008);
+    for adversary in cases(0xA008) {
+        let failures = adversary.failures().clone();
+        let reference = run_of(adversary);
+        let mut reused = reference.clone();
+        for _ in 0..8 {
+            let values: Vec<u64> = (0..N).map(|_| rng.random_range(0..=MAX_VALUE)).collect();
+            let relabeled =
+                Adversary::new(InputVector::from_values(values), failures.clone()).unwrap();
+            let fresh = Run::generate(params, relabeled.clone(), Time::new(HORIZON)).unwrap();
+            // Identical structure, bit for bit — only the overlay differs.
+            assert_eq!(fresh.structure(), reference.structure());
+            assert_eq!(fresh.failures(), reference.failures());
+            // Regenerate must detect the shared pattern and skip simulation,
+            // while remaining indistinguishable from the fresh run.
+            let reuse = reused.regenerate(params, &relabeled, Time::new(HORIZON)).unwrap();
+            assert_eq!(reuse, StructureReuse::Reused);
+            assert_eq!(reused, fresh);
+        }
     }
 }
