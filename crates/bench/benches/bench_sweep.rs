@@ -31,13 +31,7 @@ fn bench_sweep_scaling(c: &mut Criterion) {
     let source = exhaustive_source();
     let mut group = c.benchmark_group("sweep_scaling");
     for threads in [1usize, 2, 4] {
-        let config = SweepConfig {
-            shards: 16,
-            threads,
-            seed: SweepConfig::DEFAULT_SEED,
-            cache: true,
-            reuse: true,
-        };
+        let config = SweepConfig { shards: 16, threads, ..SweepConfig::default() };
         group.bench_with_input(
             BenchmarkId::new("exhaustive_optmin", format!("threads{threads}")),
             &config,

@@ -1,0 +1,129 @@
+//! Perf snapshot of block-cursor scenario materialization on the exhaustive
+//! Theorem 1 scopes — the acceptance measurement of the allocation-free
+//! scenario pipeline (the Amdahl follow-up to `bench_run_reuse`).
+//!
+//! Runs `sweep::experiments::thm1` on a sequential configuration (wall
+//! times stay comparable on any core count; one warmup plus best-of-five
+//! per arm): once with the block cursor disabled — every scenario
+//! materialized through
+//! `AdversarySpace::nth`, a fresh failure pattern, input vector and
+//! adversary per index — and once enabled, stepping one scratch scenario in
+//! place per worker (the analysis cache and run-structure reuse stay on in
+//! both arms, so the measured delta isolates the cursor).  Verifies the two
+//! arms produce identical tables, asserts the cursor's allocation counters
+//! show **zero per-scenario pattern/input materializations in steady
+//! state**, and writes a `BENCH_block_cursor.json` snapshot recording wall
+//! times, the counters, and the speedup — both against the cursor-off arm
+//! and against the PR 3 reuse-on baseline read from the checked-in
+//! `BENCH_run_reuse.json`, so the perf trajectory of the sweep hot path
+//! stays recorded in-repo.
+//!
+//! If `BENCH_run_reuse.json` is absent the baseline comparison is skipped
+//! with a clear note on stderr (the snapshot chain degrades gracefully; it
+//! never panics over a missing predecessor).
+//!
+//! ```text
+//! bench_block_cursor [output.json]     # default: BENCH_block_cursor.json
+//! ```
+
+use bench_harness::measure_min_ms;
+use bench_harness::report::{self, BenchSnapshot};
+use sweep::experiments;
+use sweep::SweepConfig;
+
+/// Measured runs per arm (after one warmup); the snapshot records the
+/// fastest, so machine noise only ever shrinks the numbers.
+const RUNS: usize = 5;
+
+fn main() {
+    let output = std::env::args().nth(1).unwrap_or_else(|| "BENCH_block_cursor.json".to_owned());
+    let baseline_path = std::path::Path::new(&output).with_file_name("BENCH_run_reuse.json");
+    let reuse_baseline_ms = BenchSnapshot::load_wall_ms(&baseline_path, "reuse_on");
+
+    let nth_config = SweepConfig { cursor: false, ..SweepConfig::sequential() };
+    let cursor_config = SweepConfig::sequential();
+
+    let (nth_ms, (nth_rows, nth_stats)) = measure_min_ms(RUNS, || {
+        experiments::thm1_with_stats(&nth_config).expect("built-in scopes are well formed")
+    });
+    let (cursor_ms, (cursor_rows, cursor_stats)) = measure_min_ms(RUNS, || {
+        experiments::thm1_with_stats(&cursor_config).expect("built-in scopes are well formed")
+    });
+
+    assert_eq!(cursor_rows, nth_rows, "the block cursor must not change the fold");
+
+    eprintln!("cursor off: {}", report::sweep_stats_line(&nth_stats));
+    eprintln!("cursor on:  {}", report::sweep_stats_line(&cursor_stats));
+
+    // Steady-state allocation accounting.  Theorem 1 sweeps four scopes
+    // sequentially (one shard each), so the cursor arm may materialize at
+    // most one scenario per scope; everything else must be stepped in place
+    // and every pattern unranked exactly once (= once per simulated
+    // structure, since reuse is on).
+    assert_eq!(nth_stats.cursor.materialized, nth_stats.scenarios);
+    assert_eq!(nth_stats.cursor.stepped, 0);
+    assert!(
+        cursor_stats.cursor.materialized <= 4,
+        "sequential thm1 runs four sweeps; expected at most one wholesale \
+         materialization each, got {}",
+        cursor_stats.cursor.materialized
+    );
+    assert_eq!(
+        cursor_stats.cursor.stepped,
+        cursor_stats.scenarios - cursor_stats.cursor.materialized,
+        "every non-first scenario must be stepped in place"
+    );
+    assert_eq!(
+        cursor_stats.cursor.patterns_unranked, cursor_stats.runs.simulated,
+        "one pattern unranking per simulated communication structure"
+    );
+
+    let speedup = nth_ms / cursor_ms.max(1e-9);
+    match &reuse_baseline_ms {
+        Ok(baseline) => eprintln!(
+            "scenarios {:.1}% stepped in place, wall {:.0} ms -> {:.0} ms ({:.2}x; {:.2}x vs \
+             the PR 3 reuse-on baseline of {:.0} ms)",
+            cursor_stats.cursor.in_place_rate() * 100.0,
+            nth_ms,
+            cursor_ms,
+            speedup,
+            baseline / cursor_ms.max(1e-9),
+            baseline
+        ),
+        Err(reason) => eprintln!(
+            "scenarios {:.1}% stepped in place, wall {:.0} ms -> {:.0} ms ({:.2}x); \
+             baseline comparison skipped: {reason}",
+            cursor_stats.cursor.in_place_rate() * 100.0,
+            nth_ms,
+            cursor_ms,
+            speedup
+        ),
+    }
+
+    let mut snapshot =
+        BenchSnapshot::new("exp_thm1_unbeatability exhaustive scopes", cursor_stats.scenarios);
+    snapshot
+        .section(
+            "cursor_off",
+            nth_ms,
+            &[("scenarios_materialized", nth_stats.cursor.materialized as f64)],
+        )
+        .section(
+            "cursor_on",
+            cursor_ms,
+            &[
+                ("scenarios_materialized", cursor_stats.cursor.materialized as f64),
+                ("scenarios_stepped", cursor_stats.cursor.stepped as f64),
+                ("patterns_unranked", cursor_stats.cursor.patterns_unranked as f64),
+                ("in_place_rate", cursor_stats.cursor.in_place_rate()),
+            ],
+        )
+        .metric("wall_speedup_vs_cursor_off", speedup);
+    if let Ok(baseline) = reuse_baseline_ms {
+        snapshot
+            .metric("pr3_reuse_baseline_ms", baseline)
+            .metric("wall_speedup_vs_pr3_baseline", baseline / cursor_ms.max(1e-9));
+    }
+    std::fs::write(&output, snapshot.to_json()).expect("writing the snapshot");
+    println!("wrote {output}");
+}

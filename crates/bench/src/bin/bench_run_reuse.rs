@@ -2,11 +2,12 @@
 //! Theorem 1 scopes — the acceptance measurement of the run-structure
 //! reuse work (the Amdahl follow-up to `bench_sweep_cache`).
 //!
-//! Runs `sweep::experiments::thm1` twice on a sequential configuration
-//! (wall times stay comparable on any core count): once with run-structure
-//! reuse disabled and once enabled (the analysis cache stays on in both
-//! arms, so the measured delta isolates the reuse), verifies the two
-//! produce identical tables, and writes a `BENCH_run_reuse.json` snapshot
+//! Runs `sweep::experiments::thm1` on a sequential configuration (wall
+//! times stay comparable on any core count; one warmup plus best-of-three
+//! per arm): once with run-structure reuse disabled and once enabled (the
+//! analysis cache stays on and the block cursor off in both arms, so the
+//! measured delta isolates the reuse), verifies the two produce identical
+//! tables, and writes a `BENCH_run_reuse.json` snapshot
 //! recording wall time, the number of communication structures simulated
 //! vs. reused, and the speedup — both against the reuse-off arm and
 //! against the PR 2 cached baseline read from the checked-in
@@ -17,11 +18,14 @@
 //! bench_run_reuse [output.json]     # default: BENCH_run_reuse.json
 //! ```
 
-use std::time::Instant;
-
-use bench_harness::report;
+use bench_harness::measure_min_ms;
+use bench_harness::report::{self, BenchSnapshot};
 use sweep::experiments;
 use sweep::SweepConfig;
+
+/// Measured runs per arm (after one warmup); the snapshot records the
+/// fastest, so machine noise only ever shrinks the numbers.
+const RUNS: usize = 3;
 
 /// Wall time of the cached, reuse-free Theorem 1 sweep recorded by PR 2 —
 /// the baseline the tentpole acceptance (≥ 2× wall) is measured against.
@@ -30,34 +34,34 @@ use sweep::SweepConfig;
 /// snapshots are re-recorded on different hardware.
 const PR2_CACHED_BASELINE_FALLBACK_MS: f64 = 3175.2;
 
-/// Extracts the `wall_ms` of the `"cached"` section from the
-/// `BENCH_sweep_cache.json` next to the requested output file (the vendored
-/// serde stub has no deserializer; the snapshot format is flat and ours).
+/// Reads the `"cached"` wall time from the `BENCH_sweep_cache.json` next to
+/// the requested output file, falling back to the recorded constant (with a
+/// note on stderr) when the snapshot is absent.
 fn pr2_cached_baseline_ms(output: &str) -> f64 {
     let path = std::path::Path::new(output).with_file_name("BENCH_sweep_cache.json");
-    let parsed = std::fs::read_to_string(path).ok().and_then(|json| {
-        let cached = json.split("\"cached\"").nth(1)?;
-        let number = cached.split("\"wall_ms\":").nth(1)?;
-        number.split([',', '}']).next()?.trim().parse().ok()
-    });
-    parsed.unwrap_or(PR2_CACHED_BASELINE_FALLBACK_MS)
+    BenchSnapshot::load_wall_ms(&path, "cached").unwrap_or_else(|reason| {
+        eprintln!("note: {reason}; using the recorded PR 2 baseline");
+        PR2_CACHED_BASELINE_FALLBACK_MS
+    })
 }
 
 fn main() {
     let output = std::env::args().nth(1).unwrap_or_else(|| "BENCH_run_reuse.json".to_owned());
     let pr2_cached_baseline_ms = pr2_cached_baseline_ms(&output);
-    let rebuild_config = SweepConfig { reuse: false, ..SweepConfig::sequential() };
-    let reuse_config = SweepConfig::sequential();
+    // Both arms pin the block cursor *off*: this snapshot isolates the
+    // run-structure-reuse knob at the PR 3 per-index materialization path,
+    // and its `reuse_on` arm is the baseline `bench_block_cursor` measures
+    // the cursor against — each snapshot in the chain turns on exactly one
+    // knob more than its predecessor.
+    let rebuild_config = SweepConfig { reuse: false, cursor: false, ..SweepConfig::sequential() };
+    let reuse_config = SweepConfig { cursor: false, ..SweepConfig::sequential() };
 
-    let start = Instant::now();
-    let (rebuild_rows, rebuild_stats) =
-        experiments::thm1_with_stats(&rebuild_config).expect("built-in scopes are well formed");
-    let rebuild_ms = start.elapsed().as_secs_f64() * 1e3;
-
-    let start = Instant::now();
-    let (reuse_rows, reuse_stats) =
-        experiments::thm1_with_stats(&reuse_config).expect("built-in scopes are well formed");
-    let reuse_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (rebuild_ms, (rebuild_rows, rebuild_stats)) = measure_min_ms(RUNS, || {
+        experiments::thm1_with_stats(&rebuild_config).expect("built-in scopes are well formed")
+    });
+    let (reuse_ms, (reuse_rows, reuse_stats)) = measure_min_ms(RUNS, || {
+        experiments::thm1_with_stats(&reuse_config).expect("built-in scopes are well formed")
+    });
 
     assert_eq!(reuse_rows, rebuild_rows, "structure reuse must not change the fold");
 
@@ -74,26 +78,30 @@ fn main() {
         simulation_reduction, rebuild_ms, reuse_ms, speedup, speedup_vs_pr2, pr2_cached_baseline_ms
     );
 
-    // The vendored serde stub has no serializer; the snapshot is small and
-    // flat, so it is rendered by hand.
-    let json = format!(
-        "{{\n  \"experiment\": \"exp_thm1_unbeatability exhaustive scopes\",\n  \
-         \"config\": {{ \"shards\": 1, \"threads\": 1, \"cache\": true }},\n  \
-         \"scenarios\": {scenarios},\n  \
-         \"reuse_off\": {{ \"wall_ms\": {rebuild_ms:.1}, \"structures_simulated\": {rs} }},\n  \
-         \"reuse_on\": {{ \"wall_ms\": {reuse_ms:.1}, \"structures_simulated\": {us}, \
-         \"structures_reused\": {ur}, \"reuse_rate\": {rate:.4} }},\n  \
-         \"simulation_reduction_factor\": {simulation_reduction:.2},\n  \
-         \"wall_speedup_vs_reuse_off\": {speedup:.2},\n  \
-         \"pr2_cached_baseline_ms\": {pr2_cached_baseline_ms:.1},\n  \
-         \"wall_speedup_vs_pr2_baseline\": {speedup_vs_pr2:.2}\n}}\n",
-        scenarios = reuse_stats.scenarios,
-        rs = rebuild_stats.runs.simulated,
-        us = reuse_stats.runs.simulated,
-        ur = reuse_stats.runs.reused,
-        rate = reuse_stats.runs.reuse_rate(),
-    );
-    std::fs::write(&output, json).expect("writing the snapshot");
+    // The snapshot schema (and its hand renderer, pending real serde) is
+    // shared across the BENCH_* chain — see `report::BenchSnapshot`.
+    let mut snapshot =
+        BenchSnapshot::new("exp_thm1_unbeatability exhaustive scopes", reuse_stats.scenarios);
+    snapshot
+        .section(
+            "reuse_off",
+            rebuild_ms,
+            &[("structures_simulated", rebuild_stats.runs.simulated as f64)],
+        )
+        .section(
+            "reuse_on",
+            reuse_ms,
+            &[
+                ("structures_simulated", reuse_stats.runs.simulated as f64),
+                ("structures_reused", reuse_stats.runs.reused as f64),
+                ("reuse_rate", reuse_stats.runs.reuse_rate()),
+            ],
+        )
+        .metric("simulation_reduction_factor", simulation_reduction)
+        .metric("wall_speedup_vs_reuse_off", speedup)
+        .metric("pr2_cached_baseline_ms", pr2_cached_baseline_ms)
+        .metric("wall_speedup_vs_pr2_baseline", speedup_vs_pr2);
+    std::fs::write(&output, snapshot.to_json()).expect("writing the snapshot");
     println!("wrote {output}");
 
     assert!(

@@ -1,9 +1,10 @@
 //! Perf snapshot of the cross-adversary analysis cache on the exhaustive
 //! Theorem 1 scope — the acceptance measurement of the cache work.
 //!
-//! Runs `sweep::experiments::thm1` twice on a sequential configuration
-//! (wall times stay comparable on any core count): once with the
-//! view-keyed analysis cache disabled and once enabled, verifies the two
+//! Runs `sweep::experiments::thm1` on a sequential configuration (wall
+//! times stay comparable on any core count; one warmup plus best-of-three
+//! per arm): once with the view-keyed analysis cache disabled and once
+//! enabled, verifies the two
 //! produce identical tables, and writes a `BENCH_sweep_cache.json`
 //! snapshot recording wall time, the number of full `ViewAnalysis`
 //! constructions, the constructions avoided, and the reduction factor —
@@ -13,30 +14,32 @@
 //! bench_sweep_cache [output.json]     # default: BENCH_sweep_cache.json
 //! ```
 
-use std::time::Instant;
-
-use bench_harness::report;
+use bench_harness::measure_min_ms;
+use bench_harness::report::{self, BenchSnapshot};
 use sweep::experiments;
 use sweep::SweepConfig;
 
+/// Measured runs per arm (after one warmup); the snapshot records the
+/// fastest, matching the discipline of the rest of the snapshot chain.
+const RUNS: usize = 3;
+
 fn main() {
     let output = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sweep_cache.json".to_owned());
-    // Structure reuse is pinned OFF in both arms: this snapshot isolates the
-    // analysis cache, and its cached arm doubles as the pre-reuse baseline
-    // that `bench_run_reuse` reads back (`pr2_cached_baseline_ms`) — with
-    // reuse on, both measurements would collapse into the reuse-on numbers.
-    let uncached_config = SweepConfig { cache: false, reuse: false, ..SweepConfig::sequential() };
-    let cached_config = SweepConfig { reuse: false, ..SweepConfig::sequential() };
+    // Structure reuse and the block cursor are pinned OFF in both arms: this
+    // snapshot isolates the analysis cache at the PR 2 configuration, and
+    // its cached arm doubles as the pre-reuse baseline that
+    // `bench_run_reuse` reads back (`pr2_cached_baseline_ms`) — with the
+    // later knobs on, both measurements would collapse into their numbers.
+    let uncached_config =
+        SweepConfig { cache: false, reuse: false, cursor: false, ..SweepConfig::sequential() };
+    let cached_config = SweepConfig { reuse: false, cursor: false, ..SweepConfig::sequential() };
 
-    let start = Instant::now();
-    let (uncached_rows, uncached_stats) =
-        experiments::thm1_with_stats(&uncached_config).expect("built-in scopes are well formed");
-    let uncached_ms = start.elapsed().as_secs_f64() * 1e3;
-
-    let start = Instant::now();
-    let (cached_rows, cached_stats) =
-        experiments::thm1_with_stats(&cached_config).expect("built-in scopes are well formed");
-    let cached_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (uncached_ms, (uncached_rows, uncached_stats)) = measure_min_ms(RUNS, || {
+        experiments::thm1_with_stats(&uncached_config).expect("built-in scopes are well formed")
+    });
+    let (cached_ms, (cached_rows, cached_stats)) = measure_min_ms(RUNS, || {
+        experiments::thm1_with_stats(&cached_config).expect("built-in scopes are well formed")
+    });
 
     assert_eq!(cached_rows, uncached_rows, "the cache must not change the fold");
 
@@ -51,26 +54,29 @@ fn main() {
         reduction, uncached_ms, cached_ms, speedup
     );
 
-    // The vendored serde stub has no serializer; the snapshot is small and
-    // flat, so it is rendered by hand.
-    let json = format!(
-        "{{\n  \"experiment\": \"exp_thm1_unbeatability exhaustive scopes\",\n  \
-         \"config\": {{ \"shards\": 1, \"threads\": 1 }},\n  \
-         \"scenarios\": {scenarios},\n  \
-         \"uncached\": {{ \"wall_ms\": {uncached_ms:.1}, \"analyses_constructed\": {uc} }},\n  \
-         \"cached\": {{ \"wall_ms\": {cached_ms:.1}, \"analyses_constructed\": {cc}, \
-         \"cache_hits\": {hits}, \"hit_rate\": {rate:.4} }},\n  \
-         \"constructions_avoided\": {avoided},\n  \
-         \"construction_reduction_factor\": {reduction:.2},\n  \
-         \"wall_speedup\": {speedup:.2}\n}}\n",
-        scenarios = cached_stats.scenarios,
-        uc = uncached_stats.cache.constructions(),
-        cc = cached_stats.cache.constructions(),
-        hits = cached_stats.cache.hits,
-        rate = cached_stats.cache.hit_rate(),
-        avoided = cached_stats.cache.constructions_avoided(),
-    );
-    std::fs::write(&output, json).expect("writing the snapshot");
+    // The snapshot schema (and its hand renderer, pending real serde) is
+    // shared across the BENCH_* chain — see `report::BenchSnapshot`.
+    let mut snapshot =
+        BenchSnapshot::new("exp_thm1_unbeatability exhaustive scopes", cached_stats.scenarios);
+    snapshot
+        .section(
+            "uncached",
+            uncached_ms,
+            &[("analyses_constructed", uncached_stats.cache.constructions() as f64)],
+        )
+        .section(
+            "cached",
+            cached_ms,
+            &[
+                ("analyses_constructed", cached_stats.cache.constructions() as f64),
+                ("cache_hits", cached_stats.cache.hits as f64),
+                ("hit_rate", cached_stats.cache.hit_rate()),
+            ],
+        )
+        .metric("constructions_avoided", cached_stats.cache.constructions_avoided() as f64)
+        .metric("construction_reduction_factor", reduction)
+        .metric("wall_speedup", speedup);
+    std::fs::write(&output, snapshot.to_json()).expect("writing the snapshot");
     println!("wrote {output}");
 
     assert!(

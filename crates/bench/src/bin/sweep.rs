@@ -2,7 +2,8 @@
 //! the sharded, work-stealing engine of the `sweep` crate.
 //!
 //! ```text
-//! sweep <thm1|thm3|fig4|prop2|all> [--shards N] [--threads N] [--seed N] [--no-cache] [--no-reuse]
+//! sweep <thm1|thm3|fig4|prop2|all> [--shards N] [--threads N] [--seed N]
+//!       [--no-cache] [--no-reuse] [--no-cursor]
 //! ```
 //!
 //! The fold results are independent of `--shards` and `--threads`: for the
@@ -13,7 +14,7 @@ use bench_harness::{report, sweep_config_from_args};
 use sweep::experiments;
 
 const USAGE: &str = "usage: sweep <thm1|thm3|fig4|prop2|all> \
-                     [--shards N] [--threads N] [--seed N] [--no-cache] [--no-reuse]";
+                     [--shards N] [--threads N] [--seed N] [--no-cache] [--no-reuse] [--no-cursor]";
 
 fn main() {
     let mut args = std::env::args().skip(1);

@@ -97,9 +97,9 @@ impl fmt::Display for Table {
 
 /// Parses the sweep flags shared by the experiment binaries and the `sweep`
 /// CLI — `--shards N`, `--threads N`, `--seed N`, `--no-cache`,
-/// `--no-reuse` — into a [`sweep::SweepConfig`], starting from the engine
-/// defaults (automatic parallelism, seed 1605, analysis cache and
-/// run-structure reuse on).
+/// `--no-reuse`, `--no-cursor` — into a [`sweep::SweepConfig`], starting
+/// from the engine defaults (automatic parallelism, seed 1605, analysis
+/// cache, run-structure reuse and the block cursor all on).
 ///
 /// # Errors
 ///
@@ -134,10 +134,36 @@ pub fn sweep_config_from_args(
             "--no-reuse" => {
                 config.reuse = false;
             }
+            "--no-cursor" => {
+                config.cursor = false;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(config)
+}
+
+/// Runs `f` once to warm caches and code paths, then `runs` more times, and
+/// returns the **minimum** wall time in milliseconds together with the last
+/// result — the measurement discipline of the `bench_*` snapshot binaries.
+///
+/// The minimum (rather than the mean) is the standard low-noise estimator
+/// on a shared machine: every source of interference only ever makes a run
+/// slower, so the fastest observation is the closest to the true cost.
+///
+/// # Panics
+///
+/// Panics if `runs` is zero.
+pub fn measure_min_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    assert!(runs > 0, "at least one measured run is required");
+    let mut result = f(); // warmup
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..runs {
+        let start = std::time::Instant::now();
+        result = f();
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (best_ms, result)
 }
 
 /// Decision-time statistics over the correct processes of a single run.

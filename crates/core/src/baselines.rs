@@ -167,23 +167,37 @@ mod tests {
         }
     }
 
+    /// All three baselines, executed as one [`crate::BatchRunner`] batch per
+    /// adversary and checked through the runner's reused
+    /// [`crate::CheckScratch`] — the allocation-free path every sweep job
+    /// takes, pinned here against the one-shot executor and checkers.
     #[test]
     fn baselines_are_correct_on_random_adversaries() {
+        use crate::{BatchRunner, Protocol};
+
         let nonuniform = params(7, 5, 2);
+        let protocols: [&dyn Protocol; 3] = [&FloodMin, &EarlyFloodMin, &EarlyUniformFloodMin];
+        let mut runner = BatchRunner::cached();
         for seed in 0..35u64 {
             let adversary = random_adversary(seed, 7, 5, 2, 3);
-            let (run, t1) = execute(&FloodMin, &nonuniform, adversary.clone()).unwrap();
-            let (_, t2) = execute(&EarlyFloodMin, &nonuniform, adversary.clone()).unwrap();
-            let (_, t3) = execute(&EarlyUniformFloodMin, &nonuniform, adversary).unwrap();
-            assert!(check::check(&run, &t1, &nonuniform, TaskVariant::Uniform).is_empty());
-            assert!(
-                check::check(&run, &t2, &nonuniform, TaskVariant::Nonuniform).is_empty(),
-                "seed {seed}"
-            );
-            assert!(
-                check::check(&run, &t3, &nonuniform, TaskVariant::Uniform).is_empty(),
-                "seed {seed}"
-            );
+            runner.execute_batch(&protocols, &nonuniform, &adversary).unwrap();
+            let (run, transcripts, checks) = runner.batch_parts();
+            // FloodMin and EarlyUniformFloodMin solve the uniform variant,
+            // EarlyFloodMin only the nonuniform one.
+            for (slot, variant) in
+                [TaskVariant::Uniform, TaskVariant::Nonuniform, TaskVariant::Uniform]
+                    .into_iter()
+                    .enumerate()
+            {
+                assert!(
+                    checks.check(run, &transcripts[slot], &nonuniform, variant).is_empty(),
+                    "seed {seed}: {} violated its variant",
+                    transcripts[slot].protocol()
+                );
+            }
+            // The batched transcripts are the one-shot transcripts.
+            let (_, reference) = execute(&FloodMin, &nonuniform, adversary).unwrap();
+            assert_eq!(transcripts[0], reference, "seed {seed}");
         }
     }
 

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use synchrony::{Adversary, ModelError, ProcessId, Run, Time};
 
-use crate::{execute, Protocol, TaskParams, Transcript};
+use crate::{BatchRunner, Protocol, TaskParams, Transcript};
 
 /// The possible relations between two protocols over a set of adversaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -195,6 +195,11 @@ fn compare_transcripts(
 
 /// Runs both protocols on every adversary and produces a [`DominationReport`].
 ///
+/// Both protocols execute as one [`BatchRunner`] batch per adversary, so
+/// the run is simulated once, its per-node analyses are shared between the
+/// two protocols, and the run/transcript buffers are reused across the
+/// whole comparison — the same steady-state path the sweep engine uses.
+///
 /// # Errors
 ///
 /// Propagates any model error raised while simulating the runs.
@@ -206,14 +211,14 @@ pub fn compare(
 ) -> Result<DominationReport, ModelError> {
     let mut first_improvements = Vec::new();
     let mut second_improvements = Vec::new();
+    let mut runner = BatchRunner::cached();
     for (index, adversary) in adversaries.iter().enumerate() {
-        let (run, ta) = execute(first, params, adversary.clone())?;
-        let (_, tb) = execute(second, params, adversary.clone())?;
+        let (run, transcripts) = runner.execute_batch(&[first, second], params, adversary)?;
         compare_transcripts(
             index,
-            &run,
-            &ta,
-            &tb,
+            run,
+            &transcripts[0],
+            &transcripts[1],
             &mut first_improvements,
             &mut second_improvements,
         );
@@ -274,6 +279,8 @@ impl LastDeciderReport {
 
 /// Runs both protocols on every adversary and compares last decision times.
 ///
+/// Shares one [`BatchRunner`] batch per adversary, like [`compare`].
+///
 /// # Errors
 ///
 /// Propagates any model error raised while simulating the runs.
@@ -285,11 +292,11 @@ pub fn compare_last_decider(
 ) -> Result<LastDeciderReport, ModelError> {
     let mut first_earlier = Vec::new();
     let mut second_earlier = Vec::new();
+    let mut runner = BatchRunner::cached();
     for (index, adversary) in adversaries.iter().enumerate() {
-        let (_, ta) = execute(first, params, adversary.clone())?;
-        let (_, tb) = execute(second, params, adversary.clone())?;
-        let la = ta.last_decision_time();
-        let lb = tb.last_decision_time();
+        let (_, transcripts) = runner.execute_batch(&[first, second], params, adversary)?;
+        let la = transcripts[0].last_decision_time();
+        let lb = transcripts[1].last_decision_time();
         match (la, lb) {
             (Some(a), Some(b)) if a < b => first_earlier.push(index),
             (Some(a), Some(b)) if b < a => second_earlier.push(index),

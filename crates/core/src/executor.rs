@@ -3,7 +3,8 @@
 use knowledge::{AnalysisCache, StructureMemo, ViewAnalysis};
 use synchrony::{Adversary, ModelError, Node, Run, StructureReuse, Time};
 
-use crate::{Decision, DecisionContext, Protocol, TaskParams, Transcript};
+use crate::check::CheckScratch;
+use crate::{Decision, DecisionContext, Protocol, TaskParams, TaskVariant, Transcript};
 
 /// Executes `protocol` on the (already simulated) communication structure of
 /// `run`, producing the decision transcript.
@@ -132,7 +133,10 @@ pub type NodeObserver<'a> =
 /// * while the run structure is being reused, a per-structure
 ///   [`StructureMemo`] additionally pins each node's *completed* analysis
 ///   and refreshes only its value-dependent fields per run — the whole
-///   view-key/hashing path is skipped across an input block.
+///   view-key/hashing path is skipped across an input block;
+/// * a [`CheckScratch`] rides along for the specification checks, so job
+///   code can verify every transcript of the batch without allocating —
+///   see [`BatchRunner::batch_parts`] and [`BatchRunner::count_violations`].
 ///
 /// The produced transcripts are identical (`==`) to those of
 /// [`execute_on_run`] executed per protocol — with or without the cache and
@@ -168,6 +172,10 @@ pub struct BatchRunner {
     memo_live: bool,
     reuse: bool,
     run_stats: RunReuseStats,
+    /// Reusable buffers for the correctness checks of the runner's batches
+    /// — see [`BatchRunner::batch_parts`] and
+    /// [`BatchRunner::count_violations`].
+    checks: CheckScratch,
 }
 
 impl Default for BatchRunner {
@@ -200,6 +208,7 @@ impl BatchRunner {
             memo_live: false,
             reuse: true,
             run_stats: RunReuseStats::default(),
+            checks: CheckScratch::new(),
         }
     }
 
@@ -223,6 +232,58 @@ impl BatchRunner {
     /// Returns a snapshot of the run-structure simulation counters.
     pub fn run_stats(&self) -> RunReuseStats {
         self.run_stats
+    }
+
+    /// Returns the last batch's run and transcripts together with the
+    /// runner's [`CheckScratch`] — the allocation-free way to check a batch.
+    ///
+    /// The three borrows are disjoint, so job code can check each
+    /// transcript through the scratch while still reading the run and the
+    /// other transcripts:
+    ///
+    /// ```
+    /// use set_consensus::{executor::BatchRunner, Optmin, FloodMin, Protocol, TaskParams, TaskVariant};
+    /// use synchrony::{Adversary, InputVector, SystemParams};
+    ///
+    /// let params = TaskParams::new(SystemParams::new(4, 2)?, 2)?;
+    /// let adversary = Adversary::failure_free(InputVector::from_values([0, 1, 2, 2]))?;
+    /// let mut runner = BatchRunner::new();
+    /// let protocols: [&dyn Protocol; 2] = [&Optmin, &FloodMin];
+    /// runner.execute_batch(&protocols, &params, &adversary)?;
+    ///
+    /// let (run, transcripts, checks) = runner.batch_parts();
+    /// for transcript in transcripts {
+    ///     assert!(checks.check(run, transcript, &params, TaskVariant::Nonuniform).is_empty());
+    /// }
+    /// # Ok::<(), synchrony::ModelError>(())
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch has been executed yet.
+    pub fn batch_parts(&mut self) -> (&Run, &[Transcript], &mut CheckScratch) {
+        (
+            self.run.as_ref().expect("no batch executed on this runner yet"),
+            &self.transcripts,
+            &mut self.checks,
+        )
+    }
+
+    /// Sums the specification violations of every transcript of the last
+    /// batch under `variant`, through the runner's [`CheckScratch`] —
+    /// allocation-free, and exactly `check::check(..).len()` summed over
+    /// the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch has been executed yet.
+    pub fn count_violations(&mut self, params: &TaskParams, variant: TaskVariant) -> u64 {
+        let run = self.run.as_ref().expect("no batch executed on this runner yet");
+        let mut total = 0u64;
+        for transcript in &self.transcripts {
+            total += self.checks.check(run, transcript, params, variant).len() as u64;
+        }
+        total
     }
 
     /// Simulates the run induced by `adversary` (rebuilding the previous
@@ -605,6 +666,36 @@ mod tests {
             for (protocol, transcript) in protocols.iter().zip(transcripts) {
                 let reference = execute_on_run(*protocol, &params, &reference_run).unwrap();
                 assert_eq!(transcript, &reference);
+            }
+        }
+    }
+
+    /// `batch_parts` and `count_violations` must mirror the free check
+    /// functions exactly, across reused batches (correct and violating
+    /// transcripts alike).
+    #[test]
+    fn batch_checks_match_free_functions() {
+        use crate::{check, FloodMin, Optmin};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let (n, t, k) = (5usize, 3usize, 2usize);
+        let params = TaskParams::new(SystemParams::new(n, t).unwrap(), k).unwrap();
+        let protocols: [&dyn Protocol; 2] = [&Optmin, &FloodMin];
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut runner = BatchRunner::cached();
+        for _ in 0..10 {
+            let adversary = random_adversary(&mut rng, n, t, k);
+            runner.execute_batch(&protocols, &params, &adversary).unwrap();
+            for variant in [crate::TaskVariant::Nonuniform, crate::TaskVariant::Uniform] {
+                let (run, transcripts, checks) = runner.batch_parts();
+                let mut expected = 0u64;
+                for transcript in transcripts {
+                    let reference = check::check(run, transcript, &params, variant);
+                    assert_eq!(checks.check(run, transcript, &params, variant), reference);
+                    expected += reference.len() as u64;
+                }
+                assert_eq!(runner.count_violations(&params, variant), expected);
             }
         }
     }

@@ -59,7 +59,7 @@ pub mod transcript;
 pub mod u_pmin;
 
 pub use baselines::{EarlyFloodMin, EarlyUniformFloodMin, FloodMin};
-pub use check::Violation;
+pub use check::{CheckScratch, Violation};
 pub use domination::{
     compare, compare_last_decider, DominationRelation, DominationReport, ImprovementWitness,
     LastDeciderReport,

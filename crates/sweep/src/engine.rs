@@ -40,12 +40,28 @@ pub struct SweepConfig {
     /// speed knob: folds with reuse on and off are bit-identical at any
     /// parallelism.
     pub reuse: bool,
+    /// Whether each shard walks its scenarios through the source's
+    /// [`ScenarioSource::cursor`] (default `true`), which reuses one
+    /// caller-owned scratch [`Scenario`] per worker and — for block-cursor
+    /// sources like `source::ExhaustiveSource` — steps the scenario in
+    /// place instead of materializing it per index.  The third speed-only
+    /// knob: cursor-on and cursor-off folds are bit-identical at any
+    /// parallelism (pinned by the determinism tests); only
+    /// [`SweepStats::cursor`] differs.
+    pub cursor: bool,
 }
 
 impl SweepConfig {
     /// A fully sequential configuration: one shard, one thread.
     pub fn sequential() -> Self {
-        SweepConfig { shards: 1, threads: 1, seed: Self::DEFAULT_SEED, cache: true, reuse: true }
+        SweepConfig {
+            shards: 1,
+            threads: 1,
+            seed: Self::DEFAULT_SEED,
+            cache: true,
+            reuse: true,
+            cursor: true,
+        }
     }
 
     /// The default seed, matching the seed the pre-engine experiment
@@ -73,9 +89,31 @@ impl SweepConfig {
 
 impl Default for SweepConfig {
     fn default() -> Self {
-        SweepConfig { shards: 0, threads: 0, seed: Self::DEFAULT_SEED, cache: true, reuse: true }
+        SweepConfig {
+            shards: 0,
+            threads: 0,
+            seed: Self::DEFAULT_SEED,
+            cache: true,
+            reuse: true,
+            cursor: true,
+        }
     }
 }
+
+/// Scenario-production counters of one sweep: how each scenario reached its
+/// job, summed over every shard cursor.
+///
+/// This is [`adversary::enumerate::CursorCounters`] — one definition for
+/// the whole stack, read here as "scenarios" rather than "adversaries".
+/// With [`SweepConfig::cursor`] on and a block-cursor source, steady state
+/// means **zero per-scenario pattern/input allocations**: `materialized`
+/// equals the number of non-empty shards (one wholesale construction
+/// each), `patterns_unranked` the number of structure blocks, and every
+/// other scenario is `stepped` in place.  With the cursor off — or for
+/// sources without an in-place representation — every scenario counts as
+/// `materialized`, exactly the old per-index [`ScenarioSource::scenario`]
+/// cost.
+pub use adversary::enumerate::CursorCounters as CursorStats;
 
 /// Execution statistics of one sweep, aggregated over every worker.
 ///
@@ -94,6 +132,10 @@ pub struct SweepStats {
     /// runners: how many communication structures were simulated vs. reused
     /// outright across input vectors.
     pub runs: RunReuseStats,
+    /// Scenario-production counters summed over the per-shard cursors: how
+    /// many scenarios were materialized wholesale vs. stepped in place, and
+    /// how many failure patterns were unranked.
+    pub cursor: CursorStats,
 }
 
 impl SweepStats {
@@ -103,6 +145,7 @@ impl SweepStats {
         self.scenarios += other.scenarios;
         self.cache.merge(other.cache);
         self.runs.merge(other.runs);
+        self.cursor.merge(other.cursor);
     }
 }
 
@@ -155,6 +198,77 @@ pub trait ScenarioSource: Sync {
     /// value only costs extra simulations.
     fn structure_block(&self) -> usize {
         1
+    }
+
+    /// Returns a cursor over the half-open index range `start..end` — the
+    /// engine's shard access path when [`SweepConfig::cursor`] is on.
+    ///
+    /// The default implementation materializes each scenario through
+    /// [`ScenarioSource::scenario`] (counting it in
+    /// [`CursorStats::materialized`]), so any source gets a correct cursor
+    /// for free.  Sources with an in-place representation override it:
+    /// `source::ExhaustiveSource` wraps the block cursor of
+    /// `adversary::enumerate::AdversarySpace`, which unranks the failure
+    /// pattern once per structure block and then only steps the mixed-radix
+    /// input code inside the worker's scratch scenario.  Either way the
+    /// yielded sequence must be identical to `scenario(start..end)` — the
+    /// cursor is the third speed-only knob of the engine, never a semantic
+    /// one.
+    fn cursor(&self, start: usize, end: usize) -> Box<dyn ScenarioCursor + '_> {
+        Box::new(NthCursor {
+            source: self,
+            next: start,
+            end: end.min(self.len()),
+            stats: CursorStats::default(),
+        })
+    }
+}
+
+/// A position-tracking producer of consecutive scenarios that writes into a
+/// caller-owned scratch slot instead of returning fresh allocations — see
+/// [`ScenarioSource::cursor`].
+pub trait ScenarioCursor {
+    /// Writes the next scenario of the range into `scratch` and returns
+    /// `true`, or returns `false` (leaving `scratch` untouched) once the
+    /// range is exhausted.
+    ///
+    /// A `None` scratch is populated on the first call; a `Some` scratch is
+    /// either stepped in place (block-cursor sources) or overwritten.  The
+    /// caller must not modify the scratch between calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the scenario cannot be constructed (same
+    /// conditions as [`ScenarioSource::scenario`]).
+    fn next(&mut self, scratch: &mut Option<Scenario>) -> Result<bool, ModelError>;
+
+    /// Returns the production counters accumulated by this cursor.
+    fn stats(&self) -> CursorStats;
+}
+
+/// The fallback cursor behind the default [`ScenarioSource::cursor`]:
+/// materializes every scenario per index, exactly as the engine's pre-cursor
+/// shard loop did.
+struct NthCursor<'a, S: ?Sized> {
+    source: &'a S,
+    next: usize,
+    end: usize,
+    stats: CursorStats,
+}
+
+impl<S: ScenarioSource + ?Sized> ScenarioCursor for NthCursor<'_, S> {
+    fn next(&mut self, scratch: &mut Option<Scenario>) -> Result<bool, ModelError> {
+        if self.next >= self.end {
+            return Ok(false);
+        }
+        *scratch = Some(self.source.scenario(self.next)?);
+        self.next += 1;
+        self.stats.materialized += 1;
+        Ok(true)
+    }
+
+    fn stats(&self) -> CursorStats {
+        self.stats
     }
 }
 
@@ -237,8 +351,8 @@ where
 }
 
 /// Runs `job` on every scenario of `source`, folds the outcomes with
-/// `reducer`, and reports execution statistics (scenario, analysis-cache
-/// and run-structure-reuse counters) alongside the fold.
+/// `reducer`, and reports execution statistics (scenario, analysis-cache,
+/// run-structure-reuse and scenario-cursor counters) alongside the fold.
 ///
 /// The scenario space is partitioned into [`SweepConfig::resolved_shards`]
 /// contiguous shards, with boundaries aligned to the source's
@@ -249,11 +363,14 @@ where
 /// run-structure reuse across same-pattern scenarios when
 /// [`SweepConfig::reuse`] is set — so run/transcript buffers, cached view
 /// analyses and whole communication structures are reused across every
-/// scenario the worker executes.  Shard accumulators are merged in shard
-/// order, which — given the [`Reducer`] laws — makes the fold identical for
-/// every shard/thread count, cache setting and reuse setting, including the
-/// fully sequential path; only the statistics may differ between
-/// parallelisms.
+/// scenario the worker executes.  With [`SweepConfig::cursor`] set, each
+/// shard is walked through the source's [`ScenarioSource::cursor`] into a
+/// per-worker scratch [`Scenario`], so block-cursor sources materialize
+/// nothing per scenario in steady state.  Shard accumulators are merged in
+/// shard order, which — given the [`Reducer`] laws — makes the fold
+/// identical for every shard/thread count, cache setting, reuse setting and
+/// cursor setting, including the fully sequential path; only the statistics
+/// may differ between parallelisms.
 ///
 /// # Errors
 ///
@@ -278,26 +395,49 @@ where
         runner.structure_reuse(config.reuse)
     };
 
-    let fold_shard =
-        |runner: &mut BatchRunner, range: (usize, usize)| -> Result<R::Acc, ModelError> {
-            let mut acc = reducer.empty();
+    // One scratch `Scenario` per worker, threaded through every shard the
+    // worker folds: with the cursor on, a block-cursor source steps it in
+    // place, so the worker's steady state allocates nothing per scenario.
+    let fold_shard = |runner: &mut BatchRunner,
+                      scratch: &mut Option<Scenario>,
+                      range: (usize, usize)|
+     -> Result<(R::Acc, CursorStats), ModelError> {
+        let mut acc = reducer.empty();
+        if config.cursor {
+            let mut cursor = source.cursor(range.0, range.1);
+            while cursor.next(scratch)? {
+                let scenario = scratch.as_ref().expect("the cursor just yielded a scenario");
+                reducer.fold(&mut acc, job(runner, scenario)?);
+            }
+            Ok((acc, cursor.stats()))
+        } else {
+            // The pre-cursor path, kept as the A/B arm: materialize every
+            // scenario per index.
+            let mut stats = CursorStats::default();
             for index in range.0..range.1 {
                 let scenario = source.scenario(index)?;
+                stats.materialized += 1;
                 reducer.fold(&mut acc, job(runner, &scenario)?);
             }
-            Ok(acc)
-        };
+            Ok((acc, stats))
+        }
+    };
 
     if threads <= 1 {
         let mut runner = make_runner();
+        let mut scratch = None;
+        let mut cursor_stats = CursorStats::default();
         let mut merged = reducer.empty();
         for &range in &ranges {
-            merged = reducer.merge(merged, fold_shard(&mut runner, range)?);
+            let (acc, shard_cursor) = fold_shard(&mut runner, &mut scratch, range)?;
+            cursor_stats.merge(shard_cursor);
+            merged = reducer.merge(merged, acc);
         }
         let stats = SweepStats {
             scenarios: total as u64,
             cache: runner.cache().stats(),
             runs: runner.run_stats(),
+            cursor: cursor_stats,
         };
         return Ok((merged, stats));
     }
@@ -306,12 +446,15 @@ where
     let failed = AtomicBool::new(false);
     let shard_accs: Mutex<Vec<Option<R::Acc>>> = Mutex::new(ranges.iter().map(|_| None).collect());
     let first_error: Mutex<Option<(usize, ModelError)>> = Mutex::new(None);
-    let worker_stats: Mutex<(CacheStats, RunReuseStats)> = Mutex::new(Default::default());
+    let worker_stats: Mutex<(CacheStats, RunReuseStats, CursorStats)> =
+        Mutex::new(Default::default());
 
     thread::scope(|scope| {
         for _ in 0..threads.min(ranges.len()) {
             scope.spawn(|| {
                 let mut runner = make_runner();
+                let mut scratch = None;
+                let mut cursor_stats = CursorStats::default();
                 loop {
                     if failed.load(Ordering::Relaxed) {
                         break;
@@ -320,8 +463,9 @@ where
                     if shard >= ranges.len() {
                         break;
                     }
-                    match fold_shard(&mut runner, ranges[shard]) {
-                        Ok(acc) => {
+                    match fold_shard(&mut runner, &mut scratch, ranges[shard]) {
+                        Ok((acc, shard_cursor)) => {
+                            cursor_stats.merge(shard_cursor);
                             shard_accs.lock().expect("sweep accumulator lock")[shard] = Some(acc);
                         }
                         Err(error) => {
@@ -336,6 +480,7 @@ where
                 let mut stats = worker_stats.lock().expect("sweep stats lock");
                 stats.0.merge(runner.cache().stats());
                 stats.1.merge(runner.run_stats());
+                stats.2.merge(cursor_stats);
             });
         }
     });
@@ -347,8 +492,8 @@ where
     for acc in shard_accs.into_inner().expect("sweep accumulator lock") {
         merged = reducer.merge(merged, acc.expect("every shard completed"));
     }
-    let (cache, runs) = worker_stats.into_inner().expect("sweep stats lock");
-    let stats = SweepStats { scenarios: total as u64, cache, runs };
+    let (cache, runs, cursor) = worker_stats.into_inner().expect("sweep stats lock");
+    let stats = SweepStats { scenarios: total as u64, cache, runs, cursor };
     Ok((merged, stats))
 }
 
@@ -412,6 +557,7 @@ mod tests {
         assert_eq!(config.resolved_shards(), config.resolved_threads() * 4);
         assert!(config.cache, "the analysis cache defaults to on");
         assert!(config.reuse, "run-structure reuse defaults to on");
+        assert!(config.cursor, "the block cursor defaults to on");
         assert_eq!(SweepConfig::sequential().resolved_threads(), 1);
         assert_eq!(SweepConfig::sequential().resolved_shards(), 1);
     }
@@ -422,14 +568,26 @@ mod tests {
             scenarios: 3,
             cache: CacheStats { hits: 1, misses: 2 },
             runs: RunReuseStats { simulated: 1, reused: 4 },
+            cursor: CursorStats { materialized: 1, stepped: 2, patterns_unranked: 1 },
         };
         stats.merge(SweepStats {
             scenarios: 4,
             cache: CacheStats { hits: 10, misses: 20 },
             runs: RunReuseStats { simulated: 2, reused: 8 },
+            cursor: CursorStats { materialized: 1, stepped: 3, patterns_unranked: 2 },
         });
         assert_eq!(stats.scenarios, 7);
         assert_eq!(stats.cache, CacheStats { hits: 11, misses: 22 });
         assert_eq!(stats.runs, RunReuseStats { simulated: 3, reused: 12 });
+        assert_eq!(stats.cursor, CursorStats { materialized: 2, stepped: 5, patterns_unranked: 3 });
+    }
+
+    #[test]
+    fn cursor_stats_rates_are_well_defined() {
+        assert_eq!(CursorStats::default().in_place_rate(), 0.0);
+        assert_eq!(CursorStats::default().total(), 0);
+        let stats = CursorStats { materialized: 1, stepped: 3, patterns_unranked: 1 };
+        assert_eq!(stats.total(), 4);
+        assert!((stats.in_place_rate() - 0.75).abs() < 1e-12);
     }
 }

@@ -14,8 +14,8 @@ use adversary::enumerate::{self, AdversarySpace, EnumerationConfig};
 use adversary::{scenarios, RandomConfig};
 use knowledge::ViewAnalysis;
 use set_consensus::{
-    check, EarlyFloodMin, EarlyUniformFloodMin, FloodMin, Optmin, Protocol, TaskParams,
-    TaskVariant, Transcript, UPmin,
+    EarlyFloodMin, EarlyUniformFloodMin, FloodMin, Optmin, Protocol, TaskParams, TaskVariant,
+    Transcript, UPmin,
 };
 use synchrony::{
     Adversary, FailurePattern, InputVector, ModelError, Node, Run, SystemParams, Time,
@@ -148,7 +148,7 @@ pub fn thm1_with_stats(config: &SweepConfig) -> Result<(Vec<Thm1Case>, SweepStat
                 // (Optmin) reflects every decision up to the observed node,
                 // and each node is analyzed exactly once per run instead of
                 // in a second full pass.
-                let (run, transcripts) = runner.execute_batch_observed(
+                runner.execute_batch_observed(
                     &protocols,
                     &scenario.params,
                     &scenario.adversary,
@@ -165,11 +165,14 @@ pub fn thm1_with_stats(config: &SweepConfig) -> Result<(Vec<Thm1Case>, SweepStat
                     },
                 )?;
 
-                // (1) correctness of every implemented nonuniform protocol.
+                // (1) correctness of every implemented nonuniform protocol,
+                // through the runner's check scratch (no per-scenario
+                // allocations — this check runs three times per adversary).
+                let (run, transcripts, checks) = runner.batch_parts();
                 for transcript in transcripts {
-                    outcome.violations +=
-                        check::check(run, transcript, &scenario.params, TaskVariant::Nonuniform)
-                            .len() as u64;
+                    outcome.violations += checks
+                        .check(run, transcript, &scenario.params, TaskVariant::Nonuniform)
+                        .len() as u64;
                 }
 
                 // (2) a competitor "beats" Optmin[k] if any process decides
@@ -293,10 +296,11 @@ pub fn thm3(config: &SweepConfig) -> Result<Vec<Thm3Row>, ModelError> {
             THM3_SAMPLES,
         );
         let acc = sweep(&source, config, &Thm3Reducer, |runner, scenario| {
-            let (run, transcript) =
-                runner.execute_one(&UPmin, &scenario.params, &scenario.adversary)?;
+            runner.execute_one(&UPmin, &scenario.params, &scenario.adversary)?;
+            let (run, transcripts, checks) = runner.batch_parts();
+            let transcript = &transcripts[0];
             let violations =
-                check::check(run, transcript, &scenario.params, TaskVariant::Uniform).len() as u64;
+                checks.check(run, transcript, &scenario.params, TaskVariant::Uniform).len() as u64;
             Ok((run.num_failures(), latest_correct_decision(run, transcript), violations))
         })?;
         for (f, (worst, runs)) in acc.per_f {
@@ -386,14 +390,14 @@ pub fn fig4(config: &SweepConfig) -> Result<Vec<Fig4Row>, ModelError> {
     let source = FixedSource::new(points);
     let acc = sweep(&source, config, &Fig4Reducer, |runner, scenario| {
         let protocols: [&dyn Protocol; 4] = [&UPmin, &Optmin, &EarlyUniformFloodMin, &FloodMin];
-        let (run, transcripts) =
-            runner.execute_batch(&protocols, &scenario.params, &scenario.adversary)?;
+        runner.execute_batch(&protocols, &scenario.params, &scenario.adversary)?;
+        let (run, transcripts, checks) = runner.batch_parts();
         let mut latest = [0u32; 4];
         let mut violations = 0u64;
         for (slot, transcript) in transcripts.iter().enumerate() {
             latest[slot] = latest_correct_decision(run, transcript);
             violations +=
-                check::check(run, transcript, &scenario.params, TaskVariant::Uniform).len() as u64;
+                checks.check(run, transcript, &scenario.params, TaskVariant::Uniform).len() as u64;
         }
         Ok((scenario.index, latest, violations))
     })?;

@@ -17,7 +17,12 @@
 //!   advertise their *structure block*
 //!   ([`ScenarioSource::structure_block`]): the number of consecutive
 //!   scenarios sharing one failure pattern, so the engine can cut shard
-//!   boundaries pattern-contiguously;
+//!   boundaries pattern-contiguously — and offer a [`ScenarioCursor`]
+//!   ([`ScenarioSource::cursor`]) that writes consecutive scenarios into a
+//!   caller-owned scratch instead of materializing them per index; the
+//!   exhaustive source's *block cursor* unranks each failure pattern once
+//!   per block and steps the mixed-radix input code in place, so a worker's
+//!   steady state allocates nothing per scenario;
 //! * [`sweep`] (and [`sweep_with_stats`]) — partitions the scenario space
 //!   into deterministic contiguous shards (aligned to the source's
 //!   structure block) and lets worker threads *steal* shards from a shared
@@ -30,9 +35,10 @@
 //!   [`SweepConfig::reuse`], the runner executes *structure-major* — every
 //!   scenario that repeats the previous failure pattern (the whole
 //!   input-vector block of an exhaustive scope) skips the run simulation
-//!   outright and only swaps the input overlay (`synchrony::RunStructure`).
-//!   Hit/miss and simulated/reused counters are reported through
-//!   [`SweepStats`];
+//!   outright and only swaps the input overlay (`synchrony::RunStructure`);
+//!   and with [`SweepConfig::cursor`], shards are walked through the
+//!   source's cursor into a per-worker scratch scenario.  All counters are
+//!   reported through [`SweepStats`];
 //! * [`Reducer`] — folds per-run outcomes (decision-time histograms, check
 //!   violations, domination counters, …) into per-shard accumulators that
 //!   are merged in shard order.  The reducer law
@@ -45,11 +51,50 @@
 //!   CLI binary and the `exp_*` binaries in the `bench_harness` crate are
 //!   thin formatting wrappers around them.
 //!
+//! The three reuse layers — analysis cache, run-structure memo, block
+//! cursor — are documented as one system in `docs/ARCHITECTURE.md` at the
+//! repository root.
+//!
+//! # The stderr stats line
+//!
+//! The experiment binaries print the engine's [`SweepStats`] as a one-line
+//! stderr trailer (stdout stays parallelism-invariant for diffing).  Its
+//! fields, in order:
+//!
+//! ```text
+//! sweep stats: <S> scenarios;
+//!   knowledge analyses: <L> requested, <C> constructed, <H> served from cache (hit rate <..>%);
+//!   run structures: <sim> simulated, <reu> reused (reuse rate <..>%);
+//!   scenarios: <st> stepped in place, <mat> materialized, <pat> patterns unranked (in-place rate <..>%)
+//! ```
+//!
+//! * `<S>` — [`SweepStats::scenarios`], the number of scenarios executed.
+//! * `<L>`/`<C>`/`<H>` — the [`knowledge::CacheStats`] of the per-worker
+//!   analysis caches, summed: `ViewAnalysis` lookups requested, full
+//!   constructions actually performed, and constructions avoided (served
+//!   structurally from the view-keyed cache).  `hit rate` is `H / L`.
+//! * `<sim>`/`<reu>` — the [`set_consensus::RunReuseStats`] of the
+//!   per-worker runners, summed: communication structures simulated from
+//!   scratch vs. reused outright because the failure pattern repeated.
+//!   `reuse rate` is `reu / (sim + reu)`.
+//! * `<st>`/`<mat>`/`<pat>` — the [`CursorStats`] of the per-shard
+//!   scenario cursors, summed: scenarios stepped in place inside a
+//!   worker's scratch vs. materialized wholesale (a fresh
+//!   pattern/input/adversary allocation, as `nth` would do), plus the
+//!   number of failure patterns unranked (once per structure block).  With
+//!   the block cursor on, steady state shows `mat` equal to the number of
+//!   non-empty shards and `pat` equal to the number of pattern blocks —
+//!   zero per-scenario allocations; with `--no-cursor` every scenario is
+//!   `materialized`.  `in-place rate` is `st / (st + mat)`.
+//!
+//! The counters describe *how* the fold was computed and may legally vary
+//! with the shard/thread counts; the fold value itself never does.
+//!
 //! # Quickstart
 //!
 //! ```
 //! use adversary::enumerate::{AdversarySpace, EnumerationConfig};
-//! use set_consensus::{check, Optmin, TaskParams, TaskVariant};
+//! use set_consensus::{Optmin, TaskParams, TaskVariant};
 //! use sweep::source::ExhaustiveSource;
 //! use sweep::{reduce, sweep, SweepConfig};
 //! use synchrony::SystemParams;
@@ -63,15 +108,16 @@
 //!     TaskVariant::Nonuniform,
 //! )?;
 //!
-//! // Fold correctness violations across the space, in parallel.
+//! // Fold correctness violations across the space, in parallel.  The
+//! // checks go through the runner's scratch (`count_violations`), so the
+//! // steady state of each worker allocates nothing per scenario.
 //! let violations = sweep(
 //!     &source,
 //!     &SweepConfig::default(),
 //!     &reduce::Count,
 //!     |runner, scenario| {
-//!         let (run, transcript) =
-//!             runner.execute_one(&Optmin, &scenario.params, &scenario.adversary)?;
-//!         Ok(check::check(run, transcript, &scenario.params, scenario.variant).len() as u64)
+//!         runner.execute_one(&Optmin, &scenario.params, &scenario.adversary)?;
+//!         Ok(runner.count_violations(&scenario.params, scenario.variant))
 //!     },
 //! )?;
 //! assert_eq!(violations, 0);
@@ -88,5 +134,6 @@ pub mod reduce;
 pub mod source;
 
 pub use engine::{
-    sweep, sweep_with_stats, Reducer, Scenario, ScenarioSource, SweepConfig, SweepStats,
+    sweep, sweep_with_stats, CursorStats, Reducer, Scenario, ScenarioCursor, ScenarioSource,
+    SweepConfig, SweepStats,
 };

@@ -1,12 +1,12 @@
 //! Scenario sources: adapters from the `adversary` generators to the
 //! engine's randomly-addressable [`ScenarioSource`] interface.
 
-use adversary::enumerate::AdversarySpace;
+use adversary::enumerate::{AdversaryCursor, AdversarySpace};
 use adversary::{RandomAdversaries, RandomConfig};
 use set_consensus::{TaskParams, TaskVariant};
-use synchrony::ModelError;
+use synchrony::{Adversary, InputVector, ModelError};
 
-use crate::engine::{Scenario, ScenarioSource};
+use crate::engine::{CursorStats, Scenario, ScenarioCursor, ScenarioSource};
 
 /// The exhaustive adversary space of an enumeration scope, every adversary
 /// executed under the same task parameters.
@@ -70,6 +70,62 @@ impl ScenarioSource for ExhaustiveSource {
     /// block never exceeds the space.)
     fn structure_block(&self) -> usize {
         self.space.inputs_per_pattern() as usize
+    }
+
+    /// The block cursor: the failure pattern is unranked once per structure
+    /// block and the mixed-radix input code is stepped in place inside the
+    /// worker's scratch scenario — zero per-scenario pattern/input
+    /// allocations in steady state, versus a full [`AdversarySpace::nth`]
+    /// materialization per index on the default path.
+    fn cursor(&self, start: usize, end: usize) -> Box<dyn ScenarioCursor + '_> {
+        Box::new(BlockCursor {
+            inner: self.space.cursor(start as u128, end as u128),
+            n: self.space.config().n,
+            params: self.params,
+            variant: self.variant,
+            index: start,
+        })
+    }
+}
+
+/// [`ExhaustiveSource`]'s cursor: a thin scenario-level wrapper around
+/// [`AdversaryCursor`], which does the actual in-place stepping.
+struct BlockCursor<'a> {
+    inner: AdversaryCursor<'a>,
+    n: usize,
+    params: TaskParams,
+    variant: TaskVariant,
+    /// Index of the next scenario to yield.
+    index: usize,
+}
+
+impl ScenarioCursor for BlockCursor<'_> {
+    fn next(&mut self, scratch: &mut Option<Scenario>) -> Result<bool, ModelError> {
+        let scenario = match scratch {
+            Some(scenario) => scenario,
+            // Seed the slot once per worker; the inner cursor's first
+            // advance overwrites the placeholder adversary wholesale, so
+            // its contents never surface.
+            None => scratch.insert(Scenario {
+                index: 0,
+                params: self.params,
+                variant: self.variant,
+                adversary: Adversary::failure_free(InputVector::uniform(self.n, 0))
+                    .expect("enumeration scopes have at least two processes"),
+            }),
+        };
+        if !self.inner.advance(&mut scenario.adversary) {
+            return Ok(false);
+        }
+        scenario.index = self.index;
+        scenario.params = self.params;
+        scenario.variant = self.variant;
+        self.index += 1;
+        Ok(true)
+    }
+
+    fn stats(&self) -> CursorStats {
+        self.inner.counters()
     }
 }
 
@@ -171,6 +227,52 @@ mod tests {
             let scenario = source.scenario(index).unwrap();
             assert_eq!(scenario.index, index);
             assert_eq!(scenario.adversary, space.nth(index as u128));
+        }
+    }
+
+    /// Satellite acceptance: the scenario-level block cursor yields exactly
+    /// the `(index, FailurePattern, InputVector)` sequence of repeated
+    /// `scenario()` calls over random ranges, including ranges that start
+    /// mid-block and straddle block boundaries — and its counters show the
+    /// steady state materializing nothing.
+    #[test]
+    fn exhaustive_cursor_matches_per_index_scenarios() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let space = AdversarySpace::new(EnumerationConfig::small(3, 1, 1)).unwrap();
+        let source = ExhaustiveSource::new(space, params(), TaskVariant::Nonuniform).unwrap();
+        let total = source.len();
+        let block = source.structure_block();
+        let mut rng = StdRng::seed_from_u64(0xC0DE);
+        for trial in 0..25u32 {
+            let (start, end) = match trial {
+                0 => (0, total),
+                1 => (block / 2, total.min(block * 2 + block / 2)),
+                2 => (total, total),
+                _ => {
+                    let a = rng.random_range(0..total as u64) as usize;
+                    let b = rng.random_range(0..=total as u64) as usize;
+                    (a.min(b), a.max(b))
+                }
+            };
+            let mut cursor = source.cursor(start, end);
+            // A stale scratch from "another shard" must be overwritten.
+            let mut scratch = Some(source.scenario(0).unwrap());
+            let mut index = start;
+            while cursor.next(&mut scratch).unwrap() {
+                let yielded = scratch.as_ref().unwrap();
+                let expected = source.scenario(index).unwrap();
+                assert_eq!(yielded.index, expected.index, "range {start}..{end}");
+                assert_eq!(yielded.adversary, expected.adversary, "range {start}..{end}");
+                assert_eq!(yielded.params, expected.params);
+                assert_eq!(yielded.variant, expected.variant);
+                index += 1;
+            }
+            assert_eq!(index, end, "cursor stopped early on {start}..{end}");
+            let stats = cursor.stats();
+            assert_eq!(stats.total() as usize, end - start);
+            assert_eq!(stats.materialized, u64::from(end > start));
         }
     }
 

@@ -1,8 +1,9 @@
 //! Shard-determinism contract of the sweep engine: for a fixed seed and
 //! scenario family, the fold result is identical for every shard and thread
 //! count (ISSUE acceptance: 1, 2 and 8 shards) — and for every setting of
-//! the cross-adversary analysis cache and of run-structure reuse, which may
-//! only change how fast a fold is computed, never its value.
+//! the cross-adversary analysis cache, of run-structure reuse, and of the
+//! block cursor, which may only change how fast a fold is computed, never
+//! its value.
 
 use adversary::enumerate::{AdversarySpace, EnumerationConfig};
 use adversary::RandomConfig;
@@ -48,19 +49,22 @@ fn exhaustive_histogram_is_shard_invariant() {
         for threads in THREAD_COUNTS {
             for cache in [false, true] {
                 for reuse in [false, true] {
-                    let config = SweepConfig {
-                        shards,
-                        threads,
-                        seed: SweepConfig::DEFAULT_SEED,
-                        cache,
-                        reuse,
-                    };
-                    let fold = sweep(&source, &config, &DecisionTimeHistogram, job).unwrap();
-                    assert_eq!(
-                        fold, reference,
-                        "histogram diverged at shards={shards}, threads={threads}, \
-                         cache={cache}, reuse={reuse}"
-                    );
+                    for cursor in [false, true] {
+                        let config = SweepConfig {
+                            shards,
+                            threads,
+                            seed: SweepConfig::DEFAULT_SEED,
+                            cache,
+                            reuse,
+                            cursor,
+                        };
+                        let fold = sweep(&source, &config, &DecisionTimeHistogram, job).unwrap();
+                        assert_eq!(
+                            fold, reference,
+                            "histogram diverged at shards={shards}, threads={threads}, \
+                             cache={cache}, reuse={reuse}, cursor={cursor}"
+                        );
+                    }
                 }
             }
         }
@@ -83,12 +87,15 @@ fn random_family_fold_is_seed_deterministic_and_shard_invariant() {
     let reference = sweep(&random_source(42), &SweepConfig::sequential(), &Count, job).unwrap();
     for shards in SHARD_COUNTS {
         for threads in THREAD_COUNTS {
-            let config = SweepConfig { shards, threads, seed: 42, cache: true, reuse: true };
-            let fold = sweep(&random_source(42), &config, &Count, job).unwrap();
-            assert_eq!(
-                fold, reference,
-                "random fold diverged at shards={shards}, threads={threads}"
-            );
+            for cursor in [false, true] {
+                let config =
+                    SweepConfig { shards, threads, seed: 42, cache: true, reuse: true, cursor };
+                let fold = sweep(&random_source(42), &config, &Count, job).unwrap();
+                assert_eq!(
+                    fold, reference,
+                    "random fold diverged at shards={shards}, threads={threads}, cursor={cursor}"
+                );
+            }
         }
     }
     let other_seed = sweep(&random_source(43), &SweepConfig::sequential(), &Count, job).unwrap();
@@ -106,15 +113,18 @@ fn ported_experiments_are_parallelism_invariant() {
     let thm3_reference = sweep::experiments::thm3(&sequential).unwrap();
     for shards in SHARD_COUNTS {
         for cache in [false, true] {
-            let config = SweepConfig {
-                shards,
-                threads: 4,
-                seed: SweepConfig::DEFAULT_SEED,
-                cache,
-                reuse: true,
-            };
-            assert_eq!(sweep::experiments::fig4(&config).unwrap(), fig4_reference);
-            assert_eq!(sweep::experiments::thm3(&config).unwrap(), thm3_reference);
+            for cursor in [false, true] {
+                let config = SweepConfig {
+                    shards,
+                    threads: 4,
+                    seed: SweepConfig::DEFAULT_SEED,
+                    cache,
+                    reuse: true,
+                    cursor,
+                };
+                assert_eq!(sweep::experiments::fig4(&config).unwrap(), fig4_reference);
+                assert_eq!(sweep::experiments::thm3(&config).unwrap(), thm3_reference);
+            }
         }
     }
 }
@@ -183,6 +193,7 @@ fn analysis_cache_is_invisible_to_folds_and_collapses_constructions() {
                     seed: SweepConfig::DEFAULT_SEED,
                     cache,
                     reuse: true,
+                    cursor: true,
                 };
                 let fold = sweep(&source, &config, &Count, job).unwrap();
                 assert_eq!(
@@ -247,27 +258,114 @@ fn structure_reuse_is_invisible_to_folds_and_collapses_simulations() {
     for shards in SHARD_COUNTS {
         for threads in THREAD_COUNTS {
             for reuse in [false, true] {
+                for cursor in [false, true] {
+                    let config = SweepConfig {
+                        shards,
+                        threads,
+                        seed: SweepConfig::DEFAULT_SEED,
+                        cache: true,
+                        reuse,
+                        cursor,
+                    };
+                    let (fold, stats) = sweep_with_stats(&source, &config, &Count, job).unwrap();
+                    assert_eq!(
+                        fold, reference,
+                        "fold diverged at shards={shards}, threads={threads}, reuse={reuse}, \
+                         cursor={cursor}"
+                    );
+                    if reuse {
+                        // Pattern-aligned shard boundaries: every pattern
+                        // block lands in one shard, so the whole sweep still
+                        // simulates exactly one structure per pattern, at any
+                        // parallelism.
+                        assert_eq!(
+                            stats.runs.simulated, patterns,
+                            "shards={shards}, threads={threads} split a pattern block"
+                        );
+                        assert_eq!(stats.runs.reused, total - patterns);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The block-cursor bit-identity contract (tentpole acceptance): folds with
+/// the cursor on and off are identical at every shard/thread combination —
+/// and with the cursor on, the allocation counters show the steady state
+/// materializing nothing per scenario: exactly one wholesale construction
+/// per non-empty shard, one pattern unranking per structure block, and
+/// every remaining scenario stepped in place inside the worker's scratch.
+#[test]
+fn block_cursor_is_invisible_to_folds_and_materializes_nothing() {
+    let source = exhaustive_source();
+    let patterns = source.space().num_patterns() as u64;
+    let block = source.structure_block();
+    let total = ScenarioSource::len(&source) as u64;
+
+    let job = |runner: &mut set_consensus::BatchRunner, scenario: &sweep::Scenario| {
+        let protocols: [&dyn Protocol; 2] = [&Optmin, &UPmin];
+        runner.execute_batch(&protocols, &scenario.params, &scenario.adversary)?;
+        // Check through the runner's scratch — the allocation-free path —
+        // and mix everything into the fold so a stale scratch scenario, a
+        // mis-stepped input vector or a wrong pattern would flip it.
+        let (run, transcripts, checks) = runner.batch_parts();
+        let mut fingerprint = (scenario.index as u64).wrapping_mul(0x9E37_79B9);
+        fingerprint = fingerprint.wrapping_add(run.num_failures() as u64);
+        for transcript in transcripts {
+            fingerprint = fingerprint.wrapping_mul(31).wrapping_add(
+                checks.check(run, transcript, &scenario.params, scenario.variant).len() as u64,
+            );
+            for i in 0..run.n() {
+                fingerprint = fingerprint.wrapping_mul(31).wrapping_add(
+                    transcript
+                        .decision_time(i)
+                        .map(|t| u64::from(t.value()) + 1)
+                        .unwrap_or_default(),
+                );
+            }
+        }
+        Ok(fingerprint % (1 << 32))
+    };
+
+    let nth = SweepConfig { cursor: false, ..SweepConfig::sequential() };
+    let (reference, nth_stats) = sweep_with_stats(&source, &nth, &Count, job).unwrap();
+    // Cursor off: the pre-cursor path materializes every scenario.
+    assert_eq!(nth_stats.cursor.materialized, total);
+    assert_eq!(nth_stats.cursor.stepped, 0);
+
+    for shards in SHARD_COUNTS {
+        for threads in THREAD_COUNTS {
+            for cursor in [false, true] {
                 let config = SweepConfig {
                     shards,
                     threads,
                     seed: SweepConfig::DEFAULT_SEED,
                     cache: true,
-                    reuse,
+                    reuse: true,
+                    cursor,
                 };
                 let (fold, stats) = sweep_with_stats(&source, &config, &Count, job).unwrap();
                 assert_eq!(
                     fold, reference,
-                    "fold diverged at shards={shards}, threads={threads}, reuse={reuse}"
+                    "fold diverged at shards={shards}, threads={threads}, cursor={cursor}"
                 );
-                if reuse {
-                    // Pattern-aligned shard boundaries: every pattern block
-                    // lands in one shard, so the whole sweep still simulates
-                    // exactly one structure per pattern, at any parallelism.
+                assert_eq!(stats.cursor.total(), total);
+                if cursor {
+                    // One wholesale materialization per non-empty shard, one
+                    // unranking per pattern block, everything else stepped in
+                    // place — zero per-scenario allocations in steady state.
+                    let blocks = (total as usize).div_ceil(block) as u64;
+                    let nonempty_shards = (shards as u64).min(blocks);
                     assert_eq!(
-                        stats.runs.simulated, patterns,
-                        "shards={shards}, threads={threads} split a pattern block"
+                        stats.cursor.materialized, nonempty_shards,
+                        "shards={shards}, threads={threads}"
                     );
-                    assert_eq!(stats.runs.reused, total - patterns);
+                    assert_eq!(stats.cursor.patterns_unranked, patterns);
+                    assert_eq!(stats.cursor.stepped, total - nonempty_shards);
+                } else {
+                    assert_eq!(stats.cursor.materialized, total);
+                    assert_eq!(stats.cursor.stepped, 0);
                 }
             }
         }

@@ -101,6 +101,21 @@ impl InputVector {
         out.values[process.into().index()] = value.into();
         out
     }
+
+    /// Overwrites the value of `process` in place, without reallocating.
+    ///
+    /// This is the mutation primitive behind the block-cursor enumeration
+    /// (`adversary::enumerate::AdversaryCursor`), which steps one mixed-radix
+    /// digit of an input code per scenario instead of building a fresh
+    /// vector.  The vector's length — and therefore every [`crate::Adversary`]
+    /// invariant — is unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` is out of range.
+    pub fn set_value(&mut self, process: impl Into<ProcessId>, value: impl Into<Value>) {
+        self.values[process.into().index()] = value.into();
+    }
 }
 
 impl fmt::Display for InputVector {
@@ -142,6 +157,15 @@ mod tests {
         let v = InputVector::from_values([0, 4, 1]);
         assert!(v.check_max_value(4).is_ok());
         assert_eq!(v.check_max_value(3), Err(ModelError::ValueOutOfRange { value: 4, max: 3 }));
+    }
+
+    #[test]
+    fn set_value_mutates_in_place() {
+        let mut v = InputVector::from_values([0, 0, 0]);
+        v.set_value(2, 5u64);
+        assert_eq!(v.value_of(2), Value::new(5));
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.value_of(0), Value::new(0));
     }
 
     #[test]

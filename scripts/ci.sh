@@ -1,20 +1,30 @@
 #!/usr/bin/env bash
-# Tier-1 verification in one command: formatting, lints, build, tests.
+# Tier-1 verification in one command: formatting, lints, build, tests, docs.
 #
 #   scripts/ci.sh           # fmt --check + clippy -D warnings + tests
-#   scripts/ci.sh --bench   # additionally re-record BENCH_run_reuse.json
+#                           #   + doctests + cargo doc -D warnings
+#   scripts/ci.sh --bench   # additionally re-record the perf snapshot chain
 #
-# The --bench arm runs the structure-reuse perf snapshot binary
-# (`bench_run_reuse`), which re-measures the exhaustive Theorem 1 scopes
-# with run-structure reuse off vs. on and overwrites the checked-in
-# BENCH_run_reuse.json; run it on an otherwise idle machine.
+# The --bench arm runs the snapshot binaries in chain order —
+# `bench_sweep_cache` (analysis cache off vs on, reuse+cursor pinned off),
+# `bench_run_reuse` (structure reuse off vs on, cursor pinned off, reading
+# the freshly re-recorded cached baseline), then `bench_block_cursor`
+# (block cursor off vs on, reading the freshly re-recorded reuse-on
+# baseline) — and overwrites the checked-in BENCH_*.json trio under one
+# same-machine, best-of-N discipline; run it on an otherwise idle machine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
+# Doc tests again in isolation (fast; makes a doctest-only breakage obvious)
+# and warning-free API docs.
+cargo test --workspace --doc -q
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 if [[ "${1:-}" == "--bench" ]]; then
+    cargo run --release -p bench_harness --bin bench_sweep_cache
     cargo run --release -p bench_harness --bin bench_run_reuse
+    cargo run --release -p bench_harness --bin bench_block_cursor
 fi
