@@ -36,7 +36,11 @@ use sweep::SweepConfig;
 const RUNS: usize = 5;
 
 fn main() {
-    let output = std::env::args().nth(1).unwrap_or_else(|| "BENCH_block_cursor.json".to_owned());
+    // Default to the workspace root (not the CWD) so the snapshot chain
+    // works from any directory; an explicit argument still overrides.
+    let output = std::env::args().nth(1).unwrap_or_else(|| {
+        bench_harness::workspace_path("BENCH_block_cursor.json").to_string_lossy().into_owned()
+    });
     let baseline_path = std::path::Path::new(&output).with_file_name("BENCH_run_reuse.json");
     let reuse_baseline_ms = BenchSnapshot::load_wall_ms(&baseline_path, "reuse_on");
 

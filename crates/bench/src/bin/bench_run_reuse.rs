@@ -46,7 +46,11 @@ fn pr2_cached_baseline_ms(output: &str) -> f64 {
 }
 
 fn main() {
-    let output = std::env::args().nth(1).unwrap_or_else(|| "BENCH_run_reuse.json".to_owned());
+    // Default to the workspace root (not the CWD) so the snapshot chain
+    // works from any directory; an explicit argument still overrides.
+    let output = std::env::args().nth(1).unwrap_or_else(|| {
+        bench_harness::workspace_path("BENCH_run_reuse.json").to_string_lossy().into_owned()
+    });
     let pr2_cached_baseline_ms = pr2_cached_baseline_ms(&output);
     // Both arms pin the block cursor *off*: this snapshot isolates the
     // run-structure-reuse knob at the PR 3 per-index materialization path,

@@ -1,0 +1,125 @@
+//! Perf snapshot of the service daemon's incremental shard-accumulator
+//! cache: a repeated exhaustive Theorem 1 job, cold vs warm.
+//!
+//! Boots an in-process `sweep serve` daemon on a temporary Unix socket
+//! (one worker, so the cold wall stays comparable to the sequential
+//! snapshot chain on any core count), then measures the built-in thm1 job
+//! end to end through the client:
+//!
+//! * **cold** — the shard cache bypassed (`shard_cache: false`): every
+//!   shard executes on the pool, best-of-five;
+//! * **warm** — after one populating run, the identical job again: every
+//!   shard replays from the cache and zero scenarios execute (asserted),
+//!   best-of-five.
+//!
+//! Both arms are *client-side* walls (connect → job-done), so the warm
+//! number is the real repeated-query latency including the wire protocol.
+//! The snapshot extends the `BenchSnapshot` chain with the PR 4 cursor-on
+//! baseline read from `BENCH_block_cursor.json` (skipped gracefully with
+//! a note when absent — the chain never panics over a missing
+//! predecessor).
+//!
+//! ```text
+//! bench_service_cache [output.json]   # default: <workspace>/BENCH_service_cache.json
+//! ```
+
+use bench_harness::measure_min_ms;
+use bench_harness::report::BenchSnapshot;
+use service::{client, Endpoint, JobSpec, QueryKind, ServeOptions, Server};
+use sweep::SweepConfig;
+
+/// Measured runs per arm (after one warmup); the snapshot records the
+/// fastest, so machine noise only ever shrinks the numbers.
+const RUNS: usize = 5;
+
+fn main() {
+    // Default to the workspace root (not the CWD) so the snapshot chain
+    // works from any directory; an explicit argument still overrides.
+    let output = std::env::args().nth(1).unwrap_or_else(|| {
+        bench_harness::workspace_path("BENCH_service_cache.json").to_string_lossy().into_owned()
+    });
+    let baseline_path = std::path::Path::new(&output).with_file_name("BENCH_block_cursor.json");
+    let cursor_baseline_ms = BenchSnapshot::load_wall_ms(&baseline_path, "cursor_on");
+
+    let socket = std::env::temp_dir().join(format!("sweep-bench-{}.sock", std::process::id()));
+    let server = Server::bind(&ServeOptions { endpoint: Endpoint::Unix(socket), workers: 1 })
+        .expect("binding the bench daemon");
+    let endpoint = server.endpoint().clone();
+    let daemon = std::thread::spawn(move || server.run().expect("bench daemon"));
+
+    let spec = |id: u64, shard_cache: bool| JobSpec {
+        id,
+        query: QueryKind::Thm1,
+        scope: None, // the built-in exhaustive scopes: 167,890 scenarios
+        shards: 4,
+        seed: SweepConfig::DEFAULT_SEED,
+        shard_cache,
+    };
+
+    // Cold arm: cache bypassed, so every run executes everything.
+    let mut next_id = 1u64;
+    let (cold_ms, cold) = measure_min_ms(RUNS, || {
+        next_id += 1;
+        client::submit(&endpoint, &spec(next_id, false)).expect("cold submit")
+    });
+    assert_eq!(cold.shards_cached, 0, "the cold arm must bypass the cache");
+
+    // One populating run, then the warm arm: 100% cached, zero executed.
+    let populate = client::submit(&endpoint, &spec(100, true)).expect("populating submit");
+    assert_eq!(populate.result, cold.result, "the cache must not change the fold");
+    let (warm_ms, warm) = measure_min_ms(RUNS, || {
+        next_id += 1;
+        client::submit(&endpoint, &spec(100 + next_id, true)).expect("warm submit")
+    });
+    assert_eq!(warm.result, cold.result, "a warm replay must reproduce the fold bit-identically");
+    assert_eq!(warm.shards_cached, warm.shards_total, "warm runs must be 100% cached");
+    assert_eq!(warm.stats.scenarios, 0, "warm runs must execute no scenarios");
+
+    client::shutdown(&endpoint).expect("bench daemon shutdown");
+    daemon.join().expect("bench daemon thread");
+
+    let speedup = cold_ms / warm_ms.max(1e-9);
+    match &cursor_baseline_ms {
+        Ok(baseline) => eprintln!(
+            "cold {cold_ms:.0} ms -> warm {warm_ms:.0} ms ({speedup:.0}x; cold daemon overhead \
+             vs the PR 4 in-process baseline of {baseline:.0} ms: {:.2}x)",
+            cold_ms / baseline.max(1e-9),
+        ),
+        Err(reason) => eprintln!(
+            "cold {cold_ms:.0} ms -> warm {warm_ms:.0} ms ({speedup:.0}x); \
+             baseline comparison skipped: {reason}"
+        ),
+    }
+
+    let mut snapshot = BenchSnapshot::new(
+        "sweep serve thm1 builtin scopes, repeated job (1 worker)",
+        cold.stats.scenarios,
+    );
+    snapshot
+        .section(
+            "cold",
+            cold_ms,
+            &[
+                ("shards_executed", cold.shards_executed as f64),
+                ("scenarios_executed", cold.stats.scenarios as f64),
+                ("server_wall_ms", cold.wall_ms),
+            ],
+        )
+        .section(
+            "warm",
+            warm_ms,
+            &[
+                ("shards_cached", warm.shards_cached as f64),
+                ("scenarios_executed", warm.stats.scenarios as f64),
+                ("server_wall_ms", warm.wall_ms),
+            ],
+        )
+        .metric("warm_speedup_vs_cold", speedup);
+    if let Ok(baseline) = cursor_baseline_ms {
+        snapshot
+            .metric("pr4_cursor_baseline_ms", baseline)
+            .metric("cold_overhead_vs_pr4_baseline", cold_ms / baseline.max(1e-9));
+    }
+    std::fs::write(&output, snapshot.to_json()).expect("writing the snapshot");
+    println!("wrote {output}");
+}

@@ -24,7 +24,11 @@ use sweep::SweepConfig;
 const RUNS: usize = 3;
 
 fn main() {
-    let output = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sweep_cache.json".to_owned());
+    // Default to the workspace root (not the CWD) so the snapshot chain
+    // works from any directory; an explicit argument still overrides.
+    let output = std::env::args().nth(1).unwrap_or_else(|| {
+        bench_harness::workspace_path("BENCH_sweep_cache.json").to_string_lossy().into_owned()
+    });
     // Structure reuse and the block cursor are pinned OFF in both arms: this
     // snapshot isolates the analysis cache at the PR 2 configuration, and
     // its cached arm doubles as the pre-reuse baseline that

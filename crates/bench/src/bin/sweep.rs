@@ -1,33 +1,65 @@
-//! The unified scenario-sweep CLI: runs the paper's headline experiments on
-//! the sharded, work-stealing engine of the `sweep` crate.
+//! The unified scenario-sweep CLI: one-shot experiments on the sharded
+//! engine, plus the client and server sides of the sweep service daemon.
 //!
 //! ```text
+//! # one-shot (in-process) experiments, as before
 //! sweep <thm1|thm3|fig4|prop2|all> [--shards N] [--threads N] [--seed N]
 //!       [--no-cache] [--no-reuse] [--no-cursor]
+//!
+//! # the service layer
+//! sweep serve    (--socket PATH | --tcp ADDR) [--workers N]
+//! sweep submit   (--socket PATH | --tcp ADDR) <thm1|thm3|fig4|prop2>
+//!                [--scope n,t,k[,maxv[,mcr[,pd]]]] [--shards N] [--seed N]
+//!                [--id N] [--no-shard-cache]
+//! sweep shutdown (--socket PATH | --tcp ADDR)
 //! ```
 //!
-//! The fold results are independent of `--shards` and `--threads`: for the
-//! same `--seed`, this binary prints bit-for-bit the tables of the
-//! corresponding `exp_*` binaries at any parallelism.
+//! One-shot fold results are independent of `--shards` and `--threads`,
+//! and `sweep submit` prints byte-identical tables to the one-shot mode
+//! for the same query — the daemon streams the same fold, computed on its
+//! persistent worker pool and (for repeated queries) replayed from its
+//! shard-accumulator cache.  Progress/stats stay on stderr; stdout is the
+//! diffable result.
 
 use bench_harness::{report, sweep_config_from_args};
+use service::{client, Endpoint, JobSpec, QueryKind, QueryResult, ScopeSpec, ServeOptions, Server};
 use sweep::experiments;
+use sweep::SweepConfig;
 
 const USAGE: &str = "usage: sweep <thm1|thm3|fig4|prop2|all> \
-                     [--shards N] [--threads N] [--seed N] [--no-cache] [--no-reuse] [--no-cursor]";
+                     [--shards N] [--threads N] [--seed N] [--no-cache] [--no-reuse] [--no-cursor]\n\
+       sweep serve    (--socket PATH | --tcp ADDR) [--workers N]\n\
+       sweep submit   (--socket PATH | --tcp ADDR) <thm1|thm3|fig4|prop2> \
+                      [--scope n,t,k[,maxv[,mcr[,pd]]]] [--shards N] [--seed N] [--id N] \
+                      [--no-shard-cache]\n\
+       sweep shutdown (--socket PATH | --tcp ADDR)";
+
+fn usage_exit(message: &str) -> ! {
+    eprintln!("{message}\n{USAGE}");
+    std::process::exit(2);
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let Some(experiment) = args.next() else {
-        eprintln!("{USAGE}");
-        std::process::exit(2);
+    let Some(command) = args.next() else {
+        usage_exit("missing command");
     };
+    match command.as_str() {
+        "serve" => serve_main(args),
+        "submit" => submit_main(args),
+        "shutdown" => shutdown_main(args),
+        _ => experiment_main(&command, args),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One-shot experiment mode (unchanged behavior).
+// ---------------------------------------------------------------------------
+
+fn experiment_main(experiment: &str, args: impl Iterator<Item = String>) {
     let config = match sweep_config_from_args(args) {
         Ok(config) => config,
-        Err(message) => {
-            eprintln!("{message}\n{USAGE}");
-            std::process::exit(2);
-        }
+        Err(message) => usage_exit(&message),
     };
 
     let run = |name: &str| -> Result<(), synchrony::ModelError> {
@@ -54,22 +86,190 @@ fn main() {
                 println!("{targeted}");
                 println!("{}", report::PROP2_CLAIM);
             }
-            other => {
-                eprintln!("unknown experiment {other}\n{USAGE}");
-                std::process::exit(2);
-            }
+            other => usage_exit(&format!("unknown experiment {other}")),
         }
         Ok(())
     };
 
-    let experiments: Vec<&str> = if experiment == "all" {
-        vec!["thm1", "thm3", "fig4", "prop2"]
-    } else {
-        vec![experiment.as_str()]
-    };
+    let experiments: Vec<&str> =
+        if experiment == "all" { vec!["thm1", "thm3", "fig4", "prop2"] } else { vec![experiment] };
     for name in experiments {
         if let Err(error) = run(name) {
             eprintln!("experiment {name} failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Service mode.
+// ---------------------------------------------------------------------------
+
+/// Pulls `--socket PATH` or `--tcp ADDR` out of a flag stream.
+struct EndpointFlag(Option<Endpoint>);
+
+impl EndpointFlag {
+    fn accept(&mut self, flag: &str, mut value: impl FnMut() -> String) -> bool {
+        match flag {
+            "--socket" => {
+                self.0 = Some(Endpoint::Unix(value().into()));
+                true
+            }
+            "--tcp" => {
+                self.0 = Some(Endpoint::Tcp(value()));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn require(self) -> Endpoint {
+        self.0.unwrap_or_else(|| usage_exit("missing --socket PATH or --tcp ADDR"))
+    }
+}
+
+fn value_of(flag: &str, args: &mut impl Iterator<Item = String>) -> String {
+    args.next().unwrap_or_else(|| usage_exit(&format!("missing value for {flag}")))
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, text: &str) -> T {
+    text.parse().unwrap_or_else(|_| usage_exit(&format!("invalid {flag} value {text:?}")))
+}
+
+fn serve_main(mut args: impl Iterator<Item = String>) {
+    let mut endpoint = EndpointFlag(None);
+    let mut workers = 0usize;
+    while let Some(flag) = args.next() {
+        if endpoint.accept(&flag, || value_of(&flag, &mut args)) {
+            continue;
+        }
+        match flag.as_str() {
+            "--workers" => workers = parse_number(&flag, &value_of(&flag, &mut args)),
+            other => usage_exit(&format!("unknown flag {other}")),
+        }
+    }
+    let options = ServeOptions { endpoint: endpoint.require(), workers };
+    let server = match Server::bind(&options) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("sweep serve: {error}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(error) = server.run() {
+        eprintln!("sweep serve: {error}");
+        std::process::exit(1);
+    }
+}
+
+/// Parses `n,t,k[,max_value[,max_crash_round[,partial_delivery]]]` with
+/// the built-in Theorem 1 defaults for the omitted tail.
+fn parse_scope(text: &str) -> ScopeSpec {
+    let parts: Vec<&str> = text.split(',').collect();
+    if !(3..=6).contains(&parts.len()) {
+        usage_exit(&format!("invalid --scope {text:?} (expected n,t,k[,maxv[,mcr[,pd]]])"));
+    }
+    let n: usize = parse_number("--scope n", parts[0]);
+    let t: usize = parse_number("--scope t", parts[1]);
+    let k: usize = parse_number("--scope k", parts[2]);
+    ScopeSpec {
+        n,
+        t,
+        k,
+        max_value: parts.get(3).map_or(k as u64, |p| parse_number("--scope max_value", p)),
+        max_crash_round: parts.get(4).map_or(2, |p| parse_number("--scope max_crash_round", p)),
+        partial_delivery: parts.get(5).map_or(n <= 4, |p| parse_number("--scope pd", p)),
+    }
+}
+
+fn submit_main(mut args: impl Iterator<Item = String>) {
+    let mut endpoint = EndpointFlag(None);
+    let mut query: Option<QueryKind> = None;
+    let mut spec = JobSpec {
+        id: std::process::id() as u64,
+        query: QueryKind::Thm1,
+        scope: None,
+        shards: 0,
+        seed: SweepConfig::DEFAULT_SEED,
+        shard_cache: true,
+    };
+    while let Some(flag) = args.next() {
+        if endpoint.accept(&flag, || value_of(&flag, &mut args)) {
+            continue;
+        }
+        match flag.as_str() {
+            "--scope" => spec.scope = Some(parse_scope(&value_of(&flag, &mut args))),
+            "--shards" => spec.shards = parse_number(&flag, &value_of(&flag, &mut args)),
+            "--seed" => spec.seed = parse_number(&flag, &value_of(&flag, &mut args)),
+            "--id" => spec.id = parse_number(&flag, &value_of(&flag, &mut args)),
+            "--no-shard-cache" => spec.shard_cache = false,
+            other if !other.starts_with('-') && query.is_none() => {
+                query =
+                    Some(QueryKind::parse(other).unwrap_or_else(|e| usage_exit(&format!("{e}"))));
+            }
+            other => usage_exit(&format!("unknown flag {other}")),
+        }
+    }
+    spec.query = query.unwrap_or_else(|| usage_exit("missing query (thm1|thm3|fig4|prop2)"));
+    let endpoint = endpoint.require();
+
+    let outcome = match client::submit(&endpoint, &spec) {
+        Ok(outcome) => outcome,
+        Err(error) => {
+            eprintln!("sweep submit: {error}");
+            std::process::exit(1);
+        }
+    };
+
+    // stdout: the same tables the one-shot mode prints for the same fold.
+    match &outcome.result {
+        QueryResult::Thm1(rows) => {
+            println!("{}", report::thm1_table(rows));
+            println!("{}", report::THM1_CLAIM);
+        }
+        QueryResult::Thm3(rows) => {
+            println!("{}", report::thm3_table(rows));
+            println!("{}", report::THM3_CLAIM);
+        }
+        QueryResult::Fig4(rows) => {
+            println!("{}", report::fig4_table(rows));
+            println!("{}", report::FIG4_CLAIM);
+        }
+        QueryResult::Prop2(prop2) => {
+            let (exhaustive, targeted) = report::prop2_tables(prop2);
+            println!("{exhaustive}");
+            println!("{targeted}");
+            println!("{}", report::PROP2_CLAIM);
+        }
+    }
+
+    // stderr: the canonical stats line (executed work only) plus the
+    // job-level cache split — the line the CI smoke stage greps.
+    eprintln!("{}", outcome.stats.stats_line());
+    eprintln!(
+        "job stats: {} shards total, {} cached ({:.1}% cached), {} executed; \
+         {} partial folds streamed; server wall {:.0} ms",
+        outcome.shards_total,
+        outcome.shards_cached,
+        outcome.cached_fraction() * 100.0,
+        outcome.shards_executed,
+        outcome.partials,
+        outcome.wall_ms,
+    );
+}
+
+fn shutdown_main(mut args: impl Iterator<Item = String>) {
+    let mut endpoint = EndpointFlag(None);
+    while let Some(flag) = args.next() {
+        if endpoint.accept(&flag, || value_of(&flag, &mut args)) {
+            continue;
+        }
+        usage_exit(&format!("unknown flag {flag}"));
+    }
+    match client::shutdown(&endpoint.require()) {
+        Ok(()) => eprintln!("sweep shutdown: daemon acknowledged"),
+        Err(error) => {
+            eprintln!("sweep shutdown: {error}");
             std::process::exit(1);
         }
     }

@@ -143,6 +143,24 @@ pub fn sweep_config_from_args(
     Ok(config)
 }
 
+/// Absolute path of `file` at the workspace root, independent of the
+/// current directory.
+///
+/// The `bench_*` snapshot binaries used to resolve `BENCH_*.json` relative
+/// to the CWD, which broke the snapshot chain (each bench reads its
+/// predecessor's baseline) whenever they were launched from anywhere but
+/// the repository root — e.g. from `scripts/ci.sh --bench` invoked out of
+/// tree, or from the daemon smoke stage.  This anchors the default paths
+/// to the workspace root derived from this crate's manifest directory at
+/// compile time; explicit CLI arguments still override it.
+pub fn workspace_path(file: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+        .join(file)
+}
+
 /// Runs `f` once to warm caches and code paths, then `runs` more times, and
 /// returns the **minimum** wall time in milliseconds together with the last
 /// result — the measurement discipline of the `bench_*` snapshot binaries.

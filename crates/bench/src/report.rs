@@ -20,27 +20,11 @@ use crate::Table;
 /// scenario-cursor allocation counters — as the one-line trailer the
 /// experiment binaries print under their tables.
 ///
-/// The fields are documented in the `sweep` crate docs (the stats line is
-/// the stderr rendering of [`SweepStats`]).
+/// The canonical renderer is [`SweepStats::stats_line`] in the `sweep`
+/// crate (the service daemon and client print the same line); this is the
+/// historical alias the experiment binaries call.
 pub fn sweep_stats_line(stats: &SweepStats) -> String {
-    format!(
-        "sweep stats: {} scenarios; knowledge analyses: {} requested, {} constructed, \
-         {} served from cache (hit rate {:.1}%); run structures: {} simulated, \
-         {} reused (reuse rate {:.1}%); scenarios: {} stepped in place, {} materialized, \
-         {} patterns unranked (in-place rate {:.1}%)",
-        stats.scenarios,
-        stats.cache.lookups(),
-        stats.cache.constructions(),
-        stats.cache.constructions_avoided(),
-        stats.cache.hit_rate() * 100.0,
-        stats.runs.simulated,
-        stats.runs.reused,
-        stats.runs.reuse_rate() * 100.0,
-        stats.cursor.stepped,
-        stats.cursor.materialized,
-        stats.cursor.patterns_unranked,
-        stats.cursor.in_place_rate() * 100.0,
-    )
+    stats.stats_line()
 }
 
 /// One measured arm of a [`BenchSnapshot`]: a named section carrying a wall

@@ -1,0 +1,131 @@
+//! The incremental shard-accumulator cache.
+//!
+//! PRs 2–4 made every sweep fold shard- and thread-invariant and
+//! bit-identical across all engine knobs — which is exactly the property
+//! that makes a *completed per-shard reducer accumulator* reusable across
+//! requests: a repeated (or overlapping, as long as the shard partition
+//! matches) query replays the cached accumulators and only executes the
+//! cold shards.  This module is the store; `server` decides what to look
+//! up and insert, and `sweep::merge_shard_outcomes` re-validates the
+//! reducer-law preconditions when cached and fresh accumulators are merged
+//! back into a fold.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::fingerprint::{code_version, ShardKey};
+
+/// A typed, thread-safe map from [`ShardKey`] to a completed accumulator,
+/// with hit/miss counters.
+///
+/// One instance per accumulator type lives for the whole daemon process
+/// (see `server::DaemonCaches`), so every connection and job shares it.
+#[derive(Debug)]
+pub struct ShardCache<A> {
+    map: Mutex<HashMap<ShardKey, A>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<A> Default for ShardCache<A> {
+    fn default() -> Self {
+        ShardCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<A: Clone> ShardCache<A> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the accumulator of a shard, counting the hit or miss.
+    ///
+    /// Keys whose embedded code version differs from this process's
+    /// [`code_version`] are refused outright (counted as misses) — the
+    /// cache-invalidation rule, which keeps a future persisted store from
+    /// replaying accumulators across fold-semantics changes.
+    pub fn get(&self, key: &ShardKey) -> Option<A> {
+        let entry = if key.job.code_version == code_version() {
+            self.map.lock().expect("shard cache lock").get(key).cloned()
+        } else {
+            None
+        };
+        match &entry {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        entry
+    }
+
+    /// Stores the accumulator of a completed shard.
+    pub fn insert(&self, key: ShardKey, acc: A) {
+        self.map.lock().expect("shard cache lock").insert(key, acc);
+    }
+
+    /// Number of cached shard accumulators.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("shard cache lock").len()
+    }
+
+    /// Returns `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime lookup hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime lookup misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::JobFingerprint;
+
+    fn key(shard: usize, version: &str) -> ShardKey {
+        JobFingerprint {
+            query: "thm1".into(),
+            scope: "n=3,t=1,k=1".into(),
+            protocols: "optmin".into(),
+            seed: 0,
+            shards: 2,
+            code_version: version.into(),
+        }
+        .shard(shard)
+    }
+
+    #[test]
+    fn cache_replays_only_matching_keys() {
+        let cache: ShardCache<u64> = ShardCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&key(0, &code_version())), None);
+        cache.insert(key(0, &code_version()), 7);
+        assert_eq!(cache.get(&key(0, &code_version())), Some(7));
+        assert_eq!(cache.get(&key(1, &code_version())), None);
+        assert_eq!(cache.len(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
+    fn stale_code_versions_never_replay() {
+        let cache: ShardCache<u64> = ShardCache::new();
+        let stale = key(0, "0.0.0+fold.v0");
+        cache.insert(stale.clone(), 7);
+        // Even though the exact key is present, a version mismatch with the
+        // running process refuses the replay.
+        assert_eq!(cache.get(&stale), None);
+        assert_eq!(cache.misses(), 1);
+    }
+}

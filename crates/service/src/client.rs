@@ -1,0 +1,137 @@
+//! The `sweep submit` client: submit a job, stream its frames, return the
+//! final result.
+
+use std::io::{BufRead, BufReader, Write};
+
+use sweep::SweepStats;
+
+use crate::net::{Endpoint, Stream};
+use crate::wire::{self, encode_line, Frame, JobSpec, QueryResult, ShardDone};
+use crate::ServiceError;
+
+/// Everything a completed job streamed back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// The final, fully merged result — bit-identical to an in-process
+    /// `sweep::sweep_with_stats` fold of the same job.
+    pub result: QueryResult,
+    /// Statistics of the executed (non-cached) work; a fully warm job
+    /// reports zero scenarios.
+    pub stats: SweepStats,
+    /// Shards the job was partitioned into, over all cases.
+    pub shards_total: u64,
+    /// Shards replayed from the daemon's accumulator cache.
+    pub shards_cached: u64,
+    /// Shards executed on the daemon's worker pool.
+    pub shards_executed: u64,
+    /// Every `shard-done` frame, in arrival order.
+    pub shard_frames: Vec<ShardDone>,
+    /// Number of `partial` frames received.
+    pub partials: usize,
+    /// Server-side wall time of the job in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl JobOutcome {
+    /// Fraction of shards served from the accumulator cache, in `[0, 1]`.
+    pub fn cached_fraction(&self) -> f64 {
+        if self.shards_total == 0 {
+            0.0
+        } else {
+            self.shards_cached as f64 / self.shards_total as f64
+        }
+    }
+}
+
+fn write_frame(stream: &mut Stream, frame: &Frame) -> Result<(), ServiceError> {
+    stream
+        .write_all(encode_line(frame).as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| ServiceError::io("sending a frame", e))
+}
+
+/// Submits one job to a running daemon and blocks until its terminal
+/// frame, collecting the streamed progress along the way.
+///
+/// # Errors
+///
+/// Returns connection and wire failures, a server-reported job error, or
+/// a protocol violation (connection closed mid-job, mismatched job id).
+pub fn submit(endpoint: &Endpoint, spec: &JobSpec) -> Result<JobOutcome, ServiceError> {
+    let mut stream = Stream::connect(endpoint)?;
+    write_frame(&mut stream, &Frame::Job(spec.clone()))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut shard_frames = Vec::new();
+    let mut partials = 0usize;
+    loop {
+        line.clear();
+        let read =
+            reader.read_line(&mut line).map_err(|e| ServiceError::io("reading a frame", e))?;
+        if read == 0 {
+            return Err(ServiceError::Protocol("connection closed before the job finished".into()));
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match wire::decode_line(&line)? {
+            Frame::ShardDone(frame) => shard_frames.push(frame),
+            Frame::Partial(_) => partials += 1,
+            Frame::JobDone(done) => {
+                if done.job != spec.id {
+                    return Err(ServiceError::Protocol(format!(
+                        "job-done for job {} while waiting on job {}",
+                        done.job, spec.id
+                    )));
+                }
+                return Ok(JobOutcome {
+                    result: done.result,
+                    stats: done.stats,
+                    shards_total: done.shards_total,
+                    shards_cached: done.shards_cached,
+                    shards_executed: done.shards_executed,
+                    shard_frames,
+                    partials,
+                    wall_ms: done.wall_ms,
+                });
+            }
+            Frame::Error(error) => return Err(ServiceError::Remote(error.message)),
+            other => {
+                return Err(ServiceError::Protocol(format!("unexpected frame {other:?}")));
+            }
+        }
+    }
+}
+
+/// Asks a running daemon to shut down gracefully and waits for the
+/// acknowledgement.
+///
+/// # Errors
+///
+/// Returns connection and wire failures, or a protocol violation if the
+/// daemon closes the connection without acknowledging.
+pub fn shutdown(endpoint: &Endpoint) -> Result<(), ServiceError> {
+    let mut stream = Stream::connect(endpoint)?;
+    write_frame(&mut stream, &Frame::Shutdown)?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let read = reader
+            .read_line(&mut line)
+            .map_err(|e| ServiceError::io("reading the shutdown ack", e))?;
+        if read == 0 {
+            return Err(ServiceError::Protocol("daemon closed without acknowledging".into()));
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match wire::decode_line(&line)? {
+            Frame::ShuttingDown => return Ok(()),
+            Frame::Error(error) => return Err(ServiceError::Remote(error.message)),
+            other => {
+                return Err(ServiceError::Protocol(format!("unexpected frame {other:?}")));
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Job and shard fingerprints: the keys of the incremental
+//! shard-accumulator cache.
+//!
+//! A cached accumulator may only be replayed for a request that would have
+//! recomputed it **bit-identically**, so the key must pin down everything
+//! the fold value depends on:
+//!
+//! * the **query** (reducer id) and its **protocol set** — what is folded;
+//! * the **scope** — which scenarios are folded (enumeration parameters,
+//!   or the case shape for fixed/random sources), including the sub-sweep
+//!   case index for multi-case jobs;
+//! * the **seed** — which scenarios a seeded random source draws;
+//! * the **shard partition** (`shards` + the shard index) — which slice of
+//!   the enumeration the accumulator covers.  Shard boundaries come from
+//!   `sweep::shard_ranges`, so equal `(len, shards, block)` means equal
+//!   ranges;
+//! * the **code version** — see [`code_version`].
+//!
+//! Deliberately *not* in the key: thread/worker counts and the
+//! cache/reuse/cursor engine knobs, which are speed-only and provably
+//! value-invariant (the determinism tests pin this at every combination).
+//! Keying on them would only shrink hit rates.
+
+use std::fmt;
+
+use adversary::enumerate::EnumerationConfig;
+
+/// Returns the code-version component of every fingerprint:
+/// `<crate version>+fold.v<N>` with `N = sweep::FOLD_SEMANTICS_VERSION`.
+///
+/// **Invalidation rule:** a cached accumulator is replayed only when its
+/// key — including this string — matches exactly; [`crate::cache::ShardCache`]
+/// additionally refuses lookups whose key embeds a *different* code
+/// version outright.  Whenever a change could alter any fold bit (a new
+/// enumeration order, a reducer change, a shard-alignment change), bumping
+/// `FOLD_SEMANTICS_VERSION` turns every stale accumulator into a miss
+/// instead of a wrong answer.  Within one daemon process the version is
+/// constant; the rule matters the moment keys outlive the process (a
+/// future persisted cache) or several daemon builds share a store.
+pub fn code_version() -> String {
+    format!("{}+fold.v{}", env!("CARGO_PKG_VERSION"), sweep::FOLD_SEMANTICS_VERSION)
+}
+
+/// Identity of one sub-sweep (one case) of a job — everything that
+/// determines the fold except the shard index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobFingerprint {
+    /// Reducer id (`"thm1"`, `"thm3"`, `"fig4"`, `"prop2"`).
+    pub query: String,
+    /// Canonical scope string of the case (see [`scope_string`]).
+    pub scope: String,
+    /// Protocol set folded by the job, in batch order.
+    pub protocols: String,
+    /// Seed of seeded scenario sources (zero where unused).
+    pub seed: u64,
+    /// Number of shards the case is partitioned into.
+    pub shards: usize,
+    /// Code version the accumulators were computed under.
+    pub code_version: String,
+}
+
+impl JobFingerprint {
+    /// Returns the key of one shard of this case.
+    pub fn shard(&self, shard: usize) -> ShardKey {
+        ShardKey { job: self.clone(), shard }
+    }
+}
+
+impl fmt::Display for JobFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] protocols={} seed={} shards={} {}",
+            self.query, self.scope, self.protocols, self.seed, self.shards, self.code_version
+        )
+    }
+}
+
+/// The key of one cached shard accumulator: a case fingerprint plus the
+/// shard index within its deterministic partition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ShardKey {
+    /// The case the shard belongs to.
+    pub job: JobFingerprint,
+    /// Shard index in `0..job.shards`.
+    pub shard: usize,
+}
+
+/// Canonicalizes an exhaustive enumeration scope (plus the agreement
+/// degree `k`, which selects the task parameters) into the fingerprint's
+/// scope string.
+pub fn scope_string(scope: &EnumerationConfig, k: usize) -> String {
+    format!(
+        "n={},t={},k={},maxv={},mcr={},pd={}",
+        scope.n, scope.t, k, scope.max_value, scope.max_crash_round, scope.partial_delivery
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_strings_are_injective_over_the_fields() {
+        let base = EnumerationConfig::small(3, 1, 2);
+        let k = 2;
+        let mut seen = std::collections::HashSet::new();
+        for scope in [
+            base,
+            EnumerationConfig { n: 4, ..base },
+            EnumerationConfig { t: 2, ..base },
+            EnumerationConfig { max_value: 1, ..base },
+            EnumerationConfig { max_crash_round: 1, ..base },
+            EnumerationConfig { partial_delivery: false, ..base },
+        ] {
+            assert!(seen.insert(scope_string(&scope, k)), "collision for {scope:?}");
+        }
+        assert!(seen.insert(scope_string(&base, 1)), "k must be part of the scope string");
+    }
+
+    #[test]
+    fn shard_keys_differ_per_shard_and_version() {
+        let fingerprint = JobFingerprint {
+            query: "thm1".into(),
+            scope: "n=3,t=1,k=1".into(),
+            protocols: "optmin".into(),
+            seed: 0,
+            shards: 4,
+            code_version: code_version(),
+        };
+        assert_ne!(fingerprint.shard(0), fingerprint.shard(1));
+        let stale = JobFingerprint { code_version: "0.0.0+fold.v0".into(), ..fingerprint.clone() };
+        assert_ne!(fingerprint.shard(0), stale.shard(0));
+        assert!(code_version().contains("+fold.v"));
+    }
+}

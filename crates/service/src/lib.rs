@@ -1,0 +1,108 @@
+//! The sweep service layer: a long-running daemon (`sweep serve`) that
+//! accepts sweep jobs over a Unix/TCP socket, schedules each job's
+//! block-aligned shards across a persistent worker pool, streams progress
+//! frames back as shards complete, and replays completed per-shard reducer
+//! accumulators from an incremental, fingerprint-keyed cache — so a
+//! repeated or overlapping query executes only its cold shards.
+//!
+//! The layer turns the batch engine of the `sweep` crate into a queryable
+//! server without changing any fold bit: determinism (shard-, thread- and
+//! knob-invariance, PRs 1–4) is exactly what makes per-shard accumulators
+//! safe to cache across requests.  Module map:
+//!
+//! * [`wire`] — the line-delimited JSON protocol (hand-rolled, with
+//!   `ToWire`/`FromWire` traits shaped for an eventual swap to the real
+//!   serde; see `vendor/README.md`);
+//! * [`fingerprint`] — the cache key: scope, protocol set, reducer id,
+//!   seed, shard partition and code version, with the invalidation rule on
+//!   version mismatch;
+//! * [`cache`] — the typed shard-accumulator store;
+//! * [`pool`] — the persistent worker pool (warm `BatchRunner` per
+//!   worker, shared across jobs and connections);
+//! * [`server`] — accept loop, job queue, shard scheduler, streaming,
+//!   graceful shutdown;
+//! * [`client`] — blocking submit/shutdown calls used by `sweep submit`
+//!   and the end-to-end tests;
+//! * [`net`] — Unix/TCP endpoints behind one stream type.
+//!
+//! The frame lifecycle and cache design are documented in
+//! `docs/ARCHITECTURE.md` ("The service layer").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod client;
+pub mod fingerprint;
+pub mod net;
+pub mod pool;
+pub mod server;
+pub mod wire;
+
+use std::fmt;
+
+pub use client::{submit, JobOutcome};
+pub use net::Endpoint;
+pub use server::{ServeOptions, Server};
+pub use wire::{JobSpec, QueryKind, QueryResult, ScopeSpec};
+
+/// Any failure of the service layer, from transport to protocol to model.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// An I/O failure, with what was being attempted.
+    Io {
+        /// What the operation was doing.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A frame failed to encode or decode.
+    Wire(wire::WireError),
+    /// A model error raised while executing a job locally.
+    Model(synchrony::ModelError),
+    /// The peer violated the frame protocol.
+    Protocol(String),
+    /// The server reported a job failure.
+    Remote(String),
+}
+
+impl ServiceError {
+    pub(crate) fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        ServiceError::Io { context: context.into(), source }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Io { context, source } => write!(f, "{context}: {source}"),
+            ServiceError::Wire(error) => write!(f, "{error}"),
+            ServiceError::Model(error) => write!(f, "model error: {error}"),
+            ServiceError::Protocol(message) => write!(f, "protocol violation: {message}"),
+            ServiceError::Remote(message) => write!(f, "server error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Io { source, .. } => Some(source),
+            ServiceError::Wire(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<wire::WireError> for ServiceError {
+    fn from(error: wire::WireError) -> Self {
+        ServiceError::Wire(error)
+    }
+}
+
+impl From<synchrony::ModelError> for ServiceError {
+    fn from(error: synchrony::ModelError) -> Self {
+        ServiceError::Model(error)
+    }
+}

@@ -1,0 +1,195 @@
+//! Transport: Unix-domain or TCP stream endpoints behind one interface.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+use crate::ServiceError;
+
+/// Where the daemon listens (and clients connect).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix-domain socket at this path (removed again on graceful
+    /// shutdown).
+    Unix(PathBuf),
+    /// A TCP address like `127.0.0.1:4150` (port `0` picks a free port;
+    /// [`Listener::local_endpoint`] reports the resolved one).
+    Tcp(String),
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// A bound listener of either flavor, in non-blocking accept mode (the
+/// server polls so a shutdown request can interrupt the accept loop
+/// without signal machinery).
+#[derive(Debug)]
+pub enum Listener {
+    /// Unix-domain flavor.
+    Unix(UnixListener, PathBuf),
+    /// TCP flavor.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds the endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (address in use, bad path, …).  A stale
+    /// socket file from a crashed daemon is *not* auto-removed — two
+    /// daemons must not silently steal each other's endpoint.
+    pub fn bind(endpoint: &Endpoint) -> Result<Listener, ServiceError> {
+        match endpoint {
+            Endpoint::Unix(path) => {
+                let listener = UnixListener::bind(path)
+                    .map_err(|e| ServiceError::io(format!("binding {}", path.display()), e))?;
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| ServiceError::io("setting non-blocking accept", e))?;
+                Ok(Listener::Unix(listener, path.clone()))
+            }
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)
+                    .map_err(|e| ServiceError::io(format!("binding {addr}"), e))?;
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| ServiceError::io("setting non-blocking accept", e))?;
+                Ok(Listener::Tcp(listener))
+            }
+        }
+    }
+
+    /// The endpoint actually bound — for TCP with port `0`, the resolved
+    /// port.
+    pub fn local_endpoint(&self) -> Endpoint {
+        match self {
+            Listener::Unix(_, path) => Endpoint::Unix(path.clone()),
+            Listener::Tcp(listener) => Endpoint::Tcp(
+                listener.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".to_owned()),
+            ),
+        }
+    }
+
+    /// Accepts one connection if one is pending (`Ok(None)` when the
+    /// listener would block), restoring the stream to blocking mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures other than `WouldBlock`.
+    pub fn try_accept(&self) -> Result<Option<Stream>, ServiceError> {
+        let accepted = match self {
+            Listener::Unix(listener, _) => listener.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(listener) => listener.accept().map(|(s, _)| Stream::Tcp(s)),
+        };
+        match accepted {
+            Ok(stream) => {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| ServiceError::io("restoring blocking mode", e))?;
+                Ok(Some(stream))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(ServiceError::io("accepting a connection", e)),
+        }
+    }
+}
+
+/// A connected stream of either flavor.
+#[derive(Debug)]
+pub enum Stream {
+    /// Unix-domain flavor.
+    Unix(UnixStream),
+    /// TCP flavor.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Connects to a daemon endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures (no daemon listening, bad address, …).
+    pub fn connect(endpoint: &Endpoint) -> Result<Stream, ServiceError> {
+        match endpoint {
+            Endpoint::Unix(path) => UnixStream::connect(path)
+                .map(Stream::Unix)
+                .map_err(|e| ServiceError::io(format!("connecting to {}", path.display()), e)),
+            Endpoint::Tcp(addr) => TcpStream::connect(addr)
+                .map(Stream::Tcp)
+                .map_err(|e| ServiceError::io(format!("connecting to {addr}"), e)),
+        }
+    }
+
+    /// Clones the underlying socket handle (reader/writer split).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `try_clone` failures.
+    pub fn try_clone(&self) -> Result<Stream, ServiceError> {
+        match self {
+            Stream::Unix(s) => s
+                .try_clone()
+                .map(Stream::Unix)
+                .map_err(|e| ServiceError::io("cloning a unix stream", e)),
+            Stream::Tcp(s) => s
+                .try_clone()
+                .map(Stream::Tcp)
+                .map_err(|e| ServiceError::io("cloning a tcp stream", e)),
+        }
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_nonblocking(nonblocking),
+            Stream::Tcp(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Sets the read timeout — the server uses this so a connection thread
+    /// parked in `read_line` on an idle client wakes up periodically to
+    /// observe the shutdown flag.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `set_read_timeout` failures.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}

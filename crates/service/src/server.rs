@@ -1,0 +1,825 @@
+//! The `sweep serve` daemon: accept loop, job queue, shard scheduler and
+//! result streaming.
+//!
+//! Thread anatomy (one process):
+//!
+//! ```text
+//!   accept loop (main)  ──spawn──►  connection threads (1 per client)
+//!        │                             │ parse line frames
+//!        │                             ▼
+//!        │                          job queue (mpsc, FIFO across clients)
+//!        │                             │
+//!        ▼                             ▼
+//!   shutdown flag  ◄──────────  dispatcher thread (1)
+//!                                  │ per case: shard_ranges → warm/cold split
+//!                                  │ cold shards ──►  persistent worker pool
+//!                                  │                   (fold_shard_stats each)
+//!                                  ◄── completions; streams shard-done/partial
+//!                                  └─ merge_shard_outcomes → job-done
+//! ```
+//!
+//! Jobs are executed strictly FIFO by the single dispatcher; *within* a
+//! job, each case's block-aligned shards fan out across the pool and
+//! complete in any order.  Determinism is unaffected: accumulators are
+//! merged in shard order through `sweep::merge_shard_outcomes`, so the
+//! streamed final fold is bit-identical to an in-process
+//! `sweep::sweep_with_stats` at any worker count, warm or cold — the
+//! end-to-end tests pin this.
+
+use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use adversary::enumerate::EnumerationConfig;
+use set_consensus::BatchRunner;
+use sweep::experiments::{
+    self, Fig4Acc, Fig4Reducer, Thm1Outcome, Thm1Reducer, Thm3Acc, Thm3Reducer, THM1_CASES,
+    THM3_CASES, THM3_SAMPLES,
+};
+use sweep::{
+    fold_shard_stats, merge_shard_outcomes, shard_ranges, Reducer, Scenario, ScenarioSource,
+    ShardOutcome, SweepConfig, SweepStats,
+};
+use synchrony::ModelError;
+
+use crate::cache::ShardCache;
+use crate::fingerprint::{code_version, scope_string, JobFingerprint};
+use crate::net::{Endpoint, Listener, Stream};
+use crate::pool::WorkerPool;
+use crate::wire::{
+    self, encode_line, ErrorFrame, Frame, JobDone, JobSpec, Partial, QueryKind, QueryResult,
+    ShardDone, Value,
+};
+use crate::ServiceError;
+
+/// How the daemon is launched.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Where to listen.
+    pub endpoint: Endpoint,
+    /// Size of the persistent worker pool; `0` picks the machine's
+    /// available parallelism.
+    pub workers: usize,
+}
+
+/// The protocol sets of each query, in batch order — part of every
+/// fingerprint, so a future protocol change cannot replay accumulators
+/// folded over a different set.
+const THM1_PROTOCOLS: &str = "optmin,earlyfloodmin,floodmin";
+const THM3_PROTOCOLS: &str = "upmin";
+const FIG4_PROTOCOLS: &str = "upmin,optmin,earlyuniformfloodmin,floodmin";
+
+/// The daemon-lifetime shard-accumulator caches, one typed map per
+/// reducer (plus the job-level Proposition 2 report cache).
+#[derive(Debug, Default)]
+struct DaemonCaches {
+    thm1: ShardCache<Thm1Outcome>,
+    thm3: ShardCache<Thm3Acc>,
+    fig4: ShardCache<Fig4Acc>,
+    prop2: ShardCache<experiments::Prop2Report>,
+}
+
+/// A queued job: the parsed spec plus the submitting connection's writer.
+struct JobTask {
+    spec: JobSpec,
+    reply: Reply,
+}
+
+/// The shared writer of one connection; `shard-done`/`partial`/`job-done`
+/// frames of a job go to the connection that submitted it.
+type Reply = Arc<Mutex<Stream>>;
+
+/// Sends one frame, reporting whether the client is still connected (a
+/// disconnected client never aborts a job — its shards keep warming the
+/// cache).
+fn send_frame(reply: &Reply, frame: &Frame) -> bool {
+    let line = encode_line(frame);
+    let mut writer = reply.lock().expect("reply lock");
+    writer.write_all(line.as_bytes()).and_then(|_| writer.flush()).is_ok()
+}
+
+/// A bound, not-yet-running daemon.
+///
+/// Splitting [`Server::bind`] from [`Server::run`] lets callers learn the
+/// resolved endpoint (TCP port `0`) and move `run` onto its own thread —
+/// the shape the end-to-end tests and `sweep serve` both use.
+#[derive(Debug)]
+pub struct Server {
+    listener: Listener,
+    endpoint: Endpoint,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds the endpoint and resolves the worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (address in use, stale socket file, …).
+    pub fn bind(options: &ServeOptions) -> Result<Server, ServiceError> {
+        let listener = Listener::bind(&options.endpoint)?;
+        let endpoint = listener.local_endpoint();
+        let workers = if options.workers > 0 {
+            options.workers
+        } else {
+            thread::available_parallelism().map(usize::from).unwrap_or(1)
+        };
+        Ok(Server { listener, endpoint, workers })
+    }
+
+    /// The endpoint actually bound.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The resolved worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs the daemon until a client sends a `shutdown` frame, then
+    /// finishes every queued job, joins every thread (no orphaned
+    /// workers), removes a Unix socket file, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after a successful bind — transient accept
+    /// failures are logged and survived, never propagated (a long-running
+    /// daemon must outlive ECONNABORTED and fd exhaustion).  Clients that
+    /// stay connected without submitting do not block shutdown: their
+    /// connection threads wake on a read timeout, observe the flag and
+    /// exit.
+    pub fn run(self) -> Result<(), ServiceError> {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (job_tx, job_rx) = mpsc::channel::<JobTask>();
+
+        // The dispatcher owns the pool and the caches: jobs are executed
+        // FIFO, shards fan out across the persistent workers.
+        let workers = self.workers;
+        let dispatcher = thread::spawn(move || {
+            let caches = DaemonCaches::default();
+            let pool = WorkerPool::new(workers);
+            for task in job_rx {
+                execute_job(&pool, &caches, task);
+            }
+            // Dropping the pool closes its queue and joins the workers.
+        });
+
+        eprintln!(
+            "sweep serve: listening on {} with {} worker(s), {}",
+            self.endpoint,
+            workers,
+            code_version()
+        );
+
+        let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+        while !shutdown.load(Ordering::Relaxed) {
+            // Reap finished connection threads so the handle list stays
+            // bounded by the number of *live* connections, not by the
+            // daemon-lifetime total.
+            connections.retain(|handle| !handle.is_finished());
+            match self.listener.try_accept() {
+                Ok(Some(stream)) => {
+                    let job_tx = job_tx.clone();
+                    let shutdown = Arc::clone(&shutdown);
+                    connections.push(thread::spawn(move || {
+                        handle_connection(stream, &job_tx, &shutdown);
+                    }));
+                }
+                Ok(None) => thread::sleep(Duration::from_millis(5)),
+                Err(error) => {
+                    // Transient accept failures (ECONNABORTED, fd
+                    // exhaustion under load) must not kill a long-running
+                    // daemon — log, back off, keep serving.  A persistent
+                    // condition will keep logging rather than silently
+                    // wedging.
+                    eprintln!("sweep serve: accept failed (continuing): {error}");
+                    thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+        drop(job_tx);
+        for connection in connections {
+            let _ = connection.join();
+        }
+        dispatcher.join().expect("dispatcher thread panicked");
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+        eprintln!("sweep serve: shut down cleanly");
+        Ok(())
+    }
+}
+
+/// How often a connection thread parked on an idle client wakes to check
+/// the shutdown flag — bounds the graceful-shutdown latency contributed by
+/// clients that connect and never submit.
+const CONNECTION_READ_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// Reads line frames off one connection until EOF or shutdown, queueing
+/// jobs and acknowledging shutdown requests.
+fn handle_connection(stream: Stream, job_tx: &Sender<JobTask>, shutdown: &AtomicBool) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    // The read timeout is what keeps shutdown graceful even while a client
+    // (e.g. a human on `nc -U`) sits connected and idle: without it this
+    // thread would block in `read_line` forever and `Server::run` could
+    // never join it.
+    if stream.set_read_timeout(Some(CONNECTION_READ_TIMEOUT)).is_err() {
+        return;
+    }
+    let reply: Reply = Arc::new(Mutex::new(write_half));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    'connection: loop {
+        line.clear();
+        // Assemble one full line, waking on every read timeout to check
+        // the shutdown flag.  A timeout may leave a partial line in the
+        // buffer; `read_line` appends, so nothing is lost across retries.
+        let read = loop {
+            match reader.read_line(&mut line) {
+                Ok(read) => break read,
+                Err(error)
+                    if matches!(
+                        error.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if shutdown.load(Ordering::Relaxed) {
+                        break 'connection;
+                    }
+                }
+                Err(_) => break 'connection,
+            }
+        };
+        if read == 0 {
+            break;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match wire::decode_line(&line) {
+            Ok(Frame::Job(spec)) => {
+                if job_tx.send(JobTask { spec, reply: Arc::clone(&reply) }).is_err() {
+                    break;
+                }
+            }
+            Ok(Frame::Shutdown) => {
+                // Ack, then stop accepting: jobs already queued (including
+                // this connection's) still run to completion.
+                send_frame(&reply, &Frame::ShuttingDown);
+                shutdown.store(true, Ordering::Relaxed);
+                break;
+            }
+            Ok(_) => {
+                send_frame(
+                    &reply,
+                    &Frame::Error(ErrorFrame {
+                        job: None,
+                        message: "unexpected frame (clients send job or shutdown)".into(),
+                    }),
+                );
+            }
+            Err(error) => {
+                send_frame(
+                    &reply,
+                    &Frame::Error(ErrorFrame { job: None, message: error.to_string() }),
+                );
+            }
+        }
+    }
+}
+
+/// Everything [`JobDone`] reports about one finished job.
+struct JobSummary {
+    result: QueryResult,
+    stats: SweepStats,
+    shards_total: u64,
+    shards_cached: u64,
+    shards_executed: u64,
+}
+
+impl JobSummary {
+    fn new(result: QueryResult) -> Self {
+        JobSummary {
+            result,
+            stats: SweepStats::default(),
+            shards_total: 0,
+            shards_cached: 0,
+            shards_executed: 0,
+        }
+    }
+
+    fn absorb<A>(&mut self, case: &CaseOutcome<A>) {
+        self.stats.merge(case.stats);
+        self.shards_total += case.shards_total as u64;
+        self.shards_cached += case.shards_cached as u64;
+        self.shards_executed += (case.shards_total - case.shards_cached) as u64;
+    }
+}
+
+/// Runs one queued job end to end and streams its terminal frame.
+fn execute_job(pool: &WorkerPool, caches: &DaemonCaches, task: JobTask) {
+    let JobTask { spec, reply } = task;
+    let start = Instant::now();
+    match run_query(pool, caches, &spec, &reply) {
+        Ok(summary) => {
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            // The daemon-side job trailer, reusing the canonical stats-line
+            // renderer of the sweep crate.
+            eprintln!(
+                "sweep serve: job {} ({}) done in {:.0} ms; shards: {} total, {} cached, \
+                 {} executed; {}",
+                spec.id,
+                spec.query.name(),
+                wall_ms,
+                summary.shards_total,
+                summary.shards_cached,
+                summary.shards_executed,
+                summary.stats.stats_line(),
+            );
+            send_frame(
+                &reply,
+                &Frame::JobDone(JobDone {
+                    job: spec.id,
+                    result: summary.result,
+                    stats: summary.stats,
+                    shards_total: summary.shards_total,
+                    shards_cached: summary.shards_cached,
+                    shards_executed: summary.shards_executed,
+                    wall_ms,
+                }),
+            );
+        }
+        Err(error) => {
+            eprintln!("sweep serve: job {} ({}) failed: {error}", spec.id, spec.query.name());
+            send_frame(
+                &reply,
+                &Frame::Error(ErrorFrame { job: Some(spec.id), message: error.to_string() }),
+            );
+        }
+    }
+}
+
+/// Resolves `shards = 0` to `4 × workers`, mirroring
+/// [`SweepConfig::resolved_shards`] over the pool size.
+fn resolved_shards(spec: &JobSpec, pool: &WorkerPool) -> usize {
+    if spec.shards > 0 {
+        spec.shards
+    } else {
+        pool.workers() * 4
+    }
+}
+
+fn run_query(
+    pool: &WorkerPool,
+    caches: &DaemonCaches,
+    spec: &JobSpec,
+    reply: &Reply,
+) -> Result<JobSummary, ModelError> {
+    if spec.scope.is_some() && spec.query != QueryKind::Thm1 {
+        return Err(ModelError::InvalidTaskParameter {
+            reason: "custom scopes are only supported for thm1 jobs".into(),
+        });
+    }
+    match spec.query {
+        QueryKind::Thm1 => run_thm1(pool, caches, spec, reply),
+        QueryKind::Thm3 => run_thm3(pool, caches, spec, reply),
+        QueryKind::Fig4 => run_fig4(pool, caches, spec, reply),
+        QueryKind::Prop2 => run_prop2(pool, caches, spec, reply),
+    }
+}
+
+fn run_thm1(
+    pool: &WorkerPool,
+    caches: &DaemonCaches,
+    spec: &JobSpec,
+    reply: &Reply,
+) -> Result<JobSummary, ModelError> {
+    let cases: Vec<(EnumerationConfig, usize)> = match &spec.scope {
+        Some(scope) => vec![(
+            EnumerationConfig {
+                n: scope.n,
+                t: scope.t,
+                max_value: scope.max_value,
+                max_crash_round: scope.max_crash_round,
+                partial_delivery: scope.partial_delivery,
+            },
+            scope.k,
+        )],
+        None => THM1_CASES.iter().map(|&(n, t, k)| (experiments::thm1_scope(n, t, k), k)).collect(),
+    };
+    let shards = resolved_shards(spec, pool);
+    let mut rows = Vec::new();
+    let mut summary = JobSummary::new(QueryResult::Thm1(Vec::new()));
+    for (case_index, &(scope, k)) in cases.iter().enumerate() {
+        let source = experiments::thm1_source(scope, k)?;
+        let adversaries = source.space().len();
+        let fingerprint = JobFingerprint {
+            query: "thm1".into(),
+            scope: scope_string(&scope, k),
+            protocols: THM1_PROTOCOLS.into(),
+            seed: 0,
+            shards,
+            code_version: code_version(),
+        };
+        let case = run_case(CaseContext {
+            pool,
+            reply,
+            job_id: spec.id,
+            case: case_index,
+            cases: cases.len(),
+            shards,
+            use_shard_cache: spec.shard_cache,
+            source: Arc::new(source),
+            reducer: Arc::new(Thm1Reducer),
+            job: experiments::thm1_job,
+            cache: &caches.thm1,
+            fingerprint,
+            encode_partial: |acc: &Thm1Outcome| {
+                Value::Object(vec![
+                    ("violations".into(), Value::Int(acc.violations as i128)),
+                    ("beaten_earlyfloodmin".into(), Value::Bool(acc.beaten[0])),
+                    ("beaten_floodmin".into(), Value::Bool(acc.beaten[1])),
+                    ("structure_violations".into(), Value::Int(acc.structure as i128)),
+                ])
+            },
+        })?;
+        summary.absorb(&case);
+        rows.push(experiments::thm1_case_row(&scope, k, adversaries, case.acc));
+    }
+    summary.result = QueryResult::Thm1(rows);
+    Ok(summary)
+}
+
+fn run_thm3(
+    pool: &WorkerPool,
+    caches: &DaemonCaches,
+    spec: &JobSpec,
+    reply: &Reply,
+) -> Result<JobSummary, ModelError> {
+    let shards = resolved_shards(spec, pool);
+    let mut rows = Vec::new();
+    let mut summary = JobSummary::new(QueryResult::Thm3(Vec::new()));
+    for (case_index, &(n, t, k)) in THM3_CASES.iter().enumerate() {
+        let source = experiments::thm3_source(n, t, k, spec.seed)?;
+        let fingerprint = JobFingerprint {
+            query: "thm3".into(),
+            scope: format!("n={n},t={t},k={k},samples={THM3_SAMPLES}"),
+            protocols: THM3_PROTOCOLS.into(),
+            seed: spec.seed,
+            shards,
+            code_version: code_version(),
+        };
+        let case = run_case(CaseContext {
+            pool,
+            reply,
+            job_id: spec.id,
+            case: case_index,
+            cases: THM3_CASES.len(),
+            shards,
+            use_shard_cache: spec.shard_cache,
+            source: Arc::new(source),
+            reducer: Arc::new(Thm3Reducer),
+            job: experiments::thm3_job,
+            cache: &caches.thm3,
+            fingerprint,
+            encode_partial: |acc: &Thm3Acc| {
+                Value::Object(vec![
+                    (
+                        "runs".into(),
+                        Value::Int(acc.per_f.values().map(|&(_, runs)| runs as i128).sum()),
+                    ),
+                    ("violations".into(), Value::Int(acc.violations as i128)),
+                ])
+            },
+        })?;
+        summary.absorb(&case);
+        rows.extend(experiments::thm3_rows(n, t, k, &case.acc)?);
+    }
+    summary.result = QueryResult::Thm3(rows);
+    Ok(summary)
+}
+
+fn run_fig4(
+    pool: &WorkerPool,
+    caches: &DaemonCaches,
+    spec: &JobSpec,
+    reply: &Reply,
+) -> Result<JobSummary, ModelError> {
+    let shards = resolved_shards(spec, pool);
+    let (source, shapes) = experiments::fig4_source()?;
+    let fingerprint = JobFingerprint {
+        query: "fig4".into(),
+        scope: "uniform-gap builtin k*rounds".into(),
+        protocols: FIG4_PROTOCOLS.into(),
+        seed: 0,
+        shards,
+        code_version: code_version(),
+    };
+    let case = run_case(CaseContext {
+        pool,
+        reply,
+        job_id: spec.id,
+        case: 0,
+        cases: 1,
+        shards,
+        use_shard_cache: spec.shard_cache,
+        source: Arc::new(source),
+        reducer: Arc::new(Fig4Reducer),
+        job: experiments::fig4_job,
+        cache: &caches.fig4,
+        fingerprint,
+        encode_partial: |acc: &Fig4Acc| {
+            Value::Object(vec![("points".into(), Value::Int(acc.len() as i128))])
+        },
+    })?;
+    let mut summary =
+        JobSummary::new(QueryResult::Fig4(experiments::fig4_rows(&shapes, &case.acc)));
+    summary.absorb(&case);
+    Ok(summary)
+}
+
+/// Proposition 2 mixes sweeps with global protocol-complex builds, so it
+/// is cached at job granularity (one "shard" covering the whole report)
+/// and executed on the dispatcher thread with the engine's own scoped
+/// parallelism.
+fn run_prop2(
+    pool: &WorkerPool,
+    caches: &DaemonCaches,
+    spec: &JobSpec,
+    reply: &Reply,
+) -> Result<JobSummary, ModelError> {
+    let fingerprint = JobFingerprint {
+        query: "prop2".into(),
+        scope: "builtin".into(),
+        protocols: "none".into(),
+        seed: spec.seed,
+        shards: 1,
+        code_version: code_version(),
+    };
+    let key = fingerprint.shard(0);
+    let cached = if spec.shard_cache { caches.prop2.get(&key) } else { None };
+    let (report, stats, was_cached) = match cached {
+        Some(report) => (report, SweepStats::default(), true),
+        None => {
+            let config = SweepConfig {
+                shards: resolved_shards(spec, pool),
+                threads: pool.workers(),
+                seed: spec.seed,
+                ..SweepConfig::default()
+            };
+            let (report, stats) = experiments::prop2_with_stats(&config)?;
+            if spec.shard_cache {
+                caches.prop2.insert(key, report.clone());
+            }
+            (report, stats, false)
+        }
+    };
+    send_frame(
+        reply,
+        &Frame::ShardDone(ShardDone {
+            job: spec.id,
+            case: 0,
+            cases: 1,
+            shard: 0,
+            shards: 1,
+            start: 0,
+            end: stats.scenarios as usize,
+            cached: was_cached,
+            stats,
+        }),
+    );
+    Ok(JobSummary {
+        result: QueryResult::Prop2(report),
+        stats,
+        shards_total: 1,
+        shards_cached: u64::from(was_cached),
+        shards_executed: u64::from(!was_cached),
+    })
+}
+
+/// Result of one case: the merged accumulator, the executed statistics,
+/// and the warm/cold split.
+struct CaseOutcome<A> {
+    acc: A,
+    stats: SweepStats,
+    shards_total: usize,
+    shards_cached: usize,
+}
+
+/// The per-scenario job of a case, as a plain function pointer so pool
+/// tasks can capture it without boxing.
+type JobFn<I> = fn(&mut BatchRunner, &Scenario) -> Result<I, ModelError>;
+
+/// Everything [`run_case`] needs — bundled because the scheduler is
+/// monomorphized per query.
+struct CaseContext<'a, S, R: Reducer> {
+    pool: &'a WorkerPool,
+    reply: &'a Reply,
+    job_id: u64,
+    case: usize,
+    cases: usize,
+    shards: usize,
+    use_shard_cache: bool,
+    source: Arc<S>,
+    reducer: Arc<R>,
+    job: JobFn<R::Item>,
+    cache: &'a ShardCache<R::Acc>,
+    fingerprint: JobFingerprint,
+    encode_partial: fn(&R::Acc) -> Value,
+}
+
+/// Schedules one case: splits its scenario range into block-aligned
+/// shards, replays warm shards from the accumulator cache, fans the cold
+/// ones out across the persistent pool, streams `shard-done`/`partial`
+/// frames as they land, and merges everything in shard order.
+///
+/// The daemon-side sibling of `sweep::sweep_shards`: both share
+/// `shard_ranges` for the partition, `fold_shard_stats` for the per-shard
+/// kernel and `merge_shard_outcomes` for the law-checked merge, so their
+/// folds are bit-identical by construction.
+fn run_case<S, R>(context: CaseContext<'_, S, R>) -> Result<CaseOutcome<R::Acc>, ModelError>
+where
+    S: ScenarioSource + Send + Sync + 'static,
+    R: Reducer + Send + Sync + 'static,
+    R::Acc: Clone + Send + 'static,
+{
+    let CaseContext {
+        pool,
+        reply,
+        job_id,
+        case,
+        cases,
+        shards,
+        use_shard_cache,
+        source,
+        reducer,
+        job,
+        cache,
+        fingerprint,
+        encode_partial,
+    } = context;
+    let total = source.len();
+    let ranges = shard_ranges(total, shards, source.structure_block());
+    let shard_count = ranges.len();
+    let mut outcomes: Vec<Option<ShardOutcome<R::Acc>>> = (0..shard_count).map(|_| None).collect();
+    let mut prefix = PrefixFold::new(&*reducer);
+    let mut cold = Vec::new();
+    let mut cached_count = 0usize;
+
+    let stream_shard = |outcome: &ShardOutcome<R::Acc>| {
+        send_frame(
+            reply,
+            &Frame::ShardDone(ShardDone {
+                job: job_id,
+                case,
+                cases,
+                shard: outcome.shard,
+                shards: shard_count,
+                start: outcome.range.0,
+                end: outcome.range.1,
+                cached: outcome.cached,
+                stats: outcome.stats,
+            }),
+        );
+    };
+
+    // Warm pass, in shard order: replayed shards stream before any
+    // execution starts.
+    for (shard, &range) in ranges.iter().enumerate() {
+        let warm = if use_shard_cache { cache.get(&fingerprint.shard(shard)) } else { None };
+        match warm {
+            Some(acc) => {
+                cached_count += 1;
+                let outcome =
+                    ShardOutcome { shard, range, cached: true, acc, stats: SweepStats::default() };
+                stream_shard(&outcome);
+                outcomes[shard] = Some(outcome);
+            }
+            None => cold.push(shard),
+        }
+    }
+    prefix.emit_if_grown(reply, job_id, case, &ranges, &outcomes, &*reducer, encode_partial);
+
+    // Cold pass: fan the remaining shards out across the persistent pool.
+    let (done_tx, done_rx) = mpsc::channel();
+    for &shard in &cold {
+        let source = Arc::clone(&source);
+        let reducer = Arc::clone(&reducer);
+        let done_tx = done_tx.clone();
+        let range = ranges[shard];
+        pool.submit(Box::new(move |state| {
+            let folded = fold_shard_stats(
+                &*source,
+                &*reducer,
+                &job,
+                &mut state.runner,
+                &mut state.scratch,
+                range,
+                true,
+            );
+            // The dispatcher outlives every task it queues, so the send
+            // only fails if it already gave up on the job — nothing to do.
+            let _ = done_tx.send((shard, folded));
+        }));
+    }
+    drop(done_tx);
+
+    let mut first_error: Option<(usize, ModelError)> = None;
+    for _ in 0..cold.len() {
+        let (shard, folded) = done_rx.recv().expect("pool workers alive");
+        match folded {
+            Ok((acc, stats)) => {
+                let outcome =
+                    ShardOutcome { shard, range: ranges[shard], cached: false, acc, stats };
+                stream_shard(&outcome);
+                if use_shard_cache {
+                    cache.insert(fingerprint.shard(shard), outcome.acc.clone());
+                }
+                outcomes[shard] = Some(outcome);
+                prefix.emit_if_grown(
+                    reply,
+                    job_id,
+                    case,
+                    &ranges,
+                    &outcomes,
+                    &*reducer,
+                    encode_partial,
+                );
+            }
+            Err(error) => {
+                if first_error.as_ref().is_none_or(|(s, _)| shard < *s) {
+                    first_error = Some((shard, error));
+                }
+            }
+        }
+    }
+    if let Some((_, error)) = first_error {
+        return Err(error);
+    }
+
+    let outcomes: Vec<ShardOutcome<R::Acc>> =
+        outcomes.into_iter().map(|slot| slot.expect("every shard completed")).collect();
+    let mut stats = SweepStats::default();
+    for outcome in &outcomes {
+        stats.merge(outcome.stats);
+    }
+    let acc = merge_shard_outcomes(&*reducer, outcomes);
+    Ok(CaseOutcome { acc, stats, shards_total: shard_count, shards_cached: cached_count })
+}
+
+/// The streamed-preview state of one case: the contiguous completed
+/// prefix of its shards, with a running fold so each newly completed
+/// shard is merged exactly once (not re-merged from the identity per
+/// frame).  Only a contiguous prefix can be previewed — the `Reducer`
+/// laws cover merging adjacent slices in order and nothing else.
+struct PrefixFold<A> {
+    done: usize,
+    acc: A,
+}
+
+impl<A: Clone> PrefixFold<A> {
+    fn new<R: Reducer<Acc = A>>(reducer: &R) -> Self {
+        PrefixFold { done: 0, acc: reducer.empty() }
+    }
+
+    /// Extends the prefix over newly completed shards and emits a
+    /// `partial` frame if it grew.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_if_grown<R: Reducer<Acc = A>>(
+        &mut self,
+        reply: &Reply,
+        job_id: u64,
+        case: usize,
+        ranges: &[(usize, usize)],
+        outcomes: &[Option<ShardOutcome<A>>],
+        reducer: &R,
+        encode_partial: fn(&A) -> Value,
+    ) {
+        let before = self.done;
+        while self.done < outcomes.len() {
+            let Some(outcome) = &outcomes[self.done] else { break };
+            let merged = reducer
+                .merge(std::mem::replace(&mut self.acc, reducer.empty()), outcome.acc.clone());
+            self.acc = merged;
+            self.done += 1;
+        }
+        if self.done == before || self.done == 0 {
+            return;
+        }
+        send_frame(
+            reply,
+            &Frame::Partial(Partial {
+                job: job_id,
+                case,
+                shards_done: self.done,
+                shards: outcomes.len(),
+                scenarios_done: ranges[self.done - 1].1 as u64,
+                fold: encode_partial(&self.acc),
+            }),
+        );
+    }
+}

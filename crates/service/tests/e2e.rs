@@ -1,0 +1,245 @@
+//! End-to-end daemon tests: determinism of the streamed fold against the
+//! in-process engine (cold and warm cache, several shard/worker combos),
+//! the thread-scaling smoke hook, and graceful shutdown.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use adversary::enumerate::EnumerationConfig;
+use service::wire::QueryResult;
+use service::{client, Endpoint, JobSpec, QueryKind, ScopeSpec, ServeOptions, Server};
+use sweep::experiments::{self, Thm1Reducer};
+use sweep::{sweep_with_stats, SweepConfig};
+
+static SOCKET_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_socket(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "sweep-e2e-{tag}-{}-{}.sock",
+        std::process::id(),
+        SOCKET_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Binds a daemon on a fresh Unix socket and runs it on its own thread.
+fn start_daemon(tag: &str, workers: usize) -> (Endpoint, JoinHandle<()>) {
+    let options = ServeOptions { endpoint: Endpoint::Unix(temp_socket(tag)), workers };
+    let server = Server::bind(&options).expect("bind the daemon");
+    let endpoint = server.endpoint().clone();
+    let handle = thread::spawn(move || server.run().expect("daemon run"));
+    (endpoint, handle)
+}
+
+fn stop_daemon(endpoint: &Endpoint, handle: JoinHandle<()>) {
+    client::shutdown(endpoint).expect("graceful shutdown");
+    handle.join().expect("daemon thread");
+}
+
+/// The small Theorem 1 scope every determinism test uses: 200 scenarios.
+const SMALL_SCOPE: ScopeSpec =
+    ScopeSpec { n: 3, t: 1, k: 1, max_value: 1, max_crash_round: 2, partial_delivery: true };
+
+fn small_scope_spec(id: u64, shards: usize, shard_cache: bool) -> JobSpec {
+    JobSpec {
+        id,
+        query: QueryKind::Thm1,
+        scope: Some(SMALL_SCOPE),
+        shards,
+        seed: SweepConfig::DEFAULT_SEED,
+        shard_cache,
+    }
+}
+
+/// The in-process reference: `sweep_with_stats` over the same scope —
+/// the fold the daemon must reproduce bit-identically.
+fn in_process_reference(shards: usize, threads: usize) -> (experiments::Thm1Case, u64) {
+    let scope = EnumerationConfig {
+        n: SMALL_SCOPE.n,
+        t: SMALL_SCOPE.t,
+        max_value: SMALL_SCOPE.max_value,
+        max_crash_round: SMALL_SCOPE.max_crash_round,
+        partial_delivery: SMALL_SCOPE.partial_delivery,
+    };
+    let source = experiments::thm1_source(scope, SMALL_SCOPE.k).expect("small scope");
+    let adversaries = source.space().len();
+    let config = SweepConfig { shards, threads, ..SweepConfig::default() };
+    let (acc, stats) = sweep_with_stats(&source, &config, &Thm1Reducer, experiments::thm1_job)
+        .expect("in-process sweep");
+    (experiments::thm1_case_row(&scope, SMALL_SCOPE.k, adversaries, acc), stats.scenarios)
+}
+
+/// Acceptance: for thm1 on a small scope, the daemon-streamed final fold
+/// is bit-identical to the in-process `sweep_with_stats` result at several
+/// `(shards, workers)` combos, both cold-cache and warm-cache — and the
+/// warm run executes zero non-cold shards (asserted via the streamed
+/// stats).
+#[test]
+fn daemon_fold_is_bit_identical_to_in_process_cold_and_warm() {
+    for (daemon_index, workers) in [1usize, 2].into_iter().enumerate() {
+        let (endpoint, handle) = start_daemon("determinism", workers);
+        for (job_index, shards) in [1usize, 2, 5].into_iter().enumerate() {
+            let (reference, total_scenarios) = in_process_reference(shards, workers);
+            let expected = QueryResult::Thm1(vec![reference.clone()]);
+            let id = (daemon_index * 100 + job_index * 10) as u64;
+
+            // Cold: a fingerprint this daemon has never seen.  Every shard
+            // executes; the streamed stats cover the whole scope.
+            let cold = client::submit(&endpoint, &small_scope_spec(id, shards, true))
+                .expect("cold submit");
+            assert_eq!(cold.result, expected, "cold fold at {shards} shards, {workers} workers");
+            assert_eq!(cold.shards_cached, 0, "first run of a fingerprint must be fully cold");
+            assert_eq!(cold.shards_executed, cold.shards_total);
+            assert_eq!(cold.stats.scenarios, total_scenarios);
+            assert_eq!(cold.shard_frames.len() as u64, cold.shards_total);
+            assert!(cold.partials > 0, "a cold run must stream partial folds");
+
+            // Warm: the identical job replays every shard from the
+            // accumulator cache and executes nothing.
+            let warm = client::submit(&endpoint, &small_scope_spec(id + 1, shards, true))
+                .expect("warm submit");
+            assert_eq!(warm.result, expected, "warm fold at {shards} shards, {workers} workers");
+            assert_eq!(warm.shards_cached, warm.shards_total, "warm run must be 100% cached");
+            assert_eq!(warm.shards_executed, 0, "warm run must execute no shards");
+            assert_eq!(warm.stats.scenarios, 0, "warm run must execute no scenarios");
+            assert!(
+                warm.shard_frames.iter().all(|f| f.cached),
+                "every warm shard frame must be marked cached"
+            );
+
+            // Bypassing the cache forces a cold execution again — and still
+            // the same fold.
+            let bypass = client::submit(&endpoint, &small_scope_spec(id + 2, shards, false))
+                .expect("bypass submit");
+            assert_eq!(bypass.result, expected);
+            assert_eq!(bypass.shards_cached, 0);
+            assert_eq!(bypass.stats.scenarios, total_scenarios);
+        }
+        stop_daemon(&endpoint, handle);
+    }
+}
+
+/// A shard count that does not match the cached partition is a different
+/// fingerprint: it must re-execute (no unsound partial replay) and still
+/// fold identically.
+#[test]
+fn mismatched_shard_partitions_never_replay() {
+    let (endpoint, handle) = start_daemon("partition", 1);
+    let cold = client::submit(&endpoint, &small_scope_spec(1, 2, true)).expect("cold submit");
+    let other = client::submit(&endpoint, &small_scope_spec(2, 3, true)).expect("other submit");
+    assert_eq!(cold.result, other.result, "folds agree across shard counts");
+    assert_eq!(other.shards_cached, 0, "a different partition must not replay");
+    stop_daemon(&endpoint, handle);
+}
+
+/// A malformed job (custom scope on a non-thm1 query) gets a clean error
+/// frame, and the daemon keeps serving afterwards.
+#[test]
+fn invalid_jobs_error_without_killing_the_daemon() {
+    let (endpoint, handle) = start_daemon("invalid", 1);
+    let bad = JobSpec {
+        id: 7,
+        query: QueryKind::Fig4,
+        scope: Some(SMALL_SCOPE),
+        shards: 1,
+        seed: 0,
+        shard_cache: true,
+    };
+    let error = client::submit(&endpoint, &bad).expect_err("scoped fig4 must be rejected");
+    assert!(error.to_string().contains("custom scopes"), "unexpected error text: {error}");
+    let good = client::submit(&endpoint, &small_scope_spec(8, 1, true));
+    assert!(good.is_ok(), "daemon must survive a rejected job");
+    stop_daemon(&endpoint, handle);
+}
+
+/// An idle client (connected, never submitting — the `nc -U` use the wire
+/// docs advertise) must not block graceful shutdown: connection threads
+/// wake on a read timeout and observe the flag.
+#[test]
+fn shutdown_is_not_blocked_by_idle_connections() {
+    use service::net::Stream;
+    let (endpoint, handle) = start_daemon("idle", 1);
+    let idle = Stream::connect(&endpoint).expect("idle connect");
+    stop_daemon(&endpoint, handle); // joins the daemon — must not hang
+    drop(idle);
+}
+
+/// Graceful shutdown: the ack arrives, every thread joins, and the socket
+/// file is removed.
+#[test]
+fn shutdown_is_graceful_and_removes_the_socket() {
+    let (endpoint, handle) = start_daemon("shutdown", 1);
+    let outcome =
+        client::submit(&endpoint, &small_scope_spec(3, 2, true)).expect("submit before shutdown");
+    assert_eq!(outcome.shards_total, 2);
+    let Endpoint::Unix(path) = &endpoint else { panic!("unix endpoint expected") };
+    assert!(path.exists(), "socket file exists while serving");
+    stop_daemon(&endpoint, handle);
+    assert!(!path.exists(), "socket file must be removed on shutdown");
+    assert!(
+        client::submit(&endpoint, &small_scope_spec(4, 1, true)).is_err(),
+        "a stopped daemon must not accept jobs"
+    );
+}
+
+/// Thread-scaling smoke, gated on real parallelism: on a multi-core
+/// runner it exercises a >1-worker pool end to end and reports the scaling
+/// ratio; on the 1-core dev container it skips cleanly.  (The ready-made
+/// hook for the ROADMAP's still-open multi-core CI item — the ratio is
+/// printed, not asserted, because CI hardware varies.)
+#[test]
+fn thread_scaling_smoke() {
+    let cores = thread::available_parallelism().map(usize::from).unwrap_or(1);
+    if cores < 2 {
+        eprintln!("thread_scaling_smoke: skipped (available_parallelism = {cores})");
+        return;
+    }
+    // A somewhat larger scope so the parallel arm has work to spread:
+    // n = 4, t = 1 ⇒ 1040 scenarios.
+    let scope =
+        ScopeSpec { n: 4, t: 1, k: 1, max_value: 1, max_crash_round: 2, partial_delivery: true };
+    let spec = |id: u64| JobSpec {
+        id,
+        query: QueryKind::Thm1,
+        scope: Some(scope),
+        shards: 8,
+        seed: SweepConfig::DEFAULT_SEED,
+        shard_cache: false, // both arms cold: this measures execution
+    };
+
+    let (sequential_endpoint, sequential_handle) = start_daemon("scale-1", 1);
+    let start = Instant::now();
+    let sequential = client::submit(&sequential_endpoint, &spec(1)).expect("1-worker submit");
+    let sequential_wall = start.elapsed();
+    stop_daemon(&sequential_endpoint, sequential_handle);
+
+    let workers = cores.min(4);
+    let (parallel_endpoint, parallel_handle) = start_daemon("scale-n", workers);
+    let start = Instant::now();
+    let parallel = client::submit(&parallel_endpoint, &spec(2)).expect("n-worker submit");
+    let parallel_wall = start.elapsed();
+    stop_daemon(&parallel_endpoint, parallel_handle);
+
+    assert_eq!(sequential.result, parallel.result, "worker count must never change the fold");
+    eprintln!(
+        "thread_scaling_smoke: 1 worker {:.0} ms, {workers} workers {:.0} ms ({:.2}x)",
+        sequential_wall.as_secs_f64() * 1e3,
+        parallel_wall.as_secs_f64() * 1e3,
+        sequential_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9),
+    );
+}
+
+/// The TCP flavor works end to end (port 0 resolves to a free port).
+#[test]
+fn tcp_endpoint_serves_jobs() {
+    let options = ServeOptions { endpoint: Endpoint::Tcp("127.0.0.1:0".into()), workers: 1 };
+    let server = Server::bind(&options).expect("bind tcp");
+    let endpoint = server.endpoint().clone();
+    assert!(!matches!(&endpoint, Endpoint::Tcp(addr) if addr.ends_with(":0")));
+    let handle = thread::spawn(move || server.run().expect("daemon run"));
+    let outcome = client::submit(&endpoint, &small_scope_spec(1, 2, true)).expect("tcp submit");
+    let QueryResult::Thm1(rows) = &outcome.result else { panic!("thm1 result expected") };
+    assert_eq!(rows.len(), 1);
+    stop_daemon(&endpoint, handle);
+}

@@ -1,0 +1,269 @@
+//! Wire-format round-trip property tests: every frame the protocol can
+//! produce encodes to one JSON line that decodes back to an equal value,
+//! and adversarial or truncated input is rejected instead of panicking —
+//! the offline seed of the ROADMAP's "serde round-trip tests" item (the
+//! same frames keep round-tripping when the vendored stubs are swapped
+//! for the real serde, because the wire shape is fixed by hand).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use service::wire::{
+    decode_line, encode_line, ErrorFrame, Frame, JobDone, JobSpec, Partial, QueryKind, QueryResult,
+    ScopeSpec, ShardDone, Value,
+};
+use service::{JobOutcome, ServiceError};
+use sweep::experiments::{
+    Fig4Row, Prop2ExhaustiveRow, Prop2Report, Prop2Targeted, Thm1Case, Thm3Row,
+};
+use sweep::{CursorStats, SweepStats};
+
+fn random_stats(rng: &mut StdRng) -> SweepStats {
+    SweepStats {
+        scenarios: rng.random_range(0..1_000_000u64),
+        cache: knowledge::CacheStats {
+            hits: rng.random_range(0..u32::MAX as u64),
+            misses: rng.random_range(0..1000u64),
+        },
+        runs: set_consensus::RunReuseStats {
+            simulated: rng.random_range(0..1000u64),
+            reused: rng.random_range(0..1_000_000u64),
+        },
+        cursor: CursorStats {
+            materialized: rng.random_range(0..100u64),
+            stepped: rng.random_range(0..1_000_000u64),
+            patterns_unranked: rng.random_range(0..10_000u64),
+        },
+    }
+}
+
+fn random_spec(rng: &mut StdRng) -> JobSpec {
+    let query = match rng.random_range(0..4u64) {
+        0 => QueryKind::Thm1,
+        1 => QueryKind::Thm3,
+        2 => QueryKind::Fig4,
+        _ => QueryKind::Prop2,
+    };
+    JobSpec {
+        id: rng.random_range(0..u64::MAX),
+        query,
+        scope: if query == QueryKind::Thm1 && rng.random_bool(0.5) {
+            Some(ScopeSpec {
+                n: rng.random_range(2..9u64) as usize,
+                t: rng.random_range(0..3u64) as usize,
+                k: rng.random_range(1..4u64) as usize,
+                max_value: rng.random_range(0..5u64),
+                max_crash_round: rng.random_range(1..4u64) as u32,
+                partial_delivery: rng.random_bool(0.5),
+            })
+        } else {
+            None
+        },
+        shards: rng.random_range(0..64u64) as usize,
+        seed: rng.random_range(0..u64::MAX),
+        shard_cache: rng.random_bool(0.5),
+    }
+}
+
+fn random_result(rng: &mut StdRng) -> QueryResult {
+    match rng.random_range(0..4u64) {
+        0 => QueryResult::Thm1(
+            (0..rng.random_range(0..5u64))
+                .map(|_| Thm1Case {
+                    n: rng.random_range(2..9u64) as usize,
+                    t: rng.random_range(0..4u64) as usize,
+                    k: rng.random_range(1..4u64) as usize,
+                    // Deliberately beyond u64 (scope sizes are u128 on the
+                    // wire and must survive exactly), but within the
+                    // engine's usize::MAX scope bound times a pattern
+                    // block — always below i128::MAX.
+                    adversaries: (rng.random_range(0..u32::MAX as u64) as u128) << 64
+                        | rng.random_range(0..u64::MAX) as u128,
+                    correctness_violations: rng.random_range(0..100u64),
+                    beaten_by: rng.random_range(0..3u64) as usize,
+                    structure_violations: rng.random_range(0..100u64),
+                })
+                .collect(),
+        ),
+        1 => QueryResult::Thm3(
+            (0..rng.random_range(0..5u64))
+                .map(|_| Thm3Row {
+                    n: rng.random_range(2..13u64) as usize,
+                    t: rng.random_range(0..10u64) as usize,
+                    k: rng.random_range(1..5u64) as usize,
+                    f: rng.random_range(0..10u64) as usize,
+                    runs: rng.random_range(0..500u64),
+                    worst: rng.random_range(0..10u64) as u32,
+                    bound: rng.random_range(0..10u64) as u32,
+                    violations: rng.random_range(0..10u64),
+                })
+                .collect(),
+        ),
+        2 => QueryResult::Fig4(
+            (0..rng.random_range(0..5u64))
+                .map(|_| Fig4Row {
+                    k: rng.random_range(1..6u64) as usize,
+                    t: rng.random_range(1..81u64) as usize,
+                    n: rng.random_range(2..90u64) as usize,
+                    bound: rng.random_range(1..20u64) as usize,
+                    latest: [
+                        rng.random_range(0..20u64) as u32,
+                        rng.random_range(0..20u64) as u32,
+                        rng.random_range(0..20u64) as u32,
+                        rng.random_range(0..20u64) as u32,
+                    ],
+                    violations: rng.random_range(0..10u64),
+                })
+                .collect(),
+        ),
+        _ => QueryResult::Prop2(Prop2Report {
+            exhaustive: (0..rng.random_range(0..3u64))
+                .map(|_| Prop2ExhaustiveRow {
+                    n: rng.random_range(2..5u64) as usize,
+                    t: rng.random_range(1..3u64) as usize,
+                    states: rng.random_range(0..100u64) as usize,
+                    with_capacity: rng.random_range(0..100u64) as usize,
+                    connected: rng.random_range(0..100u64) as usize,
+                    counterexamples: rng.random_range(0..100u64) as usize,
+                })
+                .collect(),
+            targeted: Prop2Targeted {
+                hidden_capacity: rng.random_range(0..4u64) as usize,
+                executions: rng.random_range(0..600u64) as usize,
+                star_states: rng.random_range(0..100u64) as usize,
+                star_facets: rng.random_range(0..100u64) as usize,
+                star_betti: (0..rng.random_range(0..4u64))
+                    .map(|_| rng.random_range(0..9u64) as usize)
+                    .collect(),
+                star_connected: rng.random_bool(0.5),
+                link_betti: (0..rng.random_range(0..4u64))
+                    .map(|_| rng.random_range(0..9u64) as usize)
+                    .collect(),
+                link_connected: rng.random_bool(0.5),
+            },
+        }),
+    }
+}
+
+fn random_frame(rng: &mut StdRng) -> Frame {
+    match rng.random_range(0..7u64) {
+        0 => Frame::Job(random_spec(rng)),
+        1 => Frame::Shutdown,
+        2 => Frame::ShuttingDown,
+        3 => Frame::ShardDone(ShardDone {
+            job: rng.random_range(0..u64::MAX),
+            case: rng.random_range(0..4u64) as usize,
+            cases: rng.random_range(1..5u64) as usize,
+            shard: rng.random_range(0..64u64) as usize,
+            shards: rng.random_range(1..65u64) as usize,
+            start: rng.random_range(0..100_000u64) as usize,
+            end: rng.random_range(0..200_000u64) as usize,
+            cached: rng.random_bool(0.5),
+            stats: random_stats(rng),
+        }),
+        4 => Frame::Partial(Partial {
+            job: rng.random_range(0..u64::MAX),
+            case: rng.random_range(0..4u64) as usize,
+            shards_done: rng.random_range(0..64u64) as usize,
+            shards: rng.random_range(1..65u64) as usize,
+            scenarios_done: rng.random_range(0..1_000_000u64),
+            fold: Value::Object(vec![
+                ("violations".into(), Value::Int(rng.random_range(0..100u64) as i128)),
+                ("note".into(), Value::Str("prefix \"fold\"\n".into())),
+            ]),
+        }),
+        5 => Frame::JobDone(JobDone {
+            job: rng.random_range(0..u64::MAX),
+            result: random_result(rng),
+            stats: random_stats(rng),
+            shards_total: rng.random_range(0..100u64),
+            shards_cached: rng.random_range(0..100u64),
+            shards_executed: rng.random_range(0..100u64),
+            // A dyadic fraction survives the float round trip exactly (and
+            // `{:?}` is shortest-round-trip anyway).
+            wall_ms: rng.random_range(0..1_000_000u64) as f64 / 64.0,
+        }),
+        _ => Frame::Error(ErrorFrame {
+            job: if rng.random_bool(0.5) { Some(rng.random_range(0..u64::MAX)) } else { None },
+            message: format!(
+                "error #{} with \"quotes\" and \\slashes\\",
+                rng.random_range(0..99u64)
+            ),
+        }),
+    }
+}
+
+/// Every frame encodes to one line that decodes back to an equal frame.
+#[test]
+fn frames_round_trip_through_their_line_encoding() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for trial in 0..500 {
+        let frame = random_frame(&mut rng);
+        let line = encode_line(&frame);
+        assert!(line.ends_with('\n'), "frames must be newline-terminated");
+        assert_eq!(line.matches('\n').count(), 1, "a frame must be exactly one line: {line:?}");
+        let decoded =
+            decode_line(&line).unwrap_or_else(|e| panic!("trial {trial}: {e} for line {line:?}"));
+        assert_eq!(decoded, frame, "trial {trial} round-trip mismatch");
+    }
+}
+
+/// Every strict prefix of a valid frame line is rejected: truncation (a
+/// killed daemon, a cut connection) can never be mistaken for a frame.
+#[test]
+fn truncated_frames_are_rejected() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    for _ in 0..40 {
+        let frame = random_frame(&mut rng);
+        let line = encode_line(&frame);
+        let body = line.trim_end();
+        for cut in 0..body.len() {
+            if !body.is_char_boundary(cut) {
+                continue;
+            }
+            let truncated = &body[..cut];
+            assert!(decode_line(truncated).is_err(), "accepted a truncated frame: {truncated:?}");
+        }
+    }
+}
+
+/// Random garbage never panics the decoder — it errors (or, for the rare
+/// syntactically valid line, decodes) gracefully.
+#[test]
+fn adversarial_input_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let alphabet: Vec<char> =
+        "{}[]\",:0123456789.eE+-truefalsnl\\u \u{9}\u{10FFFF}é".chars().collect();
+    for _ in 0..2000 {
+        let length = rng.random_range(0..60u64) as usize;
+        let line: String = (0..length)
+            .map(|_| alphabet[rng.random_range(0..alphabet.len() as u64) as usize])
+            .collect();
+        let _ = decode_line(&line); // must not panic
+    }
+    // A structurally valid frame with a corrupted field type is a clean
+    // error, not a panic.
+    let line = encode_line(&random_frame(&mut rng));
+    let corrupted = line.replace("\"job\":", "\"job\":\"oops\",\"_\":");
+    if corrupted != line {
+        assert!(decode_line(&corrupted).is_err());
+    }
+}
+
+/// The client-facing outcome type keeps its derived equality usable for
+/// the determinism tests (spot check that ServiceError renders, too).
+#[test]
+fn outcome_and_error_plumbing_is_usable() {
+    let outcome = JobOutcome {
+        result: QueryResult::Thm1(Vec::new()),
+        stats: SweepStats::default(),
+        shards_total: 4,
+        shards_cached: 4,
+        shards_executed: 0,
+        shard_frames: Vec::new(),
+        partials: 0,
+        wall_ms: 1.25,
+    };
+    assert_eq!(outcome.cached_fraction(), 1.0);
+    let error = ServiceError::Protocol("mid-job EOF".into());
+    assert!(error.to_string().contains("mid-job EOF"));
+}

@@ -147,6 +147,33 @@ impl SweepStats {
         self.runs.merge(other.runs);
         self.cursor.merge(other.cursor);
     }
+
+    /// Renders the statistics as the canonical one-line stderr trailer the
+    /// experiment binaries and the `sweep serve` daemon print — the format
+    /// documented field by field in the crate docs ("The stderr stats
+    /// line").  Every consumer (the `exp_*` binaries, the `sweep` CLI, the
+    /// service daemon and client) goes through this one renderer so the
+    /// line stays greppable across the whole stack.
+    pub fn stats_line(&self) -> String {
+        format!(
+            "sweep stats: {} scenarios; knowledge analyses: {} requested, {} constructed, \
+             {} served from cache (hit rate {:.1}%); run structures: {} simulated, \
+             {} reused (reuse rate {:.1}%); scenarios: {} stepped in place, {} materialized, \
+             {} patterns unranked (in-place rate {:.1}%)",
+            self.scenarios,
+            self.cache.lookups(),
+            self.cache.constructions(),
+            self.cache.constructions_avoided(),
+            self.cache.hit_rate() * 100.0,
+            self.runs.simulated,
+            self.runs.reused,
+            self.runs.reuse_rate() * 100.0,
+            self.cursor.stepped,
+            self.cursor.materialized,
+            self.cursor.patterns_unranked,
+            self.cursor.in_place_rate() * 100.0,
+        )
+    }
 }
 
 /// One unit of sweep work: a task instance plus the adversary to run it
@@ -309,7 +336,12 @@ pub trait Reducer: Sync {
 /// When there are fewer blocks than shards, trailing shards come out empty;
 /// the fold is indifferent (a shard of an empty range folds to the reducer
 /// identity).
-fn shard_ranges(total: usize, shards: usize, block: usize) -> Vec<(usize, usize)> {
+///
+/// Public because external shard schedulers (the `service` daemon) must cut
+/// the space exactly as the in-process engine does: the per-shard
+/// accumulator cache is keyed on shard boundaries, so both sides have to
+/// agree on them bit-for-bit.
+pub fn shard_ranges(total: usize, shards: usize, block: usize) -> Vec<(usize, usize)> {
     let shards = shards.max(1);
     let block = block.max(1);
     let blocks = total.div_ceil(block);
@@ -325,6 +357,334 @@ fn shard_ranges(total: usize, shards: usize, block: usize) -> Vec<(usize, usize)
         start_block += len;
     }
     ranges
+}
+
+/// Version tag of the fold semantics of this engine: the enumeration
+/// order, the shard-range computation and the reducer merge discipline.
+///
+/// Cached per-shard accumulators are only replayable while all three are
+/// unchanged, so every persisted or cross-process shard-accumulator key
+/// (see `service::fingerprint` in the `service` crate) embeds this value.
+/// **Bump it whenever a change could alter any fold bit** — a new
+/// enumeration order, a different shard alignment rule, a reducer-law
+/// change — and every stale accumulator silently becomes a cache miss
+/// instead of a wrong answer.
+pub const FOLD_SEMANTICS_VERSION: u32 = 1;
+
+/// Folds the scenarios of one contiguous index range into a fresh
+/// accumulator, using a caller-owned runner and scratch slot.
+///
+/// This is the single-shard kernel shared by [`sweep_with_stats`] (which
+/// spawns its own worker threads) and external shard schedulers like the
+/// `service` daemon's persistent worker pool (which owns long-lived runners
+/// and calls this per queued shard).  `use_cursor` selects between the
+/// source's [`ScenarioSource::cursor`] and per-index materialization —
+/// exactly the [`SweepConfig::cursor`] knob.
+///
+/// # Errors
+///
+/// Returns the first job or source error of the range.
+pub fn fold_shard_range<S, R, F>(
+    source: &S,
+    reducer: &R,
+    job: &F,
+    runner: &mut BatchRunner,
+    scratch: &mut Option<Scenario>,
+    range: (usize, usize),
+    use_cursor: bool,
+) -> Result<(R::Acc, CursorStats), ModelError>
+where
+    S: ScenarioSource + ?Sized,
+    R: Reducer,
+    F: Fn(&mut BatchRunner, &Scenario) -> Result<R::Item, ModelError>,
+{
+    let mut acc = reducer.empty();
+    if use_cursor {
+        let mut cursor = source.cursor(range.0, range.1);
+        while cursor.next(scratch)? {
+            let scenario = scratch.as_ref().expect("the cursor just yielded a scenario");
+            reducer.fold(&mut acc, job(runner, scenario)?);
+        }
+        Ok((acc, cursor.stats()))
+    } else {
+        // The pre-cursor path, kept as the A/B arm: materialize every
+        // scenario per index.
+        let mut stats = CursorStats::default();
+        for index in range.0..range.1 {
+            let scenario = source.scenario(index)?;
+            stats.materialized += 1;
+            reducer.fold(&mut acc, job(runner, &scenario)?);
+        }
+        Ok((acc, stats))
+    }
+}
+
+/// One completed shard of a [`sweep_shards`] call.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome<A> {
+    /// Index of the shard in the deterministic [`shard_ranges`] partition.
+    pub shard: usize,
+    /// The half-open scenario index range the shard covers.
+    pub range: (usize, usize),
+    /// `true` if the accumulator was replayed from the caller's warm store
+    /// instead of executed — its `stats` are then all zero.
+    pub cached: bool,
+    /// The shard's accumulator.
+    pub acc: A,
+    /// Execution statistics of this shard alone (scenario, analysis-cache,
+    /// run-reuse and cursor counters accrued while folding it).
+    pub stats: SweepStats,
+}
+
+/// Result of a [`sweep_shards`] call: every per-shard outcome in shard
+/// order, plus the statistics of the **executed** (non-warm) work.
+pub type ShardSweep<A> = (Vec<ShardOutcome<A>>, SweepStats);
+
+/// Snapshots a runner's cumulative counters so a per-shard delta can be
+/// taken around one [`fold_shard_range`] call.
+fn runner_counters(runner: &BatchRunner) -> (CacheStats, RunReuseStats) {
+    (runner.cache().stats(), runner.run_stats())
+}
+
+/// Per-shard statistics: the runner-counter delta across one shard plus the
+/// shard's own scenario and cursor counts.
+fn shard_stats(
+    range: (usize, usize),
+    before: (CacheStats, RunReuseStats),
+    after: (CacheStats, RunReuseStats),
+    cursor: CursorStats,
+) -> SweepStats {
+    SweepStats {
+        scenarios: (range.1 - range.0) as u64,
+        cache: CacheStats {
+            hits: after.0.hits - before.0.hits,
+            misses: after.0.misses - before.0.misses,
+        },
+        runs: RunReuseStats {
+            simulated: after.1.simulated - before.1.simulated,
+            reused: after.1.reused - before.1.reused,
+        },
+        cursor,
+    }
+}
+
+/// [`fold_shard_range`], plus the full per-shard [`SweepStats`]: the
+/// runner's cache and run-reuse counter deltas are snapshotted around the
+/// fold, so the statistics describe **this shard alone** even on a
+/// long-lived runner (the service daemon's persistent workers).
+///
+/// # Errors
+///
+/// Returns the first job or source error of the range.
+pub fn fold_shard_stats<S, R, F>(
+    source: &S,
+    reducer: &R,
+    job: &F,
+    runner: &mut BatchRunner,
+    scratch: &mut Option<Scenario>,
+    range: (usize, usize),
+    use_cursor: bool,
+) -> Result<(R::Acc, SweepStats), ModelError>
+where
+    S: ScenarioSource + ?Sized,
+    R: Reducer,
+    F: Fn(&mut BatchRunner, &Scenario) -> Result<R::Item, ModelError>,
+{
+    let before = runner_counters(runner);
+    let (acc, cursor) = fold_shard_range(source, reducer, job, runner, scratch, range, use_cursor)?;
+    let stats = shard_stats(range, before, runner_counters(runner), cursor);
+    Ok((acc, stats))
+}
+
+/// Runs `job` over `source` shard by shard, returning every per-shard
+/// accumulator instead of only the global fold — the in-process form of
+/// the warm/cold shard protocol behind the `service` daemon's incremental
+/// shard-accumulator cache.  ([`sweep_with_stats`] and the determinism
+/// tests run on this function directly; the daemon's scheduler mirrors the
+/// same protocol over its *persistent* worker pool, sharing
+/// [`shard_ranges`], [`fold_shard_stats`] and [`merge_shard_outcomes`]
+/// with it — keep the two in step when changing the protocol.)
+///
+/// The scenario space is partitioned exactly as in [`sweep_with_stats`]
+/// (contiguous [`shard_ranges`] aligned to the source's structure block,
+/// stolen by `config.threads` workers).  Two hooks surround the execution:
+///
+/// * `warm(shard, range)` may supply a previously computed accumulator for
+///   a shard; the engine then **skips that shard entirely** and reports it
+///   as [`ShardOutcome::cached`] with zeroed statistics.  Warm shards are
+///   reported first, in shard order, before any cold execution starts.
+/// * `on_shard` is invoked once per shard as it completes — from worker
+///   threads, in completion order, for cold shards — so callers can stream
+///   progress (the daemon's `ShardDone` frames) and persist accumulators
+///   while later shards are still running.
+///
+/// The returned vector is ordered by shard index and covers every shard;
+/// the accompanying [`SweepStats`] sum the **executed** work only (a fully
+/// warm sweep reports zero scenarios).  Feed the vector to
+/// [`merge_shard_outcomes`] for the global fold; by the [`Reducer`] laws it
+/// is bit-identical to a direct [`sweep_with_stats`] fold at any shard,
+/// thread and warm/cold split — the service determinism tests pin this.
+///
+/// # Errors
+///
+/// Returns the job or source error of the lowest-indexed failing shard;
+/// remaining shards are abandoned as soon as possible.
+pub fn sweep_shards<S, R, F, W, O>(
+    source: &S,
+    config: &SweepConfig,
+    reducer: &R,
+    job: F,
+    warm: W,
+    on_shard: O,
+) -> Result<ShardSweep<R::Acc>, ModelError>
+where
+    S: ScenarioSource + ?Sized,
+    R: Reducer,
+    F: Fn(&mut BatchRunner, &Scenario) -> Result<R::Item, ModelError> + Sync,
+    W: FnMut(usize, (usize, usize)) -> Option<R::Acc>,
+    O: Fn(&ShardOutcome<R::Acc>) + Sync,
+{
+    let total = source.len();
+    let threads = config.resolved_threads();
+    let ranges = shard_ranges(total, config.resolved_shards(), source.structure_block());
+    let make_runner = || {
+        let runner = if config.cache { BatchRunner::cached() } else { BatchRunner::new() };
+        runner.structure_reuse(config.reuse)
+    };
+
+    // Warm pass first, in shard order: replayed accumulators are reported
+    // before any execution starts, so a fully warm sweep streams instantly.
+    let mut warm = warm;
+    let mut slots: Vec<Option<ShardOutcome<R::Acc>>> = Vec::with_capacity(ranges.len());
+    let mut cold: Vec<usize> = Vec::new();
+    for (shard, &range) in ranges.iter().enumerate() {
+        match warm(shard, range) {
+            Some(acc) => {
+                let outcome =
+                    ShardOutcome { shard, range, cached: true, acc, stats: SweepStats::default() };
+                on_shard(&outcome);
+                slots.push(Some(outcome));
+            }
+            None => {
+                cold.push(shard);
+                slots.push(None);
+            }
+        }
+    }
+
+    let fold_cold = |runner: &mut BatchRunner,
+                     scratch: &mut Option<Scenario>,
+                     shard: usize|
+     -> Result<ShardOutcome<R::Acc>, ModelError> {
+        let range = ranges[shard];
+        let (acc, stats) =
+            fold_shard_stats(source, reducer, &job, runner, scratch, range, config.cursor)?;
+        Ok(ShardOutcome { shard, range, cached: false, acc, stats })
+    };
+
+    if threads <= 1 || cold.len() <= 1 {
+        let mut runner = make_runner();
+        let mut scratch = None;
+        for &shard in &cold {
+            let outcome = fold_cold(&mut runner, &mut scratch, shard)?;
+            on_shard(&outcome);
+            slots[shard] = Some(outcome);
+        }
+    } else {
+        let next_cold = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let done: Mutex<Vec<(usize, ShardOutcome<R::Acc>)>> = Mutex::new(Vec::new());
+        let first_error: Mutex<Option<(usize, ModelError)>> = Mutex::new(None);
+        let cold = &cold;
+
+        thread::scope(|scope| {
+            for _ in 0..threads.min(cold.len()) {
+                scope.spawn(|| {
+                    let mut runner = make_runner();
+                    let mut scratch = None;
+                    loop {
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let slot = next_cold.fetch_add(1, Ordering::Relaxed);
+                        let Some(&shard) = cold.get(slot) else { break };
+                        match fold_cold(&mut runner, &mut scratch, shard) {
+                            Ok(outcome) => {
+                                on_shard(&outcome);
+                                done.lock().expect("sweep outcome lock").push((shard, outcome));
+                            }
+                            Err(error) => {
+                                failed.store(true, Ordering::Relaxed);
+                                let mut slot = first_error.lock().expect("sweep error lock");
+                                if slot.as_ref().is_none_or(|(s, _)| shard < *s) {
+                                    *slot = Some((shard, error));
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some((_, error)) = first_error.into_inner().expect("sweep error lock") {
+            return Err(error);
+        }
+        for (shard, outcome) in done.into_inner().expect("sweep outcome lock") {
+            slots[shard] = Some(outcome);
+        }
+    }
+
+    let outcomes: Vec<ShardOutcome<R::Acc>> =
+        slots.into_iter().map(|slot| slot.expect("every shard completed")).collect();
+    let mut stats = SweepStats::default();
+    for outcome in &outcomes {
+        stats.merge(outcome.stats);
+    }
+    Ok((outcomes, stats))
+}
+
+/// Merges the per-shard accumulators of a [`sweep_shards`] call into the
+/// global fold — the *law-checked* merge path.
+///
+/// The [`Reducer`] contract only covers merging accumulators of **adjacent
+/// slices, in order**; merging shards out of order or with gaps would
+/// silently produce a fold no in-process sweep can produce.  Because the
+/// accumulators handed here may have been replayed from a cache (a
+/// different process, an earlier request), this function re-validates that
+/// precondition structurally — outcomes sorted by shard index, ranges
+/// contiguous from the first shard's start — and panics on any violation
+/// rather than returning a lawless merge.
+///
+/// # Panics
+///
+/// Panics if the outcomes are not the complete, in-order, contiguous shard
+/// partition produced by [`sweep_shards`] — empty, not starting at shard 0
+/// and scenario 0, out of order, or with range gaps.
+pub fn merge_shard_outcomes<R: Reducer>(
+    reducer: &R,
+    outcomes: Vec<ShardOutcome<R::Acc>>,
+) -> R::Acc {
+    assert!(!outcomes.is_empty(), "a shard partition has at least one shard");
+    let mut merged = reducer.empty();
+    let mut expected_start = 0usize;
+    let mut last_shard: Option<usize> = None;
+    for outcome in outcomes {
+        assert!(
+            last_shard.map_or(outcome.shard == 0, |last| outcome.shard == last + 1),
+            "shard {} merged out of order (previous shard {:?})",
+            outcome.shard,
+            last_shard,
+        );
+        assert_eq!(
+            outcome.range.0, expected_start,
+            "shard {} range {:?} is not contiguous with its predecessor",
+            outcome.shard, outcome.range,
+        );
+        last_shard = Some(outcome.shard);
+        expected_start = outcome.range.1;
+        merged = reducer.merge(merged, outcome.acc);
+    }
+    merged
 }
 
 /// Runs `job` on every scenario of `source` and folds the outcomes with
@@ -387,114 +747,8 @@ where
     R: Reducer,
     F: Fn(&mut BatchRunner, &Scenario) -> Result<R::Item, ModelError> + Sync,
 {
-    let total = source.len();
-    let threads = config.resolved_threads();
-    let ranges = shard_ranges(total, config.resolved_shards(), source.structure_block());
-    let make_runner = || {
-        let runner = if config.cache { BatchRunner::cached() } else { BatchRunner::new() };
-        runner.structure_reuse(config.reuse)
-    };
-
-    // One scratch `Scenario` per worker, threaded through every shard the
-    // worker folds: with the cursor on, a block-cursor source steps it in
-    // place, so the worker's steady state allocates nothing per scenario.
-    let fold_shard = |runner: &mut BatchRunner,
-                      scratch: &mut Option<Scenario>,
-                      range: (usize, usize)|
-     -> Result<(R::Acc, CursorStats), ModelError> {
-        let mut acc = reducer.empty();
-        if config.cursor {
-            let mut cursor = source.cursor(range.0, range.1);
-            while cursor.next(scratch)? {
-                let scenario = scratch.as_ref().expect("the cursor just yielded a scenario");
-                reducer.fold(&mut acc, job(runner, scenario)?);
-            }
-            Ok((acc, cursor.stats()))
-        } else {
-            // The pre-cursor path, kept as the A/B arm: materialize every
-            // scenario per index.
-            let mut stats = CursorStats::default();
-            for index in range.0..range.1 {
-                let scenario = source.scenario(index)?;
-                stats.materialized += 1;
-                reducer.fold(&mut acc, job(runner, &scenario)?);
-            }
-            Ok((acc, stats))
-        }
-    };
-
-    if threads <= 1 {
-        let mut runner = make_runner();
-        let mut scratch = None;
-        let mut cursor_stats = CursorStats::default();
-        let mut merged = reducer.empty();
-        for &range in &ranges {
-            let (acc, shard_cursor) = fold_shard(&mut runner, &mut scratch, range)?;
-            cursor_stats.merge(shard_cursor);
-            merged = reducer.merge(merged, acc);
-        }
-        let stats = SweepStats {
-            scenarios: total as u64,
-            cache: runner.cache().stats(),
-            runs: runner.run_stats(),
-            cursor: cursor_stats,
-        };
-        return Ok((merged, stats));
-    }
-
-    let next_shard = AtomicUsize::new(0);
-    let failed = AtomicBool::new(false);
-    let shard_accs: Mutex<Vec<Option<R::Acc>>> = Mutex::new(ranges.iter().map(|_| None).collect());
-    let first_error: Mutex<Option<(usize, ModelError)>> = Mutex::new(None);
-    let worker_stats: Mutex<(CacheStats, RunReuseStats, CursorStats)> =
-        Mutex::new(Default::default());
-
-    thread::scope(|scope| {
-        for _ in 0..threads.min(ranges.len()) {
-            scope.spawn(|| {
-                let mut runner = make_runner();
-                let mut scratch = None;
-                let mut cursor_stats = CursorStats::default();
-                loop {
-                    if failed.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let shard = next_shard.fetch_add(1, Ordering::Relaxed);
-                    if shard >= ranges.len() {
-                        break;
-                    }
-                    match fold_shard(&mut runner, &mut scratch, ranges[shard]) {
-                        Ok((acc, shard_cursor)) => {
-                            cursor_stats.merge(shard_cursor);
-                            shard_accs.lock().expect("sweep accumulator lock")[shard] = Some(acc);
-                        }
-                        Err(error) => {
-                            failed.store(true, Ordering::Relaxed);
-                            let mut slot = first_error.lock().expect("sweep error lock");
-                            if slot.as_ref().is_none_or(|(s, _)| shard < *s) {
-                                *slot = Some((shard, error));
-                            }
-                        }
-                    }
-                }
-                let mut stats = worker_stats.lock().expect("sweep stats lock");
-                stats.0.merge(runner.cache().stats());
-                stats.1.merge(runner.run_stats());
-                stats.2.merge(cursor_stats);
-            });
-        }
-    });
-
-    if let Some((_, error)) = first_error.into_inner().expect("sweep error lock") {
-        return Err(error);
-    }
-    let mut merged = reducer.empty();
-    for acc in shard_accs.into_inner().expect("sweep accumulator lock") {
-        merged = reducer.merge(merged, acc.expect("every shard completed"));
-    }
-    let (cache, runs, cursor) = worker_stats.into_inner().expect("sweep stats lock");
-    let stats = SweepStats { scenarios: total as u64, cache, runs, cursor };
-    Ok((merged, stats))
+    let (outcomes, stats) = sweep_shards(source, config, reducer, job, |_, _| None, |_| {})?;
+    Ok((merge_shard_outcomes(reducer, outcomes), stats))
 }
 
 #[cfg(test)]
@@ -580,6 +834,57 @@ mod tests {
         assert_eq!(stats.cache, CacheStats { hits: 11, misses: 22 });
         assert_eq!(stats.runs, RunReuseStats { simulated: 3, reused: 12 });
         assert_eq!(stats.cursor, CursorStats { materialized: 2, stepped: 5, patterns_unranked: 3 });
+    }
+
+    /// A minimal reducer for exercising the merge-law checks without a
+    /// scenario source.
+    struct Sum;
+
+    impl Reducer for Sum {
+        type Item = u64;
+        type Acc = u64;
+
+        fn empty(&self) -> u64 {
+            0
+        }
+
+        fn fold(&self, acc: &mut u64, item: u64) {
+            *acc += item;
+        }
+
+        fn merge(&self, left: u64, right: u64) -> u64 {
+            left + right
+        }
+    }
+
+    fn outcome(shard: usize, range: (usize, usize)) -> ShardOutcome<u64> {
+        ShardOutcome { shard, range, cached: false, acc: 1, stats: SweepStats::default() }
+    }
+
+    /// A contiguous sub-range that misses shard 0 is not a complete
+    /// partition: merging it would silently fold a subset of the space.
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn merge_shard_outcomes_requires_shard_zero() {
+        let _ = merge_shard_outcomes(&Sum, vec![outcome(1, (0, 4)), outcome(2, (4, 8))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn merge_shard_outcomes_rejects_empty_partitions() {
+        let _ = merge_shard_outcomes(&Sum, Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "not contiguous")]
+    fn merge_shard_outcomes_rejects_range_gaps() {
+        let _ = merge_shard_outcomes(&Sum, vec![outcome(0, (0, 4)), outcome(1, (5, 8))]);
+    }
+
+    #[test]
+    fn merge_shard_outcomes_accepts_the_full_partition() {
+        let merged = merge_shard_outcomes(&Sum, vec![outcome(0, (0, 4)), outcome(1, (4, 8))]);
+        assert_eq!(merged, 2);
     }
 
     #[test]

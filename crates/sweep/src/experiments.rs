@@ -60,14 +60,24 @@ pub struct Thm1Case {
     pub structure_violations: u64,
 }
 
-#[derive(Debug, Default, Clone, Copy)]
-struct Thm1Outcome {
-    violations: u64,
-    beaten: [bool; 2],
-    structure: u64,
+/// Per-scenario (and, folded, per-shard) accumulator of the Theorem 1
+/// sweep — public so external schedulers (the `service` daemon's
+/// shard-accumulator cache) can store and replay it per shard.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Thm1Outcome {
+    /// Correctness violations summed over every protocol.
+    pub violations: u64,
+    /// Whether each competitor (EarlyFloodMin, FloodMin) beat `Optmin[k]`
+    /// in some folded run.
+    pub beaten: [bool; 2],
+    /// Lemma-3 decide-exactly-when-enabled violations.
+    pub structure: u64,
 }
 
-struct Thm1Reducer;
+/// The [`Reducer`] of the Theorem 1 sweep (saturating flags, summed
+/// counters — trivially concatenation-compatible).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Thm1Reducer;
 
 impl Reducer for Thm1Reducer {
     type Item = Thm1Outcome;
@@ -103,6 +113,114 @@ pub fn thm1(config: &SweepConfig) -> Result<Vec<Thm1Case>, ModelError> {
     thm1_with_stats(config).map(|(rows, _)| rows)
 }
 
+/// The `(n, t, k)` cases of the built-in Theorem 1 experiment, in table
+/// order.
+pub const THM1_CASES: [(usize, usize, usize); 4] = [(3, 1, 1), (4, 2, 1), (4, 2, 2), (5, 2, 2)];
+
+/// The exhaustive enumeration scope of one Theorem 1 case — the scope the
+/// built-in cases use, parameterized so the service daemon can serve the
+/// same query over custom `(n, t, k)` scopes.
+pub fn thm1_scope(n: usize, t: usize, k: usize) -> EnumerationConfig {
+    EnumerationConfig { n, t, max_value: k as u64, max_crash_round: 2, partial_delivery: n <= 4 }
+}
+
+/// Builds the exhaustive [`ExhaustiveSource`] of a Theorem 1 case over an
+/// arbitrary scope.
+///
+/// # Errors
+///
+/// Propagates invalid `(n, t, k)` parameters and oversized scopes.
+pub fn thm1_source(scope: EnumerationConfig, k: usize) -> Result<ExhaustiveSource, ModelError> {
+    let space = AdversarySpace::new(scope)?;
+    let params = TaskParams::new(SystemParams::new(scope.n, scope.t)?, k)?;
+    ExhaustiveSource::new(space, params, TaskVariant::Nonuniform)
+}
+
+/// The per-scenario job of the Theorem 1 sweep: execute `Optmin[k]` and
+/// its competitors against the scenario's adversary and fold correctness,
+/// domination and Lemma-3 structure into a [`Thm1Outcome`].
+///
+/// A plain `fn` (not a closure) so shard schedulers outside this crate —
+/// the service daemon's worker pool — can enqueue it without boxing.
+///
+/// # Errors
+///
+/// Propagates model errors from the executor.
+pub fn thm1_job(
+    runner: &mut set_consensus::BatchRunner,
+    scenario: &Scenario,
+) -> Result<Thm1Outcome, ModelError> {
+    let protocols: [&dyn Protocol; 3] = [&Optmin, &EarlyFloodMin, &FloodMin];
+    let mut outcome = Thm1Outcome::default();
+    let case_k = scenario.params.k();
+    // (3) Lemma-3 structure: Optmin[k] decides exactly when low-or-HC<k
+    // first holds.  Checked *inside* the executor's decision loop via the
+    // per-node observer — transcripts[0] (Optmin) reflects every decision
+    // up to the observed node, and each node is analyzed exactly once per
+    // run instead of in a second full pass.
+    runner.execute_batch_observed(
+        &protocols,
+        &scenario.params,
+        &scenario.adversary,
+        |_, node, analysis, transcripts| {
+            let enabled = analysis.is_low(case_k) || analysis.hidden_capacity() < case_k;
+            let decided_by_now =
+                transcripts[0].decision_time(node.process).is_some_and(|d| d <= node.time);
+            if enabled != decided_by_now {
+                outcome.structure += 1;
+            }
+            Ok(())
+        },
+    )?;
+
+    // (1) correctness of every implemented nonuniform protocol, through
+    // the runner's check scratch (no per-scenario allocations — this check
+    // runs three times per adversary).
+    let (run, transcripts, checks) = runner.batch_parts();
+    for transcript in transcripts {
+        outcome.violations +=
+            checks.check(run, transcript, &scenario.params, TaskVariant::Nonuniform).len() as u64;
+    }
+
+    // (2) a competitor "beats" Optmin[k] if any process decides strictly
+    // earlier under it in this run (the second-improvement condition of
+    // the domination comparison).
+    let optmin = &transcripts[0];
+    for (slot, competitor) in transcripts[1..].iter().enumerate() {
+        for i in 0..run.n() {
+            let improves = match (optmin.decision_time(i), competitor.decision_time(i)) {
+                (Some(a), Some(b)) => b < a,
+                (None, Some(_)) => true,
+                _ => false,
+            };
+            if improves {
+                outcome.beaten[slot] = true;
+            }
+        }
+    }
+
+    Ok(outcome)
+}
+
+/// Assembles the [`Thm1Case`] row of one swept scope from its folded
+/// accumulator.
+pub fn thm1_case_row(
+    scope: &EnumerationConfig,
+    k: usize,
+    adversaries: u128,
+    acc: Thm1Outcome,
+) -> Thm1Case {
+    Thm1Case {
+        n: scope.n,
+        t: scope.t,
+        k,
+        adversaries,
+        correctness_violations: acc.violations,
+        beaten_by: acc.beaten.iter().filter(|&&b| b).count(),
+        structure_violations: acc.structure,
+    }
+}
+
 /// [`thm1`], plus the execution statistics summed over the per-case sweeps.
 ///
 /// This experiment is the headline scope of the sweep-performance work:
@@ -124,88 +242,13 @@ pub fn thm1(config: &SweepConfig) -> Result<Vec<Thm1Case>, ModelError> {
 pub fn thm1_with_stats(config: &SweepConfig) -> Result<(Vec<Thm1Case>, SweepStats), ModelError> {
     let mut rows = Vec::new();
     let mut stats = SweepStats::default();
-    for (n, t, k) in [(3usize, 1usize, 1usize), (4, 2, 1), (4, 2, 2), (5, 2, 2)] {
-        let scope = EnumerationConfig {
-            n,
-            t,
-            max_value: k as u64,
-            max_crash_round: 2,
-            partial_delivery: n <= 4,
-        };
-        let space = AdversarySpace::new(scope)?;
-        let adversaries = space.len();
-        let params = TaskParams::new(SystemParams::new(n, t)?, k)?;
-        let source = ExhaustiveSource::new(space, params, TaskVariant::Nonuniform)?;
-
-        let (acc, case_stats) =
-            sweep_with_stats(&source, config, &Thm1Reducer, |runner, scenario| {
-                let protocols: [&dyn Protocol; 3] = [&Optmin, &EarlyFloodMin, &FloodMin];
-                let mut outcome = Thm1Outcome::default();
-                let case_k = scenario.params.k();
-                // (3) Lemma-3 structure: Optmin[k] decides exactly when
-                // low-or-HC<k first holds.  Checked *inside* the executor's
-                // decision loop via the per-node observer — transcripts[0]
-                // (Optmin) reflects every decision up to the observed node,
-                // and each node is analyzed exactly once per run instead of
-                // in a second full pass.
-                runner.execute_batch_observed(
-                    &protocols,
-                    &scenario.params,
-                    &scenario.adversary,
-                    |_, node, analysis, transcripts| {
-                        let enabled =
-                            analysis.is_low(case_k) || analysis.hidden_capacity() < case_k;
-                        let decided_by_now = transcripts[0]
-                            .decision_time(node.process)
-                            .is_some_and(|d| d <= node.time);
-                        if enabled != decided_by_now {
-                            outcome.structure += 1;
-                        }
-                        Ok(())
-                    },
-                )?;
-
-                // (1) correctness of every implemented nonuniform protocol,
-                // through the runner's check scratch (no per-scenario
-                // allocations — this check runs three times per adversary).
-                let (run, transcripts, checks) = runner.batch_parts();
-                for transcript in transcripts {
-                    outcome.violations += checks
-                        .check(run, transcript, &scenario.params, TaskVariant::Nonuniform)
-                        .len() as u64;
-                }
-
-                // (2) a competitor "beats" Optmin[k] if any process decides
-                // strictly earlier under it in this run (the second-improvement
-                // condition of the domination comparison).
-                let optmin = &transcripts[0];
-                for (slot, competitor) in transcripts[1..].iter().enumerate() {
-                    for i in 0..run.n() {
-                        let improves = match (optmin.decision_time(i), competitor.decision_time(i))
-                        {
-                            (Some(a), Some(b)) => b < a,
-                            (None, Some(_)) => true,
-                            _ => false,
-                        };
-                        if improves {
-                            outcome.beaten[slot] = true;
-                        }
-                    }
-                }
-
-                Ok(outcome)
-            })?;
+    for (n, t, k) in THM1_CASES {
+        let scope = thm1_scope(n, t, k);
+        let source = thm1_source(scope, k)?;
+        let adversaries = source.space().len();
+        let (acc, case_stats) = sweep_with_stats(&source, config, &Thm1Reducer, thm1_job)?;
         stats.merge(case_stats);
-
-        rows.push(Thm1Case {
-            n,
-            t,
-            k,
-            adversaries,
-            correctness_violations: acc.violations,
-            beaten_by: acc.beaten.iter().filter(|&&b| b).count(),
-            structure_violations: acc.structure,
-        });
+        rows.push(thm1_case_row(&scope, k, adversaries, acc));
     }
     Ok((rows, stats))
 }
@@ -237,13 +280,22 @@ pub struct Thm3Row {
     pub violations: u64,
 }
 
-#[derive(Debug, Default)]
-struct Thm3Acc {
-    per_f: BTreeMap<usize, (u32, u64)>,
-    violations: u64,
+/// Per-shard accumulator of the Theorem 3 sweep: worst decision time and
+/// run count per realized failure count, plus the uniform-check violation
+/// sum.  Public (and clonable) so the service daemon can cache it per
+/// shard.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Thm3Acc {
+    /// `f → (worst decision time, runs)` over the folded scenarios.
+    pub per_f: BTreeMap<usize, (u32, u64)>,
+    /// Uniform-variant check violations summed over the folded scenarios.
+    pub violations: u64,
 }
 
-struct Thm3Reducer;
+/// The [`Reducer`] of the Theorem 3 sweep (keyed maxima and sums — both
+/// concatenation-compatible).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Thm3Reducer;
 
 impl Reducer for Thm3Reducer {
     /// `(f, latest, violations)` per run.
@@ -276,6 +328,63 @@ impl Reducer for Thm3Reducer {
 /// Theorem 3 experiment.
 pub const THM3_SAMPLES: usize = 400;
 
+/// The `(n, t, k)` cases of the built-in Theorem 3 experiment, in table
+/// order.
+pub const THM3_CASES: [(usize, usize, usize); 3] = [(8, 5, 2), (10, 6, 3), (12, 9, 4)];
+
+/// Builds the seeded random scenario source of one Theorem 3 case.
+///
+/// # Errors
+///
+/// Propagates invalid `(n, t, k)` parameters.
+pub fn thm3_source(n: usize, t: usize, k: usize, seed: u64) -> Result<RandomSource, ModelError> {
+    let params = TaskParams::new(SystemParams::new(n, t)?, k)?;
+    let distribution = RandomConfig { crash_probability: 0.7, ..RandomConfig::new(n, t, k) };
+    Ok(RandomSource::new(distribution, params, TaskVariant::Uniform, seed, THM3_SAMPLES))
+}
+
+/// The per-scenario job of the Theorem 3 sweep: run `u-Pmin[k]`, check the
+/// uniform variant, and report `(f, latest decision, violations)`.
+///
+/// # Errors
+///
+/// Propagates model errors from the executor.
+pub fn thm3_job(
+    runner: &mut set_consensus::BatchRunner,
+    scenario: &Scenario,
+) -> Result<(usize, u32, u64), ModelError> {
+    runner.execute_one(&UPmin, &scenario.params, &scenario.adversary)?;
+    let (run, transcripts, checks) = runner.batch_parts();
+    let transcript = &transcripts[0];
+    let violations =
+        checks.check(run, transcript, &scenario.params, TaskVariant::Uniform).len() as u64;
+    Ok((run.num_failures(), latest_correct_decision(run, transcript), violations))
+}
+
+/// Expands the folded accumulator of one Theorem 3 case into its table
+/// rows.
+///
+/// # Errors
+///
+/// Propagates invalid `(n, t, k)` parameters.
+pub fn thm3_rows(n: usize, t: usize, k: usize, acc: &Thm3Acc) -> Result<Vec<Thm3Row>, ModelError> {
+    let params = TaskParams::new(SystemParams::new(n, t)?, k)?;
+    Ok(acc
+        .per_f
+        .iter()
+        .map(|(&f, &(worst, runs))| Thm3Row {
+            n,
+            t,
+            k,
+            f,
+            runs,
+            worst,
+            bound: params.uniform_early_bound(f).value(),
+            violations: acc.violations,
+        })
+        .collect())
+}
+
 /// Sweeps seeded random adversaries under `u-Pmin[k]` and reports, per
 /// realized failure count `f`, the worst decision time against the
 /// Theorem 3 bound.
@@ -285,36 +394,10 @@ pub const THM3_SAMPLES: usize = 400;
 /// Propagates model errors from the executor.
 pub fn thm3(config: &SweepConfig) -> Result<Vec<Thm3Row>, ModelError> {
     let mut rows = Vec::new();
-    for (n, t, k) in [(8usize, 5usize, 2usize), (10, 6, 3), (12, 9, 4)] {
-        let params = TaskParams::new(SystemParams::new(n, t)?, k)?;
-        let distribution = RandomConfig { crash_probability: 0.7, ..RandomConfig::new(n, t, k) };
-        let source = RandomSource::new(
-            distribution,
-            params,
-            TaskVariant::Uniform,
-            config.seed,
-            THM3_SAMPLES,
-        );
-        let acc = sweep(&source, config, &Thm3Reducer, |runner, scenario| {
-            runner.execute_one(&UPmin, &scenario.params, &scenario.adversary)?;
-            let (run, transcripts, checks) = runner.batch_parts();
-            let transcript = &transcripts[0];
-            let violations =
-                checks.check(run, transcript, &scenario.params, TaskVariant::Uniform).len() as u64;
-            Ok((run.num_failures(), latest_correct_decision(run, transcript), violations))
-        })?;
-        for (f, (worst, runs)) in acc.per_f {
-            rows.push(Thm3Row {
-                n,
-                t,
-                k,
-                f,
-                runs,
-                worst,
-                bound: params.uniform_early_bound(f).value(),
-                violations: acc.violations,
-            });
-        }
+    for (n, t, k) in THM3_CASES {
+        let source = thm3_source(n, t, k, config.seed)?;
+        let acc = sweep(&source, config, &Thm3Reducer, thm3_job)?;
+        rows.extend(thm3_rows(n, t, k, &acc)?);
     }
     Ok(rows)
 }
@@ -342,12 +425,21 @@ pub struct Fig4Row {
     pub violations: u64,
 }
 
-struct Fig4Reducer;
+/// Per-shard accumulator of the Fig. 4 sweep: scenario index → (latest
+/// decision time per protocol, violations).  Public so the service daemon
+/// can cache it per shard.
+pub type Fig4Acc = BTreeMap<usize, ([u32; 4], u64)>;
+
+/// The [`Reducer`] of the Fig. 4 sweep (a keyed first-writer map — each
+/// scenario index is written exactly once, so extension order is
+/// irrelevant).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig4Reducer;
 
 impl Reducer for Fig4Reducer {
     /// `(scenario index, latest per protocol, violations)`.
     type Item = (usize, [u32; 4], u64);
-    type Acc = BTreeMap<usize, ([u32; 4], u64)>;
+    type Acc = Fig4Acc;
 
     fn empty(&self) -> Self::Acc {
         BTreeMap::new()
@@ -363,13 +455,17 @@ impl Reducer for Fig4Reducer {
     }
 }
 
-/// Sweeps the Fig. 4 uniform-gap family over `k × rounds` and reports the
-/// latest correct decision time of each protocol.
+/// The `(k, t, n)` shape of one Fig. 4 family point.
+pub type Fig4Shape = (usize, usize, usize);
+
+/// Builds the Fig. 4 uniform-gap scenario family as a [`FixedSource`],
+/// together with the `(k, t, n)` shape of each point (needed to assemble
+/// the rows after the fold).
 ///
 /// # Errors
 ///
-/// Propagates scenario-construction and executor errors.
-pub fn fig4(config: &SweepConfig) -> Result<Vec<Fig4Row>, ModelError> {
+/// Propagates scenario-construction errors.
+pub fn fig4_source() -> Result<(FixedSource, Vec<Fig4Shape>), ModelError> {
     let mut points = Vec::new();
     let mut shapes = Vec::new();
     for k in [1usize, 2, 3, 5] {
@@ -387,29 +483,55 @@ pub fn fig4(config: &SweepConfig) -> Result<Vec<Fig4Row>, ModelError> {
             });
         }
     }
-    let source = FixedSource::new(points);
-    let acc = sweep(&source, config, &Fig4Reducer, |runner, scenario| {
-        let protocols: [&dyn Protocol; 4] = [&UPmin, &Optmin, &EarlyUniformFloodMin, &FloodMin];
-        runner.execute_batch(&protocols, &scenario.params, &scenario.adversary)?;
-        let (run, transcripts, checks) = runner.batch_parts();
-        let mut latest = [0u32; 4];
-        let mut violations = 0u64;
-        for (slot, transcript) in transcripts.iter().enumerate() {
-            latest[slot] = latest_correct_decision(run, transcript);
-            violations +=
-                checks.check(run, transcript, &scenario.params, TaskVariant::Uniform).len() as u64;
-        }
-        Ok((scenario.index, latest, violations))
-    })?;
+    Ok((FixedSource::new(points), shapes))
+}
 
-    Ok(shapes
-        .into_iter()
+/// The per-scenario job of the Fig. 4 sweep: run all four uniform-capable
+/// protocols on the point and report their latest correct decision times.
+///
+/// # Errors
+///
+/// Propagates model errors from the executor.
+pub fn fig4_job(
+    runner: &mut set_consensus::BatchRunner,
+    scenario: &Scenario,
+) -> Result<(usize, [u32; 4], u64), ModelError> {
+    let protocols: [&dyn Protocol; 4] = [&UPmin, &Optmin, &EarlyUniformFloodMin, &FloodMin];
+    runner.execute_batch(&protocols, &scenario.params, &scenario.adversary)?;
+    let (run, transcripts, checks) = runner.batch_parts();
+    let mut latest = [0u32; 4];
+    let mut violations = 0u64;
+    for (slot, transcript) in transcripts.iter().enumerate() {
+        latest[slot] = latest_correct_decision(run, transcript);
+        violations +=
+            checks.check(run, transcript, &scenario.params, TaskVariant::Uniform).len() as u64;
+    }
+    Ok((scenario.index, latest, violations))
+}
+
+/// Assembles the Fig. 4 rows from the point shapes and the folded
+/// accumulator.
+pub fn fig4_rows(shapes: &[(usize, usize, usize)], acc: &Fig4Acc) -> Vec<Fig4Row> {
+    shapes
+        .iter()
         .enumerate()
-        .map(|(index, (k, t, n))| {
+        .map(|(index, &(k, t, n))| {
             let (latest, violations) = acc[&index];
             Fig4Row { k, t, n, bound: t / k + 1, latest, violations }
         })
-        .collect())
+        .collect()
+}
+
+/// Sweeps the Fig. 4 uniform-gap family over `k × rounds` and reports the
+/// latest correct decision time of each protocol.
+///
+/// # Errors
+///
+/// Propagates scenario-construction and executor errors.
+pub fn fig4(config: &SweepConfig) -> Result<Vec<Fig4Row>, ModelError> {
+    let (source, shapes) = fig4_source()?;
+    let acc = sweep(&source, config, &Fig4Reducer, fig4_job)?;
+    Ok(fig4_rows(&shapes, &acc))
 }
 
 // ---------------------------------------------------------------------------
@@ -497,6 +619,18 @@ impl Reducer for Prop2Reducer {
 ///
 /// Propagates model errors from enumeration or the complex build.
 pub fn prop2(config: &SweepConfig) -> Result<Prop2Report, ModelError> {
+    prop2_with_stats(config).map(|(report, _)| report)
+}
+
+/// [`prop2`], plus the execution statistics of the exhaustive per-run
+/// sweeps (the protocol-complex build and the homology checks are not
+/// sweeps and contribute nothing).
+///
+/// # Errors
+///
+/// Propagates model errors from enumeration or the complex build.
+pub fn prop2_with_stats(config: &SweepConfig) -> Result<(Prop2Report, SweepStats), ModelError> {
+    let mut stats = SweepStats::default();
     let mut exhaustive = Vec::new();
     for (n, t) in [(3usize, 1usize), (4, 2)] {
         let scope =
@@ -510,24 +644,26 @@ pub fn prop2(config: &SweepConfig) -> Result<Prop2Report, ModelError> {
         let space = AdversarySpace::new(scope)?;
         let source = ExhaustiveSource::new(space, params, TaskVariant::Nonuniform)?;
         let complex_ref = &complex;
-        let with_capacity = sweep(&source, config, &Prop2Reducer, move |runner, scenario| {
-            let analyzer = runner.cache().clone();
-            let run = runner.simulate(system, &scenario.adversary, time)?;
-            let mut found = Vec::new();
-            for i in 0..n {
-                if !run.is_active(i, time) {
-                    continue;
+        let (with_capacity, sweep_stats) =
+            sweep_with_stats(&source, config, &Prop2Reducer, move |runner, scenario| {
+                let analyzer = runner.cache().clone();
+                let run = runner.simulate(system, &scenario.adversary, time)?;
+                let mut found = Vec::new();
+                for i in 0..n {
+                    if !run.is_active(i, time) {
+                        continue;
+                    }
+                    let Some(id) = complex_ref.state_id(run, Node::new(i, time)) else {
+                        continue;
+                    };
+                    let analysis = analyzer.analyze(run, Node::new(i, time))?;
+                    if analysis.hidden_capacity() >= 1 {
+                        found.push(id);
+                    }
                 }
-                let Some(id) = complex_ref.state_id(run, Node::new(i, time)) else {
-                    continue;
-                };
-                let analysis = analyzer.analyze(run, Node::new(i, time))?;
-                if analysis.hidden_capacity() >= 1 {
-                    found.push(id);
-                }
-            }
-            Ok(found)
-        })?;
+                Ok(found)
+            })?;
+        stats.merge(sweep_stats);
 
         let connected =
             with_capacity.iter().filter(|&&id| complex.star_is_q_connected(id, 0)).count();
@@ -540,7 +676,7 @@ pub fn prop2(config: &SweepConfig) -> Result<Prop2Report, ModelError> {
             counterexamples: with_capacity.len() - connected,
         });
     }
-    Ok(Prop2Report { exhaustive, targeted: prop2_targeted()? })
+    Ok((Prop2Report { exhaustive, targeted: prop2_targeted()? }, stats))
 }
 
 /// The targeted `k = 2` analysis of experiment E9b, unchanged from the

@@ -134,6 +134,7 @@ pub mod reduce;
 pub mod source;
 
 pub use engine::{
-    sweep, sweep_with_stats, CursorStats, Reducer, Scenario, ScenarioCursor, ScenarioSource,
-    SweepConfig, SweepStats,
+    fold_shard_range, fold_shard_stats, merge_shard_outcomes, shard_ranges, sweep, sweep_shards,
+    sweep_with_stats, CursorStats, Reducer, Scenario, ScenarioCursor, ScenarioSource, ShardOutcome,
+    ShardSweep, SweepConfig, SweepStats, FOLD_SEMANTICS_VERSION,
 };

@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
-# Tier-1 verification in one command: formatting, lints, build, tests, docs.
+# Tier-1 verification in one command: formatting, lints, build, tests, docs,
+# and a service-daemon smoke stage.
 #
 #   scripts/ci.sh           # fmt --check + clippy -D warnings + tests
 #                           #   + doctests + cargo doc -D warnings
+#                           #   + daemon smoke (serve/submit/cache/shutdown)
 #   scripts/ci.sh --bench   # additionally re-record the perf snapshot chain
 #
 # The --bench arm runs the snapshot binaries in chain order —
 # `bench_sweep_cache` (analysis cache off vs on, reuse+cursor pinned off),
 # `bench_run_reuse` (structure reuse off vs on, cursor pinned off, reading
-# the freshly re-recorded cached baseline), then `bench_block_cursor`
-# (block cursor off vs on, reading the freshly re-recorded reuse-on
-# baseline) — and overwrites the checked-in BENCH_*.json trio under one
-# same-machine, best-of-N discipline; run it on an otherwise idle machine.
+# the freshly re-recorded cached baseline), `bench_block_cursor` (block
+# cursor off vs on, reading the freshly re-recorded reuse-on baseline),
+# then `bench_service_cache` (daemon warm vs cold, reading the freshly
+# re-recorded cursor-on baseline) — and overwrites the checked-in
+# BENCH_*.json chain under one same-machine, best-of-N discipline; run it
+# on an otherwise idle machine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,8 +27,53 @@ cargo test --workspace -q
 cargo test --workspace --doc -q
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+# --- Daemon smoke -----------------------------------------------------------
+# Boot `sweep serve` on a temp socket, submit the same small thm1 job twice,
+# and assert: the folds diff clean, the second run is served 100% from the
+# shard-accumulator cache with zero shards executed, and shutdown is graceful
+# (the server process exits by itself — no orphaned workers — and removes its
+# socket file).  Binaries are run directly (not via `cargo run`) so the
+# server and client never contend for the cargo target-dir lock.
+cargo build -q -p bench_harness --bin sweep
+SMOKE_DIR="$(mktemp -d)"
+SMOKE_SOCK="$SMOKE_DIR/serve.sock"
+# A failing assertion below must not orphan the background daemon (the
+# very thing this stage asserts against) or leak the temp dir.
+SERVE_PID=""
+cleanup_smoke() {
+    [[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$SMOKE_DIR"
+}
+trap cleanup_smoke EXIT
+target/debug/sweep serve --socket "$SMOKE_SOCK" --workers 1 2>"$SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [[ -S "$SMOKE_SOCK" ]] && break; sleep 0.1; done
+if [[ ! -S "$SMOKE_SOCK" ]]; then
+    echo "ci.sh: daemon did not come up" >&2
+    cat "$SMOKE_DIR/serve.log" >&2
+    exit 1
+fi
+target/debug/sweep submit --socket "$SMOKE_SOCK" thm1 --scope 3,1,1 --shards 4 \
+    >"$SMOKE_DIR/cold.txt" 2>"$SMOKE_DIR/cold.log"
+target/debug/sweep submit --socket "$SMOKE_SOCK" thm1 --scope 3,1,1 --shards 4 \
+    >"$SMOKE_DIR/warm.txt" 2>"$SMOKE_DIR/warm.log"
+diff "$SMOKE_DIR/cold.txt" "$SMOKE_DIR/warm.txt"
+grep -q "4 shards total, 0 cached" "$SMOKE_DIR/cold.log"
+grep -q "(100.0% cached), 0 executed" "$SMOKE_DIR/warm.log"
+target/debug/sweep shutdown --socket "$SMOKE_SOCK" 2>/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+if [[ -e "$SMOKE_SOCK" ]]; then
+    echo "ci.sh: daemon left its socket behind" >&2
+    exit 1
+fi
+trap - EXIT
+rm -rf "$SMOKE_DIR"
+echo "ci.sh: daemon smoke passed (warm run 100% cached, graceful shutdown)"
+
 if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release -p bench_harness --bin bench_sweep_cache
     cargo run --release -p bench_harness --bin bench_run_reuse
     cargo run --release -p bench_harness --bin bench_block_cursor
+    cargo run --release -p bench_harness --bin bench_service_cache
 fi

@@ -17,13 +17,19 @@
 //!   generation and exhaustive enumeration;
 //! * [`sweep`] — the sharded, work-stealing scenario-sweep engine that
 //!   executes protocol runs over whole adversary spaces in parallel, with
-//!   deterministic (shard- and thread-count independent) fold results.
+//!   deterministic (shard- and thread-count independent) fold results;
+//! * [`service`] — the sweep service layer: the `sweep serve` daemon (job
+//!   queue, shard scheduler over a persistent worker pool, streamed
+//!   line-delimited JSON frames) and its incremental shard-accumulator
+//!   cache, which answers repeated queries without re-executing warm
+//!   shards.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use adversary;
 pub use knowledge;
+pub use service;
 pub use set_consensus;
 pub use sweep;
 pub use synchrony;
