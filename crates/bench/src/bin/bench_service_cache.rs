@@ -42,7 +42,7 @@ fn main() {
     let cursor_baseline_ms = BenchSnapshot::load_wall_ms(&baseline_path, "cursor_on");
 
     let socket = std::env::temp_dir().join(format!("sweep-bench-{}.sock", std::process::id()));
-    let server = Server::bind(&ServeOptions { endpoint: Endpoint::Unix(socket), workers: 1 })
+    let server = Server::bind(&ServeOptions::new(Endpoint::Unix(socket), 1))
         .expect("binding the bench daemon");
     let endpoint = server.endpoint().clone();
     let daemon = std::thread::spawn(move || server.run().expect("bench daemon"));

@@ -8,9 +8,12 @@
 //!
 //! # the service layer
 //! sweep serve    (--socket PATH | --tcp ADDR) [--workers N]
+//!                [--dispatchers N] [--queue-capacity N]
+//!                [--cache-dir PATH] [--cache-budget BYTES]
 //! sweep submit   (--socket PATH | --tcp ADDR) <thm1|thm3|fig4|prop2>
 //!                [--scope n,t,k[,maxv[,mcr[,pd]]]] [--shards N] [--seed N]
 //!                [--id N] [--no-shard-cache]
+//! sweep cancel   (--socket PATH | --tcp ADDR) --id N
 //! sweep shutdown (--socket PATH | --tcp ADDR)
 //! ```
 //!
@@ -28,10 +31,12 @@ use sweep::SweepConfig;
 
 const USAGE: &str = "usage: sweep <thm1|thm3|fig4|prop2|all> \
                      [--shards N] [--threads N] [--seed N] [--no-cache] [--no-reuse] [--no-cursor]\n\
-       sweep serve    (--socket PATH | --tcp ADDR) [--workers N]\n\
+       sweep serve    (--socket PATH | --tcp ADDR) [--workers N] [--dispatchers N] \
+                      [--queue-capacity N] [--cache-dir PATH] [--cache-budget BYTES]\n\
        sweep submit   (--socket PATH | --tcp ADDR) <thm1|thm3|fig4|prop2> \
                       [--scope n,t,k[,maxv[,mcr[,pd]]]] [--shards N] [--seed N] [--id N] \
                       [--no-shard-cache]\n\
+       sweep cancel   (--socket PATH | --tcp ADDR) --id N\n\
        sweep shutdown (--socket PATH | --tcp ADDR)";
 
 fn usage_exit(message: &str) -> ! {
@@ -47,6 +52,7 @@ fn main() {
     match command.as_str() {
         "serve" => serve_main(args),
         "submit" => submit_main(args),
+        "cancel" => cancel_main(args),
         "shutdown" => shutdown_main(args),
         _ => experiment_main(&command, args),
     }
@@ -139,16 +145,33 @@ fn parse_number<T: std::str::FromStr>(flag: &str, text: &str) -> T {
 fn serve_main(mut args: impl Iterator<Item = String>) {
     let mut endpoint = EndpointFlag(None);
     let mut workers = 0usize;
+    let mut dispatchers = 0usize;
+    let mut queue_capacity = 0usize;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut cache_budget: Option<u64> = None;
     while let Some(flag) = args.next() {
         if endpoint.accept(&flag, || value_of(&flag, &mut args)) {
             continue;
         }
         match flag.as_str() {
             "--workers" => workers = parse_number(&flag, &value_of(&flag, &mut args)),
+            "--dispatchers" => dispatchers = parse_number(&flag, &value_of(&flag, &mut args)),
+            "--queue-capacity" => queue_capacity = parse_number(&flag, &value_of(&flag, &mut args)),
+            "--cache-dir" => cache_dir = Some(value_of(&flag, &mut args).into()),
+            "--cache-budget" => {
+                cache_budget = Some(parse_number(&flag, &value_of(&flag, &mut args)))
+            }
             other => usage_exit(&format!("unknown flag {other}")),
         }
     }
-    let options = ServeOptions { endpoint: endpoint.require(), workers };
+    let options = ServeOptions {
+        endpoint: endpoint.require(),
+        workers,
+        dispatchers,
+        queue_capacity,
+        cache_dir,
+        cache_budget,
+    };
     let server = match Server::bind(&options) {
         Ok(server) => server,
         Err(error) => {
@@ -256,6 +279,32 @@ fn submit_main(mut args: impl Iterator<Item = String>) {
         outcome.partials,
         outcome.wall_ms,
     );
+}
+
+fn cancel_main(mut args: impl Iterator<Item = String>) {
+    let mut endpoint = EndpointFlag(None);
+    let mut job: Option<u64> = None;
+    while let Some(flag) = args.next() {
+        if endpoint.accept(&flag, || value_of(&flag, &mut args)) {
+            continue;
+        }
+        match flag.as_str() {
+            "--id" => job = Some(parse_number(&flag, &value_of(&flag, &mut args))),
+            other => usage_exit(&format!("unknown flag {other}")),
+        }
+    }
+    let job = job.unwrap_or_else(|| usage_exit("missing --id N"));
+    match client::cancel(&endpoint.require(), job) {
+        Ok(true) => eprintln!("sweep cancel: job {job} revoked"),
+        Ok(false) => {
+            eprintln!("sweep cancel: job {job} not found (already finished or never queued)");
+            std::process::exit(1);
+        }
+        Err(error) => {
+            eprintln!("sweep cancel: {error}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn shutdown_main(mut args: impl Iterator<Item = String>) {

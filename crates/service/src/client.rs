@@ -95,7 +95,53 @@ pub fn submit(endpoint: &Endpoint, spec: &JobSpec) -> Result<JobOutcome, Service
                     wall_ms: done.wall_ms,
                 });
             }
-            Frame::Error(error) => return Err(ServiceError::Remote(error.message)),
+            Frame::Error(error) => {
+                return Err(ServiceError::Remote { kind: error.kind, message: error.message })
+            }
+            other => {
+                return Err(ServiceError::Protocol(format!("unexpected frame {other:?}")));
+            }
+        }
+    }
+}
+
+/// Asks a running daemon to revoke a queued or running job by its id,
+/// returning whether the daemon knew the job when the cancel arrived.
+/// The revoked job itself terminates with a `cancelled` error frame on
+/// the connection that submitted it.
+///
+/// # Errors
+///
+/// Returns connection and wire failures, a server-reported error, or a
+/// protocol violation (connection closed before the acknowledgement).
+pub fn cancel(endpoint: &Endpoint, job: u64) -> Result<bool, ServiceError> {
+    let mut stream = Stream::connect(endpoint)?;
+    write_frame(&mut stream, &Frame::Cancel { job })?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let read = reader
+            .read_line(&mut line)
+            .map_err(|e| ServiceError::io("reading the cancel ack", e))?;
+        if read == 0 {
+            return Err(ServiceError::Protocol("daemon closed without acknowledging".into()));
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match wire::decode_line(&line)? {
+            Frame::CancelAck { job: acked, found } => {
+                if acked != job {
+                    return Err(ServiceError::Protocol(format!(
+                        "cancel-ack for job {acked} while cancelling job {job}"
+                    )));
+                }
+                return Ok(found);
+            }
+            Frame::Error(error) => {
+                return Err(ServiceError::Remote { kind: error.kind, message: error.message })
+            }
             other => {
                 return Err(ServiceError::Protocol(format!("unexpected frame {other:?}")));
             }
@@ -128,7 +174,9 @@ pub fn shutdown(endpoint: &Endpoint) -> Result<(), ServiceError> {
         }
         match wire::decode_line(&line)? {
             Frame::ShuttingDown => return Ok(()),
-            Frame::Error(error) => return Err(ServiceError::Remote(error.message)),
+            Frame::Error(error) => {
+                return Err(ServiceError::Remote { kind: error.kind, message: error.message })
+            }
             other => {
                 return Err(ServiceError::Protocol(format!("unexpected frame {other:?}")));
             }

@@ -86,6 +86,29 @@ pub struct ShardKey {
     pub shard: usize,
 }
 
+impl ShardKey {
+    /// Renders the key as its canonical string — the identity used by the
+    /// persisted [`CacheStore`](crate::store::CacheStore) backends, where
+    /// keys outlive the typed `HashMap` and must survive a restart
+    /// byte-identically.
+    ///
+    /// The rendering is the compact wire-JSON object of every key field in
+    /// a fixed order; two keys are equal iff their canonical strings are.
+    pub fn canonical_string(&self) -> String {
+        use crate::wire::Value;
+        Value::Object(vec![
+            ("query".into(), Value::Str(self.job.query.clone())),
+            ("scope".into(), Value::Str(self.job.scope.clone())),
+            ("protocols".into(), Value::Str(self.job.protocols.clone())),
+            ("seed".into(), Value::Int(self.job.seed as i128)),
+            ("shards".into(), Value::Int(self.job.shards as i128)),
+            ("shard".into(), Value::Int(self.shard as i128)),
+            ("code_version".into(), Value::Str(self.job.code_version.clone())),
+        ])
+        .render()
+    }
+}
+
 /// Canonicalizes an exhaustive enumeration scope (plus the agreement
 /// degree `k`, which selects the task parameters) into the fingerprint's
 /// scope string.
@@ -132,5 +155,26 @@ mod tests {
         let stale = JobFingerprint { code_version: "0.0.0+fold.v0".into(), ..fingerprint.clone() };
         assert_ne!(fingerprint.shard(0), stale.shard(0));
         assert!(code_version().contains("+fold.v"));
+    }
+
+    #[test]
+    fn canonical_strings_are_injective_and_reparse() {
+        let fingerprint = JobFingerprint {
+            query: "thm1".into(),
+            scope: "n=3,t=1,k=1".into(),
+            protocols: "optmin".into(),
+            seed: 0,
+            shards: 4,
+            code_version: code_version(),
+        };
+        let canonical = fingerprint.shard(1).canonical_string();
+        assert_ne!(canonical, fingerprint.shard(2).canonical_string());
+        let parsed = crate::wire::Value::parse(&canonical).expect("canonical keys are JSON");
+        assert_eq!(parsed.render(), canonical, "rendering must be a fixed point");
+        assert_eq!(
+            parsed.get("code_version"),
+            Some(&crate::wire::Value::Str(code_version())),
+            "persisted stores read the version out of the key"
+        );
     }
 }

@@ -17,16 +17,21 @@
 //!   seed, shard partition and code version, with the invalidation rule on
 //!   version mismatch;
 //! * [`cache`] — the typed shard-accumulator store;
+//! * [`store`] — the durable backend behind it: an object-safe
+//!   [`CacheStore`] seam with a CRC-framed append-log + snapshot
+//!   implementation ([`DurableStore`]) and byte-budgeted LRU eviction;
 //! * [`pool`] — the persistent worker pool (warm `BatchRunner` per
 //!   worker, shared across jobs and connections);
-//! * [`server`] — accept loop, job queue, shard scheduler, streaming,
-//!   graceful shutdown;
-//! * [`client`] — blocking submit/shutdown calls used by `sweep submit`
-//!   and the end-to-end tests;
+//! * [`server`] — accept loop, bounded job queue, concurrent
+//!   dispatchers, shard scheduler, streaming, cancellation, graceful
+//!   shutdown;
+//! * [`client`] — blocking submit/cancel/shutdown calls used by
+//!   `sweep submit`/`sweep cancel` and the end-to-end tests;
 //! * [`net`] — Unix/TCP endpoints behind one stream type.
 //!
 //! The frame lifecycle and cache design are documented in
-//! `docs/ARCHITECTURE.md` ("The service layer").
+//! `docs/ARCHITECTURE.md` ("The service layer" and "Persistence and
+//! eviction").
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,14 +43,16 @@ pub mod fingerprint;
 pub mod net;
 pub mod pool;
 pub mod server;
+pub mod store;
 pub mod wire;
 
 use std::fmt;
 
-pub use client::{submit, JobOutcome};
+pub use client::{cancel, submit, JobOutcome};
 pub use net::Endpoint;
 pub use server::{ServeOptions, Server};
-pub use wire::{JobSpec, QueryKind, QueryResult, ScopeSpec};
+pub use store::{CacheStore, DurableStore, StoreAccounting, StoredEntry};
+pub use wire::{ErrorKind, JobSpec, QueryKind, QueryResult, ScopeSpec};
 
 /// Any failure of the service layer, from transport to protocol to model.
 #[derive(Debug)]
@@ -64,7 +71,12 @@ pub enum ServiceError {
     /// The peer violated the frame protocol.
     Protocol(String),
     /// The server reported a job failure.
-    Remote(String),
+    Remote {
+        /// The machine-readable failure class from the error frame.
+        kind: wire::ErrorKind,
+        /// The human-readable description.
+        message: String,
+    },
 }
 
 impl ServiceError {
@@ -80,7 +92,9 @@ impl fmt::Display for ServiceError {
             ServiceError::Wire(error) => write!(f, "{error}"),
             ServiceError::Model(error) => write!(f, "model error: {error}"),
             ServiceError::Protocol(message) => write!(f, "protocol violation: {message}"),
-            ServiceError::Remote(message) => write!(f, "server error: {message}"),
+            ServiceError::Remote { kind, message } => {
+                write!(f, "server error ({}): {message}", kind.name())
+            }
         }
     }
 }

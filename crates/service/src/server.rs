@@ -1,34 +1,47 @@
-//! The `sweep serve` daemon: accept loop, job queue, shard scheduler and
-//! result streaming.
+//! The `sweep serve` daemon: accept loop, bounded job queue, concurrent
+//! dispatchers, shard scheduler and result streaming.
 //!
 //! Thread anatomy (one process):
 //!
 //! ```text
 //!   accept loop (main)  ──spawn──►  connection threads (1 per client)
-//!        │                             │ parse line frames
+//!        │                             │ parse line frames; cancel registry
 //!        │                             ▼
-//!        │                          job queue (mpsc, FIFO across clients)
-//!        │                             │
-//!        ▼                             ▼
-//!   shutdown flag  ◄──────────  dispatcher thread (1)
+//!        │                          job queue (bounded sync_channel;
+//!        │                           full ⇒ queue-full error frame)
+//!        ▼                             │
+//!   shutdown flag  ◄──────────  dispatcher threads (N, sharing the queue)
 //!                                  │ per case: shard_ranges → warm/cold split
 //!                                  │ cold shards ──►  persistent worker pool
 //!                                  │                   (fold_shard_stats each)
 //!                                  ◄── completions; streams shard-done/partial
-//!                                  └─ merge_shard_outcomes → job-done
+//!                                  └─ try_merge_shard_outcomes → job-done
+//!                                     (typed error frame on failure)
 //! ```
 //!
-//! Jobs are executed strictly FIFO by the single dispatcher; *within* a
-//! job, each case's block-aligned shards fan out across the pool and
-//! complete in any order.  Determinism is unaffected: accumulators are
-//! merged in shard order through `sweep::merge_shard_outcomes`, so the
-//! streamed final fold is bit-identical to an in-process
-//! `sweep::sweep_with_stats` at any worker count, warm or cold — the
-//! end-to-end tests pin this.
+//! Jobs are popped FIFO but up to `dispatchers` of them run concurrently,
+//! sharing one worker pool — a long job no longer blocks a warm
+//! cache-replay behind it.  *Within* a job, each case's block-aligned
+//! shards fan out across the pool and complete in any order.  Determinism
+//! is unaffected: accumulators are merged in shard order through
+//! `sweep::try_merge_shard_outcomes`, so the streamed final fold is
+//! bit-identical to an in-process `sweep::sweep_with_stats` at any worker
+//! count, warm or cold — the end-to-end tests pin this.  A failed merge
+//! precondition (a gapped or out-of-order partition, e.g. from a forged
+//! persisted entry) terminates *that job* with a typed error frame; the
+//! daemon itself never panics on cache contents.
+//!
+//! With a `--cache-dir` (or `--cache-budget`), the shard-accumulator
+//! caches route through one shared `store::DurableStore` — persisted,
+//! byte-budgeted, LRU-evicted; see `store` for the format and recovery
+//! rules.  Shard accumulators are inserted into the store *before* their
+//! `shard-done` frame is streamed, so any shard a client observed as done
+//! is durably replayable after a crash.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Sender};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -40,8 +53,8 @@ use sweep::experiments::{
     THM3_CASES, THM3_SAMPLES,
 };
 use sweep::{
-    fold_shard_stats, merge_shard_outcomes, shard_ranges, Reducer, Scenario, ScenarioSource,
-    ShardOutcome, SweepConfig, SweepStats,
+    fold_shard_stats, shard_ranges, try_merge_shard_outcomes, MergeError, Reducer, Scenario,
+    ScenarioSource, ShardOutcome, SweepConfig, SweepStats,
 };
 use synchrony::ModelError;
 
@@ -49,9 +62,10 @@ use crate::cache::ShardCache;
 use crate::fingerprint::{code_version, scope_string, JobFingerprint};
 use crate::net::{Endpoint, Listener, Stream};
 use crate::pool::WorkerPool;
+use crate::store::{CacheStore, DurableStore};
 use crate::wire::{
-    self, encode_line, ErrorFrame, Frame, JobDone, JobSpec, Partial, QueryKind, QueryResult,
-    ShardDone, Value,
+    self, encode_line, ErrorFrame, ErrorKind, Frame, FromWire, JobDone, JobSpec, Partial,
+    QueryKind, QueryResult, ShardDone, ToWire, Value,
 };
 use crate::ServiceError;
 
@@ -63,30 +77,142 @@ pub struct ServeOptions {
     /// Size of the persistent worker pool; `0` picks the machine's
     /// available parallelism.
     pub workers: usize,
+    /// Concurrent job dispatchers (jobs running at once); `0` picks
+    /// [`ServeOptions::DEFAULT_DISPATCHERS`].
+    pub dispatchers: usize,
+    /// Bound of the job queue: jobs admitted but not yet dispatched.  A
+    /// submit hitting a full queue is rejected with a `queue-full` error
+    /// frame instead of growing the queue without bound.  `0` picks
+    /// [`ServeOptions::DEFAULT_QUEUE_CAPACITY`].
+    pub queue_capacity: usize,
+    /// Persist the shard-accumulator cache under this directory
+    /// (append-log + snapshot; see `store::DurableStore`).
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Byte budget of the shard-accumulator cache (LRU eviction above
+    /// it); `None` leaves the cache unbounded.
+    pub cache_budget: Option<u64>,
+}
+
+impl ServeOptions {
+    /// Dispatcher count used when [`ServeOptions::dispatchers`] is `0`.
+    pub const DEFAULT_DISPATCHERS: usize = 2;
+    /// Queue bound used when [`ServeOptions::queue_capacity`] is `0`.
+    pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+    /// Options with every hardening knob at its default: in-memory
+    /// unbounded cache, default dispatcher count and queue bound.
+    pub fn new(endpoint: Endpoint, workers: usize) -> Self {
+        ServeOptions {
+            endpoint,
+            workers,
+            dispatchers: 0,
+            queue_capacity: 0,
+            cache_dir: None,
+            cache_budget: None,
+        }
+    }
 }
 
 /// The protocol sets of each query, in batch order — part of every
 /// fingerprint, so a future protocol change cannot replay accumulators
 /// folded over a different set.
-const THM1_PROTOCOLS: &str = "optmin,earlyfloodmin,floodmin";
+pub(crate) const THM1_PROTOCOLS: &str = "optmin,earlyfloodmin,floodmin";
 const THM3_PROTOCOLS: &str = "upmin";
 const FIG4_PROTOCOLS: &str = "upmin,optmin,earlyuniformfloodmin,floodmin";
 
-/// The daemon-lifetime shard-accumulator caches, one typed map per
-/// reducer (plus the job-level Proposition 2 report cache).
-#[derive(Debug, Default)]
+/// The daemon-lifetime shard-accumulator caches, one typed front per
+/// reducer (plus the job-level Proposition 2 report cache), all sharing
+/// one optional durable store (the keys embed the query name, so one
+/// keyspace holds every type).
+#[derive(Debug)]
 struct DaemonCaches {
     thm1: ShardCache<Thm1Outcome>,
     thm3: ShardCache<Thm3Acc>,
     fig4: ShardCache<Fig4Acc>,
     prop2: ShardCache<experiments::Prop2Report>,
+    store: Option<Arc<DurableStore>>,
 }
 
-/// A queued job: the parsed spec plus the submitting connection's writer.
+impl DaemonCaches {
+    fn new(store: Option<Arc<DurableStore>>) -> Self {
+        fn cache<A: Clone + ToWire + FromWire>(store: &Option<Arc<DurableStore>>) -> ShardCache<A> {
+            match store {
+                Some(store) => ShardCache::with_store(Arc::clone(store) as Arc<dyn CacheStore>),
+                None => ShardCache::new(),
+            }
+        }
+        DaemonCaches {
+            thm1: cache(&store),
+            thm3: cache(&store),
+            fig4: cache(&store),
+            prop2: cache(&store),
+            store,
+        }
+    }
+
+    /// The `; cache store: …` suffix of the per-job stats line — empty
+    /// without a store, the live accounting with one.
+    fn store_suffix(&self) -> String {
+        match &self.store {
+            Some(store) => format!("; cache store: {}", store.accounting()),
+            None => String::new(),
+        }
+    }
+}
+
+/// How one job failed — each variant maps to a wire [`ErrorKind`], so
+/// clients can distinguish a revoked job from a poisoned merge without
+/// parsing messages.
+#[derive(Debug)]
+enum JobError {
+    /// The sweep engine rejected the job parameters.
+    Model(ModelError),
+    /// Cached/fresh accumulators failed the shard-merge preconditions —
+    /// the typed, daemon-survivable form of what used to be a worker
+    /// panic.
+    Merge(MergeError),
+    /// The job was revoked by a `cancel` frame.
+    Cancelled,
+}
+
+impl JobError {
+    fn kind(&self) -> ErrorKind {
+        match self {
+            JobError::Model(_) => ErrorKind::Model,
+            JobError::Merge(_) => ErrorKind::Merge,
+            JobError::Cancelled => ErrorKind::Cancelled,
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Model(error) => write!(f, "{error}"),
+            JobError::Merge(error) => write!(f, "shard merge failed: {error}"),
+            JobError::Cancelled => write!(f, "job cancelled"),
+        }
+    }
+}
+
+impl From<ModelError> for JobError {
+    fn from(error: ModelError) -> Self {
+        JobError::Model(error)
+    }
+}
+
+/// A queued job: the parsed spec, the submitting connection's writer, and
+/// the cancel token the registry can flip.
 struct JobTask {
     spec: JobSpec,
     reply: Reply,
+    cancel: Arc<AtomicBool>,
 }
+
+/// Job id → cancel token of every queued or running job.  Ids are
+/// client-chosen; a resubmitted id overwrites the previous token, so
+/// clients wanting reliable cancel semantics should keep ids unique.
+type CancelRegistry = Arc<Mutex<HashMap<u64, Arc<AtomicBool>>>>;
 
 /// The shared writer of one connection; `shard-done`/`partial`/`job-done`
 /// frames of a job go to the connection that submitted it.
@@ -111,14 +237,21 @@ pub struct Server {
     listener: Listener,
     endpoint: Endpoint,
     workers: usize,
+    dispatchers: usize,
+    queue_capacity: usize,
+    store: Option<Arc<DurableStore>>,
 }
 
 impl Server {
-    /// Binds the endpoint and resolves the worker count.
+    /// Binds the endpoint, resolves the worker/dispatcher counts, and
+    /// opens the cache store when one is configured.
     ///
     /// # Errors
     ///
-    /// Propagates bind failures (address in use, stale socket file, …).
+    /// Propagates bind failures (address in use, stale socket file, …) and
+    /// cache-directory I/O failures.  Damaged cache *content* is never an
+    /// error: the store drops the damage and recovers (see
+    /// `store::DurableStore::open`).
     pub fn bind(options: &ServeOptions) -> Result<Server, ServiceError> {
         let listener = Listener::bind(&options.endpoint)?;
         let endpoint = listener.local_endpoint();
@@ -127,7 +260,25 @@ impl Server {
         } else {
             thread::available_parallelism().map(usize::from).unwrap_or(1)
         };
-        Ok(Server { listener, endpoint, workers })
+        let dispatchers = if options.dispatchers > 0 {
+            options.dispatchers
+        } else {
+            ServeOptions::DEFAULT_DISPATCHERS
+        };
+        let queue_capacity = if options.queue_capacity > 0 {
+            options.queue_capacity
+        } else {
+            ServeOptions::DEFAULT_QUEUE_CAPACITY
+        };
+        let store = match &options.cache_dir {
+            Some(dir) => {
+                Some(Arc::new(DurableStore::open(dir, options.cache_budget, &code_version())?))
+            }
+            None => {
+                options.cache_budget.map(|budget| Arc::new(DurableStore::in_memory(Some(budget))))
+            }
+        };
+        Ok(Server { listener, endpoint, workers, dispatchers, queue_capacity, store })
     }
 
     /// The endpoint actually bound.
@@ -138,6 +289,11 @@ impl Server {
     /// The resolved worker-pool size.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The resolved dispatcher count.
+    pub fn dispatchers(&self) -> usize {
+        self.dispatchers
     }
 
     /// Runs the daemon until a client sends a `shutdown` frame, then
@@ -154,26 +310,48 @@ impl Server {
     /// exit.
     pub fn run(self) -> Result<(), ServiceError> {
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (job_tx, job_rx) = mpsc::channel::<JobTask>();
+        let (job_tx, job_rx) = mpsc::sync_channel::<JobTask>(self.queue_capacity);
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let registry: CancelRegistry = Arc::new(Mutex::new(HashMap::new()));
 
-        // The dispatcher owns the pool and the caches: jobs are executed
-        // FIFO, shards fan out across the persistent workers.
-        let workers = self.workers;
-        let dispatcher = thread::spawn(move || {
-            let caches = DaemonCaches::default();
-            let pool = WorkerPool::new(workers);
-            for task in job_rx {
-                execute_job(&pool, &caches, task);
-            }
-            // Dropping the pool closes its queue and joins the workers.
-        });
+        // The dispatchers share the pool and the caches: jobs are popped
+        // FIFO, up to `dispatchers` run at once, shards fan out across the
+        // persistent workers.
+        let pool = Arc::new(WorkerPool::new(self.workers));
+        let caches = Arc::new(DaemonCaches::new(self.store.clone()));
+        let dispatchers: Vec<_> = (0..self.dispatchers)
+            .map(|_| {
+                let job_rx = Arc::clone(&job_rx);
+                let pool = Arc::clone(&pool);
+                let caches = Arc::clone(&caches);
+                let registry = Arc::clone(&registry);
+                thread::spawn(move || loop {
+                    // Hold the queue lock only while popping, never while
+                    // executing a job.
+                    let task = job_rx.lock().expect("job queue lock").recv();
+                    match task {
+                        Ok(task) => execute_job(&pool, &caches, &registry, task),
+                        Err(_) => break, // queue closed: shutdown
+                    }
+                })
+            })
+            .collect();
 
         eprintln!(
-            "sweep serve: listening on {} with {} worker(s), {}",
+            "sweep serve: listening on {} with {} worker(s), {} dispatcher(s), {}",
             self.endpoint,
-            workers,
+            self.workers,
+            self.dispatchers,
             code_version()
         );
+        if let Some(store) = &self.store {
+            let accounting = store.accounting();
+            eprintln!(
+                "sweep serve: cache store ready: {accounting}; {} loaded from disk, \
+                 {} damaged line(s) dropped, {} stale entr(ies) dropped",
+                accounting.loaded, accounting.dropped_damaged, accounting.dropped_stale
+            );
+        }
 
         let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
         while !shutdown.load(Ordering::Relaxed) {
@@ -184,9 +362,10 @@ impl Server {
             match self.listener.try_accept() {
                 Ok(Some(stream)) => {
                     let job_tx = job_tx.clone();
+                    let registry = Arc::clone(&registry);
                     let shutdown = Arc::clone(&shutdown);
                     connections.push(thread::spawn(move || {
-                        handle_connection(stream, &job_tx, &shutdown);
+                        handle_connection(stream, &job_tx, &registry, &shutdown);
                     }));
                 }
                 Ok(None) => thread::sleep(Duration::from_millis(5)),
@@ -205,7 +384,12 @@ impl Server {
         for connection in connections {
             let _ = connection.join();
         }
-        dispatcher.join().expect("dispatcher thread panicked");
+        for dispatcher in dispatchers {
+            dispatcher.join().expect("dispatcher thread panicked");
+        }
+        // Dropping the last pool handle closes its queue and joins the
+        // workers.
+        drop(pool);
         if let Endpoint::Unix(path) = &self.endpoint {
             let _ = std::fs::remove_file(path);
         }
@@ -220,8 +404,14 @@ impl Server {
 const CONNECTION_READ_TIMEOUT: Duration = Duration::from_millis(200);
 
 /// Reads line frames off one connection until EOF or shutdown, queueing
-/// jobs and acknowledging shutdown requests.
-fn handle_connection(stream: Stream, job_tx: &Sender<JobTask>, shutdown: &AtomicBool) {
+/// jobs (bounded — a full queue rejects with a `queue-full` error frame),
+/// flipping cancel tokens, and acknowledging shutdown requests.
+fn handle_connection(
+    stream: Stream,
+    job_tx: &SyncSender<JobTask>,
+    registry: &CancelRegistry,
+    shutdown: &AtomicBool,
+) {
     let Ok(write_half) = stream.try_clone() else { return };
     // The read timeout is what keeps shutdown graceful even while a client
     // (e.g. a human on `nc -U`) sits connected and idle: without it this
@@ -262,9 +452,37 @@ fn handle_connection(stream: Stream, job_tx: &Sender<JobTask>, shutdown: &Atomic
         }
         match wire::decode_line(&line) {
             Ok(Frame::Job(spec)) => {
-                if job_tx.send(JobTask { spec, reply: Arc::clone(&reply) }).is_err() {
-                    break;
+                let id = spec.id;
+                let cancel = Arc::new(AtomicBool::new(false));
+                // Register before queueing, so a cancel can never race past
+                // a job that is queued but not yet visible.
+                registry.lock().expect("cancel registry lock").insert(id, Arc::clone(&cancel));
+                match job_tx.try_send(JobTask { spec, reply: Arc::clone(&reply), cancel }) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        registry.lock().expect("cancel registry lock").remove(&id);
+                        send_frame(
+                            &reply,
+                            &Frame::Error(ErrorFrame {
+                                job: Some(id),
+                                kind: ErrorKind::QueueFull,
+                                message: "job queue is full; resubmit later".into(),
+                            }),
+                        );
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        registry.lock().expect("cancel registry lock").remove(&id);
+                        break;
+                    }
                 }
+            }
+            Ok(Frame::Cancel { job }) => {
+                let token = registry.lock().expect("cancel registry lock").get(&job).cloned();
+                let found = token.is_some();
+                if let Some(token) = token {
+                    token.store(true, Ordering::Relaxed);
+                }
+                send_frame(&reply, &Frame::CancelAck { job, found });
             }
             Ok(Frame::Shutdown) => {
                 // Ack, then stop accepting: jobs already queued (including
@@ -278,14 +496,19 @@ fn handle_connection(stream: Stream, job_tx: &Sender<JobTask>, shutdown: &Atomic
                     &reply,
                     &Frame::Error(ErrorFrame {
                         job: None,
-                        message: "unexpected frame (clients send job or shutdown)".into(),
+                        kind: ErrorKind::Protocol,
+                        message: "unexpected frame (clients send job, cancel or shutdown)".into(),
                     }),
                 );
             }
             Err(error) => {
                 send_frame(
                     &reply,
-                    &Frame::Error(ErrorFrame { job: None, message: error.to_string() }),
+                    &Frame::Error(ErrorFrame {
+                        job: None,
+                        kind: ErrorKind::Protocol,
+                        message: error.to_string(),
+                    }),
                 );
             }
         }
@@ -320,18 +543,29 @@ impl JobSummary {
     }
 }
 
-/// Runs one queued job end to end and streams its terminal frame.
-fn execute_job(pool: &WorkerPool, caches: &DaemonCaches, task: JobTask) {
-    let JobTask { spec, reply } = task;
+/// Runs one queued job end to end and streams its terminal frame.  A job
+/// failure — model error, poisoned merge, cancellation — terminates the
+/// job with a typed error frame and leaves the daemon (and this
+/// dispatcher) serving.
+fn execute_job(pool: &WorkerPool, caches: &DaemonCaches, registry: &CancelRegistry, task: JobTask) {
+    let JobTask { spec, reply, cancel } = task;
     let start = Instant::now();
-    match run_query(pool, caches, &spec, &reply) {
+    let outcome = if cancel.load(Ordering::Relaxed) {
+        // Revoked while still queued: never starts executing.
+        Err(JobError::Cancelled)
+    } else {
+        run_query(pool, caches, &spec, &reply, &cancel)
+    };
+    registry.lock().expect("cancel registry lock").remove(&spec.id);
+    match outcome {
         Ok(summary) => {
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
             // The daemon-side job trailer, reusing the canonical stats-line
-            // renderer of the sweep crate.
+            // renderer of the sweep crate, plus the store accounting when a
+            // durable/bounded cache is configured.
             eprintln!(
                 "sweep serve: job {} ({}) done in {:.0} ms; shards: {} total, {} cached, \
-                 {} executed; {}",
+                 {} executed; {}{}",
                 spec.id,
                 spec.query.name(),
                 wall_ms,
@@ -339,6 +573,7 @@ fn execute_job(pool: &WorkerPool, caches: &DaemonCaches, task: JobTask) {
                 summary.shards_cached,
                 summary.shards_executed,
                 summary.stats.stats_line(),
+                caches.store_suffix(),
             );
             send_frame(
                 &reply,
@@ -354,10 +589,19 @@ fn execute_job(pool: &WorkerPool, caches: &DaemonCaches, task: JobTask) {
             );
         }
         Err(error) => {
-            eprintln!("sweep serve: job {} ({}) failed: {error}", spec.id, spec.query.name());
+            eprintln!(
+                "sweep serve: job {} ({}) failed ({}): {error}",
+                spec.id,
+                spec.query.name(),
+                error.kind().name()
+            );
             send_frame(
                 &reply,
-                &Frame::Error(ErrorFrame { job: Some(spec.id), message: error.to_string() }),
+                &Frame::Error(ErrorFrame {
+                    job: Some(spec.id),
+                    kind: error.kind(),
+                    message: error.to_string(),
+                }),
             );
         }
     }
@@ -378,16 +622,17 @@ fn run_query(
     caches: &DaemonCaches,
     spec: &JobSpec,
     reply: &Reply,
-) -> Result<JobSummary, ModelError> {
+    cancel: &Arc<AtomicBool>,
+) -> Result<JobSummary, JobError> {
     if spec.scope.is_some() && spec.query != QueryKind::Thm1 {
-        return Err(ModelError::InvalidTaskParameter {
+        return Err(JobError::Model(ModelError::InvalidTaskParameter {
             reason: "custom scopes are only supported for thm1 jobs".into(),
-        });
+        }));
     }
     match spec.query {
-        QueryKind::Thm1 => run_thm1(pool, caches, spec, reply),
-        QueryKind::Thm3 => run_thm3(pool, caches, spec, reply),
-        QueryKind::Fig4 => run_fig4(pool, caches, spec, reply),
+        QueryKind::Thm1 => run_thm1(pool, caches, spec, reply, cancel),
+        QueryKind::Thm3 => run_thm3(pool, caches, spec, reply, cancel),
+        QueryKind::Fig4 => run_fig4(pool, caches, spec, reply, cancel),
         QueryKind::Prop2 => run_prop2(pool, caches, spec, reply),
     }
 }
@@ -397,7 +642,8 @@ fn run_thm1(
     caches: &DaemonCaches,
     spec: &JobSpec,
     reply: &Reply,
-) -> Result<JobSummary, ModelError> {
+    cancel: &Arc<AtomicBool>,
+) -> Result<JobSummary, JobError> {
     let cases: Vec<(EnumerationConfig, usize)> = match &spec.scope {
         Some(scope) => vec![(
             EnumerationConfig {
@@ -433,6 +679,7 @@ fn run_thm1(
             cases: cases.len(),
             shards,
             use_shard_cache: spec.shard_cache,
+            cancel,
             source: Arc::new(source),
             reducer: Arc::new(Thm1Reducer),
             job: experiments::thm1_job,
@@ -459,7 +706,8 @@ fn run_thm3(
     caches: &DaemonCaches,
     spec: &JobSpec,
     reply: &Reply,
-) -> Result<JobSummary, ModelError> {
+    cancel: &Arc<AtomicBool>,
+) -> Result<JobSummary, JobError> {
     let shards = resolved_shards(spec, pool);
     let mut rows = Vec::new();
     let mut summary = JobSummary::new(QueryResult::Thm3(Vec::new()));
@@ -481,6 +729,7 @@ fn run_thm3(
             cases: THM3_CASES.len(),
             shards,
             use_shard_cache: spec.shard_cache,
+            cancel,
             source: Arc::new(source),
             reducer: Arc::new(Thm3Reducer),
             job: experiments::thm3_job,
@@ -508,7 +757,8 @@ fn run_fig4(
     caches: &DaemonCaches,
     spec: &JobSpec,
     reply: &Reply,
-) -> Result<JobSummary, ModelError> {
+    cancel: &Arc<AtomicBool>,
+) -> Result<JobSummary, JobError> {
     let shards = resolved_shards(spec, pool);
     let (source, shapes) = experiments::fig4_source()?;
     let fingerprint = JobFingerprint {
@@ -527,6 +777,7 @@ fn run_fig4(
         cases: 1,
         shards,
         use_shard_cache: spec.shard_cache,
+        cancel,
         source: Arc::new(source),
         reducer: Arc::new(Fig4Reducer),
         job: experiments::fig4_job,
@@ -551,7 +802,7 @@ fn run_prop2(
     caches: &DaemonCaches,
     spec: &JobSpec,
     reply: &Reply,
-) -> Result<JobSummary, ModelError> {
+) -> Result<JobSummary, JobError> {
     let fingerprint = JobFingerprint {
         query: "prop2".into(),
         scope: "builtin".into(),
@@ -563,7 +814,7 @@ fn run_prop2(
     let key = fingerprint.shard(0);
     let cached = if spec.shard_cache { caches.prop2.get(&key) } else { None };
     let (report, stats, was_cached) = match cached {
-        Some(report) => (report, SweepStats::default(), true),
+        Some((report, _range)) => (report, SweepStats::default(), true),
         None => {
             let config = SweepConfig {
                 shards: resolved_shards(spec, pool),
@@ -573,7 +824,7 @@ fn run_prop2(
             };
             let (report, stats) = experiments::prop2_with_stats(&config)?;
             if spec.shard_cache {
-                caches.prop2.insert(key, report.clone());
+                caches.prop2.insert(key, (0, stats.scenarios as usize), report.clone());
             }
             (report, stats, false)
         }
@@ -624,6 +875,7 @@ struct CaseContext<'a, S, R: Reducer> {
     cases: usize,
     shards: usize,
     use_shard_cache: bool,
+    cancel: &'a Arc<AtomicBool>,
     source: Arc<S>,
     reducer: Arc<R>,
     job: JobFn<R::Item>,
@@ -639,13 +891,21 @@ struct CaseContext<'a, S, R: Reducer> {
 ///
 /// The daemon-side sibling of `sweep::sweep_shards`: both share
 /// `shard_ranges` for the partition, `fold_shard_stats` for the per-shard
-/// kernel and `merge_shard_outcomes` for the law-checked merge, so their
-/// folds are bit-identical by construction.
-fn run_case<S, R>(context: CaseContext<'_, S, R>) -> Result<CaseOutcome<R::Acc>, ModelError>
+/// kernel and `try_merge_shard_outcomes` for the law-checked merge, so
+/// their folds are bit-identical by construction.  Two hardening details:
+///
+/// * a cold shard's accumulator is inserted into the cache **before** its
+///   `shard-done` frame is streamed, so with a durable store any shard a
+///   client observed is replayable after a crash;
+/// * a replayed shard carries the *stored* scenario range, so a forged or
+///   corrupted persisted entry fails `try_merge_shard_outcomes` as a
+///   typed [`JobError::Merge`] (daemon stays alive) instead of silently
+///   folding wrong data.
+fn run_case<S, R>(context: CaseContext<'_, S, R>) -> Result<CaseOutcome<R::Acc>, JobError>
 where
     S: ScenarioSource + Send + Sync + 'static,
     R: Reducer + Send + Sync + 'static,
-    R::Acc: Clone + Send + 'static,
+    R::Acc: Clone + Send + ToWire + FromWire + 'static,
 {
     let CaseContext {
         pool,
@@ -655,6 +915,7 @@ where
         cases,
         shards,
         use_shard_cache,
+        cancel,
         source,
         reducer,
         job,
@@ -688,11 +949,12 @@ where
     };
 
     // Warm pass, in shard order: replayed shards stream before any
-    // execution starts.
-    for (shard, &range) in ranges.iter().enumerate() {
+    // execution starts.  The stored range is used verbatim — validation
+    // happens at merge time.
+    for (shard, _) in ranges.iter().enumerate() {
         let warm = if use_shard_cache { cache.get(&fingerprint.shard(shard)) } else { None };
         match warm {
-            Some(acc) => {
+            Some((acc, range)) => {
                 cached_count += 1;
                 let outcome =
                     ShardOutcome { shard, range, cached: true, acc, stats: SweepStats::default() };
@@ -705,22 +967,31 @@ where
     prefix.emit_if_grown(reply, job_id, case, &ranges, &outcomes, &*reducer, encode_partial);
 
     // Cold pass: fan the remaining shards out across the persistent pool.
+    // Each task re-checks the cancel token just before executing, so a
+    // revoked job's pending shards drain as fast cancellations instead of
+    // occupying the pool.
     let (done_tx, done_rx) = mpsc::channel();
     for &shard in &cold {
         let source = Arc::clone(&source);
         let reducer = Arc::clone(&reducer);
+        let cancel = Arc::clone(cancel);
         let done_tx = done_tx.clone();
         let range = ranges[shard];
         pool.submit(Box::new(move |state| {
-            let folded = fold_shard_stats(
-                &*source,
-                &*reducer,
-                &job,
-                &mut state.runner,
-                &mut state.scratch,
-                range,
-                true,
-            );
+            let folded = if cancel.load(Ordering::Relaxed) {
+                Err(JobError::Cancelled)
+            } else {
+                fold_shard_stats(
+                    &*source,
+                    &*reducer,
+                    &job,
+                    &mut state.runner,
+                    &mut state.scratch,
+                    range,
+                    true,
+                )
+                .map_err(JobError::Model)
+            };
             // The dispatcher outlives every task it queues, so the send
             // only fails if it already gave up on the job — nothing to do.
             let _ = done_tx.send((shard, folded));
@@ -728,17 +999,19 @@ where
     }
     drop(done_tx);
 
-    let mut first_error: Option<(usize, ModelError)> = None;
+    let mut first_error: Option<(usize, JobError)> = None;
     for _ in 0..cold.len() {
         let (shard, folded) = done_rx.recv().expect("pool workers alive");
         match folded {
             Ok((acc, stats)) => {
                 let outcome =
                     ShardOutcome { shard, range: ranges[shard], cached: false, acc, stats };
-                stream_shard(&outcome);
+                // Insert before streaming: a client that saw shard-done
+                // may rely on the shard being durably cached.
                 if use_shard_cache {
-                    cache.insert(fingerprint.shard(shard), outcome.acc.clone());
+                    cache.insert(fingerprint.shard(shard), ranges[shard], outcome.acc.clone());
                 }
+                stream_shard(&outcome);
                 outcomes[shard] = Some(outcome);
                 prefix.emit_if_grown(
                     reply,
@@ -767,7 +1040,7 @@ where
     for outcome in &outcomes {
         stats.merge(outcome.stats);
     }
-    let acc = merge_shard_outcomes(&*reducer, outcomes);
+    let acc = try_merge_shard_outcomes(&*reducer, outcomes).map_err(JobError::Merge)?;
     Ok(CaseOutcome { acc, stats, shards_total: shard_count, shards_cached: cached_count })
 }
 

@@ -27,18 +27,21 @@
 //!
 //! ```text
 //! client → server   {"type":"job", ...JobSpec}
+//!                   {"type":"cancel","job":N}
 //!                   {"type":"shutdown"}
 //! server → client   {"type":"shard-done", ...ShardDone}     (per shard)
 //!                   {"type":"partial", ...Partial}          (per prefix growth)
 //!                   {"type":"job-done", ...JobDone}         (terminal, success)
 //!                   {"type":"error", ...ErrorFrame}         (terminal, failure)
+//!                   {"type":"cancel-ack","job":N,"found":b} (cancel ack)
 //!                   {"type":"shutting-down"}                (shutdown ack)
 //! ```
 
 use std::fmt;
 
 use sweep::experiments::{
-    Fig4Row, Prop2ExhaustiveRow, Prop2Report, Prop2Targeted, Thm1Case, Thm3Row,
+    Fig4Acc, Fig4Row, Prop2ExhaustiveRow, Prop2Report, Prop2Targeted, Thm1Case, Thm1Outcome,
+    Thm3Acc, Thm3Row,
 };
 use sweep::{CursorStats, SweepStats};
 
@@ -975,6 +978,121 @@ impl FromWire for Prop2Report {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Per-shard accumulators — the payloads of the persisted cache store.
+// These never travel on the socket; they share the wire codec so one
+// `Value` model (and one torn-input discipline) covers both surfaces.
+// ---------------------------------------------------------------------------
+
+impl ToWire for Thm1Outcome {
+    fn to_wire(&self) -> Value {
+        Value::Object(vec![
+            ("violations".into(), Value::Int(self.violations as i128)),
+            ("beaten".into(), Value::Array(self.beaten.iter().map(|&b| Value::Bool(b)).collect())),
+            ("structure".into(), Value::Int(self.structure as i128)),
+        ])
+    }
+}
+
+impl FromWire for Thm1Outcome {
+    fn from_wire(value: &Value) -> Result<Self, WireError> {
+        let beaten_values = value.field("beaten")?.as_array("thm1-acc.beaten")?;
+        if beaten_values.len() != 2 {
+            return Err(WireError::new("thm1-acc.beaten must have exactly 2 entries"));
+        }
+        let mut beaten = [false; 2];
+        for (slot, entry) in beaten_values.iter().enumerate() {
+            beaten[slot] = entry.as_bool("thm1-acc.beaten entry")?;
+        }
+        Ok(Thm1Outcome {
+            violations: value.field("violations")?.as_u64("thm1-acc.violations")?,
+            beaten,
+            structure: value.field("structure")?.as_u64("thm1-acc.structure")?,
+        })
+    }
+}
+
+impl ToWire for Thm3Acc {
+    fn to_wire(&self) -> Value {
+        Value::Object(vec![
+            (
+                "per_f".into(),
+                Value::Array(
+                    self.per_f
+                        .iter()
+                        .map(|(&f, &(worst, runs))| {
+                            Value::Array(vec![
+                                Value::Int(f as i128),
+                                Value::Int(worst as i128),
+                                Value::Int(runs as i128),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("violations".into(), Value::Int(self.violations as i128)),
+        ])
+    }
+}
+
+impl FromWire for Thm3Acc {
+    fn from_wire(value: &Value) -> Result<Self, WireError> {
+        let mut per_f = std::collections::BTreeMap::new();
+        for entry in value.field("per_f")?.as_array("thm3-acc.per_f")? {
+            let triple = entry.as_array("thm3-acc.per_f entry")?;
+            if triple.len() != 3 {
+                return Err(WireError::new("thm3-acc.per_f entries must be [f, worst, runs]"));
+            }
+            per_f.insert(
+                triple[0].as_usize("thm3-acc.per_f f")?,
+                (
+                    triple[1].as_u32("thm3-acc.per_f worst")?,
+                    triple[2].as_u64("thm3-acc.per_f runs")?,
+                ),
+            );
+        }
+        Ok(Thm3Acc { per_f, violations: value.field("violations")?.as_u64("thm3-acc.violations")? })
+    }
+}
+
+impl ToWire for Fig4Acc {
+    fn to_wire(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(&index, &(latest, violations))| {
+                    let mut row = vec![Value::Int(index as i128)];
+                    row.extend(latest.iter().map(|&l| Value::Int(l as i128)));
+                    row.push(Value::Int(violations as i128));
+                    Value::Array(row)
+                })
+                .collect(),
+        )
+    }
+}
+
+impl FromWire for Fig4Acc {
+    fn from_wire(value: &Value) -> Result<Self, WireError> {
+        let mut acc = Fig4Acc::new();
+        for entry in value.as_array("fig4-acc")? {
+            let row = entry.as_array("fig4-acc entry")?;
+            if row.len() != 6 {
+                return Err(WireError::new(
+                    "fig4-acc entries must be [index, l0, l1, l2, l3, violations]",
+                ));
+            }
+            let mut latest = [0u32; 4];
+            for (slot, cell) in row[1..5].iter().enumerate() {
+                latest[slot] = cell.as_u32("fig4-acc latest entry")?;
+            }
+            acc.insert(
+                row[0].as_usize("fig4-acc index")?,
+                (latest, row[5].as_u64("fig4-acc violations")?),
+            );
+        }
+        Ok(acc)
+    }
+}
+
 impl ToWire for QueryResult {
     fn to_wire(&self) -> Value {
         let (query, payload) = match self {
@@ -1070,12 +1188,63 @@ impl FromWire for JobDone {
     }
 }
 
+/// Machine-readable classification of an [`ErrorFrame`] — what failed, so
+/// clients can react (retry a [`ErrorKind::QueueFull`] rejection, treat
+/// [`ErrorKind::Cancelled`] as expected) without parsing the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// The request itself violated the protocol (malformed frame, custom
+    /// scope on the wrong query, …).
+    Protocol,
+    /// The daemon's bounded job queue was full; resubmit later.
+    QueueFull,
+    /// The job was revoked by a `cancel` frame.
+    Cancelled,
+    /// A cached/fresh accumulator set failed the shard-merge
+    /// preconditions (out-of-order or gapped partition).
+    Merge,
+    /// The sweep engine rejected the job's parameters mid-execution.
+    Model,
+    /// Anything else server-side.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire name of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::QueueFull => "queue-full",
+            ErrorKind::Cancelled => "cancelled",
+            ErrorKind::Merge => "merge",
+            ErrorKind::Model => "model",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire name.  Unknown names (a newer server) and absent
+    /// kinds (an older server) both map to [`ErrorKind::Internal`] rather
+    /// than failing: the error frame must stay decodable across versions.
+    pub fn parse(name: &str) -> Self {
+        match name {
+            "protocol" => ErrorKind::Protocol,
+            "queue-full" => ErrorKind::QueueFull,
+            "cancelled" => ErrorKind::Cancelled,
+            "merge" => ErrorKind::Merge,
+            "model" => ErrorKind::Model,
+            _ => ErrorKind::Internal,
+        }
+    }
+}
+
 /// The terminal failure frame of a job (or of a malformed request outside
 /// any job).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ErrorFrame {
     /// Job id, when the failure belongs to one.
     pub job: Option<u64>,
+    /// What class of failure this is.
+    pub kind: ErrorKind,
     /// Human-readable description.
     pub message: String,
 }
@@ -1086,6 +1255,7 @@ impl ToWire for ErrorFrame {
         if let Some(job) = self.job {
             fields.push(("job".into(), Value::Int(job as i128)));
         }
+        fields.push(("kind".into(), Value::Str(self.kind.name().into())));
         fields.push(("message".into(), Value::Str(self.message.clone())));
         Value::Object(fields)
     }
@@ -1098,6 +1268,10 @@ impl FromWire for ErrorFrame {
                 Some(job) => Some(job.as_u64("error.job")?),
                 None => None,
             },
+            kind: match value.get("kind") {
+                Some(kind) => ErrorKind::parse(kind.as_str("error.kind")?),
+                None => ErrorKind::Internal,
+            },
             message: value.field("message")?.as_str("error.message")?.to_owned(),
         })
     }
@@ -1109,10 +1283,25 @@ impl FromWire for ErrorFrame {
 pub enum Frame {
     /// Client → server: run this job.
     Job(JobSpec),
+    /// Client → server: revoke a queued or running job by its id.
+    Cancel {
+        /// Id of the job to revoke.
+        job: u64,
+    },
     /// Client → server: finish queued jobs, then exit.
     Shutdown,
     /// Server → client: shutdown acknowledged.
     ShuttingDown,
+    /// Server → client: cancel acknowledged.  `found` reports whether the
+    /// job was known (queued or running) when the cancel arrived; the
+    /// revoked job itself still terminates with an
+    /// [`ErrorKind::Cancelled`] error frame on its own connection.
+    CancelAck {
+        /// Id echoed from the cancel request.
+        job: u64,
+        /// Whether the job was queued or running.
+        found: bool,
+    },
     /// Server → client: one shard finished.
     ShardDone(ShardDone),
     /// Server → client: the completed prefix fold grew.
@@ -1127,10 +1316,19 @@ impl ToWire for Frame {
     fn to_wire(&self) -> Value {
         match self {
             Frame::Job(spec) => spec.to_wire(),
+            Frame::Cancel { job } => Value::Object(vec![
+                ("type".into(), Value::Str("cancel".into())),
+                ("job".into(), Value::Int(*job as i128)),
+            ]),
             Frame::Shutdown => Value::Object(vec![("type".into(), Value::Str("shutdown".into()))]),
             Frame::ShuttingDown => {
                 Value::Object(vec![("type".into(), Value::Str("shutting-down".into()))])
             }
+            Frame::CancelAck { job, found } => Value::Object(vec![
+                ("type".into(), Value::Str("cancel-ack".into())),
+                ("job".into(), Value::Int(*job as i128)),
+                ("found".into(), Value::Bool(*found)),
+            ]),
             Frame::ShardDone(frame) => frame.to_wire(),
             Frame::Partial(frame) => frame.to_wire(),
             Frame::JobDone(frame) => frame.to_wire(),
@@ -1143,8 +1341,13 @@ impl FromWire for Frame {
     fn from_wire(value: &Value) -> Result<Self, WireError> {
         match value.field("type")?.as_str("frame type")? {
             "job" => Ok(Frame::Job(JobSpec::from_wire(value)?)),
+            "cancel" => Ok(Frame::Cancel { job: value.field("job")?.as_u64("cancel.job")? }),
             "shutdown" => Ok(Frame::Shutdown),
             "shutting-down" => Ok(Frame::ShuttingDown),
+            "cancel-ack" => Ok(Frame::CancelAck {
+                job: value.field("job")?.as_u64("cancel-ack.job")?,
+                found: value.field("found")?.as_bool("cancel-ack.found")?,
+            }),
             "shard-done" => Ok(Frame::ShardDone(ShardDone::from_wire(value)?)),
             "partial" => Ok(Frame::Partial(Partial::from_wire(value)?)),
             "job-done" => Ok(Frame::JobDone(JobDone::from_wire(value)?)),

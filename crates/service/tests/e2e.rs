@@ -1,14 +1,17 @@
 //! End-to-end daemon tests: determinism of the streamed fold against the
 //! in-process engine (cold and warm cache, several shard/worker combos),
-//! the thread-scaling smoke hook, and graceful shutdown.
+//! concurrent dispatch, cancellation, queue backpressure, the
+//! thread-scaling smoke hook, and graceful shutdown.
 
+use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
 use adversary::enumerate::EnumerationConfig;
-use service::wire::QueryResult;
+use service::net::Stream;
+use service::wire::{self, encode_line, ErrorKind, Frame, QueryResult};
 use service::{client, Endpoint, JobSpec, QueryKind, ScopeSpec, ServeOptions, Server};
 use sweep::experiments::{self, Thm1Reducer};
 use sweep::{sweep_with_stats, SweepConfig};
@@ -23,13 +26,87 @@ fn temp_socket(tag: &str) -> PathBuf {
     ))
 }
 
-/// Binds a daemon on a fresh Unix socket and runs it on its own thread.
-fn start_daemon(tag: &str, workers: usize) -> (Endpoint, JoinHandle<()>) {
-    let options = ServeOptions { endpoint: Endpoint::Unix(temp_socket(tag)), workers };
+/// Binds a daemon with explicit options and runs it on its own thread.
+fn start_daemon_with(options: ServeOptions) -> (Endpoint, JoinHandle<()>) {
     let server = Server::bind(&options).expect("bind the daemon");
     let endpoint = server.endpoint().clone();
     let handle = thread::spawn(move || server.run().expect("daemon run"));
     (endpoint, handle)
+}
+
+/// Binds a daemon on a fresh Unix socket and runs it on its own thread.
+fn start_daemon(tag: &str, workers: usize) -> (Endpoint, JoinHandle<()>) {
+    start_daemon_with(ServeOptions::new(Endpoint::Unix(temp_socket(tag)), workers))
+}
+
+/// Options for the hardening tests: explicit dispatcher count and queue
+/// bound so the scheduling scenarios are deterministic.
+fn hardened_options(tag: &str, dispatchers: usize, queue_capacity: usize) -> ServeOptions {
+    ServeOptions {
+        dispatchers,
+        queue_capacity,
+        ..ServeOptions::new(Endpoint::Unix(temp_socket(tag)), 1)
+    }
+}
+
+/// A raw client connection: lets a test hold a job open (streamed frames
+/// unread) while doing other things — the piece `client::submit`'s
+/// blocking loop can't express.
+struct RawConnection {
+    writer: Stream,
+    reader: BufReader<Stream>,
+}
+
+impl RawConnection {
+    fn connect(endpoint: &Endpoint) -> RawConnection {
+        let stream = Stream::connect(endpoint).expect("raw connect");
+        let writer = stream.try_clone().expect("raw write half");
+        RawConnection { writer, reader: BufReader::new(stream) }
+    }
+
+    fn send(&mut self, frame: &Frame) {
+        self.writer.write_all(encode_line(frame).as_bytes()).expect("raw send");
+        self.writer.flush().expect("raw flush");
+    }
+
+    fn read_frame(&mut self) -> Frame {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let read = self.reader.read_line(&mut line).expect("raw read");
+            assert!(read > 0, "daemon closed the connection mid-stream");
+            if !line.trim().is_empty() {
+                return wire::decode_line(&line).expect("well-formed frame");
+            }
+        }
+    }
+
+    /// Reads until the first `shard-done` of `job` — the witness that the
+    /// job has been popped off the queue and is executing.
+    fn wait_for_first_shard(&mut self, job: u64) {
+        loop {
+            if let Frame::ShardDone(frame) = self.read_frame() {
+                assert_eq!(frame.job, job);
+                return;
+            }
+        }
+    }
+}
+
+/// A scope big enough (1040 scenarios) that a 1-worker daemon is reliably
+/// still executing it while a test submits, cancels or queues other jobs.
+const LONG_SCOPE: ScopeSpec =
+    ScopeSpec { n: 4, t: 1, k: 1, max_value: 1, max_crash_round: 2, partial_delivery: true };
+
+fn long_scope_spec(id: u64, shards: usize) -> JobSpec {
+    JobSpec {
+        id,
+        query: QueryKind::Thm1,
+        scope: Some(LONG_SCOPE),
+        shards,
+        seed: SweepConfig::DEFAULT_SEED,
+        shard_cache: false,
+    }
 }
 
 fn stop_daemon(endpoint: &Endpoint, handle: JoinHandle<()>) {
@@ -230,10 +307,170 @@ fn thread_scaling_smoke() {
     );
 }
 
+/// A job cancelled while still queued never executes: with one dispatcher
+/// occupied by a long job, the queued job's cancel is acknowledged as
+/// found, and the job terminates with a `cancelled` error frame once the
+/// dispatcher reaches it — while the long job completes untouched.
+#[test]
+fn queued_jobs_can_be_cancelled_before_running() {
+    let (endpoint, handle) = start_daemon_with(hardened_options("cancel-queued", 1, 8));
+
+    let mut long = RawConnection::connect(&endpoint);
+    long.send(&Frame::Job(long_scope_spec(1, 8)));
+    long.wait_for_first_shard(1); // the one dispatcher is now occupied
+
+    let mut queued = RawConnection::connect(&endpoint);
+    queued.send(&Frame::Job(small_scope_spec(2, 2, false)));
+    // The job registers on its connection thread; retry until the cancel
+    // finds it (it stays registered — the dispatcher is busy).
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    while !client::cancel(&endpoint, 2).expect("cancel") {
+        assert!(Instant::now() < deadline, "queued job never became cancellable");
+        thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    // The queued job's only frame is the typed cancellation error.
+    match queued.read_frame() {
+        Frame::Error(error) => {
+            assert_eq!(error.kind, ErrorKind::Cancelled);
+            assert_eq!(error.job, Some(2));
+        }
+        other => panic!("expected a cancelled error frame, got {other:?}"),
+    }
+
+    // The long job is unaffected.
+    loop {
+        match long.read_frame() {
+            Frame::JobDone(done) => {
+                assert_eq!(done.job, 1);
+                break;
+            }
+            Frame::ShardDone(_) | Frame::Partial(_) => {}
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    stop_daemon(&endpoint, handle);
+}
+
+/// Cancelling a *running* job drains its pending shards as fast
+/// cancellations: the job terminates with a `cancelled` error frame and
+/// the daemon keeps serving.
+#[test]
+fn running_jobs_can_be_cancelled() {
+    let (endpoint, handle) = start_daemon_with(hardened_options("cancel-running", 1, 8));
+
+    let mut long = RawConnection::connect(&endpoint);
+    long.send(&Frame::Job(long_scope_spec(31, 8)));
+    long.wait_for_first_shard(31);
+    assert!(client::cancel(&endpoint, 31).expect("cancel"), "running job must be found");
+
+    // In-flight shards may still land; the terminal frame is the typed
+    // cancellation error.
+    loop {
+        match long.read_frame() {
+            Frame::Error(error) => {
+                assert_eq!(error.kind, ErrorKind::Cancelled);
+                assert_eq!(error.job, Some(31));
+                break;
+            }
+            Frame::ShardDone(_) | Frame::Partial(_) => {}
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    // A cancel for a finished (deregistered) job reports not-found.
+    assert!(!client::cancel(&endpoint, 31).expect("cancel after the fact"));
+
+    // The daemon survives and still serves.
+    let next = client::submit(&endpoint, &small_scope_spec(32, 2, true));
+    assert!(next.is_ok(), "daemon must keep serving after a cancellation");
+    stop_daemon(&endpoint, handle);
+}
+
+/// A full job queue rejects further submissions with a typed `queue-full`
+/// error frame — and the job that *did* fit still runs to completion.
+#[test]
+fn full_job_queue_rejects_with_typed_error() {
+    let (endpoint, handle) = start_daemon_with(hardened_options("backpressure", 1, 1));
+
+    let mut long = RawConnection::connect(&endpoint);
+    long.send(&Frame::Job(long_scope_spec(11, 8)));
+    long.wait_for_first_shard(11); // popped: the queue itself is empty again
+
+    // Same connection ⇒ strictly ordered handling: the first job fills the
+    // 1-slot queue, the second must bounce.
+    let mut queued = RawConnection::connect(&endpoint);
+    queued.send(&Frame::Job(small_scope_spec(12, 2, false)));
+    queued.send(&Frame::Job(small_scope_spec(13, 2, false)));
+
+    // The rejection arrives first (sent synchronously by the connection
+    // thread); the admitted job's frames follow once the dispatcher frees.
+    match queued.read_frame() {
+        Frame::Error(error) => {
+            assert_eq!(error.kind, ErrorKind::QueueFull);
+            assert_eq!(error.job, Some(13));
+        }
+        other => panic!("expected a queue-full error frame, got {other:?}"),
+    }
+    loop {
+        match queued.read_frame() {
+            Frame::JobDone(done) => {
+                assert_eq!(done.job, 12, "the admitted job must still complete");
+                break;
+            }
+            Frame::ShardDone(_) | Frame::Partial(_) => {}
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    loop {
+        if let Frame::JobDone(done) = long.read_frame() {
+            assert_eq!(done.job, 11);
+            break;
+        }
+    }
+    stop_daemon(&endpoint, handle);
+}
+
+/// With more than one dispatcher, a warm (fully cached) job overtakes a
+/// long cold job instead of waiting behind it in FIFO order — the point of
+/// concurrent per-connection dispatch.
+#[test]
+fn concurrent_dispatch_lets_warm_jobs_overtake_long_ones() {
+    let (endpoint, handle) = start_daemon_with(hardened_options("overtake", 2, 8));
+
+    // Warm the small scope so the overtaking job is pure cache replay.
+    let cold = client::submit(&endpoint, &small_scope_spec(21, 2, true)).expect("warming submit");
+    assert_eq!(cold.shards_cached, 0);
+
+    let mut long = RawConnection::connect(&endpoint);
+    long.send(&Frame::Job(long_scope_spec(22, 8)));
+    long.wait_for_first_shard(22);
+
+    // The long job holds one dispatcher; the warm job rides the other.
+    let overtake_started = Instant::now();
+    let warm = client::submit(&endpoint, &small_scope_spec(23, 2, true)).expect("warm submit");
+    let warm_done = Instant::now();
+    assert_eq!(warm.shards_executed, 0, "overtaking job must be pure replay");
+
+    let long_done = loop {
+        if let Frame::JobDone(done) = long.read_frame() {
+            assert_eq!(done.job, 22);
+            break Instant::now();
+        }
+    };
+    assert!(
+        warm_done < long_done,
+        "warm job must finish while the long job is still executing \
+         (warm took {:?} from submit)",
+        warm_done - overtake_started
+    );
+    stop_daemon(&endpoint, handle);
+}
+
 /// The TCP flavor works end to end (port 0 resolves to a free port).
 #[test]
 fn tcp_endpoint_serves_jobs() {
-    let options = ServeOptions { endpoint: Endpoint::Tcp("127.0.0.1:0".into()), workers: 1 };
+    let options = ServeOptions::new(Endpoint::Tcp("127.0.0.1:0".into()), 1);
     let server = Server::bind(&options).expect("bind tcp");
     let endpoint = server.endpoint().clone();
     assert!(!matches!(&endpoint, Endpoint::Tcp(addr) if addr.ends_with(":0")));

@@ -8,8 +8,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use service::wire::{
-    decode_line, encode_line, ErrorFrame, Frame, JobDone, JobSpec, Partial, QueryKind, QueryResult,
-    ScopeSpec, ShardDone, Value,
+    decode_line, encode_line, ErrorFrame, ErrorKind, Frame, JobDone, JobSpec, Partial, QueryKind,
+    QueryResult, ScopeSpec, ShardDone, Value,
 };
 use service::{JobOutcome, ServiceError};
 use sweep::experiments::{
@@ -144,8 +144,19 @@ fn random_result(rng: &mut StdRng) -> QueryResult {
     }
 }
 
+fn random_kind(rng: &mut StdRng) -> ErrorKind {
+    match rng.random_range(0..6u64) {
+        0 => ErrorKind::Protocol,
+        1 => ErrorKind::QueueFull,
+        2 => ErrorKind::Cancelled,
+        3 => ErrorKind::Merge,
+        4 => ErrorKind::Model,
+        _ => ErrorKind::Internal,
+    }
+}
+
 fn random_frame(rng: &mut StdRng) -> Frame {
-    match rng.random_range(0..7u64) {
+    match rng.random_range(0..9u64) {
         0 => Frame::Job(random_spec(rng)),
         1 => Frame::Shutdown,
         2 => Frame::ShuttingDown,
@@ -182,13 +193,36 @@ fn random_frame(rng: &mut StdRng) -> Frame {
             // `{:?}` is shortest-round-trip anyway).
             wall_ms: rng.random_range(0..1_000_000u64) as f64 / 64.0,
         }),
+        6 => Frame::Cancel { job: rng.random_range(0..u64::MAX) },
+        7 => Frame::CancelAck { job: rng.random_range(0..u64::MAX), found: rng.random_bool(0.5) },
         _ => Frame::Error(ErrorFrame {
             job: if rng.random_bool(0.5) { Some(rng.random_range(0..u64::MAX)) } else { None },
+            kind: random_kind(rng),
             message: format!(
                 "error #{} with \"quotes\" and \\slashes\\",
                 rng.random_range(0..99u64)
             ),
         }),
+    }
+}
+
+/// Error frames from an older daemon (no `kind` field) and frames with an
+/// unknown kind both decode — tolerantly, to [`ErrorKind::Internal`] — so
+/// mixed-version deployments never lose the error message.
+#[test]
+fn error_kind_decoding_is_tolerant() {
+    let legacy = "{\"type\":\"error\",\"message\":\"boom\"}";
+    match decode_line(legacy).expect("legacy error frame decodes") {
+        Frame::Error(frame) => {
+            assert_eq!(frame.kind, ErrorKind::Internal);
+            assert_eq!(frame.message, "boom");
+        }
+        other => panic!("unexpected frame {other:?}"),
+    }
+    let unknown = "{\"type\":\"error\",\"kind\":\"from-the-future\",\"message\":\"boom\"}";
+    match decode_line(unknown).expect("unknown error kind decodes") {
+        Frame::Error(frame) => assert_eq!(frame.kind, ErrorKind::Internal),
+        other => panic!("unexpected frame {other:?}"),
     }
 }
 

@@ -1,5 +1,6 @@
 //! The sharded, work-stealing sweep loop.
 
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -643,6 +644,96 @@ where
     Ok((outcomes, stats))
 }
 
+/// A violated [`merge_shard_outcomes`] precondition: the handed outcomes
+/// are not the complete, in-order, contiguous shard partition a
+/// [`sweep_shards`] call produces.
+///
+/// Surfaced as a value (rather than only a panic) because the accumulators
+/// being merged may have been replayed from a *persisted* cache — a torn
+/// or forged entry must become a reportable job error, never a lawless
+/// merge and never a dead worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// No outcomes at all.
+    Empty,
+    /// A shard index out of sequence.
+    OutOfOrder {
+        /// The offending shard index.
+        shard: usize,
+        /// The shard merged immediately before it, if any.
+        previous: Option<usize>,
+    },
+    /// A shard range that does not start where its predecessor ended.
+    Gap {
+        /// The offending shard index.
+        shard: usize,
+        /// The offending shard's range.
+        range: (usize, usize),
+        /// Where the range was expected to start.
+        expected_start: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Empty => write!(f, "a shard partition has at least one shard"),
+            MergeError::OutOfOrder { shard, previous } => {
+                write!(f, "shard {shard} merged out of order (previous shard {previous:?})")
+            }
+            MergeError::Gap { shard, range, expected_start } => write!(
+                f,
+                "shard {shard} range {range:?} is not contiguous with its predecessor \
+                 (expected start {expected_start})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Merges the per-shard accumulators of a [`sweep_shards`] call into the
+/// global fold, re-validating the [`Reducer`]-law preconditions and
+/// returning a [`MergeError`] instead of panicking on a violation.
+///
+/// This is the merge path for accumulators that crossed a trust boundary —
+/// replayed from a persisted cache, received over the wire — where a
+/// damaged entry must surface as a typed job error while the process keeps
+/// serving.  [`merge_shard_outcomes`] is the panicking wrapper for
+/// in-process partitions that are correct by construction.
+///
+/// # Errors
+///
+/// Returns the first structural violation: an empty partition, a shard
+/// index out of sequence, or a range gap.
+pub fn try_merge_shard_outcomes<R: Reducer>(
+    reducer: &R,
+    outcomes: Vec<ShardOutcome<R::Acc>>,
+) -> Result<R::Acc, MergeError> {
+    if outcomes.is_empty() {
+        return Err(MergeError::Empty);
+    }
+    let mut merged = reducer.empty();
+    let mut expected_start = 0usize;
+    let mut last_shard: Option<usize> = None;
+    for outcome in outcomes {
+        if !last_shard.map_or(outcome.shard == 0, |last| outcome.shard == last + 1) {
+            return Err(MergeError::OutOfOrder { shard: outcome.shard, previous: last_shard });
+        }
+        if outcome.range.0 != expected_start {
+            return Err(MergeError::Gap {
+                shard: outcome.shard,
+                range: outcome.range,
+                expected_start,
+            });
+        }
+        last_shard = Some(outcome.shard);
+        expected_start = outcome.range.1;
+        merged = reducer.merge(merged, outcome.acc);
+    }
+    Ok(merged)
+}
+
 /// Merges the per-shard accumulators of a [`sweep_shards`] call into the
 /// global fold — the *law-checked* merge path.
 ///
@@ -653,7 +744,9 @@ where
 /// different process, an earlier request), this function re-validates that
 /// precondition structurally — outcomes sorted by shard index, ranges
 /// contiguous from the first shard's start — and panics on any violation
-/// rather than returning a lawless merge.
+/// rather than returning a lawless merge.  Callers that merge accumulators
+/// from an untrusted store should use [`try_merge_shard_outcomes`] and
+/// surface the error instead.
 ///
 /// # Panics
 ///
@@ -664,27 +757,7 @@ pub fn merge_shard_outcomes<R: Reducer>(
     reducer: &R,
     outcomes: Vec<ShardOutcome<R::Acc>>,
 ) -> R::Acc {
-    assert!(!outcomes.is_empty(), "a shard partition has at least one shard");
-    let mut merged = reducer.empty();
-    let mut expected_start = 0usize;
-    let mut last_shard: Option<usize> = None;
-    for outcome in outcomes {
-        assert!(
-            last_shard.map_or(outcome.shard == 0, |last| outcome.shard == last + 1),
-            "shard {} merged out of order (previous shard {:?})",
-            outcome.shard,
-            last_shard,
-        );
-        assert_eq!(
-            outcome.range.0, expected_start,
-            "shard {} range {:?} is not contiguous with its predecessor",
-            outcome.shard, outcome.range,
-        );
-        last_shard = Some(outcome.shard);
-        expected_start = outcome.range.1;
-        merged = reducer.merge(merged, outcome.acc);
-    }
-    merged
+    try_merge_shard_outcomes(reducer, outcomes).unwrap_or_else(|error| panic!("{error}"))
 }
 
 /// Runs `job` on every scenario of `source` and folds the outcomes with
@@ -885,6 +958,29 @@ mod tests {
     fn merge_shard_outcomes_accepts_the_full_partition() {
         let merged = merge_shard_outcomes(&Sum, vec![outcome(0, (0, 4)), outcome(1, (4, 8))]);
         assert_eq!(merged, 2);
+    }
+
+    /// The fallible merge reports each violation as a typed value — the
+    /// path the service daemon takes for cache-replayed accumulators.
+    #[test]
+    fn try_merge_shard_outcomes_reports_typed_errors() {
+        assert_eq!(try_merge_shard_outcomes(&Sum, Vec::new()), Err(MergeError::Empty));
+        assert_eq!(
+            try_merge_shard_outcomes(&Sum, vec![outcome(1, (0, 4))]),
+            Err(MergeError::OutOfOrder { shard: 1, previous: None })
+        );
+        assert_eq!(
+            try_merge_shard_outcomes(&Sum, vec![outcome(0, (0, 4)), outcome(2, (4, 8))]),
+            Err(MergeError::OutOfOrder { shard: 2, previous: Some(0) })
+        );
+        assert_eq!(
+            try_merge_shard_outcomes(&Sum, vec![outcome(0, (0, 4)), outcome(1, (5, 8))]),
+            Err(MergeError::Gap { shard: 1, range: (5, 8), expected_start: 4 })
+        );
+        assert_eq!(
+            try_merge_shard_outcomes(&Sum, vec![outcome(0, (0, 4)), outcome(1, (4, 8))]),
+            Ok(2)
+        );
     }
 
     #[test]

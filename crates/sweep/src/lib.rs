@@ -135,6 +135,7 @@ pub mod source;
 
 pub use engine::{
     fold_shard_range, fold_shard_stats, merge_shard_outcomes, shard_ranges, sweep, sweep_shards,
-    sweep_with_stats, CursorStats, Reducer, Scenario, ScenarioCursor, ScenarioSource, ShardOutcome,
-    ShardSweep, SweepConfig, SweepStats, FOLD_SEMANTICS_VERSION,
+    sweep_with_stats, try_merge_shard_outcomes, CursorStats, MergeError, Reducer, Scenario,
+    ScenarioCursor, ScenarioSource, ShardOutcome, ShardSweep, SweepConfig, SweepStats,
+    FOLD_SEMANTICS_VERSION,
 };

@@ -67,9 +67,44 @@ if [[ -e "$SMOKE_SOCK" ]]; then
     echo "ci.sh: daemon left its socket behind" >&2
     exit 1
 fi
+echo "ci.sh: daemon smoke passed (warm run 100% cached, graceful shutdown)"
+
+# --- Daemon restart smoke ---------------------------------------------------
+# Same shape, with a durable cache dir: submit, shut the daemon down, start a
+# *new* daemon process on the same cache dir, and assert the re-submitted job
+# replays 100% from the persisted shard store with zero shards executed and a
+# clean stdout diff.  The temp cache dir rides in SMOKE_DIR, so the EXIT trap
+# cleans it up on any failure.
+RESTART_SOCK="$SMOKE_DIR/restart.sock"
+CACHE_DIR="$SMOKE_DIR/cache"
+target/debug/sweep serve --socket "$RESTART_SOCK" --workers 1 \
+    --cache-dir "$CACHE_DIR" 2>"$SMOKE_DIR/restart-a.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [[ -S "$RESTART_SOCK" ]] && break; sleep 0.1; done
+target/debug/sweep submit --socket "$RESTART_SOCK" thm1 --scope 3,1,1 --shards 4 \
+    >"$SMOKE_DIR/before.txt" 2>/dev/null
+target/debug/sweep shutdown --socket "$RESTART_SOCK" 2>/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+target/debug/sweep serve --socket "$RESTART_SOCK" --workers 1 \
+    --cache-dir "$CACHE_DIR" 2>"$SMOKE_DIR/restart-b.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [[ -S "$RESTART_SOCK" ]] && break; sleep 0.1; done
+if [[ ! -S "$RESTART_SOCK" ]]; then
+    echo "ci.sh: restarted daemon did not come up" >&2
+    cat "$SMOKE_DIR/restart-b.log" >&2
+    exit 1
+fi
+target/debug/sweep submit --socket "$RESTART_SOCK" thm1 --scope 3,1,1 --shards 4 \
+    >"$SMOKE_DIR/after.txt" 2>"$SMOKE_DIR/after.log"
+diff "$SMOKE_DIR/before.txt" "$SMOKE_DIR/after.txt"
+grep -q "4 cached (100.0% cached), 0 executed" "$SMOKE_DIR/after.log"
+target/debug/sweep shutdown --socket "$RESTART_SOCK" 2>/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
 trap - EXIT
 rm -rf "$SMOKE_DIR"
-echo "ci.sh: daemon smoke passed (warm run 100% cached, graceful shutdown)"
+echo "ci.sh: restart smoke passed (persisted cache replayed 100% after restart)"
 
 if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release -p bench_harness --bin bench_sweep_cache
