@@ -10,34 +10,51 @@
 //! sweep serve    (--socket PATH | --tcp ADDR) [--workers N]
 //!                [--dispatchers N] [--queue-capacity N]
 //!                [--cache-dir PATH] [--cache-budget BYTES]
+//!                [--lease-ttl-ms N] [--auth-token TOKEN]
+//! sweep worker   --connect ADDR [--auth-token TOKEN]
+//!                [--connect-timeout SECS] [--heartbeat-ms N]
 //! sweep submit   (--socket PATH | --tcp ADDR) <thm1|thm3|fig4|prop2>
 //!                [--scope n,t,k[,maxv[,mcr[,pd]]]] [--shards N] [--seed N]
-//!                [--id N] [--no-shard-cache]
-//! sweep cancel   (--socket PATH | --tcp ADDR) --id N
-//! sweep shutdown (--socket PATH | --tcp ADDR)
+//!                [--id N] [--no-shard-cache] [--connect-timeout SECS]
+//!                [--auth-token TOKEN]
+//! sweep cancel   (--socket PATH | --tcp ADDR) --id N [...]
+//! sweep shutdown (--socket PATH | --tcp ADDR) [...]
 //! ```
 //!
 //! One-shot fold results are independent of `--shards` and `--threads`,
 //! and `sweep submit` prints byte-identical tables to the one-shot mode
 //! for the same query — the daemon streams the same fold, computed on its
-//! persistent worker pool and (for repeated queries) replayed from its
-//! shard-accumulator cache.  Progress/stats stay on stderr; stdout is the
-//! diffable result.
+//! persistent worker pool, its registered `sweep worker` fleet, and (for
+//! repeated queries) replayed from its shard-accumulator cache.
+//! Progress/stats stay on stderr; stdout is the diffable result.
+//!
+//! `--connect ADDR` treats an address containing `/` as a Unix socket
+//! path and anything else as `host:port`.  `--auth-token` (or the
+//! `SWEEP_TOKEN` environment variable) is required by daemons started
+//! with a token on TCP endpoints; Unix sockets never need it.
 
 use bench_harness::{report, sweep_config_from_args};
-use service::{client, Endpoint, JobSpec, QueryKind, QueryResult, ScopeSpec, ServeOptions, Server};
+use service::{
+    client, ConnectOptions, Endpoint, JobSpec, QueryKind, QueryResult, ScopeSpec, ServeOptions,
+    Server, WorkerOptions,
+};
+use std::time::Duration;
 use sweep::experiments;
 use sweep::SweepConfig;
 
 const USAGE: &str = "usage: sweep <thm1|thm3|fig4|prop2|all> \
                      [--shards N] [--threads N] [--seed N] [--no-cache] [--no-reuse] [--no-cursor]\n\
        sweep serve    (--socket PATH | --tcp ADDR) [--workers N] [--dispatchers N] \
-                      [--queue-capacity N] [--cache-dir PATH] [--cache-budget BYTES]\n\
+                      [--queue-capacity N] [--cache-dir PATH] [--cache-budget BYTES] \
+                      [--lease-ttl-ms N] [--auth-token TOKEN]\n\
+       sweep worker   (--connect ADDR | --socket PATH | --tcp ADDR) [--auth-token TOKEN] \
+                      [--connect-timeout SECS] [--heartbeat-ms N]\n\
        sweep submit   (--socket PATH | --tcp ADDR) <thm1|thm3|fig4|prop2> \
                       [--scope n,t,k[,maxv[,mcr[,pd]]]] [--shards N] [--seed N] [--id N] \
-                      [--no-shard-cache]\n\
-       sweep cancel   (--socket PATH | --tcp ADDR) --id N\n\
-       sweep shutdown (--socket PATH | --tcp ADDR)";
+                      [--no-shard-cache] [--connect-timeout SECS] [--auth-token TOKEN]\n\
+       sweep cancel   (--socket PATH | --tcp ADDR) --id N [--connect-timeout SECS] \
+                      [--auth-token TOKEN]\n\
+       sweep shutdown (--socket PATH | --tcp ADDR) [--connect-timeout SECS] [--auth-token TOKEN]";
 
 fn usage_exit(message: &str) -> ! {
     eprintln!("{message}\n{USAGE}");
@@ -51,6 +68,7 @@ fn main() {
     };
     match command.as_str() {
         "serve" => serve_main(args),
+        "worker" => worker_main(args),
         "submit" => submit_main(args),
         "cancel" => cancel_main(args),
         "shutdown" => shutdown_main(args),
@@ -142,6 +160,47 @@ fn parse_number<T: std::str::FromStr>(flag: &str, text: &str) -> T {
     text.parse().unwrap_or_else(|_| usage_exit(&format!("invalid {flag} value {text:?}")))
 }
 
+/// The `SWEEP_TOKEN` fallback used wherever `--auth-token` is accepted.
+fn token_from_env() -> Option<String> {
+    std::env::var("SWEEP_TOKEN").ok().filter(|token| !token.is_empty())
+}
+
+/// Pulls `--connect-timeout SECS` and `--auth-token TOKEN` out of a flag
+/// stream; the token falls back to the `SWEEP_TOKEN` environment
+/// variable.
+struct ConnectFlags {
+    timeout: Duration,
+    auth_token: Option<String>,
+}
+
+impl ConnectFlags {
+    fn new(default_timeout: Duration) -> Self {
+        ConnectFlags { timeout: default_timeout, auth_token: None }
+    }
+
+    fn accept(&mut self, flag: &str, mut value: impl FnMut() -> String) -> bool {
+        match flag {
+            "--connect-timeout" => {
+                let secs: u64 = parse_number(flag, &value());
+                self.timeout = Duration::from_secs(secs);
+                true
+            }
+            "--auth-token" => {
+                self.auth_token = Some(value());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn options(self) -> ConnectOptions {
+        ConnectOptions {
+            timeout: self.timeout,
+            auth_token: self.auth_token.or_else(token_from_env),
+        }
+    }
+}
+
 fn serve_main(mut args: impl Iterator<Item = String>) {
     let mut endpoint = EndpointFlag(None);
     let mut workers = 0usize;
@@ -149,6 +208,8 @@ fn serve_main(mut args: impl Iterator<Item = String>) {
     let mut queue_capacity = 0usize;
     let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut cache_budget: Option<u64> = None;
+    let mut lease_ttl_ms = 0u64;
+    let mut auth_token: Option<String> = None;
     while let Some(flag) = args.next() {
         if endpoint.accept(&flag, || value_of(&flag, &mut args)) {
             continue;
@@ -161,6 +222,8 @@ fn serve_main(mut args: impl Iterator<Item = String>) {
             "--cache-budget" => {
                 cache_budget = Some(parse_number(&flag, &value_of(&flag, &mut args)))
             }
+            "--lease-ttl-ms" => lease_ttl_ms = parse_number(&flag, &value_of(&flag, &mut args)),
+            "--auth-token" => auth_token = Some(value_of(&flag, &mut args)),
             other => usage_exit(&format!("unknown flag {other}")),
         }
     }
@@ -171,6 +234,8 @@ fn serve_main(mut args: impl Iterator<Item = String>) {
         queue_capacity,
         cache_dir,
         cache_budget,
+        lease_ttl_ms,
+        auth_token: auth_token.or_else(token_from_env),
     };
     let server = match Server::bind(&options) {
         Ok(server) => server,
@@ -181,6 +246,42 @@ fn serve_main(mut args: impl Iterator<Item = String>) {
     };
     if let Err(error) = server.run() {
         eprintln!("sweep serve: {error}");
+        std::process::exit(1);
+    }
+}
+
+fn worker_main(mut args: impl Iterator<Item = String>) {
+    let mut endpoint = EndpointFlag(None);
+    let mut connect = ConnectFlags::new(Duration::from_secs(10));
+    let mut heartbeat_ms: Option<u64> = None;
+    while let Some(flag) = args.next() {
+        if endpoint.accept(&flag, || value_of(&flag, &mut args)) {
+            continue;
+        }
+        if connect.accept(&flag, || value_of(&flag, &mut args)) {
+            continue;
+        }
+        match flag.as_str() {
+            // A path has a '/', a TCP address is host:port — the same
+            // heuristic ssh-style tools use.
+            "--connect" => {
+                let address = value_of(&flag, &mut args);
+                endpoint.0 = Some(if address.contains('/') {
+                    Endpoint::Unix(address.into())
+                } else {
+                    Endpoint::Tcp(address)
+                });
+            }
+            "--heartbeat-ms" => {
+                heartbeat_ms = Some(parse_number(&flag, &value_of(&flag, &mut args)))
+            }
+            other => usage_exit(&format!("unknown flag {other}")),
+        }
+    }
+    let options =
+        WorkerOptions { endpoint: endpoint.require(), connect: connect.options(), heartbeat_ms };
+    if let Err(error) = service::worker::run(&options) {
+        eprintln!("sweep worker: {error}");
         std::process::exit(1);
     }
 }
@@ -207,6 +308,7 @@ fn parse_scope(text: &str) -> ScopeSpec {
 
 fn submit_main(mut args: impl Iterator<Item = String>) {
     let mut endpoint = EndpointFlag(None);
+    let mut connect = ConnectFlags::new(Duration::from_secs(5));
     let mut query: Option<QueryKind> = None;
     let mut spec = JobSpec {
         id: std::process::id() as u64,
@@ -218,6 +320,9 @@ fn submit_main(mut args: impl Iterator<Item = String>) {
     };
     while let Some(flag) = args.next() {
         if endpoint.accept(&flag, || value_of(&flag, &mut args)) {
+            continue;
+        }
+        if connect.accept(&flag, || value_of(&flag, &mut args)) {
             continue;
         }
         match flag.as_str() {
@@ -236,7 +341,7 @@ fn submit_main(mut args: impl Iterator<Item = String>) {
     spec.query = query.unwrap_or_else(|| usage_exit("missing query (thm1|thm3|fig4|prop2)"));
     let endpoint = endpoint.require();
 
-    let outcome = match client::submit(&endpoint, &spec) {
+    let outcome = match client::submit_with(&endpoint, &spec, &connect.options()) {
         Ok(outcome) => outcome,
         Err(error) => {
             eprintln!("sweep submit: {error}");
@@ -267,25 +372,34 @@ fn submit_main(mut args: impl Iterator<Item = String>) {
     }
 
     // stderr: the canonical stats line (executed work only) plus the
-    // job-level cache split — the line the CI smoke stage greps.
+    // job-level cache split and fleet accounting — the lines the CI smoke
+    // stage greps.
     eprintln!("{}", outcome.stats.stats_line());
     eprintln!(
-        "job stats: {} shards total, {} cached ({:.1}% cached), {} executed; \
-         {} partial folds streamed; server wall {:.0} ms",
+        "job stats: {} shards total, {} cached ({:.1}% cached), {} executed ({} remote); \
+         {} partial folds streamed; fleet: {} workers, {} leases re-queued; \
+         server wall {:.0} ms",
         outcome.shards_total,
         outcome.shards_cached,
         outcome.cached_fraction() * 100.0,
         outcome.shards_executed,
+        outcome.shards_remote,
         outcome.partials,
+        outcome.fleet_workers,
+        outcome.leases_requeued,
         outcome.wall_ms,
     );
 }
 
 fn cancel_main(mut args: impl Iterator<Item = String>) {
     let mut endpoint = EndpointFlag(None);
+    let mut connect = ConnectFlags::new(Duration::from_secs(5));
     let mut job: Option<u64> = None;
     while let Some(flag) = args.next() {
         if endpoint.accept(&flag, || value_of(&flag, &mut args)) {
+            continue;
+        }
+        if connect.accept(&flag, || value_of(&flag, &mut args)) {
             continue;
         }
         match flag.as_str() {
@@ -294,7 +408,7 @@ fn cancel_main(mut args: impl Iterator<Item = String>) {
         }
     }
     let job = job.unwrap_or_else(|| usage_exit("missing --id N"));
-    match client::cancel(&endpoint.require(), job) {
+    match client::cancel_with(&endpoint.require(), job, &connect.options()) {
         Ok(true) => eprintln!("sweep cancel: job {job} revoked"),
         Ok(false) => {
             eprintln!("sweep cancel: job {job} not found (already finished or never queued)");
@@ -309,13 +423,17 @@ fn cancel_main(mut args: impl Iterator<Item = String>) {
 
 fn shutdown_main(mut args: impl Iterator<Item = String>) {
     let mut endpoint = EndpointFlag(None);
+    let mut connect = ConnectFlags::new(Duration::from_secs(5));
     while let Some(flag) = args.next() {
         if endpoint.accept(&flag, || value_of(&flag, &mut args)) {
             continue;
         }
+        if connect.accept(&flag, || value_of(&flag, &mut args)) {
+            continue;
+        }
         usage_exit(&format!("unknown flag {flag}"));
     }
-    match client::shutdown(&endpoint.require()) {
+    match client::shutdown_with(&endpoint.require(), &connect.options()) {
         Ok(()) => eprintln!("sweep shutdown: daemon acknowledged"),
         Err(error) => {
             eprintln!("sweep shutdown: {error}");

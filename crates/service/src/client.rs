@@ -5,7 +5,7 @@ use std::io::{BufRead, BufReader, Write};
 
 use sweep::SweepStats;
 
-use crate::net::{Endpoint, Stream};
+use crate::net::{ConnectOptions, Endpoint, Stream};
 use crate::wire::{self, encode_line, Frame, JobSpec, QueryResult, ShardDone};
 use crate::ServiceError;
 
@@ -24,6 +24,12 @@ pub struct JobOutcome {
     pub shards_cached: u64,
     /// Shards executed on the daemon's worker pool.
     pub shards_executed: u64,
+    /// Remote workers registered with the daemon when the job finished.
+    pub fleet_workers: u64,
+    /// Of the executed shards, how many ran on remote workers.
+    pub shards_remote: u64,
+    /// Lease re-queues the job survived.
+    pub leases_requeued: u64,
     /// Every `shard-done` frame, in arrival order.
     pub shard_frames: Vec<ShardDone>,
     /// Number of `partial` frames received.
@@ -50,6 +56,18 @@ fn write_frame(stream: &mut Stream, frame: &Frame) -> Result<(), ServiceError> {
         .map_err(|e| ServiceError::io("sending a frame", e))
 }
 
+/// Connects under `options`: capped-backoff retries until the connect
+/// timeout elapses, then — on a TCP endpoint with a configured token —
+/// the `hello` auth handshake as the first frame.  Unix sockets skip the
+/// handshake (filesystem permissions already gate them).
+pub(crate) fn open(endpoint: &Endpoint, options: &ConnectOptions) -> Result<Stream, ServiceError> {
+    let mut stream = Stream::connect_with(endpoint, options.timeout)?;
+    if let (Some(token), Endpoint::Tcp(_)) = (&options.auth_token, endpoint) {
+        write_frame(&mut stream, &Frame::Hello { token: token.clone() })?;
+    }
+    Ok(stream)
+}
+
 /// Submits one job to a running daemon and blocks until its terminal
 /// frame, collecting the streamed progress along the way.
 ///
@@ -58,7 +76,20 @@ fn write_frame(stream: &mut Stream, frame: &Frame) -> Result<(), ServiceError> {
 /// Returns connection and wire failures, a server-reported job error, or
 /// a protocol violation (connection closed mid-job, mismatched job id).
 pub fn submit(endpoint: &Endpoint, spec: &JobSpec) -> Result<JobOutcome, ServiceError> {
-    let mut stream = Stream::connect(endpoint)?;
+    submit_with(endpoint, spec, &ConnectOptions::default())
+}
+
+/// [`submit`] with explicit connect options (retry budget, auth token).
+///
+/// # Errors
+///
+/// As [`submit`].
+pub fn submit_with(
+    endpoint: &Endpoint,
+    spec: &JobSpec,
+    options: &ConnectOptions,
+) -> Result<JobOutcome, ServiceError> {
+    let mut stream = open(endpoint, options)?;
     write_frame(&mut stream, &Frame::Job(spec.clone()))?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
@@ -90,6 +121,9 @@ pub fn submit(endpoint: &Endpoint, spec: &JobSpec) -> Result<JobOutcome, Service
                     shards_total: done.shards_total,
                     shards_cached: done.shards_cached,
                     shards_executed: done.shards_executed,
+                    fleet_workers: done.fleet_workers,
+                    shards_remote: done.shards_remote,
+                    leases_requeued: done.leases_requeued,
                     shard_frames,
                     partials,
                     wall_ms: done.wall_ms,
@@ -115,7 +149,20 @@ pub fn submit(endpoint: &Endpoint, spec: &JobSpec) -> Result<JobOutcome, Service
 /// Returns connection and wire failures, a server-reported error, or a
 /// protocol violation (connection closed before the acknowledgement).
 pub fn cancel(endpoint: &Endpoint, job: u64) -> Result<bool, ServiceError> {
-    let mut stream = Stream::connect(endpoint)?;
+    cancel_with(endpoint, job, &ConnectOptions::default())
+}
+
+/// [`cancel`] with explicit connect options (retry budget, auth token).
+///
+/// # Errors
+///
+/// As [`cancel`].
+pub fn cancel_with(
+    endpoint: &Endpoint,
+    job: u64,
+    options: &ConnectOptions,
+) -> Result<bool, ServiceError> {
+    let mut stream = open(endpoint, options)?;
     write_frame(&mut stream, &Frame::Cancel { job })?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
@@ -157,7 +204,16 @@ pub fn cancel(endpoint: &Endpoint, job: u64) -> Result<bool, ServiceError> {
 /// Returns connection and wire failures, or a protocol violation if the
 /// daemon closes the connection without acknowledging.
 pub fn shutdown(endpoint: &Endpoint) -> Result<(), ServiceError> {
-    let mut stream = Stream::connect(endpoint)?;
+    shutdown_with(endpoint, &ConnectOptions::default())
+}
+
+/// [`shutdown`] with explicit connect options (retry budget, auth token).
+///
+/// # Errors
+///
+/// As [`shutdown`].
+pub fn shutdown_with(endpoint: &Endpoint, options: &ConnectOptions) -> Result<(), ServiceError> {
+    let mut stream = open(endpoint, options)?;
     write_frame(&mut stream, &Frame::Shutdown)?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();

@@ -1,0 +1,845 @@
+//! The coordinator-side lease table of the distributed sweep fleet.
+//!
+//! A *lease* is one shard of one case granted to one remote worker: a
+//! `(lease id, generation)` pair plus a [`TaskSpec`] the worker can
+//! execute self-containedly.  The table owns the full failure policy —
+//! liveness, expiry, re-queue, backoff, fallback — and nothing else: it
+//! talks to workers only through injected [`WorkerSender`] closures and
+//! reports task outcomes only through per-task completion callbacks, so
+//! every policy decision is unit-testable without sockets or threads
+//! (all methods take the current [`Instant`] explicitly).
+//!
+//! The policy, in one paragraph: a worker's deadline is its last frame
+//! time plus the lease TTL — heartbeats and completions extend it, and a
+//! worker past its deadline is expired wholesale (its in-flight lease
+//! re-queued).  A re-queued shard waits out a capped exponential backoff,
+//! then goes to a *different* worker when one is idle; after
+//! [`FleetConfig::max_attempts`] grants (or whenever the fleet is empty)
+//! the shard *falls back* to the local dispatcher path instead — remote
+//! execution is an accelerator, never a point of failure.  A completion
+//! carrying a stale `(lease, generation)` — the late `lease-done` of an
+//! expired grant — is counted and dropped: the shard's accumulator enters
+//! the fold exactly once, which is what keeps the merged result
+//! bit-identical to the in-process sweep under any crash schedule.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use sweep::SweepStats;
+
+use crate::wire::{Frame, LeaseGrant, TaskSpec, Value};
+
+/// Default lease TTL when the daemon is started without an override.
+pub const DEFAULT_LEASE_TTL_MS: u64 = 10_000;
+
+/// How the coordinator treats its fleet: lease TTL, retry budget, and the
+/// re-queue backoff ramp.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// A worker silent for longer than this is declared dead and its
+    /// in-flight lease re-queued.
+    pub lease_ttl: Duration,
+    /// Total grants a shard may consume before falling back to local
+    /// execution.
+    pub max_attempts: u32,
+    /// Backoff before the first re-grant; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Upper bound on the backoff ramp.
+    pub backoff_cap: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            lease_ttl: Duration::from_millis(DEFAULT_LEASE_TTL_MS),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(1),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A config with the given TTL in milliseconds (`0` keeps the
+    /// default).
+    pub fn with_ttl_ms(ttl_ms: u64) -> Self {
+        let mut config = FleetConfig::default();
+        if ttl_ms > 0 {
+            config.lease_ttl = Duration::from_millis(ttl_ms);
+        }
+        config
+    }
+
+    /// The heartbeat cadence advertised to workers: a quarter of the TTL,
+    /// floored so short test TTLs still leave room for several beats.
+    pub fn heartbeat_ms(&self) -> u64 {
+        (self.lease_ttl.as_millis() as u64 / 4).max(25)
+    }
+}
+
+/// Sends one frame to a registered worker, returning `false` when the
+/// worker's connection is gone (which expires the worker).
+pub type WorkerSender = Box<dyn Fn(&Frame) -> bool + Send>;
+
+/// What became of a submitted remote task.
+#[derive(Debug)]
+pub enum TaskOutcome {
+    /// A worker executed the shard; `payload` is the accumulator's wire
+    /// rendering and `range` the scenario range the worker covered.
+    Done {
+        /// Wire rendering of the per-shard accumulator.
+        payload: Value,
+        /// Scenario range the worker reports for the shard.
+        range: (usize, usize),
+        /// Execution statistics of the shard.
+        stats: SweepStats,
+        /// Re-queues this shard survived before completing.
+        requeues: u64,
+    },
+    /// The fleet could not finish the shard (empty, exhausted retries, or
+    /// the task was cancelled) — execute it on the local dispatcher path.
+    Fallback {
+        /// Re-queues this shard consumed before falling back.
+        requeues: u64,
+    },
+}
+
+/// Called exactly once per submitted task, under the table lock — keep it
+/// non-blocking (the server hands the outcome to an unbounded channel).
+pub type CompleteFn = Box<dyn FnOnce(TaskOutcome) + Send>;
+
+/// A shard submitted for remote execution.
+pub struct RemoteTask {
+    /// What to execute.
+    pub spec: TaskSpec,
+    /// Completion callback; receives [`TaskOutcome::Fallback`] when the
+    /// fleet gives up on the shard.
+    pub complete: CompleteFn,
+}
+
+impl fmt::Debug for RemoteTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteTask").field("spec", &self.spec).finish_non_exhaustive()
+    }
+}
+
+struct WorkerEntry {
+    send: WorkerSender,
+    /// The lease currently granted to this worker, if any (one at a time —
+    /// a worker executes shards sequentially on its read thread).
+    busy: Option<u64>,
+    /// Instant past which the worker is declared dead.
+    deadline: Instant,
+}
+
+struct TaskState {
+    spec: TaskSpec,
+    complete: CompleteFn,
+    /// Bumped on every grant; a completion must match the current value
+    /// *and* find the lease assigned, so late duplicates never land.
+    generation: u64,
+    /// Grants consumed so far.
+    attempts: u32,
+    /// Re-queues survived so far.
+    requeues: u64,
+    /// The worker currently holding the grant, when assigned.
+    assigned: Option<u64>,
+    /// Workers that already held (and lost) this lease — avoided on
+    /// re-grant when any other worker is idle.
+    last_worker: Option<u64>,
+    /// Earliest instant the next grant may happen (the backoff ramp).
+    not_before: Option<Instant>,
+}
+
+struct Inner {
+    workers: HashMap<u64, WorkerEntry>,
+    /// Every live task, keyed by lease id (queued or assigned).
+    leases: HashMap<u64, TaskState>,
+    /// Lease ids awaiting (re-)assignment, oldest first.
+    queue: VecDeque<u64>,
+    next_worker: u64,
+    next_lease: u64,
+}
+
+/// The lease table: registered workers, queued and granted shards, and
+/// the counters the daemon stats line reports.
+pub struct LeaseTable {
+    inner: Mutex<Inner>,
+    config: FleetConfig,
+    granted: AtomicU64,
+    completed: AtomicU64,
+    expired: AtomicU64,
+    requeued: AtomicU64,
+    fallbacks: AtomicU64,
+    duplicates: AtomicU64,
+}
+
+impl std::fmt::Debug for LeaseTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeaseTable")
+            .field("config", &self.config)
+            .field("granted", &self.granted)
+            .field("completed", &self.completed)
+            .field("expired", &self.expired)
+            .field("requeued", &self.requeued)
+            .field("fallbacks", &self.fallbacks)
+            .field("duplicates", &self.duplicates)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LeaseTable {
+    /// Creates an empty table under `config`.
+    pub fn new(config: FleetConfig) -> Self {
+        LeaseTable {
+            inner: Mutex::new(Inner {
+                workers: HashMap::new(),
+                leases: HashMap::new(),
+                queue: VecDeque::new(),
+                next_worker: 0,
+                next_lease: 0,
+            }),
+            config,
+            granted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            requeued: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            duplicates: AtomicU64::new(0),
+        }
+    }
+
+    /// The config the table enforces.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Registers a worker connection and returns its id.  Deliberately
+    /// grants nothing: the caller still owes the worker its `registered`
+    /// frame, which must precede any lease on the wire.  Queued shards
+    /// reach the new worker on the next tick, submit or completion.
+    pub fn register(&self, send: WorkerSender, now: Instant) -> u64 {
+        let mut inner = self.inner.lock().expect("lease table lock");
+        inner.next_worker += 1;
+        let id = inner.next_worker;
+        inner
+            .workers
+            .insert(id, WorkerEntry { send, busy: None, deadline: now + self.config.lease_ttl });
+        id
+    }
+
+    /// Extends a worker's liveness deadline.  Unknown ids (a worker
+    /// already expired) are ignored.
+    pub fn heartbeat(&self, worker: u64, now: Instant) {
+        let mut inner = self.inner.lock().expect("lease table lock");
+        if let Some(entry) = inner.workers.get_mut(&worker) {
+            entry.deadline = now + self.config.lease_ttl;
+        }
+    }
+
+    /// Removes a worker whose connection ended, re-queueing its in-flight
+    /// lease.
+    pub fn worker_gone(&self, worker: u64, now: Instant) {
+        let mut inner = self.inner.lock().expect("lease table lock");
+        self.kill_worker(&mut inner, worker, now, false);
+        self.dispatch(&mut inner, now);
+    }
+
+    /// Submits a shard for remote execution.  Returns `false` — without
+    /// consuming the task's completion callback against a fallback — when
+    /// no workers are registered, so the caller can dispatch locally
+    /// without a round trip through the outcome channel.
+    pub fn submit(&self, task: RemoteTask, now: Instant) -> bool {
+        let mut inner = self.inner.lock().expect("lease table lock");
+        if inner.workers.is_empty() {
+            return false;
+        }
+        inner.next_lease += 1;
+        let lease = inner.next_lease;
+        inner.leases.insert(
+            lease,
+            TaskState {
+                spec: task.spec,
+                complete: task.complete,
+                generation: 0,
+                attempts: 0,
+                requeues: 0,
+                assigned: None,
+                last_worker: None,
+                not_before: None,
+            },
+        );
+        inner.queue.push_back(lease);
+        self.dispatch(&mut inner, now);
+        true
+    }
+
+    /// Lands a worker's completion.  Returns `false` (and counts a
+    /// duplicate) when the `(lease, generation)` pair no longer names the
+    /// active grant — a late or forged `lease-done` — in which case the
+    /// payload is dropped on the floor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn lease_done(
+        &self,
+        lease: u64,
+        generation: u64,
+        worker: u64,
+        payload: Value,
+        range: (usize, usize),
+        stats: SweepStats,
+        now: Instant,
+    ) -> bool {
+        let mut inner = self.inner.lock().expect("lease table lock");
+        if let Some(entry) = inner.workers.get_mut(&worker) {
+            entry.deadline = now + self.config.lease_ttl;
+        }
+        let valid = inner
+            .leases
+            .get(&lease)
+            .is_some_and(|state| state.generation == generation && state.assigned == Some(worker));
+        if !valid {
+            self.duplicates.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let state = inner.leases.remove(&lease).expect("validated lease present");
+        if let Some(entry) = inner.workers.get_mut(&worker) {
+            entry.busy = None;
+        }
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        (state.complete)(TaskOutcome::Done { payload, range, stats, requeues: state.requeues });
+        self.dispatch(&mut inner, now);
+        true
+    }
+
+    /// Lands a worker's typed rejection of a lease: the shard falls back
+    /// to local execution immediately (the rejection is deterministic, so
+    /// retrying it remotely would fail the same way — the local path
+    /// surfaces the same model error as a typed error frame).
+    pub fn lease_failed(&self, lease: u64, generation: u64, worker: u64, now: Instant) {
+        let mut inner = self.inner.lock().expect("lease table lock");
+        if let Some(entry) = inner.workers.get_mut(&worker) {
+            entry.deadline = now + self.config.lease_ttl;
+        }
+        let valid = inner
+            .leases
+            .get(&lease)
+            .is_some_and(|state| state.generation == generation && state.assigned == Some(worker));
+        if !valid {
+            self.duplicates.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let state = inner.leases.remove(&lease).expect("validated lease present");
+        if let Some(entry) = inner.workers.get_mut(&worker) {
+            entry.busy = None;
+        }
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        (state.complete)(TaskOutcome::Fallback { requeues: state.requeues });
+        self.dispatch(&mut inner, now);
+    }
+
+    /// The periodic sweep: expires workers past their deadline (re-queueing
+    /// their leases) and grants queued shards whose backoff has elapsed.
+    pub fn tick(&self, now: Instant) {
+        let mut inner = self.inner.lock().expect("lease table lock");
+        let dead: Vec<u64> = inner
+            .workers
+            .iter()
+            .filter(|(_, entry)| entry.deadline <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for worker in dead {
+            self.kill_worker(&mut inner, worker, now, true);
+        }
+        self.dispatch(&mut inner, now);
+    }
+
+    /// Number of currently registered workers.
+    pub fn live_workers(&self) -> u64 {
+        self.inner.lock().expect("lease table lock").workers.len() as u64
+    }
+
+    /// Number of leases currently granted or queued.
+    pub fn active_leases(&self) -> u64 {
+        self.inner.lock().expect("lease table lock").leases.len() as u64
+    }
+
+    /// Lifetime grants sent to workers.
+    pub fn granted_total(&self) -> u64 {
+        self.granted.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime completions merged.
+    pub fn completed_total(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime workers expired by TTL.
+    pub fn expired_total(&self) -> u64 {
+        self.expired.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime lease re-queues.
+    pub fn requeued_total(&self) -> u64 {
+        self.requeued.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime shards handed back to the local dispatcher path.
+    pub fn fallbacks_total(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime late/stale/forged completions dropped.
+    pub fn duplicates_total(&self) -> u64 {
+        self.duplicates.load(Ordering::Relaxed)
+    }
+
+    /// Removes a worker (TTL expiry when `expired`, clean disconnect
+    /// otherwise), re-queueing its in-flight lease.  A best-effort revoke
+    /// frame tells a worker that is alive-but-silent to drop the result.
+    fn kill_worker(&self, inner: &mut Inner, worker: u64, now: Instant, expired: bool) {
+        let Some(entry) = inner.workers.remove(&worker) else {
+            return;
+        };
+        if expired {
+            self.expired.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(lease) = entry.busy {
+            if expired {
+                if let Some(state) = inner.leases.get(&lease) {
+                    let _ =
+                        (entry.send)(&Frame::LeaseRevoke { lease, generation: state.generation });
+                }
+            }
+            self.requeue(inner, lease, now);
+        }
+    }
+
+    /// Puts an assigned lease back on the queue behind its backoff, or
+    /// falls the shard back to local execution when its retry budget is
+    /// exhausted or the fleet is empty.
+    fn requeue(&self, inner: &mut Inner, lease: u64, now: Instant) {
+        let Some(state) = inner.leases.get_mut(&lease) else {
+            return;
+        };
+        state.last_worker = state.assigned.take();
+        // Invalidate the lost grant: a late completion must fail the
+        // assigned check *and* (after a re-grant) the generation check.
+        state.generation += 1;
+        if state.attempts >= self.config.max_attempts || inner.workers.is_empty() {
+            let state = inner.leases.remove(&lease).expect("requeue looked the lease up");
+            inner.queue.retain(|&queued| queued != lease);
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            (state.complete)(TaskOutcome::Fallback { requeues: state.requeues });
+            return;
+        }
+        state.requeues += 1;
+        let exponent = state.attempts.saturating_sub(1).min(16);
+        let backoff =
+            self.config.backoff_base.saturating_mul(1u32 << exponent).min(self.config.backoff_cap);
+        state.not_before = Some(now + backoff);
+        self.requeued.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "sweep serve: re-queued shard {} of {} (case {}, attempt {}/{}, backoff {} ms)",
+            state.spec.shard,
+            state.spec.query.name(),
+            state.spec.case,
+            state.attempts + 1,
+            self.config.max_attempts,
+            backoff.as_millis(),
+        );
+        inner.queue.push_back(lease);
+    }
+
+    /// Grants queued shards to idle workers: oldest shard first, smallest
+    /// idle worker id first, preferring a worker the shard has not failed
+    /// on.  A send failure expires the target worker and the grant is
+    /// retried on the next candidate.
+    fn dispatch(&self, inner: &mut Inner, now: Instant) {
+        let mut deferred: VecDeque<u64> = VecDeque::new();
+        while let Some(lease) = inner.queue.pop_front() {
+            let Some(state) = inner.leases.get(&lease) else {
+                continue;
+            };
+            // An empty fleet can never serve a queued shard: fall it back
+            // now (backoff included), so losing the last worker drains the
+            // whole queue to the local pool instead of stranding it.
+            if inner.workers.is_empty() {
+                let state = inner.leases.remove(&lease).expect("queued lease present");
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                (state.complete)(TaskOutcome::Fallback { requeues: state.requeues });
+                continue;
+            }
+            if state.not_before.is_some_and(|at| at > now) {
+                deferred.push_back(lease);
+                continue;
+            }
+            let avoid = state.last_worker;
+            let mut idle: Vec<u64> = inner
+                .workers
+                .iter()
+                .filter(|(_, entry)| entry.busy.is_none())
+                .map(|(&id, _)| id)
+                .collect();
+            idle.sort_unstable();
+            let preferred = idle
+                .iter()
+                .copied()
+                .find(|&id| Some(id) != avoid)
+                .or_else(|| idle.first().copied());
+            let Some(worker) = preferred else {
+                deferred.push_back(lease);
+                continue;
+            };
+            let state = inner.leases.get_mut(&lease).expect("lease present");
+            state.attempts += 1;
+            state.generation += 1;
+            state.assigned = Some(worker);
+            state.not_before = None;
+            let grant = Frame::Lease(LeaseGrant {
+                lease,
+                generation: state.generation,
+                task: state.spec.clone(),
+            });
+            let entry = inner.workers.get_mut(&worker).expect("idle worker present");
+            entry.busy = Some(lease);
+            if (entry.send)(&grant) {
+                self.granted.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // The connection is gone: expire the worker, which
+                // re-queues this very lease, then keep draining.
+                self.kill_worker(inner, worker, now, false);
+            }
+        }
+        inner.queue = deferred;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    fn spec(shard: usize) -> TaskSpec {
+        TaskSpec {
+            query: crate::wire::QueryKind::Thm1,
+            case: 0,
+            scope: None,
+            seed: 0,
+            shards: 4,
+            shard,
+        }
+    }
+
+    /// A worker whose sent frames land on a channel.
+    fn channel_worker() -> (WorkerSender, mpsc::Receiver<Frame>) {
+        let (tx, rx) = mpsc::channel();
+        (Box::new(move |frame: &Frame| tx.send(frame.clone()).is_ok()), rx)
+    }
+
+    /// A task whose outcome lands on a channel.
+    fn channel_task(shard: usize) -> (RemoteTask, mpsc::Receiver<TaskOutcome>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            RemoteTask {
+                spec: spec(shard),
+                complete: Box::new(move |outcome| {
+                    let _ = tx.send(outcome);
+                }),
+            },
+            rx,
+        )
+    }
+
+    fn grant_of(frame: Frame) -> LeaseGrant {
+        match frame {
+            Frame::Lease(grant) => grant,
+            other => panic!("expected a lease grant, got {other:?}"),
+        }
+    }
+
+    fn config() -> FleetConfig {
+        FleetConfig::with_ttl_ms(1_000)
+    }
+
+    #[test]
+    fn empty_fleet_rejects_submissions_without_consuming_them() {
+        let table = LeaseTable::new(config());
+        let now = Instant::now();
+        let (task, outcomes) = channel_task(0);
+        assert!(!table.submit(task, now));
+        assert!(outcomes.try_recv().is_err(), "no outcome may fire on a rejected submit");
+        assert_eq!(table.active_leases(), 0);
+    }
+
+    #[test]
+    fn grant_complete_round_trip() {
+        let table = LeaseTable::new(config());
+        let now = Instant::now();
+        let (sender, frames) = channel_worker();
+        let worker = table.register(sender, now);
+        let (task, outcomes) = channel_task(2);
+        assert!(table.submit(task, now));
+        let grant = grant_of(frames.try_recv().expect("a grant goes out immediately"));
+        assert_eq!(grant.task.shard, 2);
+        let stats = SweepStats::default();
+        assert!(table.lease_done(
+            grant.lease,
+            grant.generation,
+            worker,
+            Value::Null,
+            (10, 20),
+            stats,
+            now
+        ));
+        match outcomes.try_recv().expect("outcome fires") {
+            TaskOutcome::Done { range, requeues, .. } => {
+                assert_eq!(range, (10, 20));
+                assert_eq!(requeues, 0);
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+        assert_eq!(table.completed_total(), 1);
+        assert_eq!(table.active_leases(), 0);
+    }
+
+    #[test]
+    fn duplicate_and_stale_completions_are_dropped() {
+        let table = LeaseTable::new(config());
+        let now = Instant::now();
+        let (sender, frames) = channel_worker();
+        let worker = table.register(sender, now);
+        let (task, outcomes) = channel_task(0);
+        assert!(table.submit(task, now));
+        let grant = grant_of(frames.try_recv().unwrap());
+        // Wrong generation: dropped.
+        assert!(!table.lease_done(
+            grant.lease,
+            grant.generation + 7,
+            worker,
+            Value::Null,
+            (0, 5),
+            SweepStats::default(),
+            now
+        ));
+        // Right generation: lands.
+        assert!(table.lease_done(
+            grant.lease,
+            grant.generation,
+            worker,
+            Value::Null,
+            (0, 5),
+            SweepStats::default(),
+            now
+        ));
+        // Exact duplicate of an already-merged completion: dropped.
+        assert!(!table.lease_done(
+            grant.lease,
+            grant.generation,
+            worker,
+            Value::Null,
+            (0, 5),
+            SweepStats::default(),
+            now
+        ));
+        assert_eq!(table.duplicates_total(), 2);
+        assert_eq!(outcomes.iter().count(), 1, "the outcome fires exactly once");
+    }
+
+    #[test]
+    fn expiry_requeues_to_a_different_worker_and_drops_the_late_done() {
+        let table = LeaseTable::new(config());
+        let t0 = Instant::now();
+        let (sender_a, frames_a) = channel_worker();
+        let (sender_b, frames_b) = channel_worker();
+        let worker_a = table.register(sender_a, t0);
+        let worker_b = table.register(sender_b, t0);
+        let (task, outcomes) = channel_task(1);
+        assert!(table.submit(task, t0));
+        // Smallest idle worker id wins the first grant.
+        let first = grant_of(frames_a.try_recv().expect("worker A granted first"));
+        // Worker B heartbeats; worker A goes silent past the TTL.
+        let late = t0 + table.config().lease_ttl + Duration::from_millis(1);
+        table.heartbeat(worker_b, late);
+        table.tick(late);
+        assert_eq!(table.expired_total(), 1);
+        assert_eq!(table.requeued_total(), 1);
+        assert_eq!(table.live_workers(), 1);
+        // A revoke went to the expired worker before its sender was dropped.
+        assert!(frames_a
+            .try_iter()
+            .any(|f| matches!(f, Frame::LeaseRevoke { lease, .. } if lease == first.lease)));
+        // After the backoff, the re-grant goes to worker B with a bumped
+        // generation.
+        let after_backoff = late + table.config().backoff_base;
+        table.tick(after_backoff);
+        let second = grant_of(frames_b.try_recv().expect("worker B granted the retry"));
+        assert_eq!(second.lease, first.lease);
+        assert!(second.generation > first.generation);
+        // The late completion from the dead worker is dropped...
+        assert!(!table.lease_done(
+            first.lease,
+            first.generation,
+            worker_a,
+            Value::Null,
+            (0, 5),
+            SweepStats::default(),
+            after_backoff
+        ));
+        assert!(outcomes.try_recv().is_err(), "dropped completion must not fire the outcome");
+        // ...and worker B's genuine completion lands with the requeue count.
+        assert!(table.lease_done(
+            second.lease,
+            second.generation,
+            worker_b,
+            Value::Null,
+            (0, 5),
+            SweepStats::default(),
+            after_backoff
+        ));
+        match outcomes.try_recv().unwrap() {
+            TaskOutcome::Done { requeues, .. } => assert_eq!(requeues, 1),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_fall_back_locally() {
+        let table = LeaseTable::new(config());
+        let mut now = Instant::now();
+        // One worker that accepts grants but never completes them; killed
+        // and re-registered each round so the fleet never empties.
+        let (task, outcomes) = channel_task(0);
+        let (sender, _frames) = channel_worker();
+        let mut worker = table.register(sender, now);
+        assert!(table.submit(task, now));
+        for _ in 0..table.config().max_attempts {
+            // Replacement registers first so the fleet stays non-empty
+            // when the holder dies (otherwise the fallback fires early).
+            let (sender, _frames) = channel_worker();
+            let replacement = table.register(sender, now);
+            table.worker_gone(worker, now);
+            worker = replacement;
+            now += Duration::from_secs(2);
+            table.heartbeat(worker, now);
+            table.tick(now);
+        }
+        match outcomes.try_recv().expect("fallback fires after the retry budget") {
+            TaskOutcome::Fallback { requeues } => {
+                assert_eq!(requeues, u64::from(table.config().max_attempts) - 1)
+            }
+            other => panic!("expected Fallback, got {other:?}"),
+        }
+        assert_eq!(table.fallbacks_total(), 1);
+        assert_eq!(table.active_leases(), 0);
+    }
+
+    #[test]
+    fn losing_the_whole_fleet_falls_back_immediately() {
+        let table = LeaseTable::new(config());
+        let now = Instant::now();
+        let (sender, _frames) = channel_worker();
+        let worker = table.register(sender, now);
+        let (task, outcomes) = channel_task(3);
+        assert!(table.submit(task, now));
+        table.worker_gone(worker, now);
+        match outcomes.try_recv().expect("fallback fires when the fleet empties") {
+            TaskOutcome::Fallback { requeues } => assert_eq!(requeues, 0),
+            other => panic!("expected Fallback, got {other:?}"),
+        }
+        assert_eq!(table.live_workers(), 0);
+    }
+
+    #[test]
+    fn losing_the_last_worker_drains_queued_leases_to_fallback() {
+        let table = LeaseTable::new(config());
+        let now = Instant::now();
+        let (sender, frames) = channel_worker();
+        let worker = table.register(sender, now);
+        // First task is granted (worker busy), second waits in the queue.
+        let (task_a, out_a) = channel_task(0);
+        let (task_b, out_b) = channel_task(1);
+        assert!(table.submit(task_a, now));
+        assert!(table.submit(task_b, now));
+        assert!(frames.try_recv().is_ok(), "first task is granted");
+        table.worker_gone(worker, now);
+        // Both the busy lease and the never-granted queued one fall back.
+        assert!(matches!(out_a.try_recv(), Ok(TaskOutcome::Fallback { .. })));
+        assert!(matches!(out_b.try_recv(), Ok(TaskOutcome::Fallback { .. })));
+        assert_eq!(table.active_leases(), 0);
+        assert_eq!(table.fallbacks_total(), 2);
+    }
+
+    #[test]
+    fn lease_failed_falls_back_without_retry() {
+        let table = LeaseTable::new(config());
+        let now = Instant::now();
+        let (sender, frames) = channel_worker();
+        let worker = table.register(sender, now);
+        let (task, outcomes) = channel_task(0);
+        assert!(table.submit(task, now));
+        let grant = grant_of(frames.try_recv().unwrap());
+        table.lease_failed(grant.lease, grant.generation, worker, now);
+        assert!(matches!(outcomes.try_recv(), Ok(TaskOutcome::Fallback { requeues: 0 })));
+        // The worker is idle again and serves the next submission.
+        let (task, _outcomes) = channel_task(1);
+        assert!(table.submit(task, now));
+        assert!(frames.try_recv().is_ok());
+    }
+
+    #[test]
+    fn send_failure_expires_the_worker_and_falls_back() {
+        let table = LeaseTable::new(config());
+        let now = Instant::now();
+        let dead: WorkerSender = Box::new(|_| false);
+        table.register(dead, now);
+        let (task, outcomes) = channel_task(0);
+        // The submit sees one worker, the grant fails to send, the worker
+        // dies, and — the fleet now empty — the shard falls back.
+        assert!(table.submit(task, now));
+        assert!(matches!(outcomes.try_recv(), Ok(TaskOutcome::Fallback { .. })));
+        assert_eq!(table.live_workers(), 0);
+    }
+
+    #[test]
+    fn one_worker_runs_shards_sequentially() {
+        let table = LeaseTable::new(config());
+        let now = Instant::now();
+        let (sender, frames) = channel_worker();
+        let worker = table.register(sender, now);
+        let (task_a, _out_a) = channel_task(0);
+        let (task_b, _out_b) = channel_task(1);
+        assert!(table.submit(task_a, now));
+        assert!(table.submit(task_b, now));
+        let first = grant_of(frames.try_recv().expect("first grant"));
+        assert!(frames.try_recv().is_err(), "a busy worker gets no second grant");
+        assert!(table.lease_done(
+            first.lease,
+            first.generation,
+            worker,
+            Value::Null,
+            (0, 5),
+            SweepStats::default(),
+            now
+        ));
+        let second = grant_of(frames.try_recv().expect("completion frees the worker"));
+        assert_eq!(second.task.shard, 1);
+    }
+
+    #[test]
+    fn callbacks_may_live_on_other_threads() {
+        // Compile-time style check: the table is Sync and outcomes can be
+        // routed through Arc across threads.
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<LeaseTable>();
+        let table = Arc::new(LeaseTable::new(config()));
+        let handle = {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || table.live_workers())
+        };
+        assert_eq!(handle.join().unwrap(), 0);
+    }
+}

@@ -25,13 +25,20 @@
 //! * [`server`] — accept loop, bounded job queue, concurrent
 //!   dispatchers, shard scheduler, streaming, cancellation, graceful
 //!   shutdown;
+//! * [`lease`] — the coordinator-side lease table of the distributed
+//!   fleet: shard grants with TTL expiry, heartbeat liveness, capped
+//!   backoff re-queue, generation-based duplicate drop, and fallback to
+//!   local execution;
+//! * [`worker`] — the remote worker process loop behind
+//!   `sweep worker --connect`;
 //! * [`client`] — blocking submit/cancel/shutdown calls used by
 //!   `sweep submit`/`sweep cancel` and the end-to-end tests;
-//! * [`net`] — Unix/TCP endpoints behind one stream type.
+//! * [`net`] — Unix/TCP endpoints behind one stream type, with
+//!   capped-backoff connect retries and the TCP auth handshake.
 //!
 //! The frame lifecycle and cache design are documented in
-//! `docs/ARCHITECTURE.md` ("The service layer" and "Persistence and
-//! eviction").
+//! `docs/ARCHITECTURE.md` ("The service layer", "Persistence and
+//! eviction", and "Distributed execution").
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,19 +47,22 @@
 pub mod cache;
 pub mod client;
 pub mod fingerprint;
+pub mod lease;
 pub mod net;
 pub mod pool;
 pub mod server;
 pub mod store;
 pub mod wire;
+pub mod worker;
 
 use std::fmt;
 
 pub use client::{cancel, submit, JobOutcome};
-pub use net::Endpoint;
+pub use net::{ConnectOptions, Endpoint};
 pub use server::{ServeOptions, Server};
 pub use store::{CacheStore, DurableStore, StoreAccounting, StoredEntry};
 pub use wire::{ErrorKind, JobSpec, QueryKind, QueryResult, ScopeSpec};
+pub use worker::WorkerOptions;
 
 /// Any failure of the service layer, from transport to protocol to model.
 #[derive(Debug)]

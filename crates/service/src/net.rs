@@ -5,6 +5,7 @@ use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
+use std::time::Duration;
 
 use crate::ServiceError;
 
@@ -103,6 +104,32 @@ impl Listener {
     }
 }
 
+/// How a client establishes (and authenticates) a connection.
+#[derive(Debug, Clone, Default)]
+pub struct ConnectOptions {
+    /// Total budget for connect retries.  [`Duration::ZERO`] (the
+    /// default) makes exactly one attempt — library callers and tests
+    /// stay fail-fast; the CLI opts into retries explicitly.
+    pub timeout: Duration,
+    /// Shared secret sent as a `hello` frame right after connecting to a
+    /// TCP endpoint (Unix sockets are exempt from auth).
+    pub auth_token: Option<String>,
+}
+
+/// Connect failures worth retrying while a daemon is still coming up:
+/// nobody listening yet (refused / socket file absent), or a listener
+/// backlog race (reset / aborted / timed out).
+fn retryable(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::NotFound
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::TimedOut
+    )
+}
+
 /// A connected stream of either flavor.
 #[derive(Debug)]
 pub enum Stream {
@@ -126,6 +153,36 @@ impl Stream {
             Endpoint::Tcp(addr) => TcpStream::connect(addr)
                 .map(Stream::Tcp)
                 .map_err(|e| ServiceError::io(format!("connecting to {addr}"), e)),
+        }
+    }
+
+    /// Connects like [`Stream::connect`], but keeps retrying retryable
+    /// failures (daemon not up yet) with capped exponential backoff until
+    /// `timeout` elapses.  A zero timeout makes a single attempt.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connect failure once the budget is exhausted, and
+    /// non-retryable failures (bad address, permission) immediately.
+    pub fn connect_with(endpoint: &Endpoint, timeout: Duration) -> Result<Stream, ServiceError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut backoff = Duration::from_millis(25);
+        loop {
+            match Self::connect(endpoint) {
+                Ok(stream) => return Ok(stream),
+                Err(error) => {
+                    let retry = match &error {
+                        ServiceError::Io { source, .. } => retryable(source.kind()),
+                        _ => false,
+                    };
+                    let now = std::time::Instant::now();
+                    if !retry || now >= deadline {
+                        return Err(error);
+                    }
+                    std::thread::sleep(backoff.min(deadline.saturating_duration_since(now)));
+                    backoff = (backoff * 2).min(Duration::from_millis(500));
+                }
+            }
         }
     }
 

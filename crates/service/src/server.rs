@@ -37,6 +37,20 @@
 //! rules.  Shard accumulators are inserted into the store *before* their
 //! `shard-done` frame is streamed, so any shard a client observed as done
 //! is durably replayable after a crash.
+//!
+//! **Distributed execution.**  Remote `sweep worker` processes register
+//! over the same endpoint (a `register` frame turns the connection into a
+//! worker session) and the shard scheduler offers every cold shard to the
+//! fleet first, through the [`crate::lease`] table: leases carry TTLs,
+//! heartbeats keep workers alive, a dead worker's shard is re-queued with
+//! capped backoff, and a shard the fleet cannot finish *falls back* to
+//! the local pool — with zero workers registered the daemon behaves
+//! exactly as before.  Remote accumulators take the same
+//! insert-before-stream path into the cache as local ones, and late
+//! duplicate completions are dropped by lease generation, so the merged
+//! fold stays bit-identical under any crash schedule.  On TCP endpoints
+//! an optional shared-secret `hello` handshake (constant-time compared)
+//! gates every connection; Unix sockets are exempt.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -60,12 +74,13 @@ use synchrony::ModelError;
 
 use crate::cache::ShardCache;
 use crate::fingerprint::{code_version, scope_string, JobFingerprint};
+use crate::lease::{FleetConfig, LeaseTable, RemoteTask, TaskOutcome};
 use crate::net::{Endpoint, Listener, Stream};
 use crate::pool::WorkerPool;
 use crate::store::{CacheStore, DurableStore};
 use crate::wire::{
     self, encode_line, ErrorFrame, ErrorKind, Frame, FromWire, JobDone, JobSpec, Partial,
-    QueryKind, QueryResult, ShardDone, ToWire, Value,
+    QueryKind, QueryResult, ScopeSpec, ShardDone, TaskSpec, ToWire, Value,
 };
 use crate::ServiceError;
 
@@ -91,6 +106,14 @@ pub struct ServeOptions {
     /// Byte budget of the shard-accumulator cache (LRU eviction above
     /// it); `None` leaves the cache unbounded.
     pub cache_budget: Option<u64>,
+    /// Lease TTL for remote workers in milliseconds: a worker silent for
+    /// longer loses its lease (re-queued elsewhere).  `0` picks
+    /// [`crate::lease::DEFAULT_LEASE_TTL_MS`].
+    pub lease_ttl_ms: u64,
+    /// Shared secret required from connections on TCP endpoints (as a
+    /// `hello` first frame, constant-time compared).  `None` disables the
+    /// handshake; Unix sockets never require it.
+    pub auth_token: Option<String>,
 }
 
 impl ServeOptions {
@@ -109,6 +132,8 @@ impl ServeOptions {
             queue_capacity: 0,
             cache_dir: None,
             cache_budget: None,
+            lease_ttl_ms: 0,
+            auth_token: None,
         }
     }
 }
@@ -240,6 +265,8 @@ pub struct Server {
     dispatchers: usize,
     queue_capacity: usize,
     store: Option<Arc<DurableStore>>,
+    fleet_config: FleetConfig,
+    auth_token: Option<String>,
 }
 
 impl Server {
@@ -278,7 +305,16 @@ impl Server {
                 options.cache_budget.map(|budget| Arc::new(DurableStore::in_memory(Some(budget))))
             }
         };
-        Ok(Server { listener, endpoint, workers, dispatchers, queue_capacity, store })
+        Ok(Server {
+            listener,
+            endpoint,
+            workers,
+            dispatchers,
+            queue_capacity,
+            store,
+            fleet_config: FleetConfig::with_ttl_ms(options.lease_ttl_ms),
+            auth_token: options.auth_token.clone(),
+        })
     }
 
     /// The endpoint actually bound.
@@ -314,28 +350,50 @@ impl Server {
         let job_rx = Arc::new(Mutex::new(job_rx));
         let registry: CancelRegistry = Arc::new(Mutex::new(HashMap::new()));
 
-        // The dispatchers share the pool and the caches: jobs are popped
-        // FIFO, up to `dispatchers` run at once, shards fan out across the
-        // persistent workers.
+        // The dispatchers share the pool, the caches and the fleet's lease
+        // table: jobs are popped FIFO, up to `dispatchers` run at once,
+        // shards go to remote workers when any are registered and fan out
+        // across the persistent local workers otherwise.
         let pool = Arc::new(WorkerPool::new(self.workers));
         let caches = Arc::new(DaemonCaches::new(self.store.clone()));
+        let fleet = Arc::new(LeaseTable::new(self.fleet_config.clone()));
         let dispatchers: Vec<_> = (0..self.dispatchers)
             .map(|_| {
                 let job_rx = Arc::clone(&job_rx);
                 let pool = Arc::clone(&pool);
                 let caches = Arc::clone(&caches);
                 let registry = Arc::clone(&registry);
+                let fleet = Arc::clone(&fleet);
                 thread::spawn(move || loop {
                     // Hold the queue lock only while popping, never while
                     // executing a job.
                     let task = job_rx.lock().expect("job queue lock").recv();
                     match task {
-                        Ok(task) => execute_job(&pool, &caches, &registry, task),
+                        Ok(task) => execute_job(&pool, &caches, &registry, &fleet, task),
                         Err(_) => break, // queue closed: shutdown
                     }
                 })
             })
             .collect();
+
+        // The sweeper expires workers whose heartbeats stopped and grants
+        // re-queued shards once their backoff elapses.  During the
+        // shutdown drain the worker sessions exit and hand their leases
+        // back through `worker_gone`, so jobs finishing after the sweeper
+        // stops still fall back to local execution.
+        let sweeper = {
+            let fleet = Arc::clone(&fleet);
+            let shutdown = Arc::clone(&shutdown);
+            let interval = Duration::from_millis(
+                (self.fleet_config.lease_ttl.as_millis() as u64 / 4).clamp(10, 100),
+            );
+            thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    fleet.tick(Instant::now());
+                    thread::sleep(interval);
+                }
+            })
+        };
 
         eprintln!(
             "sweep serve: listening on {} with {} worker(s), {} dispatcher(s), {}",
@@ -364,8 +422,17 @@ impl Server {
                     let job_tx = job_tx.clone();
                     let registry = Arc::clone(&registry);
                     let shutdown = Arc::clone(&shutdown);
+                    let fleet = Arc::clone(&fleet);
+                    let auth_token = self.auth_token.clone();
                     connections.push(thread::spawn(move || {
-                        handle_connection(stream, &job_tx, &registry, &shutdown);
+                        handle_connection(
+                            stream,
+                            &job_tx,
+                            &registry,
+                            &shutdown,
+                            &fleet,
+                            auth_token.as_deref(),
+                        );
                     }));
                 }
                 Ok(None) => thread::sleep(Duration::from_millis(5)),
@@ -387,6 +454,7 @@ impl Server {
         for dispatcher in dispatchers {
             dispatcher.join().expect("dispatcher thread panicked");
         }
+        sweeper.join().expect("sweeper thread panicked");
         // Dropping the last pool handle closes its queue and joins the
         // workers.
         drop(pool);
@@ -403,15 +471,38 @@ impl Server {
 /// clients that connect and never submit.
 const CONNECTION_READ_TIMEOUT: Duration = Duration::from_millis(200);
 
+/// Compares two secrets without an early exit, so the comparison time
+/// does not leak how long a matching prefix an attacker has guessed.
+/// Length is folded into the accumulator rather than short-circuited.
+fn constant_time_eq(a: &str, b: &str) -> bool {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
+}
+
 /// Reads line frames off one connection until EOF or shutdown, queueing
 /// jobs (bounded — a full queue rejects with a `queue-full` error frame),
-/// flipping cancel tokens, and acknowledging shutdown requests.
+/// flipping cancel tokens, and acknowledging shutdown requests.  On a
+/// token-protected TCP endpoint the first frame must be a matching
+/// `hello`; a `register` frame turns the connection into a worker
+/// session.
 fn handle_connection(
     stream: Stream,
     job_tx: &SyncSender<JobTask>,
     registry: &CancelRegistry,
     shutdown: &AtomicBool,
+    fleet: &Arc<LeaseTable>,
+    auth_token: Option<&str>,
 ) {
+    // Unix sockets are gated by filesystem permissions already; the
+    // shared-secret handshake protects only TCP endpoints.
+    let requires_auth = auth_token.is_some() && matches!(stream, Stream::Tcp(_));
+    let mut authed = !requires_auth;
     let Ok(write_half) = stream.try_clone() else { return };
     // The read timeout is what keeps shutdown graceful even while a client
     // (e.g. a human on `nc -U`) sits connected and idle: without it this
@@ -451,6 +542,43 @@ fn handle_connection(
             continue;
         }
         match wire::decode_line(&line) {
+            Ok(Frame::Hello { token }) => {
+                // Ignored where no auth is required (a client configured
+                // with a token may talk to an open daemon).
+                if requires_auth {
+                    if constant_time_eq(&token, auth_token.unwrap_or_default()) {
+                        authed = true;
+                    } else {
+                        send_frame(
+                            &reply,
+                            &Frame::Error(ErrorFrame {
+                                job: None,
+                                kind: ErrorKind::Unauthorized,
+                                message: "invalid auth token".into(),
+                            }),
+                        );
+                        break;
+                    }
+                }
+            }
+            Ok(_) if !authed => {
+                send_frame(
+                    &reply,
+                    &Frame::Error(ErrorFrame {
+                        job: None,
+                        kind: ErrorKind::Unauthorized,
+                        message: "this endpoint requires a hello frame with the auth token".into(),
+                    }),
+                );
+                break;
+            }
+            Ok(Frame::Register) => {
+                // The connection becomes a worker session: it stops
+                // accepting job frames and serves the lease protocol
+                // until EOF or shutdown.
+                worker_session(reader, &reply, fleet, shutdown);
+                return;
+            }
             Ok(Frame::Job(spec)) => {
                 let id = spec.id;
                 let cancel = Arc::new(AtomicBool::new(false));
@@ -497,7 +625,9 @@ fn handle_connection(
                     &Frame::Error(ErrorFrame {
                         job: None,
                         kind: ErrorKind::Protocol,
-                        message: "unexpected frame (clients send job, cancel or shutdown)".into(),
+                        message:
+                            "unexpected frame (clients send job, cancel, shutdown or register)"
+                                .into(),
                     }),
                 );
             }
@@ -515,6 +645,105 @@ fn handle_connection(
     }
 }
 
+/// Serves one registered worker connection: announces the worker to the
+/// lease table, then relays heartbeats and lease completions until EOF or
+/// shutdown.  Leaving the loop — however it happens — hands the worker's
+/// in-flight lease back to the table, which re-queues or falls it back,
+/// so a SIGKILLed worker can never strand a shard.
+fn worker_session(
+    mut reader: BufReader<Stream>,
+    reply: &Reply,
+    fleet: &Arc<LeaseTable>,
+    shutdown: &AtomicBool,
+) {
+    // `registered` must be on the wire before any lease frame, so the
+    // worker id handshake happens before the table may grant (the table
+    // only grants from submit/tick/completion events, never from
+    // `register` itself).
+    let worker = fleet.register(
+        {
+            let reply = Arc::clone(reply);
+            Box::new(move |frame: &Frame| send_frame(&reply, frame))
+        },
+        Instant::now(),
+    );
+    let config = fleet.config();
+    if !send_frame(
+        reply,
+        &Frame::Registered {
+            worker,
+            lease_ttl_ms: config.lease_ttl.as_millis() as u64,
+            heartbeat_ms: config.heartbeat_ms(),
+        },
+    ) {
+        fleet.worker_gone(worker, Instant::now());
+        return;
+    }
+    eprintln!("sweep serve: worker {worker} registered ({} in fleet)", fleet.live_workers());
+    let mut line = String::new();
+    'session: loop {
+        line.clear();
+        let read = loop {
+            match reader.read_line(&mut line) {
+                Ok(read) => break read,
+                Err(error)
+                    if matches!(
+                        error.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if shutdown.load(Ordering::Relaxed) {
+                        break 'session;
+                    }
+                }
+                Err(_) => break 'session,
+            }
+        };
+        if read == 0 {
+            break;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        // The session's own worker id is authoritative throughout — a
+        // frame cannot heartbeat or complete on behalf of another worker.
+        match wire::decode_line(&line) {
+            Ok(Frame::Heartbeat { .. }) => fleet.heartbeat(worker, Instant::now()),
+            Ok(Frame::LeaseDone(done)) => {
+                fleet.lease_done(
+                    done.lease,
+                    done.generation,
+                    worker,
+                    done.payload,
+                    (done.start, done.end),
+                    done.stats,
+                    Instant::now(),
+                );
+            }
+            Ok(Frame::LeaseFailed(failed)) => {
+                eprintln!(
+                    "sweep serve: worker {worker} rejected lease {}: {}",
+                    failed.lease, failed.message
+                );
+                fleet.lease_failed(failed.lease, failed.generation, worker, Instant::now());
+            }
+            Ok(other) => {
+                eprintln!("sweep serve: worker {worker} sent an unexpected frame {other:?}");
+                break;
+            }
+            Err(error) => {
+                eprintln!("sweep serve: worker {worker} sent a malformed frame: {error}");
+                break;
+            }
+        }
+    }
+    // Best effort: tell a still-connected worker the session is over so
+    // its process exits instead of blocking on a dead read.
+    send_frame(reply, &Frame::ShuttingDown);
+    fleet.worker_gone(worker, Instant::now());
+    eprintln!("sweep serve: worker {worker} disconnected ({} in fleet)", fleet.live_workers());
+}
+
 /// Everything [`JobDone`] reports about one finished job.
 struct JobSummary {
     result: QueryResult,
@@ -522,6 +751,8 @@ struct JobSummary {
     shards_total: u64,
     shards_cached: u64,
     shards_executed: u64,
+    shards_remote: u64,
+    leases_requeued: u64,
 }
 
 impl JobSummary {
@@ -532,6 +763,8 @@ impl JobSummary {
             shards_total: 0,
             shards_cached: 0,
             shards_executed: 0,
+            shards_remote: 0,
+            leases_requeued: 0,
         }
     }
 
@@ -540,6 +773,8 @@ impl JobSummary {
         self.shards_total += case.shards_total as u64;
         self.shards_cached += case.shards_cached as u64;
         self.shards_executed += (case.shards_total - case.shards_cached) as u64;
+        self.shards_remote += case.shards_remote;
+        self.leases_requeued += case.requeues;
     }
 }
 
@@ -547,14 +782,20 @@ impl JobSummary {
 /// failure — model error, poisoned merge, cancellation — terminates the
 /// job with a typed error frame and leaves the daemon (and this
 /// dispatcher) serving.
-fn execute_job(pool: &WorkerPool, caches: &DaemonCaches, registry: &CancelRegistry, task: JobTask) {
+fn execute_job(
+    pool: &WorkerPool,
+    caches: &DaemonCaches,
+    registry: &CancelRegistry,
+    fleet: &Arc<LeaseTable>,
+    task: JobTask,
+) {
     let JobTask { spec, reply, cancel } = task;
     let start = Instant::now();
     let outcome = if cancel.load(Ordering::Relaxed) {
         // Revoked while still queued: never starts executing.
         Err(JobError::Cancelled)
     } else {
-        run_query(pool, caches, &spec, &reply, &cancel)
+        run_query(pool, caches, fleet, &spec, &reply, &cancel)
     };
     registry.lock().expect("cancel registry lock").remove(&spec.id);
     match outcome {
@@ -562,18 +803,28 @@ fn execute_job(pool: &WorkerPool, caches: &DaemonCaches, registry: &CancelRegist
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
             // The daemon-side job trailer, reusing the canonical stats-line
             // renderer of the sweep crate, plus the store accounting when a
-            // durable/bounded cache is configured.
+            // durable/bounded cache is configured and the fleet accounting
+            // (lifetime counters of the lease table — the CI smoke leg and
+            // the e2e tests grep this line).
             eprintln!(
                 "sweep serve: job {} ({}) done in {:.0} ms; shards: {} total, {} cached, \
-                 {} executed; {}{}",
+                 {} executed ({} remote); {}{}; fleet: {} workers, {} leases active, \
+                 {} granted, {} expired, {} re-queued, {} duplicates dropped",
                 spec.id,
                 spec.query.name(),
                 wall_ms,
                 summary.shards_total,
                 summary.shards_cached,
                 summary.shards_executed,
+                summary.shards_remote,
                 summary.stats.stats_line(),
                 caches.store_suffix(),
+                fleet.live_workers(),
+                fleet.active_leases(),
+                fleet.granted_total(),
+                fleet.expired_total(),
+                fleet.requeued_total(),
+                fleet.duplicates_total(),
             );
             send_frame(
                 &reply,
@@ -584,6 +835,9 @@ fn execute_job(pool: &WorkerPool, caches: &DaemonCaches, registry: &CancelRegist
                     shards_total: summary.shards_total,
                     shards_cached: summary.shards_cached,
                     shards_executed: summary.shards_executed,
+                    fleet_workers: fleet.live_workers(),
+                    shards_remote: summary.shards_remote,
+                    leases_requeued: summary.leases_requeued,
                     wall_ms,
                 }),
             );
@@ -620,6 +874,7 @@ fn resolved_shards(spec: &JobSpec, pool: &WorkerPool) -> usize {
 fn run_query(
     pool: &WorkerPool,
     caches: &DaemonCaches,
+    fleet: &Arc<LeaseTable>,
     spec: &JobSpec,
     reply: &Reply,
     cancel: &Arc<AtomicBool>,
@@ -630,9 +885,9 @@ fn run_query(
         }));
     }
     match spec.query {
-        QueryKind::Thm1 => run_thm1(pool, caches, spec, reply, cancel),
-        QueryKind::Thm3 => run_thm3(pool, caches, spec, reply, cancel),
-        QueryKind::Fig4 => run_fig4(pool, caches, spec, reply, cancel),
+        QueryKind::Thm1 => run_thm1(pool, caches, fleet, spec, reply, cancel),
+        QueryKind::Thm3 => run_thm3(pool, caches, fleet, spec, reply, cancel),
+        QueryKind::Fig4 => run_fig4(pool, caches, fleet, spec, reply, cancel),
         QueryKind::Prop2 => run_prop2(pool, caches, spec, reply),
     }
 }
@@ -640,6 +895,7 @@ fn run_query(
 fn run_thm1(
     pool: &WorkerPool,
     caches: &DaemonCaches,
+    fleet: &Arc<LeaseTable>,
     spec: &JobSpec,
     reply: &Reply,
     cancel: &Arc<AtomicBool>,
@@ -671,9 +927,23 @@ fn run_thm1(
             shards,
             code_version: code_version(),
         };
+        // Remote workers rebuild the case from an explicit scope, so even
+        // built-in cases ship theirs.
+        let lease_scope = Some(ScopeSpec {
+            n: scope.n,
+            t: scope.t,
+            k,
+            max_value: scope.max_value,
+            max_crash_round: scope.max_crash_round,
+            partial_delivery: scope.partial_delivery,
+        });
         let case = run_case(CaseContext {
             pool,
             reply,
+            fleet,
+            query: QueryKind::Thm1,
+            lease_scope,
+            seed: 0,
             job_id: spec.id,
             case: case_index,
             cases: cases.len(),
@@ -704,6 +974,7 @@ fn run_thm1(
 fn run_thm3(
     pool: &WorkerPool,
     caches: &DaemonCaches,
+    fleet: &Arc<LeaseTable>,
     spec: &JobSpec,
     reply: &Reply,
     cancel: &Arc<AtomicBool>,
@@ -724,6 +995,10 @@ fn run_thm3(
         let case = run_case(CaseContext {
             pool,
             reply,
+            fleet,
+            query: QueryKind::Thm3,
+            lease_scope: None,
+            seed: spec.seed,
             job_id: spec.id,
             case: case_index,
             cases: THM3_CASES.len(),
@@ -755,6 +1030,7 @@ fn run_thm3(
 fn run_fig4(
     pool: &WorkerPool,
     caches: &DaemonCaches,
+    fleet: &Arc<LeaseTable>,
     spec: &JobSpec,
     reply: &Reply,
     cancel: &Arc<AtomicBool>,
@@ -772,6 +1048,10 @@ fn run_fig4(
     let case = run_case(CaseContext {
         pool,
         reply,
+        fleet,
+        query: QueryKind::Fig4,
+        lease_scope: None,
+        seed: 0,
         job_id: spec.id,
         case: 0,
         cases: 1,
@@ -849,16 +1129,20 @@ fn run_prop2(
         shards_total: 1,
         shards_cached: u64::from(was_cached),
         shards_executed: u64::from(!was_cached),
+        shards_remote: 0,
+        leases_requeued: 0,
     })
 }
 
 /// Result of one case: the merged accumulator, the executed statistics,
-/// and the warm/cold split.
+/// the warm/cold split, and the fleet accounting of the cold pass.
 struct CaseOutcome<A> {
     acc: A,
     stats: SweepStats,
     shards_total: usize,
     shards_cached: usize,
+    shards_remote: u64,
+    requeues: u64,
 }
 
 /// The per-scenario job of a case, as a plain function pointer so pool
@@ -870,6 +1154,14 @@ type JobFn<I> = fn(&mut BatchRunner, &Scenario) -> Result<I, ModelError>;
 struct CaseContext<'a, S, R: Reducer> {
     pool: &'a WorkerPool,
     reply: &'a Reply,
+    fleet: &'a Arc<LeaseTable>,
+    /// Which query the case belongs to — remote workers rebuild the
+    /// scenario source from `(query, case, lease_scope, seed, shards)`.
+    query: QueryKind,
+    /// Explicit scope shipped in lease grants (Theorem 1 only).
+    lease_scope: Option<ScopeSpec>,
+    /// Seed shipped in lease grants (seeded sources only).
+    seed: u64,
     job_id: u64,
     case: usize,
     cases: usize,
@@ -910,6 +1202,10 @@ where
     let CaseContext {
         pool,
         reply,
+        fleet,
+        query,
+        lease_scope,
+        seed,
         job_id,
         case,
         cases,
@@ -966,12 +1262,19 @@ where
     }
     prefix.emit_if_grown(reply, job_id, case, &ranges, &outcomes, &*reducer, encode_partial);
 
-    // Cold pass: fan the remaining shards out across the persistent pool.
-    // Each task re-checks the cancel token just before executing, so a
-    // revoked job's pending shards drain as fast cancellations instead of
+    // Cold pass: offer every cold shard to the remote fleet first; shards
+    // the fleet cannot take (zero workers) or gives up on (exhausted
+    // retries, typed rejection) fall back to the local pool, so an empty
+    // fleet degrades to exactly the pre-distributed scheduler.  Each local
+    // task re-checks the cancel token just before executing, so a revoked
+    // job's pending shards drain as fast cancellations instead of
     // occupying the pool.
-    let (done_tx, done_rx) = mpsc::channel();
-    for &shard in &cold {
+    enum Completion<A> {
+        Local { shard: usize, folded: Result<(A, SweepStats), JobError> },
+        Remote { shard: usize, outcome: TaskOutcome },
+    }
+    let (done_tx, done_rx) = mpsc::channel::<Completion<R::Acc>>();
+    let dispatch_local = |shard: usize| {
         let source = Arc::clone(&source);
         let reducer = Arc::clone(&reducer);
         let cancel = Arc::clone(cancel);
@@ -994,40 +1297,115 @@ where
             };
             // The dispatcher outlives every task it queues, so the send
             // only fails if it already gave up on the job — nothing to do.
-            let _ = done_tx.send((shard, folded));
+            let _ = done_tx.send(Completion::Local { shard, folded });
         }));
+    };
+    for &shard in &cold {
+        let remote_tx = done_tx.clone();
+        let task = RemoteTask {
+            spec: TaskSpec { query, case, scope: lease_scope, seed, shards, shard },
+            complete: Box::new(move |outcome| {
+                // Fires under the lease-table lock — forward and return.
+                let _ = remote_tx.send(Completion::Remote { shard, outcome });
+            }),
+        };
+        if !fleet.submit(task, Instant::now()) {
+            dispatch_local(shard);
+        }
     }
-    drop(done_tx);
 
+    // Every cold shard produces exactly one terminal completion; a remote
+    // shard the fleet hands back re-enters the count via `dispatch_local`
+    // (pending unchanged), so the counter is exact.
     let mut first_error: Option<(usize, JobError)> = None;
-    for _ in 0..cold.len() {
-        let (shard, folded) = done_rx.recv().expect("pool workers alive");
-        match folded {
-            Ok((acc, stats)) => {
-                let outcome =
-                    ShardOutcome { shard, range: ranges[shard], cached: false, acc, stats };
-                // Insert before streaming: a client that saw shard-done
-                // may rely on the shard being durably cached.
-                if use_shard_cache {
-                    cache.insert(fingerprint.shard(shard), ranges[shard], outcome.acc.clone());
+    let mut shards_remote = 0u64;
+    let mut requeues_total = 0u64;
+    let mut pending = cold.len();
+    while pending > 0 {
+        let landed = match done_rx.recv().expect("pool workers alive") {
+            Completion::Local { shard, folded } => {
+                pending -= 1;
+                match folded {
+                    Ok((acc, stats)) => Some((shard, acc, stats)),
+                    Err(error) => {
+                        if first_error.as_ref().is_none_or(|(s, _)| shard < *s) {
+                            first_error = Some((shard, error));
+                        }
+                        None
+                    }
                 }
-                stream_shard(&outcome);
-                outcomes[shard] = Some(outcome);
-                prefix.emit_if_grown(
-                    reply,
-                    job_id,
-                    case,
-                    &ranges,
-                    &outcomes,
-                    &*reducer,
-                    encode_partial,
-                );
             }
-            Err(error) => {
+            // Remote completions honour cancellation here (the worker has
+            // no cancel token), so a fully remote job stays cancellable.
+            Completion::Remote { shard, .. } if cancel.load(Ordering::Relaxed) => {
+                pending -= 1;
                 if first_error.as_ref().is_none_or(|(s, _)| shard < *s) {
-                    first_error = Some((shard, error));
+                    first_error = Some((shard, JobError::Cancelled));
                 }
+                None
             }
+            Completion::Remote { shard, outcome } => match outcome {
+                TaskOutcome::Done { payload, range, stats, requeues } => {
+                    requeues_total += requeues;
+                    let decoded = if range == ranges[shard] {
+                        R::Acc::from_wire(&payload).ok()
+                    } else {
+                        None
+                    };
+                    match decoded {
+                        Some(acc) => {
+                            pending -= 1;
+                            shards_remote += 1;
+                            Some((shard, acc, stats))
+                        }
+                        None => {
+                            // A range that disagrees with the partition or
+                            // a payload that does not decode never reaches
+                            // the merge — the shard re-runs locally.
+                            eprintln!(
+                                "sweep serve: job {job_id}: dropping malformed remote result \
+                                 for shard {shard} (range {:?}, expected {:?}); re-running locally",
+                                range, ranges[shard]
+                            );
+                            if first_error.is_some() {
+                                pending -= 1;
+                            } else {
+                                dispatch_local(shard);
+                            }
+                            None
+                        }
+                    }
+                }
+                TaskOutcome::Fallback { requeues } => {
+                    requeues_total += requeues;
+                    if first_error.is_some() {
+                        pending -= 1;
+                    } else {
+                        dispatch_local(shard);
+                    }
+                    None
+                }
+            },
+        };
+        if let Some((shard, acc, stats)) = landed {
+            let outcome = ShardOutcome { shard, range: ranges[shard], cached: false, acc, stats };
+            // Insert before streaming: a client that saw shard-done may
+            // rely on the shard being durably cached.  Remote results take
+            // the same store-before-stream path as local ones.
+            if use_shard_cache {
+                cache.insert(fingerprint.shard(shard), ranges[shard], outcome.acc.clone());
+            }
+            stream_shard(&outcome);
+            outcomes[shard] = Some(outcome);
+            prefix.emit_if_grown(
+                reply,
+                job_id,
+                case,
+                &ranges,
+                &outcomes,
+                &*reducer,
+                encode_partial,
+            );
         }
     }
     if let Some((_, error)) = first_error {
@@ -1041,7 +1419,14 @@ where
         stats.merge(outcome.stats);
     }
     let acc = try_merge_shard_outcomes(&*reducer, outcomes).map_err(JobError::Merge)?;
-    Ok(CaseOutcome { acc, stats, shards_total: shard_count, shards_cached: cached_count })
+    Ok(CaseOutcome {
+        acc,
+        stats,
+        shards_total: shard_count,
+        shards_cached: cached_count,
+        shards_remote,
+        requeues: requeues_total,
+    })
 }
 
 /// The streamed-preview state of one case: the contiguous completed

@@ -26,7 +26,8 @@
 //! `docs/ARCHITECTURE.md`):
 //!
 //! ```text
-//! client → server   {"type":"job", ...JobSpec}
+//! client → server   {"type":"hello","token":s}              (TCP auth, first frame)
+//!                   {"type":"job", ...JobSpec}
 //!                   {"type":"cancel","job":N}
 //!                   {"type":"shutdown"}
 //! server → client   {"type":"shard-done", ...ShardDone}     (per shard)
@@ -35,6 +36,13 @@
 //!                   {"type":"error", ...ErrorFrame}         (terminal, failure)
 //!                   {"type":"cancel-ack","job":N,"found":b} (cancel ack)
 //!                   {"type":"shutting-down"}                (shutdown ack)
+//! worker → server   {"type":"register"}                     (join the fleet)
+//!                   {"type":"heartbeat","worker":N}         (liveness, periodic)
+//!                   {"type":"lease-done", ...LeaseDone}     (shard executed)
+//!                   {"type":"lease-failed", ...LeaseFailed} (shard rejected)
+//! server → worker   {"type":"registered", ...}              (worker id + TTLs)
+//!                   {"type":"lease", ...LeaseGrant}         (one shard to run)
+//!                   {"type":"lease-revoke","lease":N,...}   (grant withdrawn)
 //! ```
 
 use std::fmt;
@@ -624,6 +632,183 @@ impl FromWire for JobSpec {
     }
 }
 
+/// One shard of one case, described self-containedly so a remote worker
+/// can rebuild the scenario source and execute the fold with nothing but
+/// this frame.  The coordinator always sends the explicit scope of the
+/// case (even for built-in Theorem 1 cases), so worker and coordinator
+/// cannot disagree about what the shard covers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpec {
+    /// The query the shard belongs to.
+    pub query: QueryKind,
+    /// Sub-sweep index within the job (selects the built-in case for
+    /// Theorem 3).
+    pub case: usize,
+    /// Explicit scope of the case (Theorem 1 only; `None` for the seeded
+    /// and fixed-family queries, whose scopes are built in).
+    pub scope: Option<ScopeSpec>,
+    /// Seed for seeded scenario sources.
+    pub seed: u64,
+    /// Shard count of the case — the worker recomputes the identical
+    /// block-aligned partition from it.
+    pub shards: usize,
+    /// Which shard of that partition to execute.
+    pub shard: usize,
+}
+
+impl ToWire for TaskSpec {
+    fn to_wire(&self) -> Value {
+        let mut fields = vec![
+            ("query".into(), Value::Str(self.query.name().into())),
+            ("case".into(), Value::Int(self.case as i128)),
+        ];
+        if let Some(scope) = &self.scope {
+            fields.push(("scope".into(), scope.to_wire()));
+        }
+        fields.push(("seed".into(), Value::Int(self.seed as i128)));
+        fields.push(("shards".into(), Value::Int(self.shards as i128)));
+        fields.push(("shard".into(), Value::Int(self.shard as i128)));
+        Value::Object(fields)
+    }
+}
+
+impl FromWire for TaskSpec {
+    fn from_wire(value: &Value) -> Result<Self, WireError> {
+        Ok(TaskSpec {
+            query: QueryKind::parse(value.field("query")?.as_str("task.query")?)?,
+            case: value.field("case")?.as_usize("task.case")?,
+            scope: match value.get("scope") {
+                Some(scope) => Some(ScopeSpec::from_wire(scope)?),
+                None => None,
+            },
+            seed: value.field("seed")?.as_u64("task.seed")?,
+            shards: value.field("shards")?.as_usize("task.shards")?,
+            shard: value.field("shard")?.as_usize("task.shard")?,
+        })
+    }
+}
+
+/// Server → worker: one shard to execute.  The `(lease, generation)` pair
+/// identifies the grant; a completion carrying a stale generation (the
+/// lease expired and was re-queued meanwhile) is dropped by the
+/// coordinator, which is what makes dead-worker re-queue idempotent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaseGrant {
+    /// Lease id, unique per daemon process.
+    pub lease: u64,
+    /// Grant generation — bumped every time the same shard is re-leased.
+    pub generation: u64,
+    /// What to execute.
+    pub task: TaskSpec,
+}
+
+impl ToWire for LeaseGrant {
+    fn to_wire(&self) -> Value {
+        Value::Object(vec![
+            ("type".into(), Value::Str("lease".into())),
+            ("lease".into(), Value::Int(self.lease as i128)),
+            ("generation".into(), Value::Int(self.generation as i128)),
+            ("task".into(), self.task.to_wire()),
+        ])
+    }
+}
+
+impl FromWire for LeaseGrant {
+    fn from_wire(value: &Value) -> Result<Self, WireError> {
+        Ok(LeaseGrant {
+            lease: value.field("lease")?.as_u64("lease.lease")?,
+            generation: value.field("generation")?.as_u64("lease.generation")?,
+            task: TaskSpec::from_wire(value.field("task")?)?,
+        })
+    }
+}
+
+/// Worker → server: a leased shard finished; `payload` is the wire
+/// rendering of the per-shard reducer accumulator (lossless — the
+/// accumulators are integers and booleans throughout, so a remote fold
+/// merges bit-identically to a local one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaseDone {
+    /// Lease id echoed from the grant.
+    pub lease: u64,
+    /// Generation echoed from the grant.
+    pub generation: u64,
+    /// The worker id that executed the shard.
+    pub worker: u64,
+    /// First scenario index the worker actually covered.
+    pub start: usize,
+    /// Past-the-end scenario index the worker actually covered.
+    pub end: usize,
+    /// Execution statistics of the shard.
+    pub stats: SweepStats,
+    /// The accumulator, as rendered by its `ToWire` impl.
+    pub payload: Value,
+}
+
+impl ToWire for LeaseDone {
+    fn to_wire(&self) -> Value {
+        Value::Object(vec![
+            ("type".into(), Value::Str("lease-done".into())),
+            ("lease".into(), Value::Int(self.lease as i128)),
+            ("generation".into(), Value::Int(self.generation as i128)),
+            ("worker".into(), Value::Int(self.worker as i128)),
+            ("start".into(), Value::Int(self.start as i128)),
+            ("end".into(), Value::Int(self.end as i128)),
+            ("stats".into(), self.stats.to_wire()),
+            ("payload".into(), self.payload.clone()),
+        ])
+    }
+}
+
+impl FromWire for LeaseDone {
+    fn from_wire(value: &Value) -> Result<Self, WireError> {
+        Ok(LeaseDone {
+            lease: value.field("lease")?.as_u64("lease-done.lease")?,
+            generation: value.field("generation")?.as_u64("lease-done.generation")?,
+            worker: value.field("worker")?.as_u64("lease-done.worker")?,
+            start: value.field("start")?.as_usize("lease-done.start")?,
+            end: value.field("end")?.as_usize("lease-done.end")?,
+            stats: SweepStats::from_wire(value.field("stats")?)?,
+            payload: value.field("payload")?.clone(),
+        })
+    }
+}
+
+/// Worker → server: a leased shard could not be executed (the model
+/// rejected the task's parameters).  Deterministic failures re-queue like
+/// crashes do, and surface as typed errors once the local fallback hits
+/// the same rejection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseFailed {
+    /// Lease id echoed from the grant.
+    pub lease: u64,
+    /// Generation echoed from the grant.
+    pub generation: u64,
+    /// Human-readable description of the rejection.
+    pub message: String,
+}
+
+impl ToWire for LeaseFailed {
+    fn to_wire(&self) -> Value {
+        Value::Object(vec![
+            ("type".into(), Value::Str("lease-failed".into())),
+            ("lease".into(), Value::Int(self.lease as i128)),
+            ("generation".into(), Value::Int(self.generation as i128)),
+            ("message".into(), Value::Str(self.message.clone())),
+        ])
+    }
+}
+
+impl FromWire for LeaseFailed {
+    fn from_wire(value: &Value) -> Result<Self, WireError> {
+        Ok(LeaseFailed {
+            lease: value.field("lease")?.as_u64("lease-failed.lease")?,
+            generation: value.field("generation")?.as_u64("lease-failed.generation")?,
+            message: value.field("message")?.as_str("lease-failed.message")?.to_owned(),
+        })
+    }
+}
+
 impl ToWire for SweepStats {
     fn to_wire(&self) -> Value {
         Value::Object(vec![
@@ -1155,6 +1340,13 @@ pub struct JobDone {
     pub shards_cached: u64,
     /// Shards executed on the worker pool.
     pub shards_executed: u64,
+    /// Remote workers registered when the job finished.
+    pub fleet_workers: u64,
+    /// Of the executed shards, how many ran on remote workers.
+    pub shards_remote: u64,
+    /// Lease re-queues the job survived (expired or failed grants that
+    /// were re-leased or fell back to local execution).
+    pub leases_requeued: u64,
     /// Server-side wall time of the job in milliseconds.
     pub wall_ms: f64,
 }
@@ -1169,6 +1361,9 @@ impl ToWire for JobDone {
             ("shards_total".into(), Value::Int(self.shards_total as i128)),
             ("shards_cached".into(), Value::Int(self.shards_cached as i128)),
             ("shards_executed".into(), Value::Int(self.shards_executed as i128)),
+            ("fleet_workers".into(), Value::Int(self.fleet_workers as i128)),
+            ("shards_remote".into(), Value::Int(self.shards_remote as i128)),
+            ("leases_requeued".into(), Value::Int(self.leases_requeued as i128)),
             ("wall_ms".into(), Value::Float(self.wall_ms)),
         ])
     }
@@ -1183,6 +1378,9 @@ impl FromWire for JobDone {
             shards_total: value.field("shards_total")?.as_u64("job-done.shards_total")?,
             shards_cached: value.field("shards_cached")?.as_u64("job-done.shards_cached")?,
             shards_executed: value.field("shards_executed")?.as_u64("job-done.shards_executed")?,
+            fleet_workers: value.field("fleet_workers")?.as_u64("job-done.fleet_workers")?,
+            shards_remote: value.field("shards_remote")?.as_u64("job-done.shards_remote")?,
+            leases_requeued: value.field("leases_requeued")?.as_u64("job-done.leases_requeued")?,
             wall_ms: value.field("wall_ms")?.as_f64("job-done.wall_ms")?,
         })
     }
@@ -1205,6 +1403,9 @@ pub enum ErrorKind {
     Merge,
     /// The sweep engine rejected the job's parameters mid-execution.
     Model,
+    /// The connection failed the shared-secret handshake on a
+    /// token-protected TCP endpoint.
+    Unauthorized,
     /// Anything else server-side.
     Internal,
 }
@@ -1218,6 +1419,7 @@ impl ErrorKind {
             ErrorKind::Cancelled => "cancelled",
             ErrorKind::Merge => "merge",
             ErrorKind::Model => "model",
+            ErrorKind::Unauthorized => "unauthorized",
             ErrorKind::Internal => "internal",
         }
     }
@@ -1232,6 +1434,7 @@ impl ErrorKind {
             "cancelled" => ErrorKind::Cancelled,
             "merge" => ErrorKind::Merge,
             "model" => ErrorKind::Model,
+            "unauthorized" => ErrorKind::Unauthorized,
             _ => ErrorKind::Internal,
         }
     }
@@ -1310,6 +1513,43 @@ pub enum Frame {
     JobDone(JobDone),
     /// Server → client: the job (or request) failed.
     Error(ErrorFrame),
+    /// Client → server: shared-secret auth handshake.  Required as the
+    /// first frame on a token-protected TCP endpoint; ignored elsewhere.
+    Hello {
+        /// The shared secret.
+        token: String,
+    },
+    /// Worker → server: join the fleet (this connection becomes a worker
+    /// session and stops accepting job frames).
+    Register,
+    /// Server → worker: registration accepted.
+    Registered {
+        /// Assigned worker id, echoed in heartbeats and completions.
+        worker: u64,
+        /// Lease TTL the coordinator enforces, in milliseconds.
+        lease_ttl_ms: u64,
+        /// Heartbeat cadence the worker should keep, in milliseconds.
+        heartbeat_ms: u64,
+    },
+    /// Worker → server: still alive (extends the worker's TTL deadline).
+    Heartbeat {
+        /// The worker id from `registered`.
+        worker: u64,
+    },
+    /// Server → worker: execute this shard.
+    Lease(LeaseGrant),
+    /// Worker → server: the leased shard finished.
+    LeaseDone(LeaseDone),
+    /// Server → worker: a grant was withdrawn (its TTL lapsed before the
+    /// completion arrived); any in-flight result for it will be dropped.
+    LeaseRevoke {
+        /// Lease id of the withdrawn grant.
+        lease: u64,
+        /// Generation of the withdrawn grant.
+        generation: u64,
+    },
+    /// Worker → server: the leased shard was rejected by the model.
+    LeaseFailed(LeaseFailed),
 }
 
 impl ToWire for Frame {
@@ -1333,6 +1573,29 @@ impl ToWire for Frame {
             Frame::Partial(frame) => frame.to_wire(),
             Frame::JobDone(frame) => frame.to_wire(),
             Frame::Error(frame) => frame.to_wire(),
+            Frame::Hello { token } => Value::Object(vec![
+                ("type".into(), Value::Str("hello".into())),
+                ("token".into(), Value::Str(token.clone())),
+            ]),
+            Frame::Register => Value::Object(vec![("type".into(), Value::Str("register".into()))]),
+            Frame::Registered { worker, lease_ttl_ms, heartbeat_ms } => Value::Object(vec![
+                ("type".into(), Value::Str("registered".into())),
+                ("worker".into(), Value::Int(*worker as i128)),
+                ("lease_ttl_ms".into(), Value::Int(*lease_ttl_ms as i128)),
+                ("heartbeat_ms".into(), Value::Int(*heartbeat_ms as i128)),
+            ]),
+            Frame::Heartbeat { worker } => Value::Object(vec![
+                ("type".into(), Value::Str("heartbeat".into())),
+                ("worker".into(), Value::Int(*worker as i128)),
+            ]),
+            Frame::Lease(frame) => frame.to_wire(),
+            Frame::LeaseDone(frame) => frame.to_wire(),
+            Frame::LeaseRevoke { lease, generation } => Value::Object(vec![
+                ("type".into(), Value::Str("lease-revoke".into())),
+                ("lease".into(), Value::Int(*lease as i128)),
+                ("generation".into(), Value::Int(*generation as i128)),
+            ]),
+            Frame::LeaseFailed(frame) => frame.to_wire(),
         }
     }
 }
@@ -1352,6 +1615,25 @@ impl FromWire for Frame {
             "partial" => Ok(Frame::Partial(Partial::from_wire(value)?)),
             "job-done" => Ok(Frame::JobDone(JobDone::from_wire(value)?)),
             "error" => Ok(Frame::Error(ErrorFrame::from_wire(value)?)),
+            "hello" => {
+                Ok(Frame::Hello { token: value.field("token")?.as_str("hello.token")?.to_owned() })
+            }
+            "register" => Ok(Frame::Register),
+            "registered" => Ok(Frame::Registered {
+                worker: value.field("worker")?.as_u64("registered.worker")?,
+                lease_ttl_ms: value.field("lease_ttl_ms")?.as_u64("registered.lease_ttl_ms")?,
+                heartbeat_ms: value.field("heartbeat_ms")?.as_u64("registered.heartbeat_ms")?,
+            }),
+            "heartbeat" => {
+                Ok(Frame::Heartbeat { worker: value.field("worker")?.as_u64("heartbeat.worker")? })
+            }
+            "lease" => Ok(Frame::Lease(LeaseGrant::from_wire(value)?)),
+            "lease-done" => Ok(Frame::LeaseDone(LeaseDone::from_wire(value)?)),
+            "lease-revoke" => Ok(Frame::LeaseRevoke {
+                lease: value.field("lease")?.as_u64("lease-revoke.lease")?,
+                generation: value.field("generation")?.as_u64("lease-revoke.generation")?,
+            }),
+            "lease-failed" => Ok(Frame::LeaseFailed(LeaseFailed::from_wire(value)?)),
             other => Err(WireError::new(format!("unknown frame type {other:?}"))),
         }
     }

@@ -171,6 +171,11 @@ fn daemon_fold_is_bit_identical_to_in_process_cold_and_warm() {
             assert_eq!(cold.stats.scenarios, total_scenarios);
             assert_eq!(cold.shard_frames.len() as u64, cold.shards_total);
             assert!(cold.partials > 0, "a cold run must stream partial folds");
+            // No `sweep worker` ever registered with this daemon: the
+            // fleet accounting must report a purely local execution.
+            assert_eq!(cold.fleet_workers, 0, "no remote workers in local mode");
+            assert_eq!(cold.shards_remote, 0, "no shard may claim remote execution");
+            assert_eq!(cold.leases_requeued, 0, "no lease activity without a fleet");
 
             // Warm: the identical job replays every shard from the
             // accumulator cache and executes nothing.

@@ -8,8 +8,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use service::wire::{
-    decode_line, encode_line, ErrorFrame, ErrorKind, Frame, JobDone, JobSpec, Partial, QueryKind,
-    QueryResult, ScopeSpec, ShardDone, Value,
+    decode_line, encode_line, ErrorFrame, ErrorKind, Frame, JobDone, JobSpec, LeaseDone,
+    LeaseFailed, LeaseGrant, Partial, QueryKind, QueryResult, ScopeSpec, ShardDone, TaskSpec,
+    Value,
 };
 use service::{JobOutcome, ServiceError};
 use sweep::experiments::{
@@ -145,18 +146,46 @@ fn random_result(rng: &mut StdRng) -> QueryResult {
 }
 
 fn random_kind(rng: &mut StdRng) -> ErrorKind {
-    match rng.random_range(0..6u64) {
+    match rng.random_range(0..7u64) {
         0 => ErrorKind::Protocol,
         1 => ErrorKind::QueueFull,
         2 => ErrorKind::Cancelled,
         3 => ErrorKind::Merge,
         4 => ErrorKind::Model,
+        5 => ErrorKind::Unauthorized,
         _ => ErrorKind::Internal,
     }
 }
 
+fn random_task(rng: &mut StdRng) -> TaskSpec {
+    let query = match rng.random_range(0..3u64) {
+        0 => QueryKind::Thm1,
+        1 => QueryKind::Thm3,
+        _ => QueryKind::Fig4,
+    };
+    TaskSpec {
+        query,
+        case: rng.random_range(0..4u64) as usize,
+        scope: if query == QueryKind::Thm1 {
+            Some(ScopeSpec {
+                n: rng.random_range(2..9u64) as usize,
+                t: rng.random_range(0..3u64) as usize,
+                k: rng.random_range(1..4u64) as usize,
+                max_value: rng.random_range(0..5u64),
+                max_crash_round: rng.random_range(1..4u64) as u32,
+                partial_delivery: rng.random_bool(0.5),
+            })
+        } else {
+            None
+        },
+        seed: rng.random_range(0..u64::MAX),
+        shards: rng.random_range(1..65u64) as usize,
+        shard: rng.random_range(0..64u64) as usize,
+    }
+}
+
 fn random_frame(rng: &mut StdRng) -> Frame {
-    match rng.random_range(0..9u64) {
+    match rng.random_range(0..17u64) {
         0 => Frame::Job(random_spec(rng)),
         1 => Frame::Shutdown,
         2 => Frame::ShuttingDown,
@@ -189,19 +218,56 @@ fn random_frame(rng: &mut StdRng) -> Frame {
             shards_total: rng.random_range(0..100u64),
             shards_cached: rng.random_range(0..100u64),
             shards_executed: rng.random_range(0..100u64),
+            fleet_workers: rng.random_range(0..8u64),
+            shards_remote: rng.random_range(0..100u64),
+            leases_requeued: rng.random_range(0..10u64),
             // A dyadic fraction survives the float round trip exactly (and
             // `{:?}` is shortest-round-trip anyway).
             wall_ms: rng.random_range(0..1_000_000u64) as f64 / 64.0,
         }),
         6 => Frame::Cancel { job: rng.random_range(0..u64::MAX) },
         7 => Frame::CancelAck { job: rng.random_range(0..u64::MAX), found: rng.random_bool(0.5) },
-        _ => Frame::Error(ErrorFrame {
+        8 => Frame::Error(ErrorFrame {
             job: if rng.random_bool(0.5) { Some(rng.random_range(0..u64::MAX)) } else { None },
             kind: random_kind(rng),
             message: format!(
                 "error #{} with \"quotes\" and \\slashes\\",
                 rng.random_range(0..99u64)
             ),
+        }),
+        9 => Frame::Hello { token: format!("secret-{}", rng.random_range(0..u64::MAX)) },
+        10 => Frame::Register,
+        11 => Frame::Registered {
+            worker: rng.random_range(1..u64::MAX),
+            lease_ttl_ms: rng.random_range(1..100_000u64),
+            heartbeat_ms: rng.random_range(1..25_000u64),
+        },
+        12 => Frame::Heartbeat { worker: rng.random_range(1..u64::MAX) },
+        13 => Frame::Lease(LeaseGrant {
+            lease: rng.random_range(1..u64::MAX),
+            generation: rng.random_range(0..1000u64),
+            task: random_task(rng),
+        }),
+        14 => Frame::LeaseDone(LeaseDone {
+            lease: rng.random_range(1..u64::MAX),
+            generation: rng.random_range(0..1000u64),
+            worker: rng.random_range(1..u64::MAX),
+            start: rng.random_range(0..100_000u64) as usize,
+            end: rng.random_range(0..200_000u64) as usize,
+            stats: random_stats(rng),
+            payload: Value::Object(vec![
+                ("violations".into(), Value::Int(rng.random_range(0..100u64) as i128)),
+                ("beaten".into(), Value::Bool(rng.random_bool(0.5))),
+            ]),
+        }),
+        15 => Frame::LeaseRevoke {
+            lease: rng.random_range(1..u64::MAX),
+            generation: rng.random_range(0..1000u64),
+        },
+        _ => Frame::LeaseFailed(LeaseFailed {
+            lease: rng.random_range(1..u64::MAX),
+            generation: rng.random_range(0..1000u64),
+            message: format!("lease error #{}", rng.random_range(0..99u64)),
         }),
     }
 }
@@ -293,6 +359,9 @@ fn outcome_and_error_plumbing_is_usable() {
         shards_total: 4,
         shards_cached: 4,
         shards_executed: 0,
+        fleet_workers: 0,
+        shards_remote: 0,
+        leases_requeued: 0,
         shard_frames: Vec::new(),
         partials: 0,
         wall_ms: 1.25,

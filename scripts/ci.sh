@@ -5,6 +5,7 @@
 #   scripts/ci.sh           # fmt --check + clippy -D warnings + tests
 #                           #   + doctests + cargo doc -D warnings
 #                           #   + daemon smoke (serve/submit/cache/shutdown)
+#                           #   + fleet smoke (workers, SIGKILL, re-queue)
 #   scripts/ci.sh --bench   # additionally re-record the perf snapshot chain
 #
 # The --bench arm runs the snapshot binaries in chain order —
@@ -40,7 +41,11 @@ SMOKE_SOCK="$SMOKE_DIR/serve.sock"
 # A failing assertion below must not orphan the background daemon (the
 # very thing this stage asserts against) or leak the temp dir.
 SERVE_PID=""
+WORKER1_PID=""
+WORKER2_PID=""
 cleanup_smoke() {
+    [[ -n "$WORKER1_PID" ]] && kill -9 "$WORKER1_PID" 2>/dev/null || true
+    [[ -n "$WORKER2_PID" ]] && kill -9 "$WORKER2_PID" 2>/dev/null || true
     [[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null || true
     rm -rf "$SMOKE_DIR"
 }
@@ -102,9 +107,61 @@ grep -q "4 cached (100.0% cached), 0 executed" "$SMOKE_DIR/after.log"
 target/debug/sweep shutdown --socket "$RESTART_SOCK" 2>/dev/null
 wait "$SERVE_PID"
 SERVE_PID=""
+echo "ci.sh: restart smoke passed (persisted cache replayed 100% after restart)"
+
+# --- Fleet smoke ------------------------------------------------------------
+# Coordinator plus two worker processes on a temp socket.  SIGKILL one worker
+# the moment it starts executing a lease mid-job, and assert: the daemon
+# re-queued at least one shard, the merged fold still diffs clean against the
+# same job re-run with an empty fleet (pure local execution), and the
+# empty-fleet run reports zero live workers.  Shard caching is off on both
+# submits so the second run really re-executes every shard locally.
+FLEET_SOCK="$SMOKE_DIR/fleet.sock"
+target/debug/sweep serve --socket "$FLEET_SOCK" --workers 1 \
+    --lease-ttl-ms 2000 2>"$SMOKE_DIR/fleet-serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [[ -S "$FLEET_SOCK" ]] && break; sleep 0.1; done
+target/debug/sweep worker --connect "$FLEET_SOCK" 2>"$SMOKE_DIR/worker-1.log" &
+WORKER1_PID=$!
+target/debug/sweep worker --connect "$FLEET_SOCK" 2>"$SMOKE_DIR/worker-2.log" &
+WORKER2_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "registered as worker" "$SMOKE_DIR/worker-1.log" 2>/dev/null &&
+        grep -q "registered as worker" "$SMOKE_DIR/worker-2.log" 2>/dev/null && break
+    sleep 0.1
+done
+if ! grep -q "registered as worker" "$SMOKE_DIR/worker-2.log"; then
+    echo "ci.sh: fleet workers did not register" >&2
+    cat "$SMOKE_DIR/worker-1.log" "$SMOKE_DIR/worker-2.log" >&2
+    exit 1
+fi
+target/debug/sweep submit --socket "$FLEET_SOCK" thm1 --scope 4,1,1 --shards 12 \
+    --no-shard-cache >"$SMOKE_DIR/fleet.txt" 2>"$SMOKE_DIR/fleet.log" &
+SUBMIT_PID=$!
+for _ in $(seq 1 500); do
+    grep -q "executing lease" "$SMOKE_DIR/worker-1.log" 2>/dev/null && break
+    sleep 0.02
+done
+kill -9 "$WORKER1_PID" 2>/dev/null || true
+wait "$SUBMIT_PID"
+grep -q "re-queued shard" "$SMOKE_DIR/fleet-serve.log"
+# Drop the surviving worker too and re-submit: the empty fleet must degrade
+# to pure local execution with a bit-identical fold.
+kill -9 "$WORKER2_PID" 2>/dev/null || true
+wait "$WORKER1_PID" 2>/dev/null || true
+wait "$WORKER2_PID" 2>/dev/null || true
+WORKER1_PID=""
+WORKER2_PID=""
+target/debug/sweep submit --socket "$FLEET_SOCK" thm1 --scope 4,1,1 --shards 12 \
+    --no-shard-cache >"$SMOKE_DIR/local.txt" 2>"$SMOKE_DIR/local.log"
+diff "$SMOKE_DIR/fleet.txt" "$SMOKE_DIR/local.txt"
+grep -q "fleet: 0 workers" "$SMOKE_DIR/local.log"
+target/debug/sweep shutdown --socket "$FLEET_SOCK" 2>/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
 trap - EXIT
 rm -rf "$SMOKE_DIR"
-echo "ci.sh: restart smoke passed (persisted cache replayed 100% after restart)"
+echo "ci.sh: fleet smoke passed (SIGKILL re-queue + empty-fleet degradation diff clean)"
 
 if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release -p bench_harness --bin bench_sweep_cache
