@@ -8,9 +8,13 @@
 //! rounds `1 … max_crash_round`, with every possible delivery subset in the
 //! crashing round.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use synchrony::{Adversary, FailurePattern, InputVector, ModelError};
+
+use crate::space::{OmissionConfig, OmissionSpace, PatternModel, PatternSpace};
 
 /// The scope of an exhaustive enumeration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -89,8 +93,13 @@ fn per_crash_choices(config: &EnumerationConfig) -> u128 {
 
 /// Decodes delivery mask `mask` for a crash of `process`: bit `b` selects
 /// the `b`-th process other than `process`, in increasing index order — the
-/// bit convention of the recursive enumeration.
-fn delivered_from_mask(n: usize, process: usize, mask: u128) -> impl Iterator<Item = usize> {
+/// bit convention shared by both pattern-space enumerations (the omission
+/// space reads the same masks as *dropped* receivers).
+pub(crate) fn delivered_from_mask(
+    n: usize,
+    process: usize,
+    mask: u128,
+) -> impl Iterator<Item = usize> {
     (0..n - 1).filter(move |bit| mask & (1u128 << bit) != 0).map(move |bit| {
         if bit < process {
             bit
@@ -100,18 +109,18 @@ fn delivered_from_mask(n: usize, process: usize, mask: u128) -> impl Iterator<It
     })
 }
 
-/// Subtree sizes of the recursive failure-pattern enumeration:
-/// `counts[from][budget]` is the number of patterns emitted by
-/// [`extend_patterns`] when it may still crash processes `from … n − 1` with
-/// `budget` crashes left.  `counts[0][t]` is therefore the total pattern
-/// count, and the table (size `O(n · t)`, built in `O(n² · t)`) is all the
-/// state lazy unranking needs.
+/// Subtree sizes of the generic recursive fault enumeration with `s`
+/// choices per faulty process: `counts[from][budget]` is the number of
+/// patterns the recursion emits when it may still pick processes
+/// `from … n − 1` with `budget` faults left.  `counts[0][t]` is therefore
+/// the total pattern count, and the table (size `O(n · t)`, built in
+/// `O(n² · t)`) is all the state lazy unranking needs — for the crash space
+/// (`s = max_crash_round · delivery_choices`) and the omission space's
+/// per-round digits (`s = 2^(n−1) − 1`) alike.
 ///
 /// Sizes are exact in `u128`; scopes beyond that are far outside anything
 /// addressable anyway (`num_failure_patterns` makes the same assumption).
-fn subtree_counts(config: &EnumerationConfig) -> Vec<Vec<u128>> {
-    let (n, t) = (config.n, config.t);
-    let s = per_crash_choices(config);
+pub(crate) fn subtree_table(n: usize, t: usize, s: u128) -> Vec<Vec<u128>> {
     let mut counts = vec![vec![1u128; t + 1]; n + 1];
     for from in (0..n).rev() {
         for budget in 1..=t {
@@ -123,6 +132,11 @@ fn subtree_counts(config: &EnumerationConfig) -> Vec<Vec<u128>> {
         }
     }
     counts
+}
+
+/// The crash space's subtree table (see [`subtree_table`]).
+fn subtree_counts(config: &EnumerationConfig) -> Vec<Vec<u128>> {
+    subtree_table(config.n, config.t, per_crash_choices(config))
 }
 
 /// Decodes the failure pattern at position `rank` of the preorder emitted by
@@ -245,14 +259,7 @@ pub fn input_vectors(config: &EnumerationConfig) -> Vec<InputVector> {
 /// Panics if `code ≥ num_input_vectors()`.
 pub fn input_vector_at(config: &EnumerationConfig, code: u128) -> InputVector {
     assert!(code < config.num_input_vectors(), "input code {code} outside the scope of {config:?}");
-    let base = config.max_value as u128 + 1;
-    let mut values = Vec::with_capacity(config.n);
-    let mut rest = code;
-    for _ in 0..config.n {
-        values.push((rest % base) as u64);
-        rest /= base;
-    }
-    InputVector::from_values(values)
+    decode_input(config.n, config.max_value, code)
 }
 
 /// Enumerates every failure pattern in the scope.
@@ -310,44 +317,21 @@ pub fn adversaries(config: &EnumerationConfig) -> Result<Vec<Adversary>, ModelEr
     Ok(out)
 }
 
-/// A randomly-addressable view of an enumeration scope, built for sharded
-/// sweeps (see the `sweep` crate).
-///
-/// Nothing is materialized: input vectors are decoded from their mixed-radix
-/// code and failure patterns are **unranked** on demand against an
-/// `O(n · t)` table of subtree sizes of the recursive crash enumeration.
-/// [`AdversarySpace::nth`] therefore runs in `O(n · t)` per adversary with
-/// peak memory independent of the scope size, which is what lets shards of a
-/// sweep seek to their slice of scopes whose pattern space alone would never
-/// fit in memory (`n ≳ 6` under partial delivery).
-///
-/// The ordering is identical to [`adversaries`]: the adversary at index `i`
-/// combines failure pattern `i / num_input_vectors()` (in
-/// [`failure_patterns`] order) with input code `i % num_input_vectors()`.
-///
-/// ```
-/// use adversary::enumerate::{adversaries, AdversarySpace, EnumerationConfig};
-///
-/// let config = EnumerationConfig::small(3, 1, 1);
-/// let space = AdversarySpace::new(config).unwrap();
-/// let all = adversaries(&config).unwrap();
-/// assert_eq!(space.len(), all.len() as u128);
-/// assert_eq!(space.nth(17), all[17]);
-/// ```
+/// The crash-fault [`PatternSpace`]: the paper's `t`-crash model, with
+/// patterns unranked on demand against the subtree-count table of the
+/// recursive enumeration behind [`failure_patterns`].
 #[derive(Debug, Clone)]
-pub struct AdversarySpace {
+pub struct CrashSpace {
     config: EnumerationConfig,
     /// Subtree sizes of the recursive pattern enumeration (see
     /// `subtree_counts`) — the only per-scope state unranking needs.
     subtree: Vec<Vec<u128>>,
     num_patterns: u128,
-    num_inputs: u128,
 }
 
-impl AdversarySpace {
-    /// Prepares the lazy pattern unranker and input-vector decoder for the
-    /// scope, in `O(n² · t)` time and `O(n · t)` memory regardless of the
-    /// scope's size.
+impl CrashSpace {
+    /// Prepares the lazy pattern unranker for the scope, in `O(n² · t)` time
+    /// and `O(n · t)` memory regardless of the scope's size.
     ///
     /// # Errors
     ///
@@ -360,12 +344,131 @@ impl AdversarySpace {
         let subtree = subtree_counts(&config);
         let num_patterns = subtree[0][config.t];
         debug_assert_eq!(num_patterns, config.num_failure_patterns());
-        Ok(AdversarySpace { num_inputs: config.num_input_vectors(), num_patterns, subtree, config })
+        Ok(CrashSpace { config, subtree, num_patterns })
     }
 
     /// Returns the enumeration scope.
     pub fn config(&self) -> &EnumerationConfig {
         &self.config
+    }
+}
+
+impl PatternSpace for CrashSpace {
+    fn model(&self) -> PatternModel {
+        PatternModel::Crash
+    }
+
+    fn n(&self) -> usize {
+        self.config.n
+    }
+
+    fn max_value(&self) -> u64 {
+        self.config.max_value
+    }
+
+    fn num_patterns(&self) -> u128 {
+        self.num_patterns
+    }
+
+    fn pattern_at(&self, rank: u128) -> FailurePattern {
+        assert!(
+            rank < self.num_patterns,
+            "pattern rank {rank} outside the scope of {:?}",
+            self.config
+        );
+        unrank_pattern(&self.config, &self.subtree, rank)
+    }
+}
+
+/// A randomly-addressable view of an enumeration scope, built for sharded
+/// sweeps (see the `sweep` crate): a [`PatternSpace`] crossed with the
+/// mixed-radix input-vector enumeration.
+///
+/// Nothing is materialized: input vectors are decoded from their mixed-radix
+/// code and failure patterns are **unranked** on demand against the space's
+/// `O(n · t)` table of subtree sizes ([`CrashSpace`] for the paper's crash
+/// model, [`OmissionSpace`] for mobile send omissions — the crossing,
+/// blocking and cursor machinery below is model-agnostic).
+/// [`AdversarySpace::nth`] therefore runs in `O(n · t)` per adversary with
+/// peak memory independent of the scope size, which is what lets shards of a
+/// sweep seek to their slice of scopes whose pattern space alone would never
+/// fit in memory (`n ≳ 6` under partial delivery).
+///
+/// The ordering is identical to [`adversaries`]: the adversary at index `i`
+/// combines failure pattern `i / num_input_vectors()` (in the pattern
+/// space's rank order) with input code `i % num_input_vectors()`.
+///
+/// ```
+/// use adversary::enumerate::{adversaries, AdversarySpace, EnumerationConfig};
+///
+/// let config = EnumerationConfig::small(3, 1, 1);
+/// let space = AdversarySpace::new(config).unwrap();
+/// let all = adversaries(&config).unwrap();
+/// assert_eq!(space.len(), all.len() as u128);
+/// assert_eq!(space.nth(17), all[17]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdversarySpace {
+    space: Arc<dyn PatternSpace>,
+    num_patterns: u128,
+    num_inputs: u128,
+}
+
+impl AdversarySpace {
+    /// Builds the crash-model space of the scope: prepares the lazy pattern
+    /// unranker and input-vector decoder, in `O(n² · t)` time and `O(n · t)`
+    /// memory regardless of the scope's size.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is degenerate (fewer than two
+    /// processes).
+    pub fn new(config: EnumerationConfig) -> Result<Self, ModelError> {
+        Ok(Self::from_pattern_space(Arc::new(CrashSpace::new(config)?)))
+    }
+
+    /// Builds the send-omission space of the scope (see
+    /// [`OmissionSpace`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is degenerate (fewer than two
+    /// processes).
+    pub fn omission(config: OmissionConfig) -> Result<Self, ModelError> {
+        Ok(Self::from_pattern_space(Arc::new(OmissionSpace::new(config)?)))
+    }
+
+    /// Crosses an arbitrary conforming [`PatternSpace`] with the input
+    /// enumeration of its scope.
+    pub fn from_pattern_space(space: Arc<dyn PatternSpace>) -> Self {
+        let num_patterns = space.num_patterns();
+        let num_inputs = (space.max_value() as u128 + 1).pow(space.n() as u32);
+        AdversarySpace { space, num_patterns, num_inputs }
+    }
+
+    /// Returns the fault-model discriminant of the underlying pattern space.
+    pub fn model(&self) -> PatternModel {
+        self.space.model()
+    }
+
+    /// Returns the number of processes of the scope.
+    pub fn n(&self) -> usize {
+        self.space.n()
+    }
+
+    /// Returns the largest initial value of the scope's input domain.
+    pub fn max_value(&self) -> u64 {
+        self.space.max_value()
+    }
+
+    /// Decodes the failure pattern at position `rank` of the pattern space's
+    /// rank order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank ≥ num_patterns()`.
+    pub fn pattern_at(&self, rank: u128) -> FailurePattern {
+        self.space.pattern_at(rank)
     }
 
     /// Returns the total number of adversaries in the space.
@@ -401,8 +504,8 @@ impl AdversarySpace {
     /// Panics if `index ≥ len()`.
     pub fn nth(&self, index: u128) -> Adversary {
         assert!(index < self.len(), "adversary index {index} outside the space");
-        let pattern = unrank_pattern(&self.config, &self.subtree, index / self.num_inputs);
-        let input = input_vector_at(&self.config, index % self.num_inputs);
+        let pattern = self.space.pattern_at(index / self.num_inputs);
+        let input = decode_input(self.space.n(), self.space.max_value(), index % self.num_inputs);
         Adversary::new(input, pattern).expect("enumerated adversaries are always well formed")
     }
 
@@ -420,11 +523,25 @@ impl AdversarySpace {
             space: self,
             next: start,
             end: end.min(self.len()),
-            digits: vec![0; self.config.n],
+            digits: vec![0; self.space.n()],
             primed: false,
             counters: CursorCounters::default(),
         }
     }
+}
+
+/// Decodes the input vector at mixed-radix `code` over `n` processes with
+/// values in `{0, …, max_value}` — the model-independent half of
+/// [`AdversarySpace::nth`].
+fn decode_input(n: usize, max_value: u64, code: u128) -> InputVector {
+    let base = max_value as u128 + 1;
+    let mut values = Vec::with_capacity(n);
+    let mut rest = code;
+    for _ in 0..n {
+        values.push((rest % base) as u64);
+        rest /= base;
+    }
+    InputVector::from_values(values)
 }
 
 /// Production counters of an [`AdversaryCursor`] — how each adversary of the
@@ -547,7 +664,7 @@ impl AdversaryCursor<'_> {
         let code = self.next % self.space.num_inputs;
         if !self.primed {
             *scratch = self.space.nth(self.next);
-            let base = self.space.config.max_value as u128 + 1;
+            let base = self.space.max_value() as u128 + 1;
             let mut rest = code;
             for digit in &mut self.digits {
                 *digit = (rest % base) as u64;
@@ -558,11 +675,7 @@ impl AdversaryCursor<'_> {
             self.counters.patterns_unranked += 1;
         } else if code == 0 {
             // Block boundary: a fresh failure pattern, input code back to 0.
-            let pattern = unrank_pattern(
-                &self.space.config,
-                &self.space.subtree,
-                self.next / self.space.num_inputs,
-            );
+            let pattern = self.space.pattern_at(self.next / self.space.num_inputs);
             scratch
                 .set_failures(pattern)
                 .expect("cursor patterns range over the scratch's processes");
@@ -578,7 +691,7 @@ impl AdversaryCursor<'_> {
             // Mixed-radix increment with carry; the carry cannot run off the
             // end because `code != 0` means the previous code was not the
             // block's last.
-            let base = self.space.config.max_value + 1;
+            let base = self.space.max_value() + 1;
             let mut process = 0usize;
             loop {
                 self.digits[process] += 1;
@@ -740,7 +853,7 @@ mod tests {
         assert!(last.inputs().check_max_value(1).is_ok());
         // Spot-check agreement with a sequential replay at a shard boundary
         // deep inside the space (patterns only, inputs are closed-form).
-        let rank = space.len() / 3 / space.config().num_input_vectors();
+        let rank = space.len() / 3 / config.num_input_vectors();
         let direct = failure_pattern_at(&config, rank);
         assert!(direct.num_faulty() <= 4);
     }

@@ -14,7 +14,10 @@
 //! * [`lemma2`] — the constructive witness-run builder of Lemma 2, the
 //!   engine of the unbeatability proof;
 //! * [`enumerate`] — exhaustive enumeration of all adversaries of a small
-//!   system, used to spot-check the optimality claims.
+//!   system, used to spot-check the optimality claims;
+//! * [`space`] — the [`PatternSpace`] trait behind pluggable fault models
+//!   (the paper's crash space plus the mobile send-omission space) and the
+//!   conformance contract every space must honor.
 //!
 //! ```
 //! use adversary::scenarios;
@@ -34,8 +37,10 @@ pub mod enumerate;
 pub mod lemma2;
 pub mod random;
 pub mod scenarios;
+pub mod space;
 
-pub use enumerate::{AdversarySpace, EnumerationConfig};
+pub use enumerate::{AdversarySpace, CrashSpace, EnumerationConfig};
 pub use lemma2::WitnessScenario;
 pub use random::{RandomAdversaries, RandomConfig};
 pub use scenarios::{HiddenCapacityScenario, UniformGapScenario};
+pub use space::{OmissionConfig, OmissionSpace, PatternModel, PatternSpace};

@@ -1,0 +1,168 @@
+//! The cross-space conformance suite of the `PatternSpace` contract.
+//!
+//! Every rankable pattern space must satisfy the same laws (see
+//! `adversary::space`): ranks are a total order agreeing with the
+//! materialized reference enumeration, subtree-count totals equal the
+//! space length, and the pattern-major adversary cursor yields exactly
+//! the `nth` sequence over arbitrary — including block-straddling —
+//! ranges, materializing wholesale only on its first advance.  The suite
+//! below runs one generic harness against **both** implemented spaces,
+//! so a third space gets its contract checked by adding one case list.
+
+use adversary::enumerate::{self, AdversarySpace, EnumerationConfig};
+use adversary::space::{omission_patterns, OmissionConfig, PatternModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use synchrony::FailurePattern;
+
+/// The crash-space cases: the small scopes the paper experiments sweep,
+/// with both delivery regimes and every crash-round horizon exercised.
+fn crash_cases() -> Vec<(AdversarySpace, Vec<FailurePattern>)> {
+    [
+        EnumerationConfig::small(3, 1, 1),
+        EnumerationConfig { n: 4, t: 2, max_value: 1, max_crash_round: 1, partial_delivery: true },
+        EnumerationConfig { n: 4, t: 2, max_value: 2, max_crash_round: 2, partial_delivery: false },
+        EnumerationConfig { n: 3, t: 1, max_value: 1, max_crash_round: 0, partial_delivery: true },
+    ]
+    .into_iter()
+    .map(|config| {
+        let space = AdversarySpace::new(config).expect("valid crash scope");
+        assert_eq!(space.model(), PatternModel::Crash);
+        (space, enumerate::failure_patterns(&config))
+    })
+    .collect()
+}
+
+/// The omission-space cases: both round horizons, a saturated budget
+/// (`t = n`, clamped mobile omitters), and the built-in scan shapes.
+fn omission_cases() -> Vec<(AdversarySpace, Vec<FailurePattern>)> {
+    [
+        OmissionConfig::small(3, 1, 1),
+        OmissionConfig { n: 4, t: 1, max_value: 1, rounds: 2 },
+        OmissionConfig { n: 3, t: 2, max_value: 1, rounds: 1 },
+        OmissionConfig { n: 3, t: 3, max_value: 1, rounds: 1 },
+    ]
+    .into_iter()
+    .map(|config| {
+        let space = AdversarySpace::omission(config).expect("valid omission scope");
+        assert_eq!(space.model(), PatternModel::Omission);
+        (space, omission_patterns(&config))
+    })
+    .collect()
+}
+
+/// Law 1 + 2: `pattern_at` agrees with the materialized reference at
+/// every rank, and the counting tables sum to exactly the reference
+/// length (no rank unreachable, none double-covered).
+fn assert_rank_unrank_agrees(space: &AdversarySpace, reference: &[FailurePattern]) {
+    assert_eq!(
+        space.num_patterns(),
+        reference.len() as u128,
+        "{:?}: counting tables disagree with the reference enumeration",
+        space.model()
+    );
+    for (rank, expected) in reference.iter().enumerate() {
+        let got = space.pattern_at(rank as u128);
+        assert_eq!(&got, expected, "{:?}: rank {rank} unranks wrong", space.model());
+    }
+    assert_eq!(
+        space.len(),
+        space.num_patterns() * space.inputs_per_pattern(),
+        "{:?}: adversary count must be patterns × inputs",
+        space.model()
+    );
+}
+
+/// Law 3 + 4: over random block-straddling ranges the cursor yields the
+/// exact `nth` sequence, overwrites a stale scratch wholesale on its
+/// first advance (exactly one materialization per nonempty range), and
+/// steps in place afterwards.
+fn assert_cursor_matches_nth(space: &AdversarySpace) {
+    let total = space.len();
+    let block = space.inputs_per_pattern();
+    let mut rng = StdRng::seed_from_u64(0x5EED ^ total as u64);
+    for trial in 0..15u32 {
+        let (start, end) = match trial {
+            0 => (0, total),
+            // Starts mid-block and ends mid-block two patterns later.
+            1 => (block / 2, (block * 2 + block / 2).min(total)),
+            2 => (total, total),
+            _ => {
+                let a = rng.random_range(0..total as u64) as u128;
+                let b = rng.random_range(0..=total as u64) as u128;
+                (a.min(b), a.max(b))
+            }
+        };
+        let mut cursor = space.cursor(start, end);
+        // A stale scratch from "another shard": the first advance must
+        // overwrite it wholesale, not increment it.
+        let mut scratch = space.nth(total - 1);
+        let mut index = start;
+        while cursor.advance(&mut scratch) {
+            assert_eq!(
+                scratch,
+                space.nth(index),
+                "{:?}: cursor diverges from nth at {index} in {start}..{end}",
+                space.model()
+            );
+            index += 1;
+        }
+        assert_eq!(index, end, "{:?}: cursor stopped early on {start}..{end}", space.model());
+        let counters = cursor.counters();
+        assert_eq!(counters.total(), (end - start) as u64);
+        assert_eq!(
+            counters.materialized,
+            u64::from(end > start),
+            "{:?}: exactly one wholesale materialization per nonempty range",
+            space.model()
+        );
+    }
+}
+
+#[test]
+fn crash_space_ranks_agree_with_the_reference() {
+    for (space, reference) in crash_cases() {
+        assert_rank_unrank_agrees(&space, &reference);
+    }
+}
+
+#[test]
+fn omission_space_ranks_agree_with_the_reference() {
+    for (space, reference) in omission_cases() {
+        assert_rank_unrank_agrees(&space, &reference);
+    }
+}
+
+#[test]
+fn crash_cursor_matches_nth_over_straddling_ranges() {
+    for (space, _) in crash_cases() {
+        assert_cursor_matches_nth(&space);
+    }
+}
+
+#[test]
+fn omission_cursor_matches_nth_over_straddling_ranges() {
+    for (space, _) in omission_cases() {
+        assert_cursor_matches_nth(&space);
+    }
+}
+
+/// Cross-space sanity: the two models never produce equal patterns
+/// beyond the failure-free one, and their spaces disagree in size on the
+/// same `(n, t)` shape — a guard against one space accidentally
+/// delegating to the other.
+#[test]
+fn the_two_spaces_are_genuinely_different() {
+    let crash = AdversarySpace::new(EnumerationConfig::small(3, 1, 1)).unwrap();
+    let omission = AdversarySpace::omission(OmissionConfig::small(3, 1, 1)).unwrap();
+    assert_ne!(crash.len(), omission.len());
+    // Rank 0 is failure-free in both (the empty pattern sorts first).
+    assert_eq!(crash.pattern_at(0), omission.pattern_at(0));
+    assert!(!crash.pattern_at(0).has_omissions());
+    // Every other omission pattern omits without crashing anyone.
+    for rank in 1..omission.num_patterns() {
+        let pattern = omission.pattern_at(rank);
+        assert!(pattern.has_omissions(), "omission rank {rank} must omit");
+        assert_eq!(pattern.num_faulty(), 0, "omission senders never crash");
+    }
+}

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! # one-shot (in-process) experiments, as before
-//! sweep <thm1|thm3|fig4|prop2|all> [--shards N] [--threads N] [--seed N]
+//! sweep <thm1|omission|thm3|fig4|prop2|all> [--model crash|omission]
+//!       [--shards N] [--threads N] [--seed N]
 //!       [--no-cache] [--no-reuse] [--no-cursor]
 //!
 //! # the service layer
@@ -13,8 +14,9 @@
 //!                [--lease-ttl-ms N] [--auth-token TOKEN]
 //! sweep worker   --connect ADDR [--auth-token TOKEN]
 //!                [--connect-timeout SECS] [--heartbeat-ms N]
-//! sweep submit   (--socket PATH | --tcp ADDR) <thm1|thm3|fig4|prop2>
-//!                [--scope n,t,k[,maxv[,mcr[,pd]]]] [--shards N] [--seed N]
+//! sweep submit   (--socket PATH | --tcp ADDR) <thm1|omission|thm3|fig4|prop2>
+//!                [--model crash|omission] [--scope n,t,k[,maxv[,mcr[,pd]]]]
+//!                [--shards N] [--seed N]
 //!                [--id N] [--no-shard-cache] [--connect-timeout SECS]
 //!                [--auth-token TOKEN]
 //! sweep cancel   (--socket PATH | --tcp ADDR) --id N [...]
@@ -42,15 +44,16 @@ use std::time::Duration;
 use sweep::experiments;
 use sweep::SweepConfig;
 
-const USAGE: &str = "usage: sweep <thm1|thm3|fig4|prop2|all> \
+const USAGE: &str = "usage: sweep <thm1|omission|thm3|fig4|prop2|all> [--model crash|omission] \
                      [--shards N] [--threads N] [--seed N] [--no-cache] [--no-reuse] [--no-cursor]\n\
        sweep serve    (--socket PATH | --tcp ADDR) [--workers N] [--dispatchers N] \
                       [--queue-capacity N] [--cache-dir PATH] [--cache-budget BYTES] \
                       [--lease-ttl-ms N] [--auth-token TOKEN]\n\
        sweep worker   (--connect ADDR | --socket PATH | --tcp ADDR) [--auth-token TOKEN] \
                       [--connect-timeout SECS] [--heartbeat-ms N]\n\
-       sweep submit   (--socket PATH | --tcp ADDR) <thm1|thm3|fig4|prop2> \
-                      [--scope n,t,k[,maxv[,mcr[,pd]]]] [--shards N] [--seed N] [--id N] \
+       sweep submit   (--socket PATH | --tcp ADDR) <thm1|omission|thm3|fig4|prop2> \
+                      [--model crash|omission] [--scope n,t,k[,maxv[,mcr[,pd]]]] \
+                      [--shards N] [--seed N] [--id N] \
                       [--no-shard-cache] [--connect-timeout SECS] [--auth-token TOKEN]\n\
        sweep cancel   (--socket PATH | --tcp ADDR) --id N [--connect-timeout SECS] \
                       [--auth-token TOKEN]\n\
@@ -80,8 +83,30 @@ fn main() {
 // One-shot experiment mode (unchanged behavior).
 // ---------------------------------------------------------------------------
 
-fn experiment_main(experiment: &str, args: impl Iterator<Item = String>) {
-    let config = match sweep_config_from_args(args) {
+fn experiment_main(experiment: &str, mut args: impl Iterator<Item = String>) {
+    // `--model` selects the pattern space before the engine flags are
+    // parsed: `--model omission` reroutes `thm1` onto its send-omission
+    // twin (the only experiment with one), `--model crash` is the
+    // explicit default.  Everything else passes through untouched.
+    let mut model = String::from("crash");
+    let mut passthrough = Vec::new();
+    while let Some(arg) = args.next() {
+        if arg == "--model" {
+            model = args.next().unwrap_or_else(|| usage_exit("missing value for --model"));
+        } else {
+            passthrough.push(arg);
+        }
+    }
+    let experiment = match (experiment, model.as_str()) {
+        (name, "crash") => name.to_string(),
+        ("thm1" | "omission", "omission") => "omission".to_string(),
+        (name, "omission") => {
+            usage_exit(&format!("experiment {name} has no omission-model variant (only thm1)"))
+        }
+        (_, other) => usage_exit(&format!("unknown --model {other:?} (crash|omission)")),
+    };
+    let experiment = experiment.as_str();
+    let config = match sweep_config_from_args(passthrough.into_iter()) {
         Ok(config) => config,
         Err(message) => usage_exit(&message),
     };
@@ -94,6 +119,12 @@ fn experiment_main(experiment: &str, args: impl Iterator<Item = String>) {
                 println!("{}", report::THM1_CLAIM);
                 // Stats may vary with parallelism; stderr keeps stdout diffs
                 // (the CI determinism smoke test) parallelism-invariant.
+                eprintln!("{}", report::sweep_stats_line(&stats));
+            }
+            "omission" => {
+                let (rows, stats) = experiments::omission_with_stats(&config)?;
+                println!("{}", report::omission_table(&rows));
+                println!("{}", report::OMISSION_CLAIM);
                 eprintln!("{}", report::sweep_stats_line(&stats));
             }
             "thm3" => {
@@ -310,6 +341,7 @@ fn submit_main(mut args: impl Iterator<Item = String>) {
     let mut endpoint = EndpointFlag(None);
     let mut connect = ConnectFlags::new(Duration::from_secs(5));
     let mut query: Option<QueryKind> = None;
+    let mut model: Option<String> = None;
     let mut spec = JobSpec {
         id: std::process::id() as u64,
         query: QueryKind::Thm1,
@@ -327,6 +359,7 @@ fn submit_main(mut args: impl Iterator<Item = String>) {
         }
         match flag.as_str() {
             "--scope" => spec.scope = Some(parse_scope(&value_of(&flag, &mut args))),
+            "--model" => model = Some(value_of(&flag, &mut args)),
             "--shards" => spec.shards = parse_number(&flag, &value_of(&flag, &mut args)),
             "--seed" => spec.seed = parse_number(&flag, &value_of(&flag, &mut args)),
             "--id" => spec.id = parse_number(&flag, &value_of(&flag, &mut args)),
@@ -338,7 +371,18 @@ fn submit_main(mut args: impl Iterator<Item = String>) {
             other => usage_exit(&format!("unknown flag {other}")),
         }
     }
-    spec.query = query.unwrap_or_else(|| usage_exit("missing query (thm1|thm3|fig4|prop2)"));
+    spec.query =
+        query.unwrap_or_else(|| usage_exit("missing query (thm1|omission|thm3|fig4|prop2)"));
+    // `--model omission` is sugar for the omission query on the thm1 fold
+    // (the two share the row shape); any other combination is a mistake.
+    match model.as_deref() {
+        None | Some("crash") => {}
+        Some("omission") => match spec.query {
+            QueryKind::Thm1 | QueryKind::Omission => spec.query = QueryKind::Omission,
+            _ => usage_exit("--model omission only applies to thm1/omission queries"),
+        },
+        Some(other) => usage_exit(&format!("unknown --model {other:?} (crash|omission)")),
+    }
     let endpoint = endpoint.require();
 
     let outcome = match client::submit_with(&endpoint, &spec, &connect.options()) {
@@ -354,6 +398,10 @@ fn submit_main(mut args: impl Iterator<Item = String>) {
         QueryResult::Thm1(rows) => {
             println!("{}", report::thm1_table(rows));
             println!("{}", report::THM1_CLAIM);
+        }
+        QueryResult::Omission(rows) => {
+            println!("{}", report::omission_table(rows));
+            println!("{}", report::OMISSION_CLAIM);
         }
         QueryResult::Thm3(rows) => {
             println!("{}", report::thm3_table(rows));

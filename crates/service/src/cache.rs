@@ -151,6 +151,7 @@ mod tests {
     fn key(shard: usize, version: &str) -> ShardKey {
         JobFingerprint {
             query: "thm1".into(),
+            model: "crash".into(),
             scope: "n=3,t=1,k=1".into(),
             protocols: "optmin".into(),
             seed: 0,

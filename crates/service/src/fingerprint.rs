@@ -24,6 +24,7 @@
 use std::fmt;
 
 use adversary::enumerate::EnumerationConfig;
+use adversary::{OmissionConfig, PatternModel};
 
 /// Returns the code-version component of every fingerprint:
 /// `<crate version>+fold.v<N>` with `N = sweep::FOLD_SEMANTICS_VERSION`.
@@ -45,9 +46,15 @@ pub fn code_version() -> String {
 /// determines the fold except the shard index.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct JobFingerprint {
-    /// Reducer id (`"thm1"`, `"thm3"`, `"fig4"`, `"prop2"`).
+    /// Reducer id (`"thm1"`, `"omission"`, `"thm3"`, `"fig4"`, `"prop2"`).
     pub query: String,
-    /// Canonical scope string of the case (see [`scope_string`]).
+    /// Pattern-space discriminant (`PatternModel::name()`), so a crash-
+    /// and an omission-space fold over the *same* `(n, t, k)` shape can
+    /// never replay each other's accumulators even if their scope strings
+    /// were ever to collide.
+    pub model: String,
+    /// Canonical scope string of the case (see [`scope_string`] /
+    /// [`omission_scope_string`]).
     pub scope: String,
     /// Protocol set folded by the job, in batch order.
     pub protocols: String,
@@ -70,8 +77,14 @@ impl fmt::Display for JobFingerprint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}[{}] protocols={} seed={} shards={} {}",
-            self.query, self.scope, self.protocols, self.seed, self.shards, self.code_version
+            "{}[{}@{}] protocols={} seed={} shards={} {}",
+            self.query,
+            self.model,
+            self.scope,
+            self.protocols,
+            self.seed,
+            self.shards,
+            self.code_version
         )
     }
 }
@@ -98,6 +111,7 @@ impl ShardKey {
         use crate::wire::Value;
         Value::Object(vec![
             ("query".into(), Value::Str(self.job.query.clone())),
+            ("model".into(), Value::Str(self.job.model.clone())),
             ("scope".into(), Value::Str(self.job.scope.clone())),
             ("protocols".into(), Value::Str(self.job.protocols.clone())),
             ("seed".into(), Value::Int(self.job.seed as i128)),
@@ -117,6 +131,19 @@ pub fn scope_string(scope: &EnumerationConfig, k: usize) -> String {
         "n={},t={},k={},maxv={},mcr={},pd={}",
         scope.n, scope.t, k, scope.max_value, scope.max_crash_round, scope.partial_delivery
     )
+}
+
+/// Canonicalizes an exhaustive send-omission scope into the fingerprint's
+/// scope string.  The field set differs from [`scope_string`] (no
+/// delivery flags; an explicit round horizon), but the `model` key field
+/// is what keeps the two families disjoint, not the string shape.
+pub fn omission_scope_string(scope: &OmissionConfig, k: usize) -> String {
+    format!("n={},t={},k={},maxv={},rounds={}", scope.n, scope.t, k, scope.max_value, scope.rounds)
+}
+
+/// The canonical `model` field value of a fingerprint.
+pub fn model_string(model: PatternModel) -> String {
+    model.name().to_string()
 }
 
 #[cfg(test)]
@@ -142,9 +169,27 @@ mod tests {
     }
 
     #[test]
+    fn omission_scope_strings_are_injective_over_the_fields() {
+        let base = OmissionConfig::small(3, 1, 2);
+        let k = 2;
+        let mut seen = std::collections::HashSet::new();
+        for scope in [
+            base,
+            OmissionConfig { n: 4, ..base },
+            OmissionConfig { t: 2, ..base },
+            OmissionConfig { max_value: 1, ..base },
+            OmissionConfig { rounds: 3, ..base },
+        ] {
+            assert!(seen.insert(omission_scope_string(&scope, k)), "collision for {scope:?}");
+        }
+        assert!(seen.insert(omission_scope_string(&base, 1)), "k must be part of the string");
+    }
+
+    #[test]
     fn shard_keys_differ_per_shard_and_version() {
         let fingerprint = JobFingerprint {
             query: "thm1".into(),
+            model: model_string(PatternModel::Crash),
             scope: "n=3,t=1,k=1".into(),
             protocols: "optmin".into(),
             seed: 0,
@@ -154,6 +199,9 @@ mod tests {
         assert_ne!(fingerprint.shard(0), fingerprint.shard(1));
         let stale = JobFingerprint { code_version: "0.0.0+fold.v0".into(), ..fingerprint.clone() };
         assert_ne!(fingerprint.shard(0), stale.shard(0));
+        let omission =
+            JobFingerprint { model: model_string(PatternModel::Omission), ..fingerprint.clone() };
+        assert_ne!(fingerprint.shard(0), omission.shard(0), "model must enter the key");
         assert!(code_version().contains("+fold.v"));
     }
 
@@ -161,6 +209,7 @@ mod tests {
     fn canonical_strings_are_injective_and_reparse() {
         let fingerprint = JobFingerprint {
             query: "thm1".into(),
+            model: model_string(PatternModel::Crash),
             scope: "n=3,t=1,k=1".into(),
             protocols: "optmin".into(),
             seed: 0,
@@ -169,6 +218,13 @@ mod tests {
         };
         let canonical = fingerprint.shard(1).canonical_string();
         assert_ne!(canonical, fingerprint.shard(2).canonical_string());
+        let omission =
+            JobFingerprint { model: model_string(PatternModel::Omission), ..fingerprint.clone() };
+        assert_ne!(
+            canonical,
+            omission.shard(1).canonical_string(),
+            "persisted keys must carry the model discriminant"
+        );
         let parsed = crate::wire::Value::parse(&canonical).expect("canonical keys are JSON");
         assert_eq!(parsed.render(), canonical, "rendering must be a fixed point");
         assert_eq!(

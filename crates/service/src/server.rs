@@ -61,10 +61,11 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use adversary::enumerate::EnumerationConfig;
+use adversary::{OmissionConfig, PatternModel};
 use set_consensus::BatchRunner;
 use sweep::experiments::{
-    self, Fig4Acc, Fig4Reducer, Thm1Outcome, Thm1Reducer, Thm3Acc, Thm3Reducer, THM1_CASES,
-    THM3_CASES, THM3_SAMPLES,
+    self, Fig4Acc, Fig4Reducer, Thm1Outcome, Thm1Reducer, Thm3Acc, Thm3Reducer, OMISSION_CASES,
+    THM1_CASES, THM3_CASES, THM3_SAMPLES,
 };
 use sweep::{
     fold_shard_stats, shard_ranges, try_merge_shard_outcomes, MergeError, Reducer, Scenario,
@@ -73,7 +74,9 @@ use sweep::{
 use synchrony::ModelError;
 
 use crate::cache::ShardCache;
-use crate::fingerprint::{code_version, scope_string, JobFingerprint};
+use crate::fingerprint::{
+    code_version, model_string, omission_scope_string, scope_string, JobFingerprint,
+};
 use crate::lease::{FleetConfig, LeaseTable, RemoteTask, TaskOutcome};
 use crate::net::{Endpoint, Listener, Stream};
 use crate::pool::WorkerPool;
@@ -152,6 +155,7 @@ const FIG4_PROTOCOLS: &str = "upmin,optmin,earlyuniformfloodmin,floodmin";
 #[derive(Debug)]
 struct DaemonCaches {
     thm1: ShardCache<Thm1Outcome>,
+    omission: ShardCache<Thm1Outcome>,
     thm3: ShardCache<Thm3Acc>,
     fig4: ShardCache<Fig4Acc>,
     prop2: ShardCache<experiments::Prop2Report>,
@@ -168,6 +172,7 @@ impl DaemonCaches {
         }
         DaemonCaches {
             thm1: cache(&store),
+            omission: cache(&store),
             thm3: cache(&store),
             fig4: cache(&store),
             prop2: cache(&store),
@@ -879,13 +884,14 @@ fn run_query(
     reply: &Reply,
     cancel: &Arc<AtomicBool>,
 ) -> Result<JobSummary, JobError> {
-    if spec.scope.is_some() && spec.query != QueryKind::Thm1 {
+    if spec.scope.is_some() && !matches!(spec.query, QueryKind::Thm1 | QueryKind::Omission) {
         return Err(JobError::Model(ModelError::InvalidTaskParameter {
-            reason: "custom scopes are only supported for thm1 jobs".into(),
+            reason: "custom scopes are only supported for thm1 and omission jobs".into(),
         }));
     }
     match spec.query {
         QueryKind::Thm1 => run_thm1(pool, caches, fleet, spec, reply, cancel),
+        QueryKind::Omission => run_omission(pool, caches, fleet, spec, reply, cancel),
         QueryKind::Thm3 => run_thm3(pool, caches, fleet, spec, reply, cancel),
         QueryKind::Fig4 => run_fig4(pool, caches, fleet, spec, reply, cancel),
         QueryKind::Prop2 => run_prop2(pool, caches, spec, reply),
@@ -921,6 +927,7 @@ fn run_thm1(
         let adversaries = source.space().len();
         let fingerprint = JobFingerprint {
             query: "thm1".into(),
+            model: model_string(PatternModel::Crash),
             scope: scope_string(&scope, k),
             protocols: THM1_PROTOCOLS.into(),
             seed: 0,
@@ -971,6 +978,92 @@ fn run_thm1(
     Ok(summary)
 }
 
+/// The omission twin of [`run_thm1`]: same job, reducer and row shape,
+/// folded over the exhaustive send-omission space.  Its fingerprints
+/// carry `model=omission`, so crash and omission accumulators over the
+/// same `(n, t, k)` shape live under disjoint cache keys.
+fn run_omission(
+    pool: &WorkerPool,
+    caches: &DaemonCaches,
+    fleet: &Arc<LeaseTable>,
+    spec: &JobSpec,
+    reply: &Reply,
+    cancel: &Arc<AtomicBool>,
+) -> Result<JobSummary, JobError> {
+    let cases: Vec<(OmissionConfig, usize)> = match &spec.scope {
+        // The wire frame is shared with thm1: `max_crash_round` carries the
+        // omission round horizon and `partial_delivery` is ignored.
+        Some(scope) => vec![(
+            OmissionConfig {
+                n: scope.n,
+                t: scope.t,
+                max_value: scope.max_value,
+                rounds: scope.max_crash_round,
+            },
+            scope.k,
+        )],
+        None => OMISSION_CASES
+            .iter()
+            .map(|&(n, t, k)| (experiments::omission_scope(n, t, k), k))
+            .collect(),
+    };
+    let shards = resolved_shards(spec, pool);
+    let mut rows = Vec::new();
+    let mut summary = JobSummary::new(QueryResult::Omission(Vec::new()));
+    for (case_index, &(scope, k)) in cases.iter().enumerate() {
+        let source = experiments::omission_source(scope, k)?;
+        let adversaries = source.space().len();
+        let fingerprint = JobFingerprint {
+            query: "omission".into(),
+            model: model_string(PatternModel::Omission),
+            scope: omission_scope_string(&scope, k),
+            protocols: THM1_PROTOCOLS.into(),
+            seed: 0,
+            shards,
+            code_version: code_version(),
+        };
+        let lease_scope = Some(ScopeSpec {
+            n: scope.n,
+            t: scope.t,
+            k,
+            max_value: scope.max_value,
+            max_crash_round: scope.rounds,
+            partial_delivery: false,
+        });
+        let case = run_case(CaseContext {
+            pool,
+            reply,
+            fleet,
+            query: QueryKind::Omission,
+            lease_scope,
+            seed: 0,
+            job_id: spec.id,
+            case: case_index,
+            cases: cases.len(),
+            shards,
+            use_shard_cache: spec.shard_cache,
+            cancel,
+            source: Arc::new(source),
+            reducer: Arc::new(Thm1Reducer),
+            job: experiments::thm1_job,
+            cache: &caches.omission,
+            fingerprint,
+            encode_partial: |acc: &Thm1Outcome| {
+                Value::Object(vec![
+                    ("violations".into(), Value::Int(acc.violations as i128)),
+                    ("beaten_earlyfloodmin".into(), Value::Bool(acc.beaten[0])),
+                    ("beaten_floodmin".into(), Value::Bool(acc.beaten[1])),
+                    ("structure_violations".into(), Value::Int(acc.structure as i128)),
+                ])
+            },
+        })?;
+        summary.absorb(&case);
+        rows.push(experiments::omission_case_row(&scope, k, adversaries, case.acc));
+    }
+    summary.result = QueryResult::Omission(rows);
+    Ok(summary)
+}
+
 fn run_thm3(
     pool: &WorkerPool,
     caches: &DaemonCaches,
@@ -986,6 +1079,7 @@ fn run_thm3(
         let source = experiments::thm3_source(n, t, k, spec.seed)?;
         let fingerprint = JobFingerprint {
             query: "thm3".into(),
+            model: model_string(PatternModel::Crash),
             scope: format!("n={n},t={t},k={k},samples={THM3_SAMPLES}"),
             protocols: THM3_PROTOCOLS.into(),
             seed: spec.seed,
@@ -1039,6 +1133,7 @@ fn run_fig4(
     let (source, shapes) = experiments::fig4_source()?;
     let fingerprint = JobFingerprint {
         query: "fig4".into(),
+        model: model_string(PatternModel::Crash),
         scope: "uniform-gap builtin k*rounds".into(),
         protocols: FIG4_PROTOCOLS.into(),
         seed: 0,
@@ -1085,6 +1180,7 @@ fn run_prop2(
 ) -> Result<JobSummary, JobError> {
     let fingerprint = JobFingerprint {
         query: "prop2".into(),
+        model: model_string(PatternModel::Crash),
         scope: "builtin".into(),
         protocols: "none".into(),
         seed: spec.seed,

@@ -502,6 +502,7 @@ mod tests {
     fn key(shard: usize) -> String {
         JobFingerprint {
             query: "thm1".into(),
+            model: "crash".into(),
             scope: "n=3,t=1,k=1".into(),
             protocols: "optmin".into(),
             seed: 0,

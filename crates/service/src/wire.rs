@@ -500,6 +500,9 @@ impl Parser<'_> {
 pub enum QueryKind {
     /// Theorem 1 exhaustive unbeatability (shard-cacheable).
     Thm1,
+    /// The Theorem 1 fold over the exhaustive send-omission space
+    /// (shard-cacheable; its fingerprints carry `model=omission`).
+    Omission,
     /// Theorem 3 seeded random decision-time bound (shard-cacheable).
     Thm3,
     /// Fig. 4 uniform-gap family (shard-cacheable).
@@ -513,6 +516,7 @@ impl QueryKind {
     pub fn name(self) -> &'static str {
         match self {
             QueryKind::Thm1 => "thm1",
+            QueryKind::Omission => "omission",
             QueryKind::Thm3 => "thm3",
             QueryKind::Fig4 => "fig4",
             QueryKind::Prop2 => "prop2",
@@ -527,6 +531,7 @@ impl QueryKind {
     pub fn parse(name: &str) -> Result<Self, WireError> {
         match name {
             "thm1" => Ok(QueryKind::Thm1),
+            "omission" => Ok(QueryKind::Omission),
             "thm3" => Ok(QueryKind::Thm3),
             "fig4" => Ok(QueryKind::Fig4),
             "prop2" => Ok(QueryKind::Prop2),
@@ -535,8 +540,12 @@ impl QueryKind {
     }
 }
 
-/// A custom exhaustive scope for a [`QueryKind::Thm1`] job: the fields of
+/// A custom exhaustive scope for a [`QueryKind::Thm1`] or
+/// [`QueryKind::Omission`] job: the fields of
 /// `adversary::enumerate::EnumerationConfig` plus the agreement degree.
+/// Omission jobs reuse the same frame — `max_crash_round` carries the
+/// omission round horizon and `partial_delivery` is ignored (the omission
+/// space has no crash-delivery choice to make).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ScopeSpec {
     /// Number of processes.
@@ -586,8 +595,8 @@ pub struct JobSpec {
     pub id: u64,
     /// The query to run.
     pub query: QueryKind,
-    /// Optional custom scope (Theorem 1 only; the built-in cases are run
-    /// when absent).
+    /// Optional custom scope (Theorem 1 and omission jobs only; the
+    /// built-in cases are run when absent).
     pub scope: Option<ScopeSpec>,
     /// Shard count; `0` lets the daemon pick `4 × workers`.
     pub shards: usize,
@@ -960,6 +969,9 @@ impl FromWire for Partial {
 pub enum QueryResult {
     /// Theorem 1 rows.
     Thm1(Vec<Thm1Case>),
+    /// Omission-scan rows (the Theorem 1 row shape over the send-omission
+    /// space).
+    Omission(Vec<Thm1Case>),
     /// Theorem 3 rows.
     Thm3(Vec<Thm3Row>),
     /// Fig. 4 rows.
@@ -1284,6 +1296,9 @@ impl ToWire for QueryResult {
             QueryResult::Thm1(rows) => {
                 ("thm1", Value::Array(rows.iter().map(ToWire::to_wire).collect()))
             }
+            QueryResult::Omission(rows) => {
+                ("omission", Value::Array(rows.iter().map(ToWire::to_wire).collect()))
+            }
             QueryResult::Thm3(rows) => {
                 ("thm3", Value::Array(rows.iter().map(ToWire::to_wire).collect()))
             }
@@ -1302,6 +1317,12 @@ impl FromWire for QueryResult {
         match QueryKind::parse(value.field("query")?.as_str("result.query")?)? {
             QueryKind::Thm1 => Ok(QueryResult::Thm1(
                 rows.as_array("thm1 rows")?
+                    .iter()
+                    .map(Thm1Case::from_wire)
+                    .collect::<Result<_, _>>()?,
+            )),
+            QueryKind::Omission => Ok(QueryResult::Omission(
+                rows.as_array("omission rows")?
                     .iter()
                     .map(Thm1Case::from_wire)
                     .collect::<Result<_, _>>()?,

@@ -23,6 +23,7 @@ use std::thread;
 use std::time::Duration;
 
 use adversary::enumerate::EnumerationConfig;
+use adversary::OmissionConfig;
 use set_consensus::BatchRunner;
 use sweep::experiments::{self, Fig4Reducer, Thm1Reducer, Thm3Reducer, THM3_CASES};
 use sweep::{fold_shard_stats, shard_ranges, Reducer, Scenario, ScenarioSource, SweepStats};
@@ -220,6 +221,23 @@ pub(crate) fn execute_task(
                 partial_delivery: scope.partial_delivery,
             };
             let source = experiments::thm1_source(config, scope.k)?;
+            fold_task(&source, &Thm1Reducer, experiments::thm1_job, task, state)
+        }
+        QueryKind::Omission => {
+            let Some(scope) = &task.scope else {
+                return Err(ModelError::InvalidTaskParameter {
+                    reason: "omission lease without an explicit scope".into(),
+                });
+            };
+            // Shared wire frame: `max_crash_round` carries the omission
+            // round horizon (see `wire::ScopeSpec`).
+            let config = OmissionConfig {
+                n: scope.n,
+                t: scope.t,
+                max_value: scope.max_value,
+                rounds: scope.max_crash_round,
+            };
+            let source = experiments::omission_source(config, scope.k)?;
             fold_task(&source, &Thm1Reducer, experiments::thm1_job, task, state)
         }
         QueryKind::Thm3 => {

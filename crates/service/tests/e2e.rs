@@ -202,6 +202,64 @@ fn daemon_fold_is_bit_identical_to_in_process_cold_and_warm() {
     }
 }
 
+/// The same scope under the omission model: `max_crash_round` carries the
+/// omission round horizon, so this is `OmissionConfig { n: 3, t: 1,
+/// max_value: 1, rounds: 2 }` — 800 scenarios.
+fn omission_scope_spec(id: u64, shards: usize, shard_cache: bool) -> JobSpec {
+    JobSpec { query: QueryKind::Omission, ..small_scope_spec(id, shards, shard_cache) }
+}
+
+/// The in-process omission reference over the same scope shape.
+fn omission_reference(shards: usize, threads: usize) -> experiments::Thm1Case {
+    let scope = experiments::omission_scope(SMALL_SCOPE.n, SMALL_SCOPE.t, SMALL_SCOPE.k);
+    let source = experiments::omission_source(scope, SMALL_SCOPE.k).expect("small omission scope");
+    let adversaries = source.space().len();
+    let config = SweepConfig { shards, threads, ..SweepConfig::default() };
+    let (acc, _) = sweep_with_stats(&source, &config, &Thm1Reducer, experiments::thm1_job)
+        .expect("in-process omission sweep");
+    experiments::omission_case_row(&scope, SMALL_SCOPE.k, adversaries, acc)
+}
+
+/// Cross-model cache isolation, end to end: a thm1 job and an omission job
+/// on the *same* scope shape share a daemon (and its shard cache) without
+/// ever replaying each other's shards — each model is cold on first sight,
+/// 100% cached on its own repeat, and each fold matches its in-process
+/// reference bit-identically.
+#[test]
+fn crash_and_omission_jobs_share_a_daemon_without_cross_replay() {
+    let shards = 4;
+    let (endpoint, handle) = start_daemon("cross-model", 1);
+
+    let crash_expected = QueryResult::Thm1(vec![in_process_reference(shards, 1).0]);
+    let omission_expected = QueryResult::Omission(vec![omission_reference(shards, 1)]);
+    assert_ne!(crash_expected, omission_expected, "the two models must disagree on this scope");
+
+    let crash_cold =
+        client::submit(&endpoint, &small_scope_spec(41, shards, true)).expect("crash cold");
+    assert_eq!(crash_cold.result, crash_expected);
+    assert_eq!(crash_cold.shards_cached, 0);
+
+    // The omission job sees a warm crash cache for the identical scope
+    // string — and must not replay a single shard from it.
+    let omission_cold =
+        client::submit(&endpoint, &omission_scope_spec(42, shards, true)).expect("omission cold");
+    assert_eq!(omission_cold.result, omission_expected);
+    assert_eq!(omission_cold.shards_cached, 0, "omission must never replay crash shards");
+    assert_eq!(omission_cold.shards_executed, omission_cold.shards_total);
+
+    // Each model replays only its own accumulators on repeat.
+    let crash_warm =
+        client::submit(&endpoint, &small_scope_spec(43, shards, true)).expect("crash warm");
+    assert_eq!(crash_warm.result, crash_expected);
+    assert_eq!(crash_warm.shards_cached, crash_warm.shards_total);
+    let omission_warm =
+        client::submit(&endpoint, &omission_scope_spec(44, shards, true)).expect("omission warm");
+    assert_eq!(omission_warm.result, omission_expected);
+    assert_eq!(omission_warm.shards_cached, omission_warm.shards_total);
+
+    stop_daemon(&endpoint, handle);
+}
+
 /// A shard count that does not match the cached partition is a different
 /// fingerprint: it must re-execute (no unsound partial replay) and still
 /// fold identically.

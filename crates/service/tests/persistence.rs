@@ -145,6 +145,7 @@ fn in_process_reference() -> QueryResult {
 fn job_fingerprint() -> JobFingerprint {
     JobFingerprint {
         query: "thm1".into(),
+        model: "crash".into(),
         scope: scope_string(&enumeration(), SCOPE.k),
         protocols: "optmin,earlyfloodmin,floodmin".into(),
         seed: 0,

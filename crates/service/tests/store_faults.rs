@@ -32,6 +32,7 @@ fn temp_dir(tag: &str) -> PathBuf {
 fn fingerprint(shards: usize) -> JobFingerprint {
     JobFingerprint {
         query: "thm1".into(),
+        model: "crash".into(),
         scope: "n=3,t=1,k=1,maxv=1,mcr=2,pd=true".into(),
         protocols: "optmin,earlyfloodmin,floodmin".into(),
         seed: 0,
@@ -167,6 +168,49 @@ fn persisted_entries_from_another_code_version_refuse_to_replay() {
     let back = DurableStore::open(&dir, None, &code_version()).expect("reopen as original");
     assert_eq!(back.accounting().entries, 0);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cross-model cache isolation (satellite acceptance): crash and omission
+/// fingerprints over the same `(n, t, k)` shape produce distinct shard
+/// keys at every index, and a durable store populated by one model's job
+/// replays nothing into the other model's cache — even through a fresh
+/// typed front over the same shared store.
+#[test]
+fn crash_and_omission_caches_never_collide_on_the_same_scope() {
+    let crash = fingerprint(8);
+    let omission = JobFingerprint {
+        query: "omission".into(),
+        model: "omission".into(),
+        scope: "n=3,t=1,k=1,maxv=1,rounds=2".into(),
+        ..crash.clone()
+    };
+    // Even with identical query and scope strings (a hypothetical future
+    // scope-string collision), the model field alone keeps keys disjoint.
+    let twin = JobFingerprint { model: "omission".into(), ..crash.clone() };
+    for shard in 0..8 {
+        assert_ne!(crash.shard(shard).canonical_string(), omission.shard(shard).canonical_string());
+        assert_ne!(crash.shard(shard), twin.shard(shard));
+        assert_ne!(crash.shard(shard).canonical_string(), twin.shard(shard).canonical_string());
+    }
+
+    // A store written under the crash model: omission lookups only miss.
+    let store = Arc::new(DurableStore::in_memory(None));
+    let crash_cache: ShardCache<Thm1Outcome> = ShardCache::with_store(store.clone());
+    let acc = Thm1Outcome { violations: 3, beaten: [false, true], structure: 1 };
+    for shard in 0..8 {
+        crash_cache.insert(crash.shard(shard), (shard * 25, shard * 25 + 25), acc);
+    }
+    let omission_cache: ShardCache<Thm1Outcome> = ShardCache::with_store(store.clone());
+    for shard in 0..8 {
+        assert_eq!(omission_cache.get(&omission.shard(shard)), None, "cross-model replay");
+        assert_eq!(omission_cache.get(&twin.shard(shard)), None, "model field ignored");
+    }
+    // The crash entries themselves stay replayable through the shared
+    // store — isolation, not destruction.
+    let fresh: ShardCache<Thm1Outcome> = ShardCache::with_store(store);
+    for shard in 0..8 {
+        assert_eq!(fresh.get(&crash.shard(shard)), Some((acc, (shard * 25, shard * 25 + 25))));
+    }
 }
 
 /// Reference LRU model for the eviction property test: a recency-ordered

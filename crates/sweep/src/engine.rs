@@ -370,7 +370,7 @@ pub fn shard_ranges(total: usize, shards: usize, block: usize) -> Vec<(usize, us
 /// enumeration order, a different shard alignment rule, a reducer-law
 /// change — and every stale accumulator silently becomes a cache miss
 /// instead of a wrong answer.
-pub const FOLD_SEMANTICS_VERSION: u32 = 1;
+pub const FOLD_SEMANTICS_VERSION: u32 = 2;
 
 /// Folds the scenarios of one contiguous index range into a fresh
 /// accumulator, using a caller-owned runner and scratch slot.

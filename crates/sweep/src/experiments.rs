@@ -11,7 +11,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use adversary::enumerate::{self, AdversarySpace, EnumerationConfig};
-use adversary::{scenarios, RandomConfig};
+use adversary::{scenarios, OmissionConfig, RandomConfig};
 use knowledge::ViewAnalysis;
 use set_consensus::{
     EarlyFloodMin, EarlyUniformFloodMin, FloodMin, Optmin, Protocol, TaskParams, TaskVariant,
@@ -249,6 +249,97 @@ pub fn thm1_with_stats(config: &SweepConfig) -> Result<(Vec<Thm1Case>, SweepStat
         let (acc, case_stats) = sweep_with_stats(&source, config, &Thm1Reducer, thm1_job)?;
         stats.merge(case_stats);
         rows.push(thm1_case_row(&scope, k, adversaries, acc));
+    }
+    Ok((rows, stats))
+}
+
+// ---------------------------------------------------------------------------
+// Omission scan: the Theorem 1 fold re-run over the send-omission space.
+// ---------------------------------------------------------------------------
+
+/// The `(n, t, k)` cases of the built-in omission scan, in table order.
+///
+/// The scopes are smaller than [`THM1_CASES`]: the mobile-omission space
+/// grows as `(Σ C(n,f)·(2^(n-1)-1)^f)^rounds`, so two rounds of `(4, 2)`
+/// already exceed a hundred million patterns.
+pub const OMISSION_CASES: [(usize, usize, usize); 2] = [(3, 1, 1), (4, 1, 1)];
+
+/// The exhaustive send-omission scope of one omission-scan case,
+/// mirroring [`thm1_scope`]'s two-round horizon.
+pub fn omission_scope(n: usize, t: usize, k: usize) -> OmissionConfig {
+    OmissionConfig { n, t, max_value: k as u64, rounds: 2 }
+}
+
+/// Builds the exhaustive [`ExhaustiveSource`] of an omission-scan case
+/// over an arbitrary omission scope.
+///
+/// # Errors
+///
+/// Propagates invalid `(n, t, k)` parameters and oversized scopes.
+pub fn omission_source(scope: OmissionConfig, k: usize) -> Result<ExhaustiveSource, ModelError> {
+    let space = AdversarySpace::omission(scope)?;
+    let params = TaskParams::new(SystemParams::new(scope.n, scope.t)?, k)?;
+    ExhaustiveSource::new(space, params, TaskVariant::Nonuniform)
+}
+
+/// Assembles the [`Thm1Case`] row of one swept omission scope from its
+/// folded accumulator (the omission twin of [`thm1_case_row`]).
+pub fn omission_case_row(
+    scope: &OmissionConfig,
+    k: usize,
+    adversaries: u128,
+    acc: Thm1Outcome,
+) -> Thm1Case {
+    Thm1Case {
+        n: scope.n,
+        t: scope.t,
+        k,
+        adversaries,
+        correctness_violations: acc.violations,
+        beaten_by: acc.beaten.iter().filter(|&&b| b).count(),
+        structure_violations: acc.structure,
+    }
+}
+
+/// Sweeps the exhaustive send-omission scopes of [`OMISSION_CASES`] and
+/// returns one row per `(n, t, k)` case.
+///
+/// Equivalent to [`omission_with_stats`] with the statistics discarded.
+///
+/// # Errors
+///
+/// Propagates model errors from the executor.
+pub fn omission(config: &SweepConfig) -> Result<Vec<Thm1Case>, ModelError> {
+    omission_with_stats(config).map(|(rows, _)| rows)
+}
+
+/// [`omission`], plus the execution statistics summed over the per-case
+/// sweeps.
+///
+/// The job, reducer and row shape are shared with the Theorem 1 sweep
+/// ([`thm1_job`] / [`Thm1Reducer`] / [`Thm1Case`]): only the pattern
+/// space changes, which is the point — the omission scan measures how the
+/// crash-model claims fare when faulty senders stay alive and drop
+/// messages instead.  Columns other than the adversary count are
+/// *observations* here, not theorems: the paper proves unbeatability in
+/// the crash model only, so nonzero structure columns are honest data,
+/// not failures.
+///
+/// # Errors
+///
+/// Propagates model errors from the executor.
+pub fn omission_with_stats(
+    config: &SweepConfig,
+) -> Result<(Vec<Thm1Case>, SweepStats), ModelError> {
+    let mut rows = Vec::new();
+    let mut stats = SweepStats::default();
+    for (n, t, k) in OMISSION_CASES {
+        let scope = omission_scope(n, t, k);
+        let source = omission_source(scope, k)?;
+        let adversaries = source.space().len();
+        let (acc, case_stats) = sweep_with_stats(&source, config, &Thm1Reducer, thm1_job)?;
+        stats.merge(case_stats);
+        rows.push(omission_case_row(&scope, k, adversaries, acc));
     }
     Ok((rows, stats))
 }

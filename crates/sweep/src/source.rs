@@ -80,7 +80,7 @@ impl ScenarioSource for ExhaustiveSource {
     fn cursor(&self, start: usize, end: usize) -> Box<dyn ScenarioCursor + '_> {
         Box::new(BlockCursor {
             inner: self.space.cursor(start as u128, end as u128),
-            n: self.space.config().n,
+            n: self.space.n(),
             params: self.params,
             variant: self.variant,
             index: start,

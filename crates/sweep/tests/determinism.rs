@@ -6,7 +6,7 @@
 //! its value.
 
 use adversary::enumerate::{AdversarySpace, EnumerationConfig};
-use adversary::RandomConfig;
+use adversary::{OmissionConfig, RandomConfig};
 use knowledge::ViewAnalysis;
 use set_consensus::{check, Optmin, Protocol, TaskParams, TaskVariant, UPmin};
 use sweep::reduce::{Count, DecisionTimeHistogram};
@@ -21,6 +21,13 @@ fn exhaustive_source() -> ExhaustiveSource {
     let scope = EnumerationConfig::small(3, 1, 1);
     let params = TaskParams::new(SystemParams::new(3, 1).unwrap(), 1).unwrap();
     ExhaustiveSource::new(AdversarySpace::new(scope).unwrap(), params, TaskVariant::Nonuniform)
+        .unwrap()
+}
+
+fn omission_exhaustive_source() -> ExhaustiveSource {
+    let scope = OmissionConfig::small(3, 1, 1);
+    let params = TaskParams::new(SystemParams::new(3, 1).unwrap(), 1).unwrap();
+    ExhaustiveSource::new(AdversarySpace::omission(scope).unwrap(), params, TaskVariant::Nonuniform)
         .unwrap()
 }
 
@@ -449,6 +456,111 @@ fn sweep_shards_warm_replay_is_bit_identical() {
             assert_eq!(merge_shard_outcomes(&Count, mixed), reference);
         }
     }
+}
+
+/// Cross-space determinism (satellite acceptance): the full bit-identity
+/// matrix — cold/warm analysis cache, structure reuse on/off, block
+/// cursor on/off, at every shard×thread combination — holds for **both**
+/// pattern spaces under the real Theorem-1 fold.  A third pattern space
+/// joins the matrix by adding one line to the source list.
+#[test]
+fn both_pattern_spaces_fold_shard_invariantly() {
+    use sweep::experiments::{thm1_job, Thm1Reducer};
+
+    for (label, source) in
+        [("crash", exhaustive_source()), ("omission", omission_exhaustive_source())]
+    {
+        let reference = sweep(&source, &SweepConfig::sequential(), &Thm1Reducer, thm1_job).unwrap();
+        for shards in SHARD_COUNTS {
+            for threads in THREAD_COUNTS {
+                for cache in [false, true] {
+                    for reuse in [false, true] {
+                        for cursor in [false, true] {
+                            let config = SweepConfig {
+                                shards,
+                                threads,
+                                seed: SweepConfig::DEFAULT_SEED,
+                                cache,
+                                reuse,
+                                cursor,
+                            };
+                            let fold = sweep(&source, &config, &Thm1Reducer, thm1_job).unwrap();
+                            assert_eq!(
+                                fold, reference,
+                                "{label} fold diverged at shards={shards}, threads={threads}, \
+                                 cache={cache}, reuse={reuse}, cursor={cursor}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a over every adversary of the space in rank order: the pattern's
+/// `Display` rendering (crash-only output is unchanged by the omission
+/// extension, making the digest comparable across the refactor) plus the
+/// raw input values.  Pins the enumeration *order*, not just its counts.
+fn enumeration_digest(space: &AdversarySpace) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for index in 0..space.len() {
+        let adversary = space.nth(index);
+        eat(format!("{}", adversary.failures()).as_bytes());
+        for (_, value) in adversary.inputs().iter() {
+            eat(&value.get().to_le_bytes());
+        }
+    }
+    hash
+}
+
+/// Golden pin (satellite acceptance): the crash-space enumeration and its
+/// exhaustive Theorem-1 fold are byte-identical to the pre-refactor seed.
+/// The scope sizes come from the seed commit's `sweep thm1` table; the
+/// `(3, 1, 1)` case is cheap enough to re-fold end to end, and its
+/// all-zero accumulator plus the enumeration-order digest pin both the
+/// fold values and the rank order itself.  If the `PatternSpace` plumbing
+/// ever perturbs crash enumeration, this fails before any service cache
+/// can replay a wrong accumulator.
+#[test]
+fn crash_space_golden_pins_survive_the_pattern_space_refactor() {
+    use sweep::experiments::{self, Thm1Outcome, Thm1Reducer};
+
+    let golden_sizes = [200u128, 25_616, 129_681, 12_393];
+    for (&(n, t, k), golden) in experiments::THM1_CASES.iter().zip(golden_sizes) {
+        let space = AdversarySpace::new(experiments::thm1_scope(n, t, k)).unwrap();
+        assert_eq!(space.len(), golden, "scope size changed for ({n}, {t}, {k})");
+    }
+
+    let source = experiments::thm1_source(experiments::thm1_scope(3, 1, 1), 1).unwrap();
+    let acc =
+        sweep(&source, &SweepConfig::sequential(), &Thm1Reducer, experiments::thm1_job).unwrap();
+    assert_eq!(
+        acc,
+        Thm1Outcome::default(),
+        "the (3,1,1) crash fold must stay all-zero (no violations, nothing beaten)"
+    );
+    assert_eq!(
+        enumeration_digest(source.space()),
+        0xd154_88c1_183c_1435,
+        "crash (3,1,1) enumeration order drifted"
+    );
+
+    // The omission twin of the digest pin: freezes the omission order too,
+    // so cached omission accumulators stay replayable across sessions.
+    let omission = omission_exhaustive_source();
+    assert_eq!(omission.space().len(), 800);
+    assert_eq!(
+        enumeration_digest(omission.space()),
+        0x0c3d_1a3e_e236_211d,
+        "omission (3,1,1) enumeration order drifted"
+    );
 }
 
 /// The law-checked merge path refuses shard accumulators presented out of

@@ -1,10 +1,19 @@
-//! Crash failure patterns.
+//! Failure patterns: crashes and send omissions.
 //!
 //! A *failure pattern* `F` describes how processes fail in an execution.  A
-//! faulty process crashes in some round `m ≥ 1`: it behaves correctly during
+//! crashing process fails in some round `m ≥ 1`: it behaves correctly during
 //! the first `m − 1` rounds, may succeed in delivering its round-`m` messages
 //! to an arbitrary subset of processes, and sends nothing from round `m + 1`
 //! on (paper, §2.1).
+//!
+//! A pattern may additionally carry *send omissions* — the message-adversary
+//! generalization the related round-based models use (Shimi–Castañeda): an
+//! omitting sender stays active forever, but the individual messages named by
+//! [`FailurePattern::omit`] are dropped, pruning the corresponding heard-edge
+//! of the run structure instead of killing the sender.  Crash-only patterns
+//! (the paper's model) carry no omissions and behave exactly as before; both
+//! kinds route through [`FailurePattern::delivers`], which is the single
+//! point the run simulation consults.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -61,12 +70,15 @@ impl CrashFault {
 pub struct FailurePattern {
     n: usize,
     faults: BTreeMap<ProcessId, CrashFault>,
+    /// Send omissions: `(sender, round) → receivers whose copy of the
+    /// round's message is dropped`.  Empty for crash-only patterns.
+    omissions: BTreeMap<(ProcessId, Round), PidSet>,
 }
 
 impl FailurePattern {
     /// Creates the failure-free pattern over `n` processes.
     pub fn crash_free(n: usize) -> Self {
-        FailurePattern { n, faults: BTreeMap::new() }
+        FailurePattern { n, faults: BTreeMap::new(), omissions: BTreeMap::new() }
     }
 
     /// Returns the number of processes the pattern ranges over.
@@ -128,6 +140,88 @@ impl FailurePattern {
         round: u32,
     ) -> Result<&mut Self, ModelError> {
         self.crash(process, round, std::iter::empty::<ProcessId>())
+    }
+
+    /// Registers a send omission: `process`'s round-`round` messages to the
+    /// members of `dropped` are lost.  The sender itself stays active — an
+    /// omission prunes heard-edges, it never kills the process — and its
+    /// implicit self-delivery cannot be dropped (`process` is silently
+    /// removed from `dropped` if present).  Repeated calls for the same
+    /// `(process, round)` accumulate into one dropped set.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `process` or any member of `dropped` is out of
+    /// range, or if `round` is zero.
+    pub fn omit<P, D>(
+        &mut self,
+        process: P,
+        round: u32,
+        dropped: D,
+    ) -> Result<&mut Self, ModelError>
+    where
+        P: Into<ProcessId>,
+        D: IntoIterator,
+        D::Item: Into<ProcessId>,
+    {
+        let process = process.into();
+        if process.index() >= self.n {
+            return Err(ModelError::ProcessOutOfRange { process: process.index(), n: self.n });
+        }
+        if round == 0 {
+            return Err(ModelError::InvalidCrashRound);
+        }
+        let mut dropped_set = PidSet::with_capacity(self.n);
+        for pid in dropped {
+            let pid = pid.into();
+            if pid.index() >= self.n {
+                return Err(ModelError::ProcessOutOfRange { process: pid.index(), n: self.n });
+            }
+            if pid != process {
+                dropped_set.insert(pid);
+            }
+        }
+        if !dropped_set.is_empty() {
+            self.omissions
+                .entry((process, Round::new(round)))
+                .or_insert_with(|| PidSet::with_capacity(self.n))
+                .union_with(&dropped_set);
+        }
+        Ok(self)
+    }
+
+    /// Returns `true` if the pattern drops `sender`'s round-`round` message
+    /// to `receiver`.
+    pub fn omits(
+        &self,
+        sender: impl Into<ProcessId>,
+        round: Round,
+        receiver: impl Into<ProcessId>,
+    ) -> bool {
+        let sender = sender.into();
+        let receiver = receiver.into();
+        receiver != sender
+            && self
+                .omissions
+                .get(&(sender, round))
+                .is_some_and(|dropped| dropped.contains(receiver))
+    }
+
+    /// Returns `true` if the pattern carries any send omission (`false` for
+    /// every pattern of the paper's pure crash model).
+    pub fn has_omissions(&self) -> bool {
+        !self.omissions.is_empty()
+    }
+
+    /// Iterates over the send omissions as `((sender, round), dropped)`.
+    pub fn omission_faults(&self) -> impl Iterator<Item = ((ProcessId, Round), &PidSet)> {
+        self.omissions.iter().map(|(&key, dropped)| (key, dropped))
+    }
+
+    /// Returns the set of processes omitting at least one send in `round` —
+    /// what a *mobile* failure budget bounds per round.
+    pub fn omitters_in_round(&self, round: Round) -> PidSet {
+        self.omissions.keys().filter(|(_, r)| *r == round).map(|&(p, _)| p).collect()
     }
 
     /// Returns the crash round of `process`, or `None` if it is correct.
@@ -192,7 +286,8 @@ impl FailurePattern {
     /// Returns `true` if a message sent by `sender` to `receiver` in `round`
     /// would be delivered: the sender is either still correct during that
     /// round, or it crashes exactly in that round and `receiver` belongs to
-    /// its delivery set.  A process always "delivers" to itself while it is
+    /// its delivery set — and, in either case, the message is not named by a
+    /// send omission.  A process always "delivers" to itself while it is
     /// active during the round's send step.
     pub fn delivers(
         &self,
@@ -202,7 +297,7 @@ impl FailurePattern {
     ) -> bool {
         let sender = sender.into();
         let receiver = receiver.into();
-        match self.faults.get(&sender) {
+        let survives_crash = match self.faults.get(&sender) {
             None => true,
             Some(crash) => {
                 if crash.round().number() > round.number() {
@@ -213,7 +308,8 @@ impl FailurePattern {
                     false
                 }
             }
-        }
+        };
+        survives_crash && !self.omits(sender, round, receiver)
     }
 
     /// Validates the pattern against system parameters: the pattern must range
@@ -240,17 +336,33 @@ impl FailurePattern {
 
 impl fmt::Display for FailurePattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.faults.is_empty() {
+        if self.faults.is_empty() && self.omissions.is_empty() {
             return write!(f, "crash-free({})", self.n);
         }
-        write!(f, "crashes[")?;
-        for (i, (p, c)) in self.faults.iter().enumerate() {
-            if i > 0 {
-                write!(f, "; ")?;
+        if !self.faults.is_empty() {
+            write!(f, "crashes[")?;
+            for (i, (p, c)) in self.faults.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "; ")?;
+                }
+                write!(f, "{p}@{} -> {}", c.round(), c.delivered())?;
             }
-            write!(f, "{p}@{} -> {}", c.round(), c.delivered())?;
+            write!(f, "]")?;
         }
-        write!(f, "]")
+        if !self.omissions.is_empty() {
+            if !self.faults.is_empty() {
+                write!(f, " ")?;
+            }
+            write!(f, "omits[")?;
+            for (i, ((p, round), dropped)) in self.omissions.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "; ")?;
+                }
+                write!(f, "{p}@{round} -x-> {dropped}")?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
     }
 }
 
@@ -340,6 +452,87 @@ mod tests {
         assert_eq!(f.active_at(Time::new(1)).len(), 3);
         assert_eq!(f.active_at(Time::new(2)).len(), 2);
         assert_eq!(f.active_at(Time::new(3)).len(), 2);
+    }
+
+    #[test]
+    fn omissions_prune_messages_without_killing_the_sender() {
+        let mut f = FailurePattern::crash_free(4);
+        f.omit(1, 2, [0, 3]).unwrap();
+        // The sender is not crash-faulty and stays active forever.
+        assert!(f.is_correct(1));
+        assert_eq!(f.num_faulty(), 0);
+        assert!(f.is_active_at(1, Time::new(100)));
+        assert!(f.has_omissions());
+        // Only the named messages of the named round are dropped.
+        assert!(!f.delivers(1, Round::new(2), 0));
+        assert!(!f.delivers(1, Round::new(2), 3));
+        assert!(f.delivers(1, Round::new(2), 2));
+        assert!(f.delivers(1, Round::new(1), 0));
+        assert!(f.delivers(1, Round::new(3), 0));
+        // Self-delivery is immune.
+        assert!(f.delivers(1, Round::new(2), 1));
+        assert_eq!(f.omitters_in_round(Round::new(2)), PidSet::singleton(1));
+        assert!(f.omitters_in_round(Round::new(1)).is_empty());
+    }
+
+    #[test]
+    fn omissions_compose_with_crashes() {
+        let mut f = FailurePattern::crash_free(3);
+        f.crash(0, 2, [1]).unwrap();
+        f.omit(0, 1, [2]).unwrap();
+        // Round 1: correct sender, but the message to p2 is omitted.
+        assert!(f.delivers(0, Round::new(1), 1));
+        assert!(!f.delivers(0, Round::new(1), 2));
+        // Round 2: the crash's partial delivery applies as usual.
+        assert!(f.delivers(0, Round::new(2), 1));
+        assert!(!f.delivers(0, Round::new(2), 2));
+    }
+
+    #[test]
+    fn omit_validates_and_accumulates() {
+        let mut f = FailurePattern::crash_free(3);
+        assert_eq!(
+            f.omit(5, 1, [0]).unwrap_err(),
+            ModelError::ProcessOutOfRange { process: 5, n: 3 }
+        );
+        assert_eq!(f.omit(0, 0, [1]).unwrap_err(), ModelError::InvalidCrashRound);
+        assert_eq!(
+            f.omit(0, 1, [9]).unwrap_err(),
+            ModelError::ProcessOutOfRange { process: 9, n: 3 }
+        );
+        // Self is stripped; dropping only yourself is a no-op.
+        f.omit(0, 1, [0]).unwrap();
+        assert!(!f.has_omissions());
+        f.omit(0, 1, [1]).unwrap();
+        f.omit(0, 1, [2]).unwrap();
+        assert!(!f.delivers(0, Round::new(1), 1));
+        assert!(!f.delivers(0, Round::new(1), 2));
+        assert_eq!(f.omission_faults().count(), 1);
+    }
+
+    #[test]
+    fn crash_only_patterns_are_unchanged_by_the_omission_extension() {
+        let mut f = FailurePattern::crash_free(3);
+        f.crash(2, 1, [0]).unwrap();
+        let mut g = FailurePattern::crash_free(3);
+        g.crash(2, 1, [0]).unwrap();
+        assert_eq!(f, g);
+        assert!(!f.has_omissions());
+        // Display stays in the pre-omission format.
+        assert!(f.to_string().starts_with("crashes["));
+        assert!(!f.to_string().contains("omits"));
+    }
+
+    #[test]
+    fn display_mentions_omissions() {
+        let mut f = FailurePattern::crash_free(3);
+        f.omit(1, 2, [0]).unwrap();
+        let s = f.to_string();
+        assert!(s.contains("omits["), "unexpected display: {s}");
+        assert!(s.contains("p1"));
+        f.crash_silent(0, 1).unwrap();
+        let s = f.to_string();
+        assert!(s.contains("crashes[") && s.contains("omits["), "unexpected display: {s}");
     }
 
     #[test]

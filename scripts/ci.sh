@@ -5,6 +5,7 @@
 #   scripts/ci.sh           # fmt --check + clippy -D warnings + tests
 #                           #   + doctests + cargo doc -D warnings
 #                           #   + daemon smoke (serve/submit/cache/shutdown)
+#                           #   + omission smoke (cross-model cache isolation)
 #                           #   + fleet smoke (workers, SIGKILL, re-queue)
 #   scripts/ci.sh --bench   # additionally re-record the perf snapshot chain
 #
@@ -73,6 +74,44 @@ if [[ -e "$SMOKE_SOCK" ]]; then
     exit 1
 fi
 echo "ci.sh: daemon smoke passed (warm run 100% cached, graceful shutdown)"
+
+# --- Omission smoke ---------------------------------------------------------
+# The omission pattern space end to end.  One-shot: `sweep omission` and its
+# spelled-out twin `sweep thm1 --model omission` print the same table at
+# different shard counts (parallelism-invariance across models).  Daemon: a
+# crash job first warms the shard cache for a scope, then the omission job on
+# the *same* scope must run fully cold — the model is part of the cache
+# fingerprint, so crash accumulators never replay into an omission fold — and
+# only its own warm repeat is served 100% from cache with a clean diff.
+target/debug/sweep omission --shards 3 >"$SMOKE_DIR/omission-a.txt" 2>/dev/null
+target/debug/sweep thm1 --model omission --shards 7 \
+    >"$SMOKE_DIR/omission-b.txt" 2>/dev/null
+diff "$SMOKE_DIR/omission-a.txt" "$SMOKE_DIR/omission-b.txt"
+OMISSION_SOCK="$SMOKE_DIR/omission.sock"
+target/debug/sweep serve --socket "$OMISSION_SOCK" --workers 1 \
+    2>"$SMOKE_DIR/omission-serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [[ -S "$OMISSION_SOCK" ]] && break; sleep 0.1; done
+if [[ ! -S "$OMISSION_SOCK" ]]; then
+    echo "ci.sh: omission-smoke daemon did not come up" >&2
+    cat "$SMOKE_DIR/omission-serve.log" >&2
+    exit 1
+fi
+target/debug/sweep submit --socket "$OMISSION_SOCK" thm1 --scope 3,1,1 --shards 4 \
+    >/dev/null 2>&1
+target/debug/sweep submit --socket "$OMISSION_SOCK" thm1 --model omission \
+    --scope 3,1,1 --shards 4 \
+    >"$SMOKE_DIR/omission-cold.txt" 2>"$SMOKE_DIR/omission-cold.log"
+target/debug/sweep submit --socket "$OMISSION_SOCK" thm1 --model omission \
+    --scope 3,1,1 --shards 4 \
+    >"$SMOKE_DIR/omission-warm.txt" 2>"$SMOKE_DIR/omission-warm.log"
+diff "$SMOKE_DIR/omission-cold.txt" "$SMOKE_DIR/omission-warm.txt"
+grep -q "4 shards total, 0 cached" "$SMOKE_DIR/omission-cold.log"
+grep -q "(100.0% cached), 0 executed" "$SMOKE_DIR/omission-warm.log"
+target/debug/sweep shutdown --socket "$OMISSION_SOCK" 2>/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "ci.sh: omission smoke passed (no cross-model replay, warm repeat 100% cached)"
 
 # --- Daemon restart smoke ---------------------------------------------------
 # Same shape, with a durable cache dir: submit, shut the daemon down, start a

@@ -191,3 +191,54 @@ fn run_structure_is_input_invariant() {
         }
     }
 }
+
+/// The same invariant in the omission model: a mobile send-omission pattern
+/// (no crashes — up to `T` omitters per round, each dropping a nonempty
+/// receiver subset) also determines the heard/seen structure alone, so any
+/// input overlay reproduces it bit for bit and `regenerate` reuses it.
+#[test]
+fn omission_run_structure_is_input_invariant() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use synchrony::{Adversary, FailurePattern, InputVector, StructureReuse};
+
+    let params = SystemParams::new(N, T).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xA009);
+    for _ in 0..CASES {
+        // A random mobile omission pattern: per round, a budget-limited set
+        // of omitters, each dropping a nonempty subset of other receivers.
+        let mut failures = FailurePattern::crash_free(N);
+        for round in 1..=MAX_ROUND {
+            let mut budget = T;
+            for sender in 0..N {
+                if budget == 0 || !rng.random_bool(0.5) {
+                    continue;
+                }
+                let others: Vec<usize> = (0..N).filter(|&p| p != sender).collect();
+                let mut dropped: Vec<usize> =
+                    others.iter().copied().filter(|_| rng.random_bool(0.5)).collect();
+                if dropped.is_empty() {
+                    dropped.push(others[rng.random_range(0..others.len() as u64) as usize]);
+                }
+                failures.omit(sender, round, dropped).expect("generated omission is valid");
+                budget -= 1;
+            }
+        }
+        let values: Vec<u64> = (0..N).map(|_| rng.random_range(0..=MAX_VALUE)).collect();
+        let adversary = Adversary::new(InputVector::from_values(values), failures.clone()).unwrap();
+        let reference = run_of(adversary);
+        assert_eq!(reference.failures().has_omissions(), failures.has_omissions());
+        let mut reused = reference.clone();
+        for _ in 0..8 {
+            let values: Vec<u64> = (0..N).map(|_| rng.random_range(0..=MAX_VALUE)).collect();
+            let relabeled =
+                Adversary::new(InputVector::from_values(values), failures.clone()).unwrap();
+            let fresh = Run::generate(params, relabeled.clone(), Time::new(HORIZON)).unwrap();
+            assert_eq!(fresh.structure(), reference.structure());
+            assert_eq!(fresh.failures(), reference.failures());
+            let reuse = reused.regenerate(params, &relabeled, Time::new(HORIZON)).unwrap();
+            assert_eq!(reuse, StructureReuse::Reused);
+            assert_eq!(reused, fresh);
+        }
+    }
+}
