@@ -1,0 +1,143 @@
+//! Perf snapshot of the telemetry subsystem: the fully instrumented
+//! daemon hot path vs the recorded service-cache cold baseline, plus
+//! microbenchmarks of the metric primitives the hot path pays for.
+//!
+//! The instrumentation budget of this PR is "under 2% on the hot path".
+//! Three arms prove it:
+//!
+//! * **instrumented_cold** — the exact workload of the
+//!   `bench_service_cache` cold arm (builtin thm1 scopes, 4 shards, cache
+//!   bypassed, one worker, best-of-five client-side walls), now running
+//!   with phase timers, job counters and the structured logger active on
+//!   every shard.  Compared against the `cold` section of
+//!   `BENCH_service_cache.json` — the predecessor snapshot in the chain —
+//!   as `cold_overhead_vs_service_cache`;
+//! * **primitives** — tight loops over `Counter::inc` and
+//!   `Histogram::record` (the only operations on the per-shard path),
+//!   reported in nanoseconds per op;
+//! * **stats_snapshot** — the live `stats` round-trip against the busy
+//!   daemon, which must stay in single-digit milliseconds so operators
+//!   can poll it freely.
+//!
+//! ```text
+//! bench_telemetry [output.json]   # default: <workspace>/BENCH_telemetry.json
+//! ```
+
+use bench_harness::measure_min_ms;
+use bench_harness::report::BenchSnapshot;
+use service::{client, Endpoint, JobSpec, QueryKind, ServeOptions, Server};
+use sweep::SweepConfig;
+use telemetry::Registry;
+
+/// Measured runs per arm (after one warmup); the snapshot records the
+/// fastest, so machine noise only ever shrinks the numbers.
+const RUNS: usize = 5;
+
+/// Iterations of the primitive-op loops: long enough that the per-op
+/// nanosecond figure is stable against timer resolution.
+const OPS: u64 = 10_000_000;
+
+fn main() {
+    let output = std::env::args().nth(1).unwrap_or_else(|| {
+        bench_harness::workspace_path("BENCH_telemetry.json").to_string_lossy().into_owned()
+    });
+    let baseline_path = std::path::Path::new(&output).with_file_name("BENCH_service_cache.json");
+    let baseline_ms = BenchSnapshot::load_wall_ms(&baseline_path, "cold");
+
+    // The daemon arm: identical shape to the bench_service_cache cold arm,
+    // with its own registry so repeated bench invocations start from zero.
+    let socket = std::env::temp_dir().join(format!("sweep-bench-tel-{}.sock", std::process::id()));
+    let registry = std::sync::Arc::new(Registry::new());
+    let options = ServeOptions {
+        metrics: Some(std::sync::Arc::clone(&registry)),
+        ..ServeOptions::new(Endpoint::Unix(socket), 1)
+    };
+    let server = Server::bind(&options).expect("binding the bench daemon");
+    let endpoint = server.endpoint().clone();
+    let daemon = std::thread::spawn(move || server.run().expect("bench daemon"));
+
+    let mut next_id = 0u64;
+    let (cold_ms, cold) = measure_min_ms(RUNS, || {
+        next_id += 1;
+        let spec = JobSpec {
+            id: next_id,
+            query: QueryKind::Thm1,
+            scope: None, // the built-in exhaustive scopes: 167,890 scenarios
+            shards: 4,
+            seed: SweepConfig::DEFAULT_SEED,
+            shard_cache: false,
+        };
+        client::submit(&endpoint, &spec).expect("cold submit")
+    });
+    assert_eq!(cold.shards_cached, 0, "the cold arm must bypass the cache");
+
+    // The stats round-trip against the still-running, now-busy daemon.
+    let (stats_ms, snapshot) =
+        measure_min_ms(RUNS, || client::stats(&endpoint).expect("stats round-trip"));
+    assert!(
+        snapshot.counter("jobs.total").unwrap_or(0) >= RUNS as u64,
+        "the snapshot must have counted the bench jobs"
+    );
+    let series = snapshot.counters.len() + snapshot.gauges.len() + snapshot.histograms.len();
+
+    client::shutdown(&endpoint).expect("bench daemon shutdown");
+    daemon.join().expect("bench daemon thread");
+
+    // The primitive ops the per-shard hot path actually executes.
+    let bench_registry = Registry::new();
+    let counter = bench_registry.counter("bench.counter");
+    let (counter_ms, _) = measure_min_ms(3, || {
+        for _ in 0..OPS {
+            counter.inc();
+        }
+        counter.get()
+    });
+    let histogram = bench_registry.histogram("bench.histogram");
+    let (histogram_ms, _) = measure_min_ms(3, || {
+        for us in 0..OPS {
+            histogram.record(us);
+        }
+        histogram.count()
+    });
+    let counter_ns = counter_ms * 1e6 / OPS as f64;
+    let histogram_ns = histogram_ms * 1e6 / OPS as f64;
+
+    match &baseline_ms {
+        Ok(baseline) => eprintln!(
+            "instrumented cold {cold_ms:.0} ms vs service-cache cold {baseline:.0} ms \
+             ({:+.2}% overhead); counter {counter_ns:.1} ns/op, histogram {histogram_ns:.1} \
+             ns/op, stats round-trip {stats_ms:.2} ms",
+            (cold_ms / baseline.max(1e-9) - 1.0) * 100.0,
+        ),
+        Err(reason) => eprintln!(
+            "instrumented cold {cold_ms:.0} ms; baseline comparison skipped: {reason}; \
+             counter {counter_ns:.1} ns/op, histogram {histogram_ns:.1} ns/op, \
+             stats round-trip {stats_ms:.2} ms"
+        ),
+    }
+
+    let mut snapshot_out = BenchSnapshot::new(
+        "telemetry overhead: instrumented daemon cold path + metric primitives",
+        cold.stats.scenarios,
+    );
+    snapshot_out
+        .section(
+            "instrumented_cold",
+            cold_ms,
+            &[
+                ("shards_executed", cold.shards_executed as f64),
+                ("scenarios_executed", cold.stats.scenarios as f64),
+                ("server_wall_ms", cold.wall_ms),
+            ],
+        )
+        .section("stats_snapshot", stats_ms, &[("series", series as f64)])
+        .metric("counter_inc_ns", counter_ns)
+        .metric("histogram_record_ns", histogram_ns);
+    if let Ok(baseline) = baseline_ms {
+        snapshot_out
+            .metric("service_cache_cold_baseline_ms", baseline)
+            .metric("cold_overhead_vs_service_cache", cold_ms / baseline.max(1e-9));
+    }
+    std::fs::write(&output, snapshot_out.to_json()).expect("writing the snapshot");
+    println!("wrote {output}");
+}

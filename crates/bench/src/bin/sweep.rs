@@ -20,8 +20,16 @@
 //!                [--id N] [--no-shard-cache] [--connect-timeout SECS]
 //!                [--auth-token TOKEN]
 //! sweep cancel   (--socket PATH | --tcp ADDR) --id N [...]
+//! sweep stats    (--socket PATH | --tcp ADDR) [--json | --prom] [...]
 //! sweep shutdown (--socket PATH | --tcp ADDR) [...]
 //! ```
+//!
+//! Every mode also accepts the global logging flags `--log-level
+//! <error|warn|info|debug>` and `--log-json` (JSON-lines records on
+//! stderr instead of the human lines); the `SWEEP_LOG` environment
+//! variable sets the default level.  `sweep stats` asks a running daemon
+//! for its live metrics snapshot and prints it as an aligned table, as
+//! JSON (`--json`), or as Prometheus text exposition (`--prom`).
 //!
 //! One-shot fold results are independent of `--shards` and `--threads`,
 //! and `sweep submit` prints byte-identical tables to the one-shot mode
@@ -36,6 +44,7 @@
 //! with a token on TCP endpoints; Unix sockets never need it.
 
 use bench_harness::{report, sweep_config_from_args};
+use service::wire::ToWire;
 use service::{
     client, ConnectOptions, Endpoint, JobSpec, QueryKind, QueryResult, ScopeSpec, ServeOptions,
     Server, WorkerOptions,
@@ -44,11 +53,15 @@ use std::time::Duration;
 use sweep::experiments;
 use sweep::SweepConfig;
 
+/// Log target of the CLI's own stderr lines (daemon/worker internals log
+/// under their `service::*` targets).
+const LOG_TARGET: &str = "sweep::cli";
+
 const USAGE: &str = "usage: sweep <thm1|omission|thm3|fig4|prop2|all> [--model crash|omission] \
                      [--shards N] [--threads N] [--seed N] [--no-cache] [--no-reuse] [--no-cursor]\n\
        sweep serve    (--socket PATH | --tcp ADDR) [--workers N] [--dispatchers N] \
                       [--queue-capacity N] [--cache-dir PATH] [--cache-budget BYTES] \
-                      [--lease-ttl-ms N] [--auth-token TOKEN]\n\
+                      [--lease-ttl-ms N] [--auth-token TOKEN] [--stats-interval SECS]\n\
        sweep worker   (--connect ADDR | --socket PATH | --tcp ADDR) [--auth-token TOKEN] \
                       [--connect-timeout SECS] [--heartbeat-ms N]\n\
        sweep submit   (--socket PATH | --tcp ADDR) <thm1|omission|thm3|fig4|prop2> \
@@ -57,15 +70,43 @@ const USAGE: &str = "usage: sweep <thm1|omission|thm3|fig4|prop2|all> [--model c
                       [--no-shard-cache] [--connect-timeout SECS] [--auth-token TOKEN]\n\
        sweep cancel   (--socket PATH | --tcp ADDR) --id N [--connect-timeout SECS] \
                       [--auth-token TOKEN]\n\
-       sweep shutdown (--socket PATH | --tcp ADDR) [--connect-timeout SECS] [--auth-token TOKEN]";
+       sweep stats    (--socket PATH | --tcp ADDR) [--json | --prom] [--connect-timeout SECS] \
+                      [--auth-token TOKEN]\n\
+       sweep shutdown (--socket PATH | --tcp ADDR) [--connect-timeout SECS] [--auth-token TOKEN]\n\
+       global flags:  [--log-level error|warn|info|debug] [--log-json]  \
+                      (SWEEP_LOG sets the default level)";
 
 fn usage_exit(message: &str) -> ! {
-    eprintln!("{message}\n{USAGE}");
+    telemetry::log::error(LOG_TARGET, format!("{message}\n{USAGE}"), &[]);
     std::process::exit(2);
 }
 
+/// Strips the global logging flags (`--log-level LEVEL`, `--log-json`) out
+/// of the raw argument stream — they may appear anywhere — and configures
+/// the `telemetry` logger before any subcommand parser runs.
+fn apply_log_flags(raw: Vec<String>) -> Vec<String> {
+    let mut filtered = Vec::with_capacity(raw.len());
+    let mut args = raw.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--log-json" => telemetry::log::set_json(true),
+            "--log-level" => {
+                let text =
+                    args.next().unwrap_or_else(|| usage_exit("missing value for --log-level"));
+                let level = telemetry::Level::parse(&text).unwrap_or_else(|| {
+                    usage_exit(&format!("invalid --log-level {text:?} (error|warn|info|debug)"))
+                });
+                telemetry::log::set_level(level);
+            }
+            _ => filtered.push(arg),
+        }
+    }
+    filtered
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = apply_log_flags(raw).into_iter();
     let Some(command) = args.next() else {
         usage_exit("missing command");
     };
@@ -74,6 +115,7 @@ fn main() {
         "worker" => worker_main(args),
         "submit" => submit_main(args),
         "cancel" => cancel_main(args),
+        "stats" => stats_main(args),
         "shutdown" => shutdown_main(args),
         _ => experiment_main(&command, args),
     }
@@ -119,13 +161,13 @@ fn experiment_main(experiment: &str, mut args: impl Iterator<Item = String>) {
                 println!("{}", report::THM1_CLAIM);
                 // Stats may vary with parallelism; stderr keeps stdout diffs
                 // (the CI determinism smoke test) parallelism-invariant.
-                eprintln!("{}", report::sweep_stats_line(&stats));
+                telemetry::log::info(LOG_TARGET, report::sweep_stats_line(&stats), &[]);
             }
             "omission" => {
                 let (rows, stats) = experiments::omission_with_stats(&config)?;
                 println!("{}", report::omission_table(&rows));
                 println!("{}", report::OMISSION_CLAIM);
-                eprintln!("{}", report::sweep_stats_line(&stats));
+                telemetry::log::info(LOG_TARGET, report::sweep_stats_line(&stats), &[]);
             }
             "thm3" => {
                 println!("{}", report::thm3_table(&experiments::thm3(&config)?));
@@ -150,7 +192,11 @@ fn experiment_main(experiment: &str, mut args: impl Iterator<Item = String>) {
         if experiment == "all" { vec!["thm1", "thm3", "fig4", "prop2"] } else { vec![experiment] };
     for name in experiments {
         if let Err(error) = run(name) {
-            eprintln!("experiment {name} failed: {error}");
+            telemetry::log::error(
+                LOG_TARGET,
+                format!("experiment {name} failed: {error}"),
+                &[("experiment", name.into()), ("error", error.to_string().into())],
+            );
             std::process::exit(1);
         }
     }
@@ -241,6 +287,7 @@ fn serve_main(mut args: impl Iterator<Item = String>) {
     let mut cache_budget: Option<u64> = None;
     let mut lease_ttl_ms = 0u64;
     let mut auth_token: Option<String> = None;
+    let mut stats_interval: Option<Duration> = None;
     while let Some(flag) = args.next() {
         if endpoint.accept(&flag, || value_of(&flag, &mut args)) {
             continue;
@@ -255,6 +302,10 @@ fn serve_main(mut args: impl Iterator<Item = String>) {
             }
             "--lease-ttl-ms" => lease_ttl_ms = parse_number(&flag, &value_of(&flag, &mut args)),
             "--auth-token" => auth_token = Some(value_of(&flag, &mut args)),
+            "--stats-interval" => {
+                let secs: u64 = parse_number(&flag, &value_of(&flag, &mut args));
+                stats_interval = (secs > 0).then(|| Duration::from_secs(secs));
+            }
             other => usage_exit(&format!("unknown flag {other}")),
         }
     }
@@ -267,16 +318,18 @@ fn serve_main(mut args: impl Iterator<Item = String>) {
         cache_budget,
         lease_ttl_ms,
         auth_token: auth_token.or_else(token_from_env),
+        stats_interval,
+        metrics: None,
     };
     let server = match Server::bind(&options) {
         Ok(server) => server,
         Err(error) => {
-            eprintln!("sweep serve: {error}");
+            telemetry::log::error(LOG_TARGET, format!("sweep serve: {error}"), &[]);
             std::process::exit(1);
         }
     };
     if let Err(error) = server.run() {
-        eprintln!("sweep serve: {error}");
+        telemetry::log::error(LOG_TARGET, format!("sweep serve: {error}"), &[]);
         std::process::exit(1);
     }
 }
@@ -312,7 +365,7 @@ fn worker_main(mut args: impl Iterator<Item = String>) {
     let options =
         WorkerOptions { endpoint: endpoint.require(), connect: connect.options(), heartbeat_ms };
     if let Err(error) = service::worker::run(&options) {
-        eprintln!("sweep worker: {error}");
+        telemetry::log::error(LOG_TARGET, format!("sweep worker: {error}"), &[]);
         std::process::exit(1);
     }
 }
@@ -388,7 +441,7 @@ fn submit_main(mut args: impl Iterator<Item = String>) {
     let outcome = match client::submit_with(&endpoint, &spec, &connect.options()) {
         Ok(outcome) => outcome,
         Err(error) => {
-            eprintln!("sweep submit: {error}");
+            telemetry::log::error(LOG_TARGET, format!("sweep submit: {error}"), &[]);
             std::process::exit(1);
         }
     };
@@ -422,20 +475,33 @@ fn submit_main(mut args: impl Iterator<Item = String>) {
     // stderr: the canonical stats line (executed work only) plus the
     // job-level cache split and fleet accounting — the lines the CI smoke
     // stage greps.
-    eprintln!("{}", outcome.stats.stats_line());
-    eprintln!(
-        "job stats: {} shards total, {} cached ({:.1}% cached), {} executed ({} remote); \
-         {} partial folds streamed; fleet: {} workers, {} leases re-queued; \
-         server wall {:.0} ms",
-        outcome.shards_total,
-        outcome.shards_cached,
-        outcome.cached_fraction() * 100.0,
-        outcome.shards_executed,
-        outcome.shards_remote,
-        outcome.partials,
-        outcome.fleet_workers,
-        outcome.leases_requeued,
-        outcome.wall_ms,
+    telemetry::log::info(LOG_TARGET, outcome.stats.stats_line(), &[]);
+    telemetry::log::info(
+        LOG_TARGET,
+        format!(
+            "job stats: {} shards total, {} cached ({:.1}% cached), {} executed ({} remote); \
+             {} partial folds streamed; fleet: {} workers, {} leases re-queued; \
+             server wall {:.0} ms",
+            outcome.shards_total,
+            outcome.shards_cached,
+            outcome.cached_fraction() * 100.0,
+            outcome.shards_executed,
+            outcome.shards_remote,
+            outcome.partials,
+            outcome.fleet_workers,
+            outcome.leases_requeued,
+            outcome.wall_ms,
+        ),
+        &[
+            ("shards_total", outcome.shards_total.into()),
+            ("shards_cached", outcome.shards_cached.into()),
+            ("shards_executed", outcome.shards_executed.into()),
+            ("shards_remote", outcome.shards_remote.into()),
+            ("partials", outcome.partials.into()),
+            ("fleet_workers", outcome.fleet_workers.into()),
+            ("leases_requeued", outcome.leases_requeued.into()),
+            ("wall_ms", outcome.wall_ms.into()),
+        ],
     );
 }
 
@@ -457,15 +523,63 @@ fn cancel_main(mut args: impl Iterator<Item = String>) {
     }
     let job = job.unwrap_or_else(|| usage_exit("missing --id N"));
     match client::cancel_with(&endpoint.require(), job, &connect.options()) {
-        Ok(true) => eprintln!("sweep cancel: job {job} revoked"),
+        Ok(true) => telemetry::log::info(
+            LOG_TARGET,
+            format!("sweep cancel: job {job} revoked"),
+            &[("job", job.into())],
+        ),
         Ok(false) => {
-            eprintln!("sweep cancel: job {job} not found (already finished or never queued)");
+            telemetry::log::warn(
+                LOG_TARGET,
+                format!("sweep cancel: job {job} not found (already finished or never queued)"),
+                &[("job", job.into())],
+            );
             std::process::exit(1);
         }
         Err(error) => {
-            eprintln!("sweep cancel: {error}");
+            telemetry::log::error(LOG_TARGET, format!("sweep cancel: {error}"), &[]);
             std::process::exit(1);
         }
+    }
+}
+
+/// `sweep stats`: fetch a running daemon's live metrics snapshot and print
+/// it on stdout as an aligned table (default), one JSON object (`--json`),
+/// or Prometheus text exposition (`--prom`).
+fn stats_main(mut args: impl Iterator<Item = String>) {
+    #[derive(PartialEq)]
+    enum Output {
+        Table,
+        Json,
+        Prometheus,
+    }
+    let mut endpoint = EndpointFlag(None);
+    let mut connect = ConnectFlags::new(Duration::from_secs(5));
+    let mut output = Output::Table;
+    while let Some(flag) = args.next() {
+        if endpoint.accept(&flag, || value_of(&flag, &mut args)) {
+            continue;
+        }
+        if connect.accept(&flag, || value_of(&flag, &mut args)) {
+            continue;
+        }
+        match flag.as_str() {
+            "--json" => output = Output::Json,
+            "--prom" => output = Output::Prometheus,
+            other => usage_exit(&format!("unknown flag {other}")),
+        }
+    }
+    let snapshot = match client::stats_with(&endpoint.require(), &connect.options()) {
+        Ok(snapshot) => snapshot,
+        Err(error) => {
+            telemetry::log::error(LOG_TARGET, format!("sweep stats: {error}"), &[]);
+            std::process::exit(1);
+        }
+    };
+    match output {
+        Output::Table => print!("{}", snapshot.to_table()),
+        Output::Json => println!("{}", snapshot.to_wire().render()),
+        Output::Prometheus => print!("{}", snapshot.to_prometheus()),
     }
 }
 
@@ -482,9 +596,9 @@ fn shutdown_main(mut args: impl Iterator<Item = String>) {
         usage_exit(&format!("unknown flag {flag}"));
     }
     match client::shutdown_with(&endpoint.require(), &connect.options()) {
-        Ok(()) => eprintln!("sweep shutdown: daemon acknowledged"),
+        Ok(()) => telemetry::log::info(LOG_TARGET, "sweep shutdown: daemon acknowledged", &[]),
         Err(error) => {
-            eprintln!("sweep shutdown: {error}");
+            telemetry::log::error(LOG_TARGET, format!("sweep shutdown: {error}"), &[]);
             std::process::exit(1);
         }
     }

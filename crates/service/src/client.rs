@@ -4,6 +4,7 @@
 use std::io::{BufRead, BufReader, Write};
 
 use sweep::SweepStats;
+use telemetry::MetricsSnapshot;
 
 use crate::net::{ConnectOptions, Endpoint, Stream};
 use crate::wire::{self, encode_line, Frame, JobSpec, QueryResult, ShardDone};
@@ -186,6 +187,54 @@ pub fn cancel_with(
                 }
                 return Ok(found);
             }
+            Frame::Error(error) => {
+                return Err(ServiceError::Remote { kind: error.kind, message: error.message })
+            }
+            other => {
+                return Err(ServiceError::Protocol(format!("unexpected frame {other:?}")));
+            }
+        }
+    }
+}
+
+/// Asks a running daemon for a point-in-time metrics snapshot — job and
+/// phase metrics from its registry plus sampled cache/store/lease
+/// counters (see the `telemetry` crate for the metric names).
+///
+/// # Errors
+///
+/// Returns connection and wire failures, a server-reported error, or a
+/// protocol violation (connection closed before the snapshot).
+pub fn stats(endpoint: &Endpoint) -> Result<MetricsSnapshot, ServiceError> {
+    stats_with(endpoint, &ConnectOptions::default())
+}
+
+/// [`stats`] with explicit connect options (retry budget, auth token).
+///
+/// # Errors
+///
+/// As [`stats`].
+pub fn stats_with(
+    endpoint: &Endpoint,
+    options: &ConnectOptions,
+) -> Result<MetricsSnapshot, ServiceError> {
+    let mut stream = open(endpoint, options)?;
+    write_frame(&mut stream, &Frame::Stats)?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let read = reader
+            .read_line(&mut line)
+            .map_err(|e| ServiceError::io("reading the stats result", e))?;
+        if read == 0 {
+            return Err(ServiceError::Protocol("daemon closed without a stats result".into()));
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match wire::decode_line(&line)? {
+            Frame::StatsResult(snapshot) => return Ok(snapshot),
             Frame::Error(error) => {
                 return Err(ServiceError::Remote { kind: error.kind, message: error.message })
             }

@@ -396,6 +396,26 @@ impl LeaseTable {
         self.duplicates.load(Ordering::Relaxed)
     }
 
+    /// Milliseconds since each live worker's last frame, by worker id
+    /// (sorted) — the per-worker heartbeat-age gauges of the daemon's
+    /// metrics snapshot.  Derived from the liveness deadline: a worker's
+    /// deadline is its last frame time plus the TTL, so its age is the TTL
+    /// minus the time still left.
+    pub fn heartbeat_ages_ms(&self, now: Instant) -> Vec<(u64, u64)> {
+        let inner = self.inner.lock().expect("lease table lock");
+        let ttl = self.config.lease_ttl;
+        let mut ages: Vec<(u64, u64)> = inner
+            .workers
+            .iter()
+            .map(|(&id, entry)| {
+                let remaining = entry.deadline.saturating_duration_since(now);
+                (id, ttl.saturating_sub(remaining).as_millis() as u64)
+            })
+            .collect();
+        ages.sort_unstable();
+        ages
+    }
+
     /// Removes a worker (TTL expiry when `expired`, clean disconnect
     /// otherwise), re-queueing its in-flight lease.  A best-effort revoke
     /// frame tells a worker that is alive-but-silent to drop the result.
@@ -441,14 +461,25 @@ impl LeaseTable {
             self.config.backoff_base.saturating_mul(1u32 << exponent).min(self.config.backoff_cap);
         state.not_before = Some(now + backoff);
         self.requeued.fetch_add(1, Ordering::Relaxed);
-        eprintln!(
-            "sweep serve: re-queued shard {} of {} (case {}, attempt {}/{}, backoff {} ms)",
-            state.spec.shard,
-            state.spec.query.name(),
-            state.spec.case,
-            state.attempts + 1,
-            self.config.max_attempts,
-            backoff.as_millis(),
+        telemetry::log::warn(
+            "service::lease",
+            format!(
+                "sweep serve: re-queued shard {} of {} (case {}, attempt {}/{}, backoff {} ms)",
+                state.spec.shard,
+                state.spec.query.name(),
+                state.spec.case,
+                state.attempts + 1,
+                self.config.max_attempts,
+                backoff.as_millis(),
+            ),
+            &[
+                ("shard", state.spec.shard.into()),
+                ("query", state.spec.query.name().into()),
+                ("case", state.spec.case.into()),
+                ("attempt", (state.attempts + 1).into()),
+                ("max_attempts", self.config.max_attempts.into()),
+                ("backoff_ms", (backoff.as_millis() as u64).into()),
+            ],
         );
         inner.queue.push_back(lease);
     }

@@ -57,7 +57,7 @@ pub mod worker;
 
 use std::fmt;
 
-pub use client::{cancel, submit, JobOutcome};
+pub use client::{cancel, stats, submit, JobOutcome};
 pub use net::{ConnectOptions, Endpoint};
 pub use server::{ServeOptions, Server};
 pub use store::{CacheStore, DurableStore, StoreAccounting, StoredEntry};

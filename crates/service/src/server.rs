@@ -86,6 +86,12 @@ use crate::wire::{
     QueryKind, QueryResult, ScopeSpec, ShardDone, TaskSpec, ToWire, Value,
 };
 use crate::ServiceError;
+use telemetry::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+
+/// Log target of every structured line the daemon emits (`--log-json`
+/// routes them through `telemetry::log` as JSON objects; the default human
+/// mode prints the historical messages byte-identically).
+const LOG_TARGET: &str = "service::server";
 
 /// How the daemon is launched.
 #[derive(Debug, Clone)]
@@ -117,6 +123,14 @@ pub struct ServeOptions {
     /// `hello` first frame, constant-time compared).  `None` disables the
     /// handshake; Unix sockets never require it.
     pub auth_token: Option<String>,
+    /// Emit a one-line telemetry heartbeat on stderr at this interval
+    /// (`sweep serve --stats-interval SECS`); `None` disables it.
+    pub stats_interval: Option<Duration>,
+    /// Metrics registry the daemon records into.  `None` uses the
+    /// process-wide [`telemetry::global`] registry; tests embedding
+    /// several daemons in one process inject fresh registries here so
+    /// their counters never bleed into each other.
+    pub metrics: Option<Arc<Registry>>,
 }
 
 impl ServeOptions {
@@ -137,6 +151,8 @@ impl ServeOptions {
             cache_budget: None,
             lease_ttl_ms: 0,
             auth_token: None,
+            stats_interval: None,
+            metrics: None,
         }
     }
 }
@@ -190,6 +206,141 @@ impl DaemonCaches {
     }
 }
 
+/// The daemon's recording half of the telemetry subsystem: the registry
+/// plus cached hot-path handles (`Registry::counter` takes a lock, so the
+/// dispatchers record through these lock-free atomics instead), and the
+/// snapshot assembler.
+///
+/// The registry owns only the metrics that are *new* with telemetry (job
+/// counters, phase histograms, queue depth, uptime).  Subsystems that
+/// already kept their own counters — the typed shard caches, the lease
+/// table, the durable store — are **sampled** into the snapshot at stats
+/// time, so nothing is double-counted by mirroring them live.
+struct ServerTelemetry {
+    registry: Arc<Registry>,
+    started: Instant,
+    jobs_total: Counter,
+    jobs_completed: Counter,
+    jobs_failed: Counter,
+    shards_cached: Counter,
+    shards_executed: Counter,
+    shards_remote: Counter,
+    engine_scenarios: Counter,
+    engine_knowledge_hits: Counter,
+    engine_knowledge_misses: Counter,
+    engine_runs_simulated: Counter,
+    engine_runs_reused: Counter,
+    engine_cursor_stepped: Counter,
+    engine_cursor_materialized: Counter,
+    engine_patterns_unranked: Counter,
+    queue_depth: Gauge,
+    queue_wait_us: Histogram,
+    dispatch_us: Histogram,
+    shard_exec_us: Histogram,
+    merge_us: Histogram,
+    job_us: Histogram,
+}
+
+impl ServerTelemetry {
+    fn new(registry: Arc<Registry>) -> Self {
+        ServerTelemetry {
+            started: Instant::now(),
+            jobs_total: registry.counter("jobs.total"),
+            jobs_completed: registry.counter("jobs.completed"),
+            jobs_failed: registry.counter("jobs.failed"),
+            shards_cached: registry.counter("jobs.shards_cached"),
+            shards_executed: registry.counter("jobs.shards_executed"),
+            shards_remote: registry.counter("jobs.shards_remote"),
+            engine_scenarios: registry.counter("engine.scenarios"),
+            engine_knowledge_hits: registry.counter("engine.knowledge_hits"),
+            engine_knowledge_misses: registry.counter("engine.knowledge_misses"),
+            engine_runs_simulated: registry.counter("engine.runs_simulated"),
+            engine_runs_reused: registry.counter("engine.runs_reused"),
+            engine_cursor_stepped: registry.counter("engine.cursor_stepped"),
+            engine_cursor_materialized: registry.counter("engine.cursor_materialized"),
+            engine_patterns_unranked: registry.counter("engine.patterns_unranked"),
+            queue_depth: registry.gauge("queue.depth"),
+            queue_wait_us: registry.histogram("phase.queue_wait_us"),
+            dispatch_us: registry.histogram("phase.dispatch_us"),
+            shard_exec_us: registry.histogram("phase.shard_exec_us"),
+            merge_us: registry.histogram("phase.merge_us"),
+            job_us: registry.histogram("phase.job_us"),
+            registry,
+        }
+    }
+
+    /// Folds one finished job's summary into the lifetime counters.
+    fn absorb_job(&self, summary: &JobSummary) {
+        self.shards_cached.add(summary.shards_cached);
+        self.shards_executed.add(summary.shards_executed);
+        self.shards_remote.add(summary.shards_remote);
+        let stats = &summary.stats;
+        self.engine_scenarios.add(stats.scenarios);
+        self.engine_knowledge_hits.add(stats.cache.hits);
+        self.engine_knowledge_misses.add(stats.cache.misses);
+        self.engine_runs_simulated.add(stats.runs.simulated);
+        self.engine_runs_reused.add(stats.runs.reused);
+        self.engine_cursor_stepped.add(stats.cursor.stepped);
+        self.engine_cursor_materialized.add(stats.cursor.materialized);
+        self.engine_patterns_unranked.add(stats.cursor.patterns_unranked);
+    }
+
+    /// Assembles the `stats-result` payload: the registry's own metrics
+    /// plus point-in-time samples of the typed shard caches, the durable
+    /// store and the lease table.  `cache.replays` — the headline "warm
+    /// submits replayed instead of re-executed" number — is the hit sum
+    /// across the five typed caches.
+    fn snapshot(&self, caches: &DaemonCaches, fleet: &LeaseTable) -> MetricsSnapshot {
+        self.registry.gauge("uptime.seconds").set(self.started.elapsed().as_secs() as i64);
+        let mut snapshot = self.registry.snapshot();
+        let typed: [(&str, u64, u64); 5] = [
+            ("thm1", caches.thm1.hits(), caches.thm1.misses()),
+            ("omission", caches.omission.hits(), caches.omission.misses()),
+            ("thm3", caches.thm3.hits(), caches.thm3.misses()),
+            ("fig4", caches.fig4.hits(), caches.fig4.misses()),
+            ("prop2", caches.prop2.hits(), caches.prop2.misses()),
+        ];
+        let mut replays = 0u64;
+        let mut misses_total = 0u64;
+        for (name, hits, misses) in typed {
+            snapshot.push_counter(&format!("cache.{name}.hits"), hits);
+            snapshot.push_counter(&format!("cache.{name}.misses"), misses);
+            replays += hits;
+            misses_total += misses;
+        }
+        snapshot.push_counter("cache.replays", replays);
+        snapshot.push_counter("cache.misses_total", misses_total);
+        if let Some(store) = &caches.store {
+            let accounting = store.accounting();
+            snapshot.push_gauge("store.entries", accounting.entries as i64);
+            snapshot.push_gauge("store.bytes", accounting.bytes as i64);
+            if let Some(budget) = accounting.budget {
+                snapshot.push_gauge("store.budget_bytes", budget as i64);
+            }
+            snapshot.push_counter("store.evictions", accounting.evictions);
+            snapshot.push_counter("store.loaded", accounting.loaded as u64);
+            snapshot.push_counter("store.dropped_damaged", accounting.dropped_damaged as u64);
+            snapshot.push_counter("store.dropped_stale", accounting.dropped_stale as u64);
+            snapshot.push_gauge("store.recovery_us", store.recovery_us() as i64);
+            snapshot.histograms.push(store.append_timings().snapshot("store.append_us"));
+            snapshot.histograms.push(store.compact_timings().snapshot("store.compact_us"));
+            snapshot.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        }
+        snapshot.push_counter("lease.granted", fleet.granted_total());
+        snapshot.push_counter("lease.completed", fleet.completed_total());
+        snapshot.push_counter("lease.expired", fleet.expired_total());
+        snapshot.push_counter("lease.requeued", fleet.requeued_total());
+        snapshot.push_counter("lease.fallbacks", fleet.fallbacks_total());
+        snapshot.push_counter("lease.duplicates", fleet.duplicates_total());
+        snapshot.push_gauge("fleet.workers", fleet.live_workers() as i64);
+        snapshot.push_gauge("fleet.active_leases", fleet.active_leases() as i64);
+        for (worker, age_ms) in fleet.heartbeat_ages_ms(Instant::now()) {
+            snapshot.push_gauge(&format!("fleet.worker.{worker}.heartbeat_age_ms"), age_ms as i64);
+        }
+        snapshot
+    }
+}
+
 /// How one job failed — each variant maps to a wire [`ErrorKind`], so
 /// clients can distinguish a revoked job from a poisoned merge without
 /// parsing messages.
@@ -237,6 +388,9 @@ struct JobTask {
     spec: JobSpec,
     reply: Reply,
     cancel: Arc<AtomicBool>,
+    /// When the job was admitted to the queue — the dispatcher that pops
+    /// it records the difference as the `phase.queue_wait_us` histogram.
+    queued_at: Instant,
 }
 
 /// Job id → cancel token of every queued or running job.  Ids are
@@ -272,6 +426,8 @@ pub struct Server {
     store: Option<Arc<DurableStore>>,
     fleet_config: FleetConfig,
     auth_token: Option<String>,
+    stats_interval: Option<Duration>,
+    metrics: Arc<Registry>,
 }
 
 impl Server {
@@ -319,6 +475,8 @@ impl Server {
             store,
             fleet_config: FleetConfig::with_ttl_ms(options.lease_ttl_ms),
             auth_token: options.auth_token.clone(),
+            stats_interval: options.stats_interval,
+            metrics: options.metrics.clone().unwrap_or_else(telemetry::global),
         })
     }
 
@@ -362,6 +520,7 @@ impl Server {
         let pool = Arc::new(WorkerPool::new(self.workers));
         let caches = Arc::new(DaemonCaches::new(self.store.clone()));
         let fleet = Arc::new(LeaseTable::new(self.fleet_config.clone()));
+        let metrics = Arc::new(ServerTelemetry::new(Arc::clone(&self.metrics)));
         let dispatchers: Vec<_> = (0..self.dispatchers)
             .map(|_| {
                 let job_rx = Arc::clone(&job_rx);
@@ -369,12 +528,13 @@ impl Server {
                 let caches = Arc::clone(&caches);
                 let registry = Arc::clone(&registry);
                 let fleet = Arc::clone(&fleet);
+                let metrics = Arc::clone(&metrics);
                 thread::spawn(move || loop {
                     // Hold the queue lock only while popping, never while
                     // executing a job.
                     let task = job_rx.lock().expect("job queue lock").recv();
                     match task {
-                        Ok(task) => execute_job(&pool, &caches, &registry, &fleet, task),
+                        Ok(task) => execute_job(&pool, &caches, &registry, &fleet, &metrics, task),
                         Err(_) => break, // queue closed: shutdown
                     }
                 })
@@ -400,19 +560,78 @@ impl Server {
             })
         };
 
-        eprintln!(
-            "sweep serve: listening on {} with {} worker(s), {} dispatcher(s), {}",
-            self.endpoint,
-            self.workers,
-            self.dispatchers,
-            code_version()
+        // The opt-in telemetry heartbeat: a one-line snapshot summary on
+        // stderr every `--stats-interval`.  The short sleep keeps shutdown
+        // latency bounded by ~50 ms rather than by the interval.
+        let heartbeat = self.stats_interval.map(|interval| {
+            let metrics = Arc::clone(&metrics);
+            let caches = Arc::clone(&caches);
+            let fleet = Arc::clone(&fleet);
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || {
+                let mut last = Instant::now();
+                while !shutdown.load(Ordering::Relaxed) {
+                    thread::sleep(Duration::from_millis(50));
+                    if last.elapsed() < interval {
+                        continue;
+                    }
+                    last = Instant::now();
+                    let snapshot = metrics.snapshot(&caches, &fleet);
+                    let uptime = snapshot.gauge("uptime.seconds").unwrap_or(0);
+                    let jobs = snapshot.counter("jobs.total").unwrap_or(0);
+                    let depth = snapshot.gauge("queue.depth").unwrap_or(0);
+                    let replays = snapshot.counter("cache.replays").unwrap_or(0);
+                    let workers = snapshot.gauge("fleet.workers").unwrap_or(0);
+                    telemetry::log::info(
+                        LOG_TARGET,
+                        format!(
+                            "sweep serve: stats: up {uptime} s; {jobs} job(s), queue depth \
+                             {depth}; {replays} cache replay(s); fleet: {workers} worker(s)"
+                        ),
+                        &[
+                            ("uptime_s", uptime.into()),
+                            ("jobs_total", jobs.into()),
+                            ("queue_depth", depth.into()),
+                            ("cache_replays", replays.into()),
+                            ("fleet_workers", workers.into()),
+                        ],
+                    );
+                }
+            })
+        });
+
+        telemetry::log::info(
+            LOG_TARGET,
+            format!(
+                "sweep serve: listening on {} with {} worker(s), {} dispatcher(s), {}",
+                self.endpoint,
+                self.workers,
+                self.dispatchers,
+                code_version()
+            ),
+            &[
+                ("endpoint", self.endpoint.to_string().into()),
+                ("workers", self.workers.into()),
+                ("dispatchers", self.dispatchers.into()),
+                ("code_version", code_version().into()),
+            ],
         );
         if let Some(store) = &self.store {
             let accounting = store.accounting();
-            eprintln!(
-                "sweep serve: cache store ready: {accounting}; {} loaded from disk, \
-                 {} damaged line(s) dropped, {} stale entr(ies) dropped",
-                accounting.loaded, accounting.dropped_damaged, accounting.dropped_stale
+            telemetry::log::info(
+                LOG_TARGET,
+                format!(
+                    "sweep serve: cache store ready: {accounting}; {} loaded from disk, \
+                     {} damaged line(s) dropped, {} stale entr(ies) dropped",
+                    accounting.loaded, accounting.dropped_damaged, accounting.dropped_stale
+                ),
+                &[
+                    ("entries", accounting.entries.into()),
+                    ("bytes", accounting.bytes.into()),
+                    ("loaded", accounting.loaded.into()),
+                    ("dropped_damaged", accounting.dropped_damaged.into()),
+                    ("dropped_stale", accounting.dropped_stale.into()),
+                ],
             );
         }
 
@@ -428,6 +647,8 @@ impl Server {
                     let registry = Arc::clone(&registry);
                     let shutdown = Arc::clone(&shutdown);
                     let fleet = Arc::clone(&fleet);
+                    let caches = Arc::clone(&caches);
+                    let metrics = Arc::clone(&metrics);
                     let auth_token = self.auth_token.clone();
                     connections.push(thread::spawn(move || {
                         handle_connection(
@@ -436,6 +657,8 @@ impl Server {
                             &registry,
                             &shutdown,
                             &fleet,
+                            &caches,
+                            &metrics,
                             auth_token.as_deref(),
                         );
                     }));
@@ -447,7 +670,11 @@ impl Server {
                     // daemon — log, back off, keep serving.  A persistent
                     // condition will keep logging rather than silently
                     // wedging.
-                    eprintln!("sweep serve: accept failed (continuing): {error}");
+                    telemetry::log::warn(
+                        LOG_TARGET,
+                        format!("sweep serve: accept failed (continuing): {error}"),
+                        &[("error", error.to_string().into())],
+                    );
                     thread::sleep(Duration::from_millis(100));
                 }
             }
@@ -460,13 +687,16 @@ impl Server {
             dispatcher.join().expect("dispatcher thread panicked");
         }
         sweeper.join().expect("sweeper thread panicked");
+        if let Some(heartbeat) = heartbeat {
+            heartbeat.join().expect("stats heartbeat thread panicked");
+        }
         // Dropping the last pool handle closes its queue and joins the
         // workers.
         drop(pool);
         if let Endpoint::Unix(path) = &self.endpoint {
             let _ = std::fs::remove_file(path);
         }
-        eprintln!("sweep serve: shut down cleanly");
+        telemetry::log::info(LOG_TARGET, "sweep serve: shut down cleanly", &[]);
         Ok(())
     }
 }
@@ -496,12 +726,15 @@ fn constant_time_eq(a: &str, b: &str) -> bool {
 /// token-protected TCP endpoint the first frame must be a matching
 /// `hello`; a `register` frame turns the connection into a worker
 /// session.
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     stream: Stream,
     job_tx: &SyncSender<JobTask>,
     registry: &CancelRegistry,
     shutdown: &AtomicBool,
     fleet: &Arc<LeaseTable>,
+    caches: &Arc<DaemonCaches>,
+    metrics: &Arc<ServerTelemetry>,
     auth_token: Option<&str>,
 ) {
     // Unix sockets are gated by filesystem permissions already; the
@@ -590,8 +823,10 @@ fn handle_connection(
                 // Register before queueing, so a cancel can never race past
                 // a job that is queued but not yet visible.
                 registry.lock().expect("cancel registry lock").insert(id, Arc::clone(&cancel));
-                match job_tx.try_send(JobTask { spec, reply: Arc::clone(&reply), cancel }) {
-                    Ok(()) => {}
+                let task =
+                    JobTask { spec, reply: Arc::clone(&reply), cancel, queued_at: Instant::now() };
+                match job_tx.try_send(task) {
+                    Ok(()) => metrics.queue_depth.add(1),
                     Err(TrySendError::Full(_)) => {
                         registry.lock().expect("cancel registry lock").remove(&id);
                         send_frame(
@@ -624,15 +859,21 @@ fn handle_connection(
                 shutdown.store(true, Ordering::Relaxed);
                 break;
             }
+            Ok(Frame::Stats) => {
+                // Live introspection: assemble a fresh snapshot (registry
+                // metrics plus sampled cache/store/lease counters) and
+                // stream it back on this connection.
+                send_frame(&reply, &Frame::StatsResult(metrics.snapshot(caches, fleet)));
+            }
             Ok(_) => {
                 send_frame(
                     &reply,
                     &Frame::Error(ErrorFrame {
                         job: None,
                         kind: ErrorKind::Protocol,
-                        message:
-                            "unexpected frame (clients send job, cancel, shutdown or register)"
-                                .into(),
+                        message: "unexpected frame (clients send job, cancel, stats, \
+                                  shutdown or register)"
+                            .into(),
                     }),
                 );
             }
@@ -684,7 +925,11 @@ fn worker_session(
         fleet.worker_gone(worker, Instant::now());
         return;
     }
-    eprintln!("sweep serve: worker {worker} registered ({} in fleet)", fleet.live_workers());
+    telemetry::log::info(
+        LOG_TARGET,
+        format!("sweep serve: worker {worker} registered ({} in fleet)", fleet.live_workers()),
+        &[("worker", worker.into()), ("fleet", fleet.live_workers().into())],
+    );
     let mut line = String::new();
     'session: loop {
         line.clear();
@@ -726,18 +971,34 @@ fn worker_session(
                 );
             }
             Ok(Frame::LeaseFailed(failed)) => {
-                eprintln!(
-                    "sweep serve: worker {worker} rejected lease {}: {}",
-                    failed.lease, failed.message
+                telemetry::log::warn(
+                    LOG_TARGET,
+                    format!(
+                        "sweep serve: worker {worker} rejected lease {}: {}",
+                        failed.lease, failed.message
+                    ),
+                    &[
+                        ("worker", worker.into()),
+                        ("lease", failed.lease.into()),
+                        ("message", failed.message.as_str().into()),
+                    ],
                 );
                 fleet.lease_failed(failed.lease, failed.generation, worker, Instant::now());
             }
             Ok(other) => {
-                eprintln!("sweep serve: worker {worker} sent an unexpected frame {other:?}");
+                telemetry::log::warn(
+                    LOG_TARGET,
+                    format!("sweep serve: worker {worker} sent an unexpected frame {other:?}"),
+                    &[("worker", worker.into())],
+                );
                 break;
             }
             Err(error) => {
-                eprintln!("sweep serve: worker {worker} sent a malformed frame: {error}");
+                telemetry::log::warn(
+                    LOG_TARGET,
+                    format!("sweep serve: worker {worker} sent a malformed frame: {error}"),
+                    &[("worker", worker.into()), ("error", error.to_string().into())],
+                );
                 break;
             }
         }
@@ -746,7 +1007,11 @@ fn worker_session(
     // its process exits instead of blocking on a dead read.
     send_frame(reply, &Frame::ShuttingDown);
     fleet.worker_gone(worker, Instant::now());
-    eprintln!("sweep serve: worker {worker} disconnected ({} in fleet)", fleet.live_workers());
+    telemetry::log::info(
+        LOG_TARGET,
+        format!("sweep serve: worker {worker} disconnected ({} in fleet)", fleet.live_workers()),
+        &[("worker", worker.into()), ("fleet", fleet.live_workers().into())],
+    );
 }
 
 /// Everything [`JobDone`] reports about one finished job.
@@ -792,44 +1057,63 @@ fn execute_job(
     caches: &DaemonCaches,
     registry: &CancelRegistry,
     fleet: &Arc<LeaseTable>,
+    metrics: &ServerTelemetry,
     task: JobTask,
 ) {
-    let JobTask { spec, reply, cancel } = task;
+    let JobTask { spec, reply, cancel, queued_at } = task;
     let start = Instant::now();
+    metrics.queue_depth.add(-1);
+    metrics.jobs_total.inc();
+    metrics.queue_wait_us.observe(start.saturating_duration_since(queued_at));
     let outcome = if cancel.load(Ordering::Relaxed) {
         // Revoked while still queued: never starts executing.
         Err(JobError::Cancelled)
     } else {
-        run_query(pool, caches, fleet, &spec, &reply, &cancel)
+        run_query(pool, caches, fleet, metrics, &spec, &reply, &cancel)
     };
     registry.lock().expect("cancel registry lock").remove(&spec.id);
     match outcome {
         Ok(summary) => {
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            metrics.job_us.observe(start.elapsed());
+            metrics.jobs_completed.inc();
+            metrics.absorb_job(&summary);
             // The daemon-side job trailer, reusing the canonical stats-line
             // renderer of the sweep crate, plus the store accounting when a
             // durable/bounded cache is configured and the fleet accounting
             // (lifetime counters of the lease table — the CI smoke leg and
             // the e2e tests grep this line).
-            eprintln!(
-                "sweep serve: job {} ({}) done in {:.0} ms; shards: {} total, {} cached, \
-                 {} executed ({} remote); {}{}; fleet: {} workers, {} leases active, \
-                 {} granted, {} expired, {} re-queued, {} duplicates dropped",
-                spec.id,
-                spec.query.name(),
-                wall_ms,
-                summary.shards_total,
-                summary.shards_cached,
-                summary.shards_executed,
-                summary.shards_remote,
-                summary.stats.stats_line(),
-                caches.store_suffix(),
-                fleet.live_workers(),
-                fleet.active_leases(),
-                fleet.granted_total(),
-                fleet.expired_total(),
-                fleet.requeued_total(),
-                fleet.duplicates_total(),
+            telemetry::log::info(
+                LOG_TARGET,
+                format!(
+                    "sweep serve: job {} ({}) done in {:.0} ms; shards: {} total, {} cached, \
+                     {} executed ({} remote); {}{}; fleet: {} workers, {} leases active, \
+                     {} granted, {} expired, {} re-queued, {} duplicates dropped",
+                    spec.id,
+                    spec.query.name(),
+                    wall_ms,
+                    summary.shards_total,
+                    summary.shards_cached,
+                    summary.shards_executed,
+                    summary.shards_remote,
+                    summary.stats.stats_line(),
+                    caches.store_suffix(),
+                    fleet.live_workers(),
+                    fleet.active_leases(),
+                    fleet.granted_total(),
+                    fleet.expired_total(),
+                    fleet.requeued_total(),
+                    fleet.duplicates_total(),
+                ),
+                &[
+                    ("job", spec.id.into()),
+                    ("query", spec.query.name().into()),
+                    ("wall_ms", wall_ms.into()),
+                    ("shards_total", summary.shards_total.into()),
+                    ("shards_cached", summary.shards_cached.into()),
+                    ("shards_executed", summary.shards_executed.into()),
+                    ("shards_remote", summary.shards_remote.into()),
+                ],
             );
             send_frame(
                 &reply,
@@ -848,11 +1132,21 @@ fn execute_job(
             );
         }
         Err(error) => {
-            eprintln!(
-                "sweep serve: job {} ({}) failed ({}): {error}",
-                spec.id,
-                spec.query.name(),
-                error.kind().name()
+            metrics.jobs_failed.inc();
+            telemetry::log::warn(
+                LOG_TARGET,
+                format!(
+                    "sweep serve: job {} ({}) failed ({}): {error}",
+                    spec.id,
+                    spec.query.name(),
+                    error.kind().name()
+                ),
+                &[
+                    ("job", spec.id.into()),
+                    ("query", spec.query.name().into()),
+                    ("kind", error.kind().name().into()),
+                    ("error", error.to_string().into()),
+                ],
             );
             send_frame(
                 &reply,
@@ -880,6 +1174,7 @@ fn run_query(
     pool: &WorkerPool,
     caches: &DaemonCaches,
     fleet: &Arc<LeaseTable>,
+    metrics: &ServerTelemetry,
     spec: &JobSpec,
     reply: &Reply,
     cancel: &Arc<AtomicBool>,
@@ -890,10 +1185,10 @@ fn run_query(
         }));
     }
     match spec.query {
-        QueryKind::Thm1 => run_thm1(pool, caches, fleet, spec, reply, cancel),
-        QueryKind::Omission => run_omission(pool, caches, fleet, spec, reply, cancel),
-        QueryKind::Thm3 => run_thm3(pool, caches, fleet, spec, reply, cancel),
-        QueryKind::Fig4 => run_fig4(pool, caches, fleet, spec, reply, cancel),
+        QueryKind::Thm1 => run_thm1(pool, caches, fleet, metrics, spec, reply, cancel),
+        QueryKind::Omission => run_omission(pool, caches, fleet, metrics, spec, reply, cancel),
+        QueryKind::Thm3 => run_thm3(pool, caches, fleet, metrics, spec, reply, cancel),
+        QueryKind::Fig4 => run_fig4(pool, caches, fleet, metrics, spec, reply, cancel),
         QueryKind::Prop2 => run_prop2(pool, caches, spec, reply),
     }
 }
@@ -902,6 +1197,7 @@ fn run_thm1(
     pool: &WorkerPool,
     caches: &DaemonCaches,
     fleet: &Arc<LeaseTable>,
+    metrics: &ServerTelemetry,
     spec: &JobSpec,
     reply: &Reply,
     cancel: &Arc<AtomicBool>,
@@ -948,6 +1244,7 @@ fn run_thm1(
             pool,
             reply,
             fleet,
+            metrics,
             query: QueryKind::Thm1,
             lease_scope,
             seed: 0,
@@ -986,6 +1283,7 @@ fn run_omission(
     pool: &WorkerPool,
     caches: &DaemonCaches,
     fleet: &Arc<LeaseTable>,
+    metrics: &ServerTelemetry,
     spec: &JobSpec,
     reply: &Reply,
     cancel: &Arc<AtomicBool>,
@@ -1034,6 +1332,7 @@ fn run_omission(
             pool,
             reply,
             fleet,
+            metrics,
             query: QueryKind::Omission,
             lease_scope,
             seed: 0,
@@ -1068,6 +1367,7 @@ fn run_thm3(
     pool: &WorkerPool,
     caches: &DaemonCaches,
     fleet: &Arc<LeaseTable>,
+    metrics: &ServerTelemetry,
     spec: &JobSpec,
     reply: &Reply,
     cancel: &Arc<AtomicBool>,
@@ -1090,6 +1390,7 @@ fn run_thm3(
             pool,
             reply,
             fleet,
+            metrics,
             query: QueryKind::Thm3,
             lease_scope: None,
             seed: spec.seed,
@@ -1125,6 +1426,7 @@ fn run_fig4(
     pool: &WorkerPool,
     caches: &DaemonCaches,
     fleet: &Arc<LeaseTable>,
+    metrics: &ServerTelemetry,
     spec: &JobSpec,
     reply: &Reply,
     cancel: &Arc<AtomicBool>,
@@ -1144,6 +1446,7 @@ fn run_fig4(
         pool,
         reply,
         fleet,
+        metrics,
         query: QueryKind::Fig4,
         lease_scope: None,
         seed: 0,
@@ -1251,6 +1554,9 @@ struct CaseContext<'a, S, R: Reducer> {
     pool: &'a WorkerPool,
     reply: &'a Reply,
     fleet: &'a Arc<LeaseTable>,
+    /// Phase histograms (`phase.dispatch_us` / `phase.shard_exec_us` /
+    /// `phase.merge_us`) recorded by the scheduler.
+    metrics: &'a ServerTelemetry,
     /// Which query the case belongs to — remote workers rebuild the
     /// scenario source from `(query, case, lease_scope, seed, shards)`.
     query: QueryKind,
@@ -1299,6 +1605,7 @@ where
         pool,
         reply,
         fleet,
+        metrics,
         query,
         lease_scope,
         seed,
@@ -1376,11 +1683,15 @@ where
         let cancel = Arc::clone(cancel);
         let done_tx = done_tx.clone();
         let range = ranges[shard];
+        // The histogram handle is an atomic-backed clone — recording from
+        // the pool thread costs two shifts and a relaxed fetch_add.
+        let shard_exec_us = metrics.shard_exec_us.clone();
         pool.submit(Box::new(move |state| {
             let folded = if cancel.load(Ordering::Relaxed) {
                 Err(JobError::Cancelled)
             } else {
-                fold_shard_stats(
+                let exec_started = Instant::now();
+                let folded = fold_shard_stats(
                     &*source,
                     &*reducer,
                     &job,
@@ -1389,13 +1700,16 @@ where
                     range,
                     true,
                 )
-                .map_err(JobError::Model)
+                .map_err(JobError::Model);
+                shard_exec_us.observe(exec_started.elapsed());
+                folded
             };
             // The dispatcher outlives every task it queues, so the send
             // only fails if it already gave up on the job — nothing to do.
             let _ = done_tx.send(Completion::Local { shard, folded });
         }));
     };
+    let dispatch_started = Instant::now();
     for &shard in &cold {
         let remote_tx = done_tx.clone();
         let task = RemoteTask {
@@ -1408,6 +1722,9 @@ where
         if !fleet.submit(task, Instant::now()) {
             dispatch_local(shard);
         }
+    }
+    if !cold.is_empty() {
+        metrics.dispatch_us.observe(dispatch_started.elapsed());
     }
 
     // Every cold shard produces exactly one terminal completion; a remote
@@ -1458,10 +1775,15 @@ where
                             // A range that disagrees with the partition or
                             // a payload that does not decode never reaches
                             // the merge — the shard re-runs locally.
-                            eprintln!(
-                                "sweep serve: job {job_id}: dropping malformed remote result \
-                                 for shard {shard} (range {:?}, expected {:?}); re-running locally",
-                                range, ranges[shard]
+                            telemetry::log::warn(
+                                LOG_TARGET,
+                                format!(
+                                    "sweep serve: job {job_id}: dropping malformed remote \
+                                     result for shard {shard} (range {:?}, expected {:?}); \
+                                     re-running locally",
+                                    range, ranges[shard]
+                                ),
+                                &[("job", job_id.into()), ("shard", shard.into())],
                             );
                             if first_error.is_some() {
                                 pending -= 1;
@@ -1514,7 +1836,10 @@ where
     for outcome in &outcomes {
         stats.merge(outcome.stats);
     }
-    let acc = try_merge_shard_outcomes(&*reducer, outcomes).map_err(JobError::Merge)?;
+    let merge_started = Instant::now();
+    let merged = try_merge_shard_outcomes(&*reducer, outcomes);
+    metrics.merge_us.observe(merge_started.elapsed());
+    let acc = merged.map_err(JobError::Merge)?;
     Ok(CaseOutcome {
         acc,
         stats,

@@ -34,7 +34,11 @@ use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+use telemetry::Histogram;
 
 use crate::wire::Value;
 use crate::ServiceError;
@@ -254,6 +258,12 @@ struct Inner {
 pub struct DurableStore {
     inner: Mutex<Inner>,
     budget: Option<u64>,
+    /// Per-insert latency (memory bookkeeping + log append + eviction).
+    append_us: Histogram,
+    /// Per-compaction latency (snapshot rewrite + log truncation).
+    compact_us: Histogram,
+    /// Wall time of the open-time snapshot/log replay, microseconds.
+    recovery_us: AtomicU64,
 }
 
 impl DurableStore {
@@ -261,7 +271,13 @@ impl DurableStore {
     /// bounded-but-not-persisted configuration (`--cache-budget` without
     /// `--cache-dir`).
     pub fn in_memory(budget: Option<u64>) -> Self {
-        DurableStore { inner: Mutex::new(Inner::default()), budget }
+        DurableStore {
+            inner: Mutex::new(Inner::default()),
+            budget,
+            append_us: Histogram::new(),
+            compact_us: Histogram::new(),
+            recovery_us: AtomicU64::new(0),
+        }
     }
 
     /// Opens (or creates) a persisted store under `dir`, replaying
@@ -286,12 +302,14 @@ impl DurableStore {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)
             .map_err(|e| ServiceError::io(format!("creating cache dir {}", dir.display()), e))?;
+        let recovery_start = Instant::now();
         let mut inner = Inner::default();
         let mut needs_scrub = false;
         for file in [dir.join("cache.snap"), dir.join("cache.log")] {
             needs_scrub |= load_file(&file, &mut inner, current_version, budget)?;
         }
         inner.loaded = inner.entries.len();
+        let recovery_us = recovery_start.elapsed().as_micros().min(u64::MAX as u128) as u64;
         let log_path = dir.join("cache.log");
         let log = OpenOptions::new()
             .create(true)
@@ -309,7 +327,13 @@ impl DurableStore {
             }
         }
         inner.disk = Some(DiskBacking { dir, log, log_bytes });
-        let store = DurableStore { inner: Mutex::new(inner), budget };
+        let store = DurableStore {
+            inner: Mutex::new(inner),
+            budget,
+            append_us: Histogram::new(),
+            compact_us: Histogram::new(),
+            recovery_us: AtomicU64::new(recovery_us),
+        };
         if needs_scrub {
             let mut inner = store.inner.lock().expect("cache store lock");
             // Best-effort: scrub failures leave the damage on disk, where
@@ -322,6 +346,24 @@ impl DurableStore {
     /// The configured byte budget.
     pub fn budget(&self) -> Option<u64> {
         self.budget
+    }
+
+    /// Per-insert latency histogram (memory bookkeeping + log append +
+    /// eviction), for the daemon's metrics snapshot.
+    pub fn append_timings(&self) -> &Histogram {
+        &self.append_us
+    }
+
+    /// Per-compaction latency histogram (snapshot rewrite + log
+    /// truncation), for the daemon's metrics snapshot.
+    pub fn compact_timings(&self) -> &Histogram {
+        &self.compact_us
+    }
+
+    /// Wall time of the open-time snapshot/log replay, in microseconds
+    /// (zero for an in-memory store).
+    pub fn recovery_us(&self) -> u64 {
+        self.recovery_us.load(Ordering::Relaxed)
     }
 }
 
@@ -470,13 +512,17 @@ impl CacheStore for DurableStore {
 
     fn store(&self, key: &str, entry: StoredEntry) {
         let mut inner = self.inner.lock().expect("cache store lock");
+        let append_start = Instant::now();
         insert_entry(&mut inner, self.budget, key.to_owned(), entry, true);
+        self.append_us.observe(append_start.elapsed());
         let should_compact = inner
             .disk
             .as_ref()
             .is_some_and(|d| d.log_bytes > COMPACT_MIN_LOG_BYTES && d.log_bytes > 2 * inner.bytes);
         if should_compact {
+            let compact_start = Instant::now();
             let _ = compact(&mut inner);
+            self.compact_us.observe(compact_start.elapsed());
         }
     }
 

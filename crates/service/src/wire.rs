@@ -30,12 +30,14 @@
 //!                   {"type":"job", ...JobSpec}
 //!                   {"type":"cancel","job":N}
 //!                   {"type":"shutdown"}
+//!                   {"type":"stats"}                        (metrics snapshot request)
 //! server → client   {"type":"shard-done", ...ShardDone}     (per shard)
 //!                   {"type":"partial", ...Partial}          (per prefix growth)
 //!                   {"type":"job-done", ...JobDone}         (terminal, success)
 //!                   {"type":"error", ...ErrorFrame}         (terminal, failure)
 //!                   {"type":"cancel-ack","job":N,"found":b} (cancel ack)
 //!                   {"type":"shutting-down"}                (shutdown ack)
+//!                   {"type":"stats-result", ...}            (metrics snapshot)
 //! worker → server   {"type":"register"}                     (join the fleet)
 //!                   {"type":"heartbeat","worker":N}         (liveness, periodic)
 //!                   {"type":"lease-done", ...LeaseDone}     (shard executed)
@@ -52,6 +54,7 @@ use sweep::experiments::{
     Thm3Acc, Thm3Row,
 };
 use sweep::{CursorStats, SweepStats};
+use telemetry::{HistogramSnapshot, MetricsSnapshot};
 
 // ---------------------------------------------------------------------------
 // The JSON value model.
@@ -1501,6 +1504,95 @@ impl FromWire for ErrorFrame {
     }
 }
 
+impl ToWire for MetricsSnapshot {
+    fn to_wire(&self) -> Value {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, v)| Value::Array(vec![Value::Str(name.clone()), Value::Int(*v as i128)]))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(name, v)| Value::Array(vec![Value::Str(name.clone()), Value::Int(*v as i128)]))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| {
+                Value::Object(vec![
+                    ("name".into(), Value::Str(h.name.clone())),
+                    ("count".into(), Value::Int(h.count as i128)),
+                    ("sum_us".into(), Value::Int(h.sum_us as i128)),
+                    ("max_us".into(), Value::Int(h.max_us as i128)),
+                    ("p50_us".into(), Value::Float(h.p50_us)),
+                    ("p95_us".into(), Value::Float(h.p95_us)),
+                    ("p99_us".into(), Value::Float(h.p99_us)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("type".into(), Value::Str("stats-result".into())),
+            ("counters".into(), Value::Array(counters)),
+            ("gauges".into(), Value::Array(gauges)),
+            ("histograms".into(), Value::Array(histograms)),
+        ])
+    }
+}
+
+/// Decodes one `[name, value]` metric pair.
+fn metric_pair(entry: &Value, what: &str) -> Result<(String, i128), WireError> {
+    let pair = entry.as_array(what)?;
+    if pair.len() != 2 {
+        return Err(WireError::new(format!("{what} must be a [name, value] pair")));
+    }
+    Ok((pair[0].as_str(what)?.to_owned(), pair[1].as_i128(what)?))
+}
+
+impl FromWire for MetricsSnapshot {
+    fn from_wire(value: &Value) -> Result<Self, WireError> {
+        let counters = value
+            .field("counters")?
+            .as_array("stats-result.counters")?
+            .iter()
+            .map(|entry| {
+                let (name, v) = metric_pair(entry, "stats-result counter")?;
+                let v = u64::try_from(v)
+                    .map_err(|_| WireError::new("stats-result counter out of u64 range"))?;
+                Ok((name, v))
+            })
+            .collect::<Result<_, WireError>>()?;
+        let gauges = value
+            .field("gauges")?
+            .as_array("stats-result.gauges")?
+            .iter()
+            .map(|entry| {
+                let (name, v) = metric_pair(entry, "stats-result gauge")?;
+                let v = i64::try_from(v)
+                    .map_err(|_| WireError::new("stats-result gauge out of i64 range"))?;
+                Ok((name, v))
+            })
+            .collect::<Result<_, WireError>>()?;
+        let histograms = value
+            .field("histograms")?
+            .as_array("stats-result.histograms")?
+            .iter()
+            .map(|h| {
+                Ok(HistogramSnapshot {
+                    name: h.field("name")?.as_str("histogram.name")?.to_owned(),
+                    count: h.field("count")?.as_u64("histogram.count")?,
+                    sum_us: h.field("sum_us")?.as_u64("histogram.sum_us")?,
+                    max_us: h.field("max_us")?.as_u64("histogram.max_us")?,
+                    p50_us: h.field("p50_us")?.as_f64("histogram.p50_us")?,
+                    p95_us: h.field("p95_us")?.as_f64("histogram.p95_us")?,
+                    p99_us: h.field("p99_us")?.as_f64("histogram.p99_us")?,
+                })
+            })
+            .collect::<Result<_, WireError>>()?;
+        Ok(MetricsSnapshot { counters, gauges, histograms })
+    }
+}
+
 /// One frame of the protocol — the tagged union that travels as one JSON
 /// line.
 #[derive(Debug, Clone, PartialEq)]
@@ -1571,6 +1663,11 @@ pub enum Frame {
     },
     /// Worker → server: the leased shard was rejected by the model.
     LeaseFailed(LeaseFailed),
+    /// Client → server: dump the daemon's metrics snapshot.
+    Stats,
+    /// Server → client: the metrics snapshot (the answer to
+    /// [`Frame::Stats`]).
+    StatsResult(MetricsSnapshot),
 }
 
 impl ToWire for Frame {
@@ -1617,6 +1714,8 @@ impl ToWire for Frame {
                 ("generation".into(), Value::Int(*generation as i128)),
             ]),
             Frame::LeaseFailed(frame) => frame.to_wire(),
+            Frame::Stats => Value::Object(vec![("type".into(), Value::Str("stats".into()))]),
+            Frame::StatsResult(snapshot) => snapshot.to_wire(),
         }
     }
 }
@@ -1655,6 +1754,8 @@ impl FromWire for Frame {
                 generation: value.field("generation")?.as_u64("lease-revoke.generation")?,
             }),
             "lease-failed" => Ok(Frame::LeaseFailed(LeaseFailed::from_wire(value)?)),
+            "stats" => Ok(Frame::Stats),
+            "stats-result" => Ok(Frame::StatsResult(MetricsSnapshot::from_wire(value)?)),
             other => Err(WireError::new(format!("unknown frame type {other:?}"))),
         }
     }

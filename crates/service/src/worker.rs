@@ -37,6 +37,9 @@ use crate::wire::{
 };
 use crate::ServiceError;
 
+/// Log target of the worker's structured stderr lines.
+const LOG_TARGET: &str = "service::worker";
+
 /// How a worker process is launched.
 #[derive(Debug, Clone)]
 pub struct WorkerOptions {
@@ -99,9 +102,17 @@ pub fn run(options: &WorkerOptions) -> Result<(), ServiceError> {
         None => return Err(ServiceError::Protocol("connection closed during registration".into())),
     };
     let heartbeat_ms = options.heartbeat_ms.unwrap_or(advertised_heartbeat_ms);
-    eprintln!(
-        "sweep worker: registered as worker {worker_id} with {} (heartbeat {heartbeat_ms} ms)",
-        options.endpoint
+    telemetry::log::info(
+        LOG_TARGET,
+        format!(
+            "sweep worker: registered as worker {worker_id} with {} (heartbeat {heartbeat_ms} ms)",
+            options.endpoint
+        ),
+        &[
+            ("worker", worker_id.into()),
+            ("endpoint", options.endpoint.to_string().into()),
+            ("heartbeat_ms", heartbeat_ms.into()),
+        ],
     );
 
     // The heartbeat thread keeps the worker alive in the coordinator's
@@ -128,14 +139,27 @@ pub fn run(options: &WorkerOptions) -> Result<(), ServiceError> {
     loop {
         match read_frame(&mut reader)? {
             Some(Frame::Lease(grant)) => {
-                eprintln!(
-                    "sweep worker {worker_id}: executing lease {} (gen {}): shard {}/{} of {} case {}",
-                    grant.lease,
-                    grant.generation,
-                    grant.task.shard,
-                    grant.task.shards,
-                    grant.task.query.name(),
-                    grant.task.case,
+                telemetry::log::info(
+                    LOG_TARGET,
+                    format!(
+                        "sweep worker {worker_id}: executing lease {} (gen {}): \
+                         shard {}/{} of {} case {}",
+                        grant.lease,
+                        grant.generation,
+                        grant.task.shard,
+                        grant.task.shards,
+                        grant.task.query.name(),
+                        grant.task.case,
+                    ),
+                    &[
+                        ("worker", worker_id.into()),
+                        ("lease", grant.lease.into()),
+                        ("generation", grant.generation.into()),
+                        ("shard", grant.task.shard.into()),
+                        ("shards", grant.task.shards.into()),
+                        ("query", grant.task.query.name().into()),
+                        ("case", grant.task.case.into()),
+                    ],
                 );
                 let reply = match execute_task(&grant.task, &mut state) {
                     Ok((payload, range, stats)) => Frame::LeaseDone(LeaseDone {
@@ -162,7 +186,15 @@ pub fn run(options: &WorkerOptions) -> Result<(), ServiceError> {
                 // this worker was silent.  Execution here is synchronous,
                 // so by the time a revoke is read any result was already
                 // sent — and will be dropped by its stale generation.
-                eprintln!("sweep worker {worker_id}: lease {lease} (gen {generation}) revoked");
+                telemetry::log::warn(
+                    LOG_TARGET,
+                    format!("sweep worker {worker_id}: lease {lease} (gen {generation}) revoked"),
+                    &[
+                        ("worker", worker_id.into()),
+                        ("lease", lease.into()),
+                        ("generation", generation.into()),
+                    ],
+                );
             }
             Some(Frame::ShuttingDown) | None => break,
             Some(other) => {
@@ -174,7 +206,11 @@ pub fn run(options: &WorkerOptions) -> Result<(), ServiceError> {
     if let Some(handle) = heartbeat {
         let _ = handle.join();
     }
-    eprintln!("sweep worker {worker_id}: disconnected");
+    telemetry::log::info(
+        LOG_TARGET,
+        format!("sweep worker {worker_id}: disconnected"),
+        &[("worker", worker_id.into())],
+    );
     Ok(())
 }
 

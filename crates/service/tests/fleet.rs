@@ -14,6 +14,7 @@ use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -72,12 +73,15 @@ fn stop_daemon(endpoint: &Endpoint, handle: JoinHandle<()>) {
 }
 
 /// Fleet-flavored serve options: one local pool worker, one dispatcher,
-/// and an explicit lease TTL so expiry is fast in tests.
+/// and an explicit lease TTL so expiry is fast in tests.  Each daemon
+/// gets its own metrics registry — several run in this one process, and
+/// sharing the global registry would cross-contaminate their snapshots.
 fn fleet_options(tag: &str, lease_ttl_ms: u64) -> ServeOptions {
     ServeOptions {
         dispatchers: 1,
         queue_capacity: 8,
         lease_ttl_ms,
+        metrics: Some(Arc::new(telemetry::Registry::new())),
         ..ServeOptions::new(Endpoint::Unix(temp_socket(tag)), 1)
     }
 }
@@ -261,6 +265,26 @@ fn sigkilled_worker_mid_shard_requeues_and_fold_stays_bit_identical() {
     );
     assert!(done.shards_remote >= 1, "the surviving worker must have executed shards");
     assert!(done.fleet_workers >= 1, "the survivor is still registered");
+
+    // The daemon's own telemetry must agree with what the job observed:
+    // the kill shows up in the lease counters, the survivor in the fleet
+    // gauges and a per-worker heartbeat-age gauge.
+    let snapshot = client::stats(&endpoint).expect("stats frame");
+    assert_eq!(
+        snapshot.counter("lease.requeued"),
+        Some(done.leases_requeued),
+        "the stats frame and the job-done frame count the same re-queues"
+    );
+    assert!(snapshot.counter("lease.granted").expect("granted counter") >= 1);
+    assert_eq!(snapshot.counter("jobs.shards_remote"), Some(done.shards_remote));
+    assert_eq!(snapshot.gauge("fleet.workers"), Some(1), "only the survivor is live");
+    assert!(
+        snapshot.gauges.iter().any(
+            |(name, _)| name.starts_with("fleet.worker.") && name.ends_with("heartbeat_age_ms")
+        ),
+        "the survivor exports a heartbeat-age gauge: {:?}",
+        snapshot.gauges
+    );
 
     survivor.sigkill();
     stop_daemon(&endpoint, handle);

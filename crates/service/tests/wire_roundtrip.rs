@@ -17,6 +17,7 @@ use sweep::experiments::{
     Fig4Row, Prop2ExhaustiveRow, Prop2Report, Prop2Targeted, Thm1Case, Thm3Row,
 };
 use sweep::{CursorStats, SweepStats};
+use telemetry::{HistogramSnapshot, MetricsSnapshot};
 
 fn random_stats(rng: &mut StdRng) -> SweepStats {
     SweepStats {
@@ -184,8 +185,37 @@ fn random_task(rng: &mut StdRng) -> TaskSpec {
     }
 }
 
+fn random_snapshot(rng: &mut StdRng) -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: (0..rng.random_range(0..6u64))
+            .map(|i| (format!("jobs.counter{i}"), rng.random_range(0..u64::MAX)))
+            .collect(),
+        gauges: (0..rng.random_range(0..4u64))
+            .map(|i| {
+                (
+                    format!("queue.gauge{i}"),
+                    rng.random_range(0..u64::MAX) as i64, // full i64 range incl. negatives
+                )
+            })
+            .collect(),
+        histograms: (0..rng.random_range(0..4u64))
+            .map(|i| HistogramSnapshot {
+                name: format!("phase.hist{i}_ms"),
+                count: rng.random_range(0..u64::MAX),
+                sum_us: rng.random_range(0..u64::MAX),
+                max_us: rng.random_range(0..u64::MAX),
+                // Dyadic fractions survive the float round trip exactly
+                // (and real percentiles are bucket midpoints: `.0`/`.5`).
+                p50_us: rng.random_range(0..1_000_000u64) as f64 / 2.0,
+                p95_us: rng.random_range(0..1_000_000u64) as f64 / 2.0,
+                p99_us: rng.random_range(0..1_000_000u64) as f64 / 2.0,
+            })
+            .collect(),
+    }
+}
+
 fn random_frame(rng: &mut StdRng) -> Frame {
-    match rng.random_range(0..17u64) {
+    match rng.random_range(0..19u64) {
         0 => Frame::Job(random_spec(rng)),
         1 => Frame::Shutdown,
         2 => Frame::ShuttingDown,
@@ -264,11 +294,53 @@ fn random_frame(rng: &mut StdRng) -> Frame {
             lease: rng.random_range(1..u64::MAX),
             generation: rng.random_range(0..1000u64),
         },
-        _ => Frame::LeaseFailed(LeaseFailed {
+        16 => Frame::LeaseFailed(LeaseFailed {
             lease: rng.random_range(1..u64::MAX),
             generation: rng.random_range(0..1000u64),
             message: format!("lease error #{}", rng.random_range(0..99u64)),
         }),
+        17 => Frame::Stats,
+        _ => Frame::StatsResult(random_snapshot(rng)),
+    }
+}
+
+/// Adversarial `stats-result` frames — missing sections, non-pair metric
+/// entries, ill-typed values, out-of-range numbers — are clean decode
+/// errors, never panics or silently wrong snapshots.
+#[test]
+fn malformed_stats_results_are_rejected() {
+    let valid = "{\"type\":\"stats-result\",\"counters\":[[\"jobs.total\",2]],\
+                 \"gauges\":[[\"queue.depth\",-1]],\"histograms\":[]}";
+    match decode_line(valid).expect("valid stats-result decodes") {
+        Frame::StatsResult(snapshot) => {
+            assert_eq!(snapshot.counter("jobs.total"), Some(2));
+            assert_eq!(snapshot.gauge("queue.depth"), Some(-1));
+        }
+        other => panic!("unexpected frame {other:?}"),
+    }
+    for bad in [
+        // Missing sections.
+        "{\"type\":\"stats-result\"}",
+        "{\"type\":\"stats-result\",\"counters\":[],\"gauges\":[]}",
+        // Sections of the wrong shape.
+        "{\"type\":\"stats-result\",\"counters\":7,\"gauges\":[],\"histograms\":[]}",
+        "{\"type\":\"stats-result\",\"counters\":[[\"lonely\"]],\"gauges\":[],\"histograms\":[]}",
+        "{\"type\":\"stats-result\",\"counters\":[[\"a\",1,2]],\"gauges\":[],\"histograms\":[]}",
+        "{\"type\":\"stats-result\",\"counters\":[[3,1]],\"gauges\":[],\"histograms\":[]}",
+        // Ill-typed or out-of-range values.
+        "{\"type\":\"stats-result\",\"counters\":[[\"a\",\"x\"]],\"gauges\":[],\"histograms\":[]}",
+        "{\"type\":\"stats-result\",\"counters\":[[\"a\",-1]],\"gauges\":[],\"histograms\":[]}",
+        "{\"type\":\"stats-result\",\"counters\":[[\"a\",18446744073709551616]],\
+         \"gauges\":[],\"histograms\":[]}",
+        "{\"type\":\"stats-result\",\"counters\":[],\"gauges\":[[\"g\",9223372036854775808]],\
+         \"histograms\":[]}",
+        // Histogram entries missing fields or ill-typed.
+        "{\"type\":\"stats-result\",\"counters\":[],\"gauges\":[],\"histograms\":[{}]}",
+        "{\"type\":\"stats-result\",\"counters\":[],\"gauges\":[],\"histograms\":[{\
+         \"name\":\"h\",\"count\":1,\"sum_us\":1,\"max_us\":1,\"p50_us\":true,\
+         \"p95_us\":1.0,\"p99_us\":1.0}]}",
+    ] {
+        assert!(decode_line(bad).is_err(), "accepted malformed stats-result {bad:?}");
     }
 }
 

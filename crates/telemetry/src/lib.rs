@@ -1,0 +1,32 @@
+//! Telemetry backbone for the sweep service: a lock-cheap metrics registry
+//! and a leveled structured logger, plus renderings of metric snapshots as
+//! a human table and Prometheus-style text.
+//!
+//! The crate is deliberately dependency-free (the build environment is
+//! offline; see `vendor/README.md`) and carries no wire-format knowledge:
+//! [`MetricsSnapshot`] is plain data, and the service layer's `wire` module
+//! owns its JSON encoding.  Module map:
+//!
+//! * [`metrics`] — [`Counter`] / [`Gauge`] / [`Histogram`] handles backed by
+//!   atomics, the [`Registry`] that names them, and the [`MetricsSnapshot`]
+//!   extraction with p50/p95/p99 percentiles;
+//! * [`log`] — the `error/warn/info/debug` logger behind `SWEEP_LOG`,
+//!   `--log-level` and `--log-json`, emitting either the exact human lines
+//!   the daemon always printed or one JSON object per line.
+//!
+//! Metric naming convention: registry names are dot-separated lowercase
+//! paths (`jobs.total`, `cache.thm1.hits`, `phase.shard_exec_ms`); the
+//! Prometheus rendering maps `.` to `_` and prefixes `sweep_`, so
+//! `cache.thm1.hits` scrapes as `sweep_cache_thm1_hits`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod log;
+pub mod metrics;
+
+pub use log::{set_json, set_level, FieldValue, Level};
+pub use metrics::{
+    global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+};

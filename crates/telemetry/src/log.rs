@@ -1,0 +1,320 @@
+//! The leveled structured logger.
+//!
+//! One process-wide configuration (a relaxed atomic level + format flag, so
+//! the enabled check on a suppressed call site is a single load) selected
+//! by the `SWEEP_LOG` environment variable and the `--log-level` /
+//! `--log-json` CLI flags.  In human mode an enabled record prints its
+//! message to stderr **verbatim** — the daemon's historical `eprintln!`
+//! lines survive byte-identically, which CI greps and the stdout-table
+//! determinism contract rely on.  In JSON mode each record is one object
+//! per line on stderr:
+//!
+//! ```json
+//! {"ts":1723112345.123,"level":"info","target":"service::server",
+//!  "msg":"sweep serve: listening on ...","fields":{"workers":4}}
+//! ```
+//!
+//! `ts` is fractional seconds since the Unix epoch; `fields` carries the
+//! record's typed key/values and is omitted when empty.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or dropped work (malformed frames, failed jobs).
+    Error = 0,
+    /// Degraded but continuing (rejected leases, re-queues).
+    Warn = 1,
+    /// Lifecycle events — the daemon's historical stderr lines.
+    Info = 2,
+    /// High-volume detail (per-lease execution traces).
+    Debug = 3,
+}
+
+impl Level {
+    /// Parses `error|warn|info|debug` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    /// The lowercase name used in JSON records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Default level: the daemon's historical lines were always printed, and
+/// they all map to `info` or above.
+const DEFAULT_LEVEL: u8 = Level::Info as u8;
+
+static LEVEL: AtomicU8 = AtomicU8::new(DEFAULT_LEVEL);
+static JSON: AtomicBool = AtomicBool::new(false);
+static ENV_READ: AtomicBool = AtomicBool::new(false);
+
+/// Sets the maximum emitted level (overrides `SWEEP_LOG`).
+pub fn set_level(level: Level) {
+    ENV_READ.store(true, Ordering::Relaxed);
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Switches between human (`false`, the default) and JSON-lines (`true`)
+/// output.
+pub fn set_json(json: bool) {
+    JSON.store(json, Ordering::Relaxed);
+}
+
+/// Current maximum emitted level, reading `SWEEP_LOG` on first use unless
+/// [`set_level`] already pinned one.
+pub fn level() -> Level {
+    if !ENV_READ.swap(true, Ordering::Relaxed) {
+        if let Some(parsed) = std::env::var("SWEEP_LOG").ok().as_deref().and_then(Level::parse) {
+            LEVEL.store(parsed as u8, Ordering::Relaxed);
+        }
+    }
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Whether a record at `level` would be emitted — guard expensive field
+/// construction on hot debug sites with this.
+pub fn enabled(level: Level) -> bool {
+    level <= self::level()
+}
+
+/// A typed structured-log field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// Emits an error-level record.
+pub fn error(target: &str, message: impl AsRef<str>, fields: &[(&str, FieldValue)]) {
+    emit(Level::Error, target, message.as_ref(), fields);
+}
+
+/// Emits a warn-level record.
+pub fn warn(target: &str, message: impl AsRef<str>, fields: &[(&str, FieldValue)]) {
+    emit(Level::Warn, target, message.as_ref(), fields);
+}
+
+/// Emits an info-level record.
+pub fn info(target: &str, message: impl AsRef<str>, fields: &[(&str, FieldValue)]) {
+    emit(Level::Info, target, message.as_ref(), fields);
+}
+
+/// Emits a debug-level record.
+pub fn debug(target: &str, message: impl AsRef<str>, fields: &[(&str, FieldValue)]) {
+    emit(Level::Debug, target, message.as_ref(), fields);
+}
+
+fn emit(level: Level, target: &str, message: &str, fields: &[(&str, FieldValue)]) {
+    if !enabled(level) {
+        return;
+    }
+    if JSON.load(Ordering::Relaxed) {
+        eprintln!("{}", render_json(level, target, message, fields, now_unix()));
+    } else {
+        // Human mode: the message verbatim, exactly as the historical
+        // `eprintln!` call sites printed it.
+        eprintln!("{message}");
+    }
+}
+
+fn now_unix() -> f64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs_f64()).unwrap_or(0.0)
+}
+
+/// Renders one JSON record (pure; unit-tested without touching stderr).
+fn render_json(
+    level: Level,
+    target: &str,
+    message: &str,
+    fields: &[(&str, FieldValue)],
+    ts: f64,
+) -> String {
+    let mut out = String::with_capacity(96 + message.len());
+    let _ = write!(
+        out,
+        "{{\"ts\":{ts:.3},\"level\":\"{}\",\"target\":\"{}\",\"msg\":\"{}\"",
+        level.as_str(),
+        Escaped(target),
+        Escaped(message),
+    );
+    if !fields.is_empty() {
+        out.push_str(",\"fields\":{");
+        for (i, (key, value)) in fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", Escaped(key));
+            match value {
+                FieldValue::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::I64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::F64(v) if v.is_finite() => {
+                    let _ = write!(out, "{v}");
+                }
+                // JSON has no NaN/Inf; encode as null rather than emit an
+                // unparseable line.
+                FieldValue::F64(_) => out.push_str("null"),
+                FieldValue::Str(v) => {
+                    let _ = write!(out, "\"{}\"", Escaped(v));
+                }
+                FieldValue::Bool(v) => {
+                    let _ = write!(out, "{v}");
+                }
+            }
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+/// JSON string-escaping adapter (the wire model lives in `service`, which
+/// depends on this crate — so the logger carries its own minimal escaper).
+struct Escaped<'a>(&'a str);
+
+impl std::fmt::Display for Escaped<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for ch in self.0.chars() {
+            match ch {
+                '"' => f.write_str("\\\"")?,
+                '\\' => f.write_str("\\\\")?,
+                '\n' => f.write_str("\\n")?,
+                '\r' => f.write_str("\\r")?,
+                '\t' => f.write_str("\\t")?,
+                c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                c => f.write_char(c)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing_and_order() {
+        assert_eq!(Level::parse("INFO"), Some(Level::Info));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("trace"), None);
+        assert!(Level::Error < Level::Debug);
+        assert_eq!(Level::Warn.as_str(), "warn");
+    }
+
+    #[test]
+    fn json_records_escape_and_type_fields() {
+        let line = render_json(
+            Level::Warn,
+            "service::server",
+            "bad \"frame\"\nline",
+            &[
+                ("job", FieldValue::U64(7)),
+                ("delta", FieldValue::I64(-2)),
+                ("wall_ms", FieldValue::F64(1.5)),
+                ("nan", FieldValue::F64(f64::NAN)),
+                ("worker", FieldValue::Str("w\\1".to_owned())),
+                ("cached", FieldValue::Bool(true)),
+            ],
+            12.5,
+        );
+        assert_eq!(
+            line,
+            "{\"ts\":12.500,\"level\":\"warn\",\"target\":\"service::server\",\
+             \"msg\":\"bad \\\"frame\\\"\\nline\",\"fields\":{\"job\":7,\
+             \"delta\":-2,\"wall_ms\":1.5,\"nan\":null,\"worker\":\"w\\\\1\",\
+             \"cached\":true}}"
+        );
+    }
+
+    #[test]
+    fn json_record_without_fields_omits_fields_object() {
+        let line = render_json(Level::Info, "t", "hello", &[], 1.0);
+        assert_eq!(line, "{\"ts\":1.000,\"level\":\"info\",\"target\":\"t\",\"msg\":\"hello\"}");
+    }
+
+    #[test]
+    fn field_value_conversions() {
+        assert_eq!(FieldValue::from(3u64), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(3u32), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(3usize), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(-3i64), FieldValue::I64(-3));
+        assert_eq!(FieldValue::from("s"), FieldValue::Str("s".to_owned()));
+        assert_eq!(FieldValue::from(true), FieldValue::Bool(true));
+    }
+}

@@ -1,0 +1,599 @@
+//! The metrics registry: named atomic counters, gauges and log-scale
+//! latency histograms, with snapshot extraction.
+//!
+//! Handles are `Arc`-backed and `Clone`; the registry lock is taken only at
+//! registration, never on the increment path, so instrumented hot paths pay
+//! one relaxed atomic op per event.  [`Registry::snapshot`] extracts a
+//! [`MetricsSnapshot`] — plain sorted data that the service layer encodes
+//! onto the wire and this crate renders as a table or Prometheus text.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a free-standing counter (use [`Registry::counter`] for a
+    /// named one).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value (queue depth, fleet size, uptime).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Creates a free-standing gauge (use [`Registry::gauge`] for a named
+    /// one).
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: values 0–3 get exact singleton buckets,
+/// then four sub-buckets per power-of-two octave up to `u64::MAX`
+/// (`4 * 63 = 252` indices; rounded up for alignment).
+const BUCKETS: usize = 256;
+
+/// Bucket index for a recorded value: exact below 4, then
+/// `4 * (octave - 1) + sub` where `sub` is the two bits after the leading
+/// one — a fixed log-scale layout whose bucket width is at most 25% of the
+/// bucket's lower bound, bounding percentile error to ~12.5%.
+fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros() as usize; // floor(log2(v)) >= 2
+        let sub = ((v >> (octave - 2)) & 0b11) as usize;
+        4 * (octave - 1) + sub
+    }
+}
+
+/// Inclusive `[lower, upper]` value range covered by bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < 4 {
+        (i as u64, i as u64)
+    } else {
+        let octave = i / 4 + 1;
+        let sub = (i % 4) as u64;
+        let width = 1u64 << (octave - 2);
+        let lower = (1u64 << octave) + sub * width;
+        (lower, lower + (width - 1))
+    }
+}
+
+/// A fixed-bucket log-scale latency histogram.
+///
+/// Values are recorded in **microseconds**; [`Histogram::observe`] takes a
+/// [`std::time::Duration`] and [`Histogram::record`] a raw count.  Buckets
+/// are powers of two split four ways, so recording is two shifts and one
+/// relaxed `fetch_add` — no locks, no allocation — and extracted
+/// percentiles are within ~12.5% of the true order statistic.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: [const { AtomicU64::new(0) }; BUCKETS],
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates a free-standing histogram (use [`Registry::histogram`] for a
+    /// named one).
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records an elapsed duration (clamped to whole microseconds).
+    pub fn observe(&self, elapsed: std::time::Duration) {
+        self.record(elapsed.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records a raw microsecond value.
+    pub fn record(&self, us: u64) {
+        let inner = &self.inner;
+        inner.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(us, Ordering::Relaxed);
+        inner.max.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value, in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.inner.max.load(Ordering::Relaxed)
+    }
+
+    /// Nearest-rank percentile estimate (`p` in `0.0..=100.0`), in
+    /// microseconds: the midpoint of the bucket holding the `ceil(p/100·n)`-th
+    /// smallest observation, `0.0` when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let counts: Vec<u64> =
+            self.inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        percentile_from_buckets(&counts, p)
+    }
+
+    /// Extracts a plain-data snapshot under the given name.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let counts: Vec<u64> =
+            self.inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        HistogramSnapshot {
+            name: name.to_owned(),
+            count: counts.iter().sum(),
+            sum_us: self.sum_us(),
+            max_us: self.max_us(),
+            p50_us: percentile_from_buckets(&counts, 50.0),
+            p95_us: percentile_from_buckets(&counts, 95.0),
+            p99_us: percentile_from_buckets(&counts, 99.0),
+        }
+    }
+}
+
+/// Shared percentile kernel over a frozen bucket-count vector, so the three
+/// quantiles of a snapshot agree on one consistent view.
+fn percentile_from_buckets(counts: &[u64], p: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            let (lower, upper) = bucket_bounds(i);
+            return (lower + upper) as f64 / 2.0;
+        }
+    }
+    let (lower, upper) = bucket_bounds(counts.len() - 1);
+    (lower + upper) as f64 / 2.0
+}
+
+/// A named, point-in-time extraction of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Registry name (dot-separated path).
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values, microseconds.
+    pub sum_us: u64,
+    /// Largest recorded value, microseconds.
+    pub max_us: u64,
+    /// Median estimate, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile estimate, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile estimate, microseconds.
+    pub p99_us: f64,
+}
+
+/// The metrics registry: names handles and extracts snapshots.
+///
+/// One process-wide default lives behind [`global`]; tests and embedded
+/// servers construct their own with [`Registry::new`] so concurrent
+/// in-process daemons never share counters.  Registration idempotently
+/// returns the existing handle for a name, so call sites may re-register
+/// freely, though hot paths should cache the returned handle.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it if new.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("telemetry registry poisoned");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Returns the gauge registered under `name`, creating it if new.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("telemetry registry poisoned");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Returns the histogram registered under `name`, creating it if new.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().expect("telemetry registry poisoned");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Extracts a snapshot of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("telemetry registry poisoned")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("telemetry registry poisoned")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("telemetry registry poisoned")
+            .iter()
+            .map(|(name, h)| h.snapshot(name))
+            .collect();
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+}
+
+/// The process-wide default registry.  Handed out as an `Arc` so a daemon
+/// can hold it alongside injected instances; tests that need isolation
+/// (several in-process servers in one binary) construct their own
+/// [`Registry::new`] instead.
+pub fn global() -> Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(Registry::new())))
+}
+
+/// A point-in-time, plain-data view of a registry, sorted by metric name.
+///
+/// This is the payload of the service layer's `stats-result` wire frame
+/// (the `ToWire`/`FromWire` impls live in `service::wire`, which owns the
+/// JSON model) and the input to the [table](MetricsSnapshot::to_table) and
+/// [Prometheus](MetricsSnapshot::to_prometheus) renderings here.  Sampled
+/// values that live outside the registry (lease-table counters, per-cache
+/// hit/miss atomics, durable-store accounting) are pushed in at snapshot
+/// time via [`MetricsSnapshot::push_counter`] / `push_gauge` so nothing is
+/// double-counted by mirroring live.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counter pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauge pairs, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram extractions, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Adds a sampled counter value, keeping the name order sorted.
+    pub fn push_counter(&mut self, name: &str, value: u64) {
+        let at =
+            self.counters.binary_search_by(|(n, _)| n.as_str().cmp(name)).unwrap_or_else(|i| i);
+        self.counters.insert(at, (name.to_owned(), value));
+    }
+
+    /// Adds a sampled gauge value, keeping the name order sorted.
+    pub fn push_gauge(&mut self, name: &str, value: i64) {
+        let at = self.gauges.binary_search_by(|(n, _)| n.as_str().cmp(name)).unwrap_or_else(|i| i);
+        self.gauges.insert(at, (name.to_owned(), value));
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Renders the snapshot as an aligned human table (the default
+    /// `sweep stats` output).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|h| h.name.len()))
+            .max()
+            .unwrap_or(0);
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:<width$}  {value}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name:<width$}  {value}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (microseconds):\n");
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "  {:<width$}  count {}  p50 {:.0}  p95 {:.0}  p99 {:.0}  max {}  mean {:.0}\n",
+                    h.name,
+                    h.count,
+                    h.p50_us,
+                    h.p95_us,
+                    h.p99_us,
+                    h.max_us,
+                    if h.count == 0 { 0.0 } else { h.sum_us as f64 / h.count as f64 },
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as Prometheus-style exposition text: registry
+    /// names map `.` to `_` under a `sweep_` prefix, histograms emit
+    /// summary-style `quantile` series plus `_count`/`_sum`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let prom = prom_name(name);
+            out.push_str(&format!("# TYPE {prom} counter\n{prom} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let prom = prom_name(name);
+            out.push_str(&format!("# TYPE {prom} gauge\n{prom} {value}\n"));
+        }
+        for h in &self.histograms {
+            let prom = prom_name(&h.name);
+            out.push_str(&format!("# TYPE {prom} summary\n"));
+            for (q, v) in [(0.5, h.p50_us), (0.95, h.p95_us), (0.99, h.p99_us)] {
+                out.push_str(&format!("{prom}{{quantile=\"{q}\"}} {v:.1}\n"));
+            }
+            out.push_str(&format!("{prom}_sum {}\n{prom}_count {}\n", h.sum_us, h.count));
+        }
+        out
+    }
+}
+
+/// Maps a dot-separated registry name to its Prometheus series name.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("sweep_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counter_and_gauge_semantics() {
+        let registry = Registry::new();
+        let c = registry.counter("jobs.total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Re-registration returns the same underlying handle.
+        assert_eq!(registry.counter("jobs.total").get(), 5);
+
+        let g = registry.gauge("queue.depth");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+        assert_eq!(registry.gauge("queue.depth").get(), 4);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("jobs.total"), Some(5));
+        assert_eq!(snap.gauge("queue.depth"), Some(4));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let registry = Registry::new();
+        let c = registry.counter("contended");
+        let h = registry.histogram("contended.lat");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                let h = h.clone();
+                thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record(i % 97);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+        assert_eq!(h.count(), 80_000);
+        let snap = h.snapshot("contended.lat");
+        assert_eq!(snap.count, 80_000);
+    }
+
+    #[test]
+    fn bucket_layout_is_consistent() {
+        // Every representable value maps into a bucket whose bounds contain
+        // it, and bucket bounds tile the axis without gaps.
+        for v in (0u64..4096).chain([u64::MAX / 3, u64::MAX - 1, u64::MAX]) {
+            let i = bucket_index(v);
+            let (lower, upper) = bucket_bounds(i);
+            assert!(lower <= v && v <= upper, "value {v} outside bucket {i}");
+        }
+        for i in 1..252 {
+            let (_, prev_upper) = bucket_bounds(i - 1);
+            let (lower, _) = bucket_bounds(i);
+            assert_eq!(lower, prev_upper + 1, "gap before bucket {i}");
+        }
+    }
+
+    /// Nearest-rank percentile over the raw values — the reference the
+    /// bucketed estimate is checked against.
+    fn reference_percentile(values: &mut [u64], p: f64) -> f64 {
+        values.sort_unstable();
+        let rank = ((p / 100.0) * values.len() as f64).ceil().max(1.0) as usize;
+        values[rank - 1] as f64
+    }
+
+    #[test]
+    fn percentiles_track_reference_implementation() {
+        // A deterministic skewed workload: mixture of short and long tails.
+        let mut values = Vec::new();
+        let mut x = 1u64;
+        for i in 0..5000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = match i % 10 {
+                0..=6 => 50 + x % 400,      // bulk: 50–450 us
+                7 | 8 => 2_000 + x % 8_000, // slow: 2–10 ms
+                _ => 50_000 + x % 100_000,  // tail: 50–150 ms
+            };
+            values.push(v);
+        }
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        for p in [50.0, 95.0, 99.0] {
+            let reference = reference_percentile(&mut values, p);
+            let estimate = h.percentile(p);
+            let err = (estimate - reference).abs();
+            // Bucket width is at most 25% of its lower bound, so the
+            // midpoint is within ~12.5% of any member; allow slack of one.
+            assert!(
+                err <= reference * 0.15 + 1.0,
+                "p{p}: estimate {estimate} vs reference {reference}"
+            );
+        }
+        let snap = h.snapshot("t");
+        assert_eq!(snap.count, 5000);
+        assert_eq!(snap.sum_us, values.iter().sum::<u64>());
+        assert_eq!(snap.max_us, *values.iter().max().unwrap());
+        assert_eq!(snap.p50_us, h.percentile(50.0));
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), 0.0);
+        h.record(0);
+        assert_eq!(h.percentile(50.0), 0.0);
+        assert_eq!(h.percentile(99.0), 0.0);
+        let single = Histogram::new();
+        single.observe(std::time::Duration::from_micros(3));
+        assert_eq!(single.percentile(50.0), 3.0);
+        assert_eq!(single.count(), 1);
+        assert_eq!(single.sum_us(), 3);
+        assert_eq!(single.max_us(), 3);
+    }
+
+    #[test]
+    fn snapshot_push_keeps_sorted_order_and_renders() {
+        let registry = Registry::new();
+        registry.counter("b.second").add(2);
+        registry.histogram("lat.job_ms").observe(std::time::Duration::from_millis(5));
+        let mut snap = registry.snapshot();
+        snap.push_counter("a.first", 1);
+        snap.push_counter("c.third", 3);
+        snap.push_gauge("queue.depth", 0);
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.first", "b.second", "c.third"]);
+
+        let table = snap.to_table();
+        assert!(table.contains("a.first"));
+        assert!(table.contains("histograms (microseconds):"));
+
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE sweep_a_first counter\nsweep_a_first 1\n"));
+        assert!(prom.contains("# TYPE sweep_queue_depth gauge"));
+        assert!(prom.contains("sweep_lat_job_ms{quantile=\"0.5\"}"));
+        assert!(prom.contains("sweep_lat_job_ms_count 1"));
+        // Series names are unique and values are finite (the CI leg's
+        // `--prom` validity contract).
+        let mut seen = std::collections::BTreeSet::new();
+        for line in prom.lines().filter(|l| !l.starts_with('#')) {
+            assert!(seen.insert(line.split_whitespace().next().unwrap().to_owned()));
+            let value: f64 = line.split_whitespace().last().unwrap().parse().unwrap();
+            assert!(value.is_finite());
+        }
+    }
+}

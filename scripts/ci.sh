@@ -7,6 +7,7 @@
 #                           #   + daemon smoke (serve/submit/cache/shutdown)
 #                           #   + omission smoke (cross-model cache isolation)
 #                           #   + fleet smoke (workers, SIGKILL, re-queue)
+#                           #   + observability smoke (stats/--prom/--log-json)
 #   scripts/ci.sh --bench   # additionally re-record the perf snapshot chain
 #
 # The --bench arm runs the snapshot binaries in chain order —
@@ -15,7 +16,9 @@
 # the freshly re-recorded cached baseline), `bench_block_cursor` (block
 # cursor off vs on, reading the freshly re-recorded reuse-on baseline),
 # then `bench_service_cache` (daemon warm vs cold, reading the freshly
-# re-recorded cursor-on baseline) — and overwrites the checked-in
+# re-recorded cursor-on baseline) and `bench_telemetry` (instrumented
+# daemon cold path + metric primitives, reading the freshly re-recorded
+# service-cache cold baseline) — and overwrites the checked-in
 # BENCH_*.json chain under one same-machine, best-of-N discipline; run it
 # on an otherwise idle machine.
 set -euo pipefail
@@ -198,13 +201,68 @@ grep -q "fleet: 0 workers" "$SMOKE_DIR/local.log"
 target/debug/sweep shutdown --socket "$FLEET_SOCK" 2>/dev/null
 wait "$SERVE_PID"
 SERVE_PID=""
+echo "ci.sh: fleet smoke passed (SIGKILL re-queue + empty-fleet degradation diff clean)"
+
+# --- Observability smoke ----------------------------------------------------
+# Boot a fresh daemon, submit the same job twice (the second with --log-json),
+# and assert via `sweep stats` that the snapshot matches the behavior the
+# submits observed: two jobs total, at least one warm cache replay.  The
+# --prom form must expose unique series with finite values, the --json form
+# one JSON object, and the --log-json submit only JSON lines on stderr.
+STATS_SOCK="$SMOKE_DIR/stats.sock"
+target/debug/sweep serve --socket "$STATS_SOCK" --workers 1 \
+    2>"$SMOKE_DIR/stats-serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [[ -S "$STATS_SOCK" ]] && break; sleep 0.1; done
+if [[ ! -S "$STATS_SOCK" ]]; then
+    echo "ci.sh: observability-smoke daemon did not come up" >&2
+    cat "$SMOKE_DIR/stats-serve.log" >&2
+    exit 1
+fi
+target/debug/sweep submit --socket "$STATS_SOCK" thm1 --scope 3,1,1 --shards 4 \
+    >/dev/null 2>&1
+target/debug/sweep --log-json submit --socket "$STATS_SOCK" thm1 --scope 3,1,1 \
+    --shards 4 >/dev/null 2>"$SMOKE_DIR/json.log"
+if grep -vEq '^\{.*\}$' "$SMOKE_DIR/json.log"; then
+    echo "ci.sh: --log-json emitted a non-JSON stderr line" >&2
+    cat "$SMOKE_DIR/json.log" >&2
+    exit 1
+fi
+grep -q '"level":"info"' "$SMOKE_DIR/json.log"
+target/debug/sweep stats --socket "$STATS_SOCK" >"$SMOKE_DIR/stats.txt"
+grep -Eq "jobs\.total +2\$" "$SMOKE_DIR/stats.txt"
+REPLAYS=$(awk '$1 == "cache.replays" { print $2 }' "$SMOKE_DIR/stats.txt")
+if [[ -z "$REPLAYS" || "$REPLAYS" -lt 1 ]]; then
+    echo "ci.sh: warm submit recorded no cache replays" >&2
+    cat "$SMOKE_DIR/stats.txt" >&2
+    exit 1
+fi
+target/debug/sweep stats --socket "$STATS_SOCK" --json >"$SMOKE_DIR/stats.json"
+grep -Eq '^\{.*\}$' "$SMOKE_DIR/stats.json"
+target/debug/sweep stats --socket "$STATS_SOCK" --prom >"$SMOKE_DIR/stats.prom"
+awk '
+    /^#/ { next }
+    NF != 2 { print "ci.sh: malformed prometheus line: " $0; exit 1 }
+    seen[$1]++ { print "ci.sh: duplicate prometheus series: " $1; exit 1 }
+    $2 !~ /^-?[0-9]+(\.[0-9]+)?$/ {
+        print "ci.sh: non-finite prometheus value: " $0; exit 1
+    }
+' "$SMOKE_DIR/stats.prom" >"$SMOKE_DIR/prom-errors.txt"
+if [[ -s "$SMOKE_DIR/prom-errors.txt" ]]; then
+    cat "$SMOKE_DIR/prom-errors.txt" >&2
+    exit 1
+fi
+target/debug/sweep shutdown --socket "$STATS_SOCK" 2>/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
 trap - EXIT
 rm -rf "$SMOKE_DIR"
-echo "ci.sh: fleet smoke passed (SIGKILL re-queue + empty-fleet degradation diff clean)"
+echo "ci.sh: observability smoke passed (stats table/json/prom valid, JSON log clean)"
 
 if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release -p bench_harness --bin bench_sweep_cache
     cargo run --release -p bench_harness --bin bench_run_reuse
     cargo run --release -p bench_harness --bin bench_block_cursor
     cargo run --release -p bench_harness --bin bench_service_cache
+    cargo run --release -p bench_harness --bin bench_telemetry
 fi

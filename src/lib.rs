@@ -22,7 +22,11 @@
 //!   queue, shard scheduler over a persistent worker pool, streamed
 //!   line-delimited JSON frames) and its incremental shard-accumulator
 //!   cache, which answers repeated queries without re-executing warm
-//!   shards.
+//!   shards;
+//! * [`telemetry`] — the observability backbone: the lock-cheap metrics
+//!   registry (counters, gauges, log-scale latency histograms with
+//!   p50/p95/p99 extraction) and the leveled structured logger behind
+//!   `SWEEP_LOG`, `--log-level` and `--log-json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,4 +37,5 @@ pub use service;
 pub use set_consensus;
 pub use sweep;
 pub use synchrony;
+pub use telemetry;
 pub use topology;
